@@ -1,0 +1,164 @@
+//! The candidate-collision C4 tester (Fraigniaud et al., DISC 2016 —
+//! reference \[20\] of the paper).
+//!
+//! Per repetition (two rounds): every node samples a uniform random
+//! neighbor and broadcasts its ID. A receiver `u` that hears the *same*
+//! candidate `w ∉ {u}` from two distinct neighbors `x ≠ y` certifies the
+//! 4-cycle `(u, x, w, y)` — all four edges are vouched for (`u–x`, `u–y`
+//! receiving links; `x–w`, `y–w` sampled), so the tester is 1-sided.
+//!
+//! Together with [`crate::triangle`] this covers the `H`-freeness testers
+//! for 4-node patterns that the paper generalizes past; \[20\] proved this
+//! sampling style cannot give constant-round testers for `Ck`, `k ≥ 5`.
+
+use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::graph::{Graph, NodeId};
+use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::rngs::{derived_rng, labels};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Verdict of the C4 tester at one node.
+#[derive(Clone, Debug, Default)]
+pub struct C4Verdict {
+    /// True if this node certified a C4.
+    pub reject: bool,
+    /// The 4-cycle's IDs `(u, x, w, y)` when rejecting.
+    pub witness: Option<(NodeId, NodeId, NodeId, NodeId)>,
+}
+
+/// Repetition schedule, `Θ(1/ε²)` as in \[20\].
+pub fn c4_repetitions(eps: f64) -> u32 {
+    assert!(eps > 0.0 && eps < 1.0);
+    (4.0 / (eps * eps)).ceil() as u32
+}
+
+/// One node of the C4 tester.
+pub struct C4Tester {
+    myid: NodeId,
+    neighbor_ids: Vec<NodeId>,
+    reps_total: u32,
+    rng: StdRng,
+    verdict: C4Verdict,
+}
+
+impl C4Tester {
+    pub fn new(init: &NodeInit, reps: u32, seed: u64) -> Self {
+        C4Tester {
+            myid: init.id,
+            neighbor_ids: init.neighbor_ids.clone(),
+            reps_total: reps,
+            rng: derived_rng(seed, labels::C4_COINS, init.id, 0),
+            verdict: C4Verdict::default(),
+        }
+    }
+}
+
+impl Program for C4Tester {
+    type Msg = u64;
+    type Verdict = C4Verdict;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+        let rep = round / 2;
+        let local = round % 2;
+        if local == 0 {
+            if !self.neighbor_ids.is_empty() {
+                let pick = self.rng.random_range(0..self.neighbor_ids.len());
+                out.broadcast(&self.neighbor_ids[pick]);
+            }
+            return Status::Running;
+        }
+        if !self.verdict.reject {
+            // Look for two distinct senders announcing the same candidate.
+            for (i, a) in inbox.iter().enumerate() {
+                if a.msg == self.myid {
+                    continue;
+                }
+                let x = self.neighbor_ids[a.port as usize];
+                if a.msg == x {
+                    continue;
+                }
+                for b in &inbox[i + 1..] {
+                    let y = self.neighbor_ids[b.port as usize];
+                    if b.msg == a.msg && y != x && b.msg != y {
+                        self.verdict.reject = true;
+                        self.verdict.witness = Some((self.myid, x, a.msg, y));
+                        break;
+                    }
+                }
+                if self.verdict.reject {
+                    break;
+                }
+            }
+        }
+        if rep + 1 == self.reps_total {
+            Status::Halted
+        } else {
+            Status::Running
+        }
+    }
+
+    fn verdict(&self) -> C4Verdict {
+        self.verdict.clone()
+    }
+}
+
+/// Network-level C4 test.
+pub fn test_c4_freeness(
+    g: &Graph,
+    eps: f64,
+    seed: u64,
+    reps_override: Option<u32>,
+) -> Result<(bool, RunOutcome<C4Verdict>), EngineError> {
+    let reps = reps_override.unwrap_or_else(|| c4_repetitions(eps));
+    let cfg = EngineConfig { max_rounds: reps * 2, ..EngineConfig::default() };
+    let outcome = run(g, &cfg, |init| C4Tester::new(&init, reps, seed))?;
+    let reject = outcome.verdicts.iter().any(|v| v.reject);
+    Ok((reject, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_graphgen::basic::{complete_bipartite, cycle, petersen};
+    use ck_graphgen::planted::eps_far_instance;
+
+    #[test]
+    fn accepts_c4_free_graphs_always() {
+        for seed in 0..6 {
+            let (rej, _) = test_c4_freeness(&petersen(), 0.2, seed, Some(10)).unwrap();
+            assert!(!rej, "Petersen has girth 5: no C4");
+            let (rej, _) = test_c4_freeness(&cycle(7), 0.2, seed, Some(10)).unwrap();
+            assert!(!rej);
+        }
+    }
+
+    #[test]
+    fn rejects_dense_c4s_and_witnesses_are_real() {
+        let g = complete_bipartite(5, 5);
+        let (rej, out) = test_c4_freeness(&g, 0.3, 3, Some(6)).unwrap();
+        assert!(rej, "K_{{5,5}} brims with C4s");
+        for v in &out.verdicts {
+            if let Some((u, x, w, y)) = v.witness {
+                let f = |id| g.index_of(id).unwrap();
+                assert!(g.has_edge(f(u), f(x)) && g.has_edge(f(x), f(w)));
+                assert!(g.has_edge(f(w), f(y)) && g.has_edge(f(y), f(u)));
+                assert_ne!(x, y);
+                assert_ne!(u, w);
+            }
+        }
+    }
+
+    #[test]
+    fn far_instances_detected_with_good_rate() {
+        let inst = eps_far_instance(60, 4, 0.1, 0);
+        let mut rejects = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            if test_c4_freeness(&inst.graph, 0.1, seed, None).unwrap().0 {
+                rejects += 1;
+            }
+        }
+        assert!(rejects * 3 >= trials * 2, "rate {rejects}/{trials}");
+    }
+}

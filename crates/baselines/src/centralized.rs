@@ -1,0 +1,79 @@
+//! Centralized reference testers.
+//!
+//! Ground-truth comparators for the experiment harness: an exact
+//! decision procedure (wrapping the `ck-graphgen` oracles) and a
+//! query-bounded sequential property tester in the sparse-model style
+//! (sample edges uniformly, search a `Ck` through each) whose success
+//! profile on ε-far instances mirrors the `εm`-edges-on-disjoint-copies
+//! argument of Lemma 4.
+
+use ck_congest::graph::Graph;
+use ck_congest::rngs::{derived_rng, labels};
+use ck_graphgen::farness::{contains_ck, has_ck_through_edge};
+use rand::RngExt;
+
+/// Exact centralized decision: does `g` contain a `Ck`?
+pub fn exact_contains_ck(g: &Graph, k: usize) -> bool {
+    contains_ck(g, k)
+}
+
+/// Result of the sampling tester.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SamplingOutcome {
+    /// True when a `Ck` was found through a sampled edge.
+    pub reject: bool,
+    /// Edge queries spent.
+    pub queries: usize,
+}
+
+/// Sparse-model sequential tester: sample `⌈(e²/ε)·ln 3⌉` uniform edges
+/// and check each for a `Ck` through it. 1-sided; on ε-far inputs each
+/// sample hits one of the ≥ `εm` edges on edge-disjoint copies with
+/// probability ≥ ε, giving the usual 2/3 detection bound.
+pub fn sampling_tester(g: &Graph, k: usize, eps: f64, seed: u64) -> SamplingOutcome {
+    assert!(eps > 0.0 && eps < 1.0);
+    let mut rng = derived_rng(seed, labels::NAIVE_SAMPLER, 0xC0DE, 0);
+    let samples = ((std::f64::consts::E.powi(2) / eps) * 3f64.ln()).ceil() as usize;
+    let m = g.m();
+    if m == 0 {
+        return SamplingOutcome { reject: false, queries: 0 };
+    }
+    for q in 1..=samples {
+        let e = g.edges()[rng.random_range(0..m)];
+        if has_ck_through_edge(g, k, e) {
+            return SamplingOutcome { reject: true, queries: q };
+        }
+    }
+    SamplingOutcome { reject: false, queries: samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_graphgen::basic::{cycle, petersen};
+    use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
+
+    #[test]
+    fn exact_decision_matches_oracle() {
+        assert!(exact_contains_ck(&cycle(6), 6));
+        assert!(!exact_contains_ck(&cycle(6), 5));
+        assert!(exact_contains_ck(&petersen(), 5));
+        assert!(!exact_contains_ck(&petersen(), 4));
+    }
+
+    #[test]
+    fn sampler_is_one_sided() {
+        let free = matched_free_instance(48, 5);
+        for seed in 0..8 {
+            assert!(!sampling_tester(&free, 5, 0.1, seed).reject);
+        }
+    }
+
+    #[test]
+    fn sampler_detects_far_instances() {
+        let inst = eps_far_instance(60, 4, 0.08, 0);
+        let trials = 10;
+        let hits = (0..trials).filter(|&s| sampling_tester(&inst.graph, 4, 0.08, s).reject).count();
+        assert!(hits * 3 >= trials as usize * 2, "{hits}/{trials}");
+    }
+}

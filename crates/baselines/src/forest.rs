@@ -1,0 +1,180 @@
+//! Distributed cycle-freeness (forest) detection.
+//!
+//! The paper's related work (\[7\]) tests *cycle-freeness* — any cycle, of
+//! any length — in `O(1/ε · log n)` rounds. As a deterministic companion
+//! baseline we implement the classical exact protocol: build a BFS
+//! forest from the minimum-ID node(s) and flag any non-tree edge; a
+//! connected graph is a tree iff `m = n − 1`, and locally, an edge
+//! between two nodes neither of which is the other's BFS parent closes a
+//! cycle. Runs in `O(D)` rounds with `O(log n)`-bit messages.
+//!
+//! Contrast with the paper's problem: `Ck`-freeness for one *fixed*
+//! length is strictly harder locally — a non-tree edge certifies *some*
+//! cycle but says nothing about its length, which is exactly why
+//! Algorithm 1 needs the sequence machinery.
+
+use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::graph::{Graph, NodeId};
+use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+
+/// Per-node verdict of the forest test.
+#[derive(Clone, Debug, Default)]
+pub struct ForestVerdict {
+    /// True if this node certified a cycle (saw a non-tree edge).
+    pub cycle_found: bool,
+}
+
+/// Protocol phases: flood (distance, root) waves; once stable, an edge
+/// where neither endpoint adopted the other as parent is a non-tree
+/// edge. We detect it with a final parent-announcement round.
+pub struct ForestTest {
+    myid: NodeId,
+    neighbor_ids: Vec<NodeId>,
+    /// (root, dist) adopted so far — lexicographically minimal root wins.
+    root: NodeId,
+    dist: u32,
+    parent_port: Option<u32>,
+    rounds_total: u32,
+    verdict: ForestVerdict,
+}
+
+/// Message: `(root, dist, parent_announcement_port_id)` — during the
+/// flood phase `announce` is `None`; in the final round nodes announce
+/// the ID of their parent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ForestMsg {
+    Wave { root: NodeId, dist: u32 },
+    Parent { parent: Option<NodeId> },
+}
+
+impl ck_congest::message::WireMessage for ForestMsg {
+    fn wire_bits(&self, params: &ck_congest::message::WireParams) -> u64 {
+        match self {
+            ForestMsg::Wave { .. } => {
+                1 + u64::from(params.id_bits) + u64::from(ck_congest::message::bits_for(params.n as u64))
+            }
+            ForestMsg::Parent { .. } => 2 + u64::from(params.id_bits),
+        }
+    }
+}
+
+impl ForestTest {
+    pub fn new(init: &NodeInit, rounds_total: u32) -> Self {
+        ForestTest {
+            myid: init.id,
+            neighbor_ids: init.neighbor_ids.clone(),
+            root: init.id,
+            dist: 0,
+            parent_port: None,
+            rounds_total,
+            verdict: ForestVerdict::default(),
+        }
+    }
+}
+
+impl Program for ForestTest {
+    type Msg = ForestMsg;
+    type Verdict = ForestVerdict;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<ForestMsg>], out: &mut Outbox<ForestMsg>) -> Status {
+        let flood_rounds = self.rounds_total - 2;
+        if round < flood_rounds {
+            let mut improved = round == 0;
+            for inc in inbox {
+                if let ForestMsg::Wave { root, dist } = inc.msg {
+                    if (root, dist + 1) < (self.root, self.dist) {
+                        self.root = root;
+                        self.dist = dist + 1;
+                        self.parent_port = Some(inc.port);
+                        improved = true;
+                    }
+                }
+            }
+            if improved {
+                out.broadcast(&ForestMsg::Wave { root: self.root, dist: self.dist });
+            }
+            return Status::Running;
+        }
+        if round == flood_rounds {
+            // Announce the parent so both endpoints can classify edges.
+            let parent = self.parent_port.map(|p| self.neighbor_ids[p as usize]);
+            out.broadcast(&ForestMsg::Parent { parent });
+            return Status::Running;
+        }
+        // Classification round: an edge {me, w} is a tree edge iff I am
+        // w's parent or w is mine; otherwise it closes a cycle.
+        for inc in inbox {
+            if let ForestMsg::Parent { parent } = &inc.msg {
+                let w = self.neighbor_ids[inc.port as usize];
+                let my_parent = self.parent_port.map(|p| self.neighbor_ids[p as usize]);
+                let tree_edge = *parent == Some(self.myid) || my_parent == Some(w);
+                if !tree_edge {
+                    self.verdict.cycle_found = true;
+                }
+            }
+        }
+        Status::Halted
+    }
+
+    fn verdict(&self) -> ForestVerdict {
+        self.verdict.clone()
+    }
+}
+
+/// Runs the exact forest test: returns true iff a cycle was certified.
+pub fn test_cycle_freeness(g: &Graph, config: &EngineConfig) -> Result<(bool, RunOutcome<ForestVerdict>), EngineError> {
+    let rounds_total = g.n() as u32 + 3; // flood to quiescence + 2
+    let mut cfg = config.clone();
+    cfg.max_rounds = rounds_total;
+    let outcome = run(g, &cfg, |init| ForestTest::new(&init, rounds_total))?;
+    let cyclic = outcome.verdicts.iter().any(|v| v.cycle_found);
+    Ok((cyclic, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_graphgen::basic::{cycle, grid, star};
+    use ck_graphgen::random::{connected_gnm, random_tree};
+
+    fn is_cyclic(g: &Graph) -> bool {
+        test_cycle_freeness(g, &EngineConfig::default()).unwrap().0
+    }
+
+    #[test]
+    fn trees_are_accepted() {
+        for seed in 0..6 {
+            assert!(!is_cyclic(&random_tree(30, seed)), "seed {seed}");
+        }
+        assert!(!is_cyclic(&star(10)));
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        for k in 3..10 {
+            assert!(is_cyclic(&cycle(k)), "C{k}");
+        }
+        assert!(is_cyclic(&grid(3, 3)));
+    }
+
+    #[test]
+    fn exactness_on_random_connected_graphs() {
+        for seed in 0..8 {
+            let n = 24;
+            // n-1 edges = tree, anything more is cyclic.
+            let tree = connected_gnm(n, n - 1, seed);
+            assert!(!is_cyclic(&tree));
+            let plus = connected_gnm(n, n + 3, seed);
+            assert!(is_cyclic(&plus));
+        }
+    }
+
+    #[test]
+    fn disconnected_forests_are_accepted() {
+        use ck_congest::graph::GraphBuilder;
+        let g = GraphBuilder::new(6).edges([(0, 1), (2, 3), (4, 5)]).build().unwrap();
+        assert!(!is_cyclic(&g));
+        let g2 = GraphBuilder::new(6).edges([(0, 1), (1, 2), (0, 2), (4, 5)]).build().unwrap();
+        assert!(is_cyclic(&g2));
+    }
+}

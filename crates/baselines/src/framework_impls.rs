@@ -1,0 +1,114 @@
+//! [`DistributedTester`] adapters for the baselines, so the CLI and the
+//! harness drive every tester through one interface.
+
+use ck_congest::engine::EngineConfig;
+use ck_congest::graph::Graph;
+use ck_congest::metrics::RunReport;
+use ck_core::framework::{DistributedTester, ProbeOutcome};
+
+fn outcome_from(reject: bool, report: &RunReport) -> ProbeOutcome {
+    ProbeOutcome {
+        reject,
+        rounds: report.rounds,
+        messages: report.total_messages(),
+        bits: report.total_bits(),
+        max_link_bits: report.max_link_bits(),
+    }
+}
+
+/// The \[7\]-style triangle tester behind the common interface.
+pub struct TriangleBaseline {
+    pub eps: f64,
+    pub repetitions: Option<u32>,
+}
+
+impl DistributedTester for TriangleBaseline {
+    fn name(&self) -> &'static str {
+        "triangle"
+    }
+
+    fn property(&self) -> String {
+        format!("triangle-freeness (ε = {}, neighbor sampling)", self.eps)
+    }
+
+    fn probe(&self, g: &Graph, seed: u64) -> ProbeOutcome {
+        let (reject, run) =
+            crate::triangle::test_triangle_freeness(g, self.eps, seed, self.repetitions)
+                .expect("engine run");
+        outcome_from(reject, &run.report)
+    }
+}
+
+/// The \[20\]-style C4 tester behind the common interface.
+pub struct C4Baseline {
+    pub eps: f64,
+    pub repetitions: Option<u32>,
+}
+
+impl DistributedTester for C4Baseline {
+    fn name(&self) -> &'static str {
+        "c4"
+    }
+
+    fn property(&self) -> String {
+        format!("C4-freeness (ε = {}, candidate collision)", self.eps)
+    }
+
+    fn probe(&self, g: &Graph, seed: u64) -> ProbeOutcome {
+        let (reject, run) = crate::c4::test_c4_freeness(g, self.eps, seed, self.repetitions)
+            .expect("engine run");
+        outcome_from(reject, &run.report)
+    }
+}
+
+/// The exact forest (cycle-freeness) test behind the common interface.
+/// Deterministic: the seed is ignored.
+pub struct ForestBaseline;
+
+impl DistributedTester for ForestBaseline {
+    fn name(&self) -> &'static str {
+        "forest"
+    }
+
+    fn property(&self) -> String {
+        "cycle-freeness (exact BFS-forest test)".into()
+    }
+
+    fn probe(&self, g: &Graph, _seed: u64) -> ProbeOutcome {
+        let (reject, run) =
+            crate::forest::test_cycle_freeness(g, &EngineConfig::default()).expect("engine run");
+        outcome_from(reject, &run.report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_core::framework::amplify;
+    use ck_graphgen::basic::{complete, cycle, petersen};
+
+    #[test]
+    fn all_baselines_implement_the_trait() {
+        let testers: Vec<Box<dyn DistributedTester>> = vec![
+            Box::new(TriangleBaseline { eps: 0.2, repetitions: Some(10) }),
+            Box::new(C4Baseline { eps: 0.2, repetitions: Some(10) }),
+            Box::new(ForestBaseline),
+        ];
+        let free = cycle(7); // triangle-free, C4-free, but cyclic
+        let expect_reject = [false, false, true];
+        for (t, &want) in testers.iter().zip(&expect_reject) {
+            let out = t.probe(&free, 3);
+            assert_eq!(out.reject, want, "{} on C7", t.name());
+            assert!(!t.property().is_empty());
+        }
+    }
+
+    #[test]
+    fn amplified_triangle_baseline_catches_k6() {
+        let t = TriangleBaseline { eps: 0.3, repetitions: Some(2) };
+        let amp = amplify(&t, &complete(6), 5, 5);
+        assert!(amp.reject);
+        let amp = amplify(&t, &petersen(), 5, 5);
+        assert!(!amp.reject, "Petersen is triangle-free");
+    }
+}

@@ -1,0 +1,25 @@
+//! # ck-baselines — comparators for the SPAA 2017 cycle-detection tester
+//!
+//! Everything the paper's algorithm is measured against:
+//!
+//! * [`naive`] — unpruned append-and-forward, with configurable drop
+//!   policies reproducing both failure modes the pruning rule fixes
+//!   (link-load blow-up and arbitrarily-dropped witnesses);
+//! * [`triangle`] — the neighbor-sampling triangle tester of
+//!   Censor-Hillel et al. (the paper's reference \[7\], `k = 3`);
+//! * [`c4`] — the candidate-collision C4 tester in the style of
+//!   Fraigniaud et al. (reference \[20\], `k = 4`);
+//! * [`centralized`] — exact and query-bounded sequential testers
+//!   (sparse-model ground truth).
+
+pub mod c4;
+pub mod centralized;
+pub mod forest;
+pub mod framework_impls;
+pub mod naive;
+pub mod triangle;
+
+pub use c4::{test_c4_freeness, C4Tester, C4Verdict};
+pub use centralized::{exact_contains_ck, sampling_tester, SamplingOutcome};
+pub use naive::{naive_detect_through_edge, DropPolicy, NaiveRun, NaiveVerdict};
+pub use triangle::{test_triangle_freeness, TriangleTester, TriangleVerdict};

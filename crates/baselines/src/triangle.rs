@@ -1,0 +1,160 @@
+//! The neighbor-sampling triangle tester (Censor-Hillel et al., DISC
+//! 2016 — reference \[7\] of the paper).
+//!
+//! Per repetition (two rounds): every node draws a uniform random
+//! neighbor `w` and broadcasts `ID(w)`; a receiver `u` that got `ID(w)`
+//! from neighbor `v` rejects when `w ≠ u` and `w ∈ N(u)` — then
+//! `{u, v, w}` is a genuine triangle (1-sided by construction: the
+//! adjacency `u–v` is the receiving link, `v–w` was sampled by `v`,
+//! `u–w` is checked against `u`'s neighbor table).
+//!
+//! Round complexity `O(1/ε²)` on ε-far-from-triangle-free inputs. This
+//! is the technique the paper's introduction credits for `k = 3` and
+//! that provably does not generalize to `k ≥ 5`.
+
+use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::graph::{Graph, NodeId};
+use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::rngs::{derived_rng, labels};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Verdict of the triangle tester at one node.
+#[derive(Clone, Debug, Default)]
+pub struct TriangleVerdict {
+    /// True if this node certified a triangle.
+    pub reject: bool,
+    /// The triangle's IDs `(u, v, w)` when rejecting.
+    pub witness: Option<(NodeId, NodeId, NodeId)>,
+}
+
+/// Number of repetitions for parameter `eps`, `Θ(1/ε²)` as in \[7\].
+pub fn triangle_repetitions(eps: f64) -> u32 {
+    assert!(eps > 0.0 && eps < 1.0);
+    (4.0 / (eps * eps)).ceil() as u32
+}
+
+/// One node of the triangle tester.
+pub struct TriangleTester {
+    myid: NodeId,
+    neighbor_ids: Vec<NodeId>,
+    reps_total: u32,
+    rng: StdRng,
+    verdict: TriangleVerdict,
+}
+
+impl TriangleTester {
+    pub fn new(init: &NodeInit, reps: u32, seed: u64) -> Self {
+        TriangleTester {
+            myid: init.id,
+            neighbor_ids: init.neighbor_ids.clone(),
+            reps_total: reps,
+            rng: derived_rng(seed, labels::TRIANGLE_COINS, init.id, 0),
+            verdict: TriangleVerdict::default(),
+        }
+    }
+}
+
+impl Program for TriangleTester {
+    type Msg = u64;
+    type Verdict = TriangleVerdict;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+        let rep = round / 2;
+        let local = round % 2;
+        if local == 0 {
+            if !self.neighbor_ids.is_empty() {
+                let pick = self.rng.random_range(0..self.neighbor_ids.len());
+                out.broadcast(&self.neighbor_ids[pick]);
+            }
+            return Status::Running;
+        }
+        // Check round.
+        if !self.verdict.reject {
+            for inc in inbox {
+                let w = inc.msg;
+                let v = self.neighbor_ids[inc.port as usize];
+                if w != self.myid && w != v && self.neighbor_ids.contains(&w) {
+                    self.verdict.reject = true;
+                    self.verdict.witness = Some((self.myid, v, w));
+                    break;
+                }
+            }
+        }
+        if rep + 1 == self.reps_total {
+            Status::Halted
+        } else {
+            Status::Running
+        }
+    }
+
+    fn verdict(&self) -> TriangleVerdict {
+        self.verdict.clone()
+    }
+}
+
+/// Network-level triangle test.
+pub fn test_triangle_freeness(
+    g: &Graph,
+    eps: f64,
+    seed: u64,
+    reps_override: Option<u32>,
+) -> Result<(bool, RunOutcome<TriangleVerdict>), EngineError> {
+    let reps = reps_override.unwrap_or_else(|| triangle_repetitions(eps));
+    let cfg = EngineConfig { max_rounds: reps * 2, ..EngineConfig::default() };
+    let outcome = run(g, &cfg, |init| TriangleTester::new(&init, reps, seed))?;
+    let reject = outcome.verdicts.iter().any(|v| v.reject);
+    Ok((reject, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_graphgen::basic::{complete, cycle, petersen};
+    use ck_graphgen::planted::eps_far_instance;
+
+    #[test]
+    fn accepts_triangle_free_graphs_always() {
+        for seed in 0..6 {
+            let (rej, _) = test_triangle_freeness(&petersen(), 0.2, seed, Some(8)).unwrap();
+            assert!(!rej, "Petersen is triangle-free");
+            let (rej, _) = test_triangle_freeness(&cycle(7), 0.2, seed, Some(8)).unwrap();
+            assert!(!rej);
+        }
+    }
+
+    #[test]
+    fn rejects_dense_triangles_fast() {
+        // K6: every sample closes a triangle.
+        let (rej, out) = test_triangle_freeness(&complete(6), 0.3, 1, Some(2)).unwrap();
+        assert!(rej);
+        // Witness is a real triangle.
+        let g = complete(6);
+        for v in &out.verdicts {
+            if let Some((a, b, c)) = v.witness {
+                let (a, b, c) =
+                    (g.index_of(a).unwrap(), g.index_of(b).unwrap(), g.index_of(c).unwrap());
+                assert!(g.has_edge(a, b) && g.has_edge(b, c) && g.has_edge(a, c));
+            }
+        }
+    }
+
+    #[test]
+    fn far_instances_detected_with_good_rate() {
+        let inst = eps_far_instance(60, 3, 0.1, 0);
+        let mut rejects = 0;
+        let trials = 10;
+        for seed in 0..trials {
+            if test_triangle_freeness(&inst.graph, 0.1, seed, None).unwrap().0 {
+                rejects += 1;
+            }
+        }
+        assert!(rejects * 3 >= trials * 2, "rate {rejects}/{trials}");
+    }
+
+    #[test]
+    fn repetition_schedule_is_quadratic() {
+        assert_eq!(triangle_repetitions(0.1), 400);
+        assert_eq!(triangle_repetitions(0.2), 100);
+    }
+}

@@ -1,0 +1,59 @@
+//! E2/E3 timing: full-tester wall time per (k, ε) on certified ε-far
+//! instances and on matched Ck-free controls (the accept path).
+
+use ck_congest::engine::EngineConfig;
+use ck_core::tester::{run_tester, TesterConfig};
+use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_far_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tester/eps-far");
+    for k in [3usize, 5, 7] {
+        let eps = 0.1;
+        let inst = eps_far_instance(60, k, eps, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let cfg = TesterConfig::new(k, eps, seed);
+                black_box(run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_free_accept(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tester/ck-free-accept");
+    for k in [4usize, 6] {
+        let g = matched_free_instance(60, k);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let cfg = TesterConfig { repetitions: Some(8), ..TesterConfig::new(k, 0.1, seed) };
+                black_box(run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_eps_sweep(c: &mut Criterion) {
+    // Rounds scale as 1/ε; wall time should follow linearly (E3's shape).
+    let mut group = c.benchmark_group("tester/eps-sweep-k5");
+    let g = matched_free_instance(40, 5);
+    for eps in [0.2f64, 0.1, 0.05] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("eps{eps}")), &eps, |b, &eps| {
+            b.iter(|| {
+                let cfg = TesterConfig::new(5, eps, 7);
+                black_box(run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_far_detection, bench_free_accept, bench_eps_sweep);
+criterion_main!(benches);

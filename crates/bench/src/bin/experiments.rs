@@ -1,0 +1,49 @@
+//! Experiment runner: regenerates every table/figure of the reproduction.
+//!
+//! ```text
+//! cargo run -p ck-bench --release --bin experiments            # full suite
+//! cargo run -p ck-bench --release --bin experiments -- --exp e5
+//! cargo run -p ck-bench --release --bin experiments -- --list
+//! ```
+
+use ck_bench::experiments::{all_experiments, run_experiment, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let results = if let Some(pos) = args.iter().position(|a| a == "--exp") {
+        let id = args.get(pos + 1).map(String::as_str).unwrap_or("");
+        match run_experiment(id) {
+            Some(r) => vec![r],
+            None => {
+                eprintln!("unknown experiment id {id:?}; try --list");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        all_experiments()
+    };
+
+    println!("# Distributed Detection of Cycles — experiment suite\n");
+    let mut failures = 0;
+    for r in &results {
+        println!("{}", r.render());
+        if !r.pass {
+            failures += 1;
+        }
+    }
+    println!(
+        "---\n{} experiment(s), {} passed, {} failed",
+        results.len(),
+        results.len() - failures,
+        failures
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

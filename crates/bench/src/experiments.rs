@@ -1,0 +1,812 @@
+//! The experiment suite (DESIGN.md §4): one function per table/figure of
+//! the reproduction, each emitting a markdown table and a pass flag.
+//!
+//! The paper is a theory paper; its "evaluation" is Theorem 1, Lemmas 1–5
+//! and two illustrative figures. Every experiment here measures the
+//! corresponding claim on concrete instances. All runs are seeded and
+//! deterministic.
+
+use ck_baselines::naive::{naive_detect_through_edge, DropPolicy};
+use ck_baselines::{test_c4_freeness, test_triangle_freeness};
+use ck_congest::engine::EngineConfig;
+use ck_congest::graph::{Edge, Graph};
+use ck_congest::message::WireParams;
+use ck_core::prune::{build_send_set, lemma3_bound, PrunerKind};
+use ck_core::rank::{minimum_is_unique, rank_rng, draw_rank, E_SQUARED};
+use ck_core::seq::IdSeq;
+use ck_core::single::detect_ck_through_edge;
+use ck_core::tester::{run_tester, test_ck_freeness, TesterConfig};
+use ck_graphgen::basic::{complete_bipartite, fan, figure1, grid, petersen, spindle, theta};
+use ck_graphgen::behrend::behrend_ck_instance;
+use ck_graphgen::farness::{greedy_ck_packing, has_ck_through_edge};
+use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
+use ck_graphgen::random::{gnp, high_girth, random_tree, randomize_ids};
+
+use crate::table::Table;
+
+/// Output of one experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Experiment id (`e1`..`e12`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// The paper claim under measurement.
+    pub claim: String,
+    /// Measured table.
+    pub table: Table,
+    /// True when the measured data supports the claim.
+    pub pass: bool,
+    /// Free-form notes (deviations, caveats).
+    pub notes: String,
+}
+
+impl ExperimentResult {
+    /// Renders the full experiment block as markdown.
+    pub fn render(&self) -> String {
+        format!(
+            "## {} — {}\n\n*Claim:* {}\n\n{}\n*Outcome:* **{}**{}\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.claim,
+            self.table.render(),
+            if self.pass { "PASS" } else { "FAIL" },
+            if self.notes.is_empty() { String::new() } else { format!("\n\n{}", self.notes) }
+        )
+    }
+}
+
+fn detect_single(g: &Graph, k: usize, e: Edge) -> ck_core::single::SingleRun {
+    detect_ck_through_edge(g, k, e, PrunerKind::Representative, &EngineConfig::default())
+        .expect("engine run")
+}
+
+/// E1 — Theorem 1, soundness: `Ck`-free graphs are accepted with
+/// probability exactly 1 (1-sided error).
+pub fn e1_soundness() -> ExperimentResult {
+    let mut table = Table::new(["k", "family", "n", "trials", "false rejects"]);
+    let mut pass = true;
+    let seeds: Vec<u64> = (0..5).collect();
+    for k in 3..=8usize {
+        let mut families: Vec<(&str, Graph)> = vec![
+            ("C(k+1)-cactus", matched_free_instance(48, k)),
+            ("random tree", random_tree(48, 7)),
+            ("high-girth", high_girth(48, k, 400, 3)),
+        ];
+        if k % 2 == 1 {
+            families.push(("bipartite K6,6", complete_bipartite(6, 6)));
+        } else if k == 4 {
+            // Petersen is C4-free but contains C6 and C8, so it only
+            // serves as the even-k control at k = 4.
+            families.push(("petersen", petersen()));
+        }
+        for (name, g) in families {
+            let mut rejects = 0;
+            for &s in &seeds {
+                let g = randomize_ids(&g, s * 13 + 1);
+                let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, 0.1, s) };
+                if run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject {
+                    rejects += 1;
+                }
+            }
+            pass &= rejects == 0;
+            table.row([
+                k.to_string(),
+                name.to_string(),
+                g.n().to_string(),
+                seeds.len().to_string(),
+                rejects.to_string(),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "e1",
+        title: "1-sided error on Ck-free graphs".into(),
+        claim: "G is Ck-free ⟹ Pr[every node accepts] = 1 (Theorem 1)".into(),
+        table,
+        pass,
+        notes: String::new(),
+    }
+}
+
+/// E2 — Theorem 1, detection: ε-far instances rejected with prob ≥ 2/3.
+pub fn e2_detection() -> ExperimentResult {
+    let mut table = Table::new(["k", "eps", "n", "m", "reps", "trials", "reject rate", "≥ 2/3"]);
+    let mut pass = true;
+    let trials = 12u64;
+    for k in 3..=6usize {
+        for &eps in &[0.10f64, 0.05] {
+            let inst = eps_far_instance(60, k, eps, 0);
+            // Trials are independent runs: fan them out across cores.
+            use rayon::prelude::*;
+            let outcomes: Vec<(bool, u32)> = (0..trials)
+                .into_par_iter()
+                .map(|seed| {
+                    let run = test_ck_freeness(&inst.graph, k, eps, seed);
+                    (run.reject, run.repetitions)
+                })
+                .collect();
+            let rejects = outcomes.iter().filter(|(r, _)| *r).count();
+            let reps = outcomes.first().map(|&(_, r)| r).unwrap_or(0);
+            let rate = rejects as f64 / trials as f64;
+            let ok = rate >= 2.0 / 3.0;
+            pass &= ok;
+            table.row([
+                k.to_string(),
+                format!("{eps:.2}"),
+                inst.graph.n().to_string(),
+                inst.graph.m().to_string(),
+                reps.to_string(),
+                trials.to_string(),
+                format!("{rate:.2}"),
+                if ok { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "e2",
+        title: "detection on ε-far instances".into(),
+        claim: "G ε-far from Ck-free ⟹ Pr[some node rejects] ≥ 2/3 (Theorem 1)".into(),
+        table,
+        pass,
+        notes: "Instances: certified ε-far planted cycle chains (packing > εm).".into(),
+    }
+}
+
+/// E3 — Theorem 1, round complexity: total rounds scale as Θ(1/ε).
+pub fn e3_round_complexity() -> ExperimentResult {
+    let mut table = Table::new(["k", "eps", "reps", "engine rounds", "rounds × eps"]);
+    let mut products = Vec::new();
+    let k = 5usize;
+    let g = matched_free_instance(40, k);
+    for &eps in &[0.20f64, 0.10, 0.05, 0.025] {
+        let cfg = TesterConfig::new(k, eps, 1);
+        let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+        let rounds = run.outcome.report.rounds;
+        products.push(f64::from(rounds) * eps);
+        table.row([
+            k.to_string(),
+            format!("{eps:.3}"),
+            run.repetitions.to_string(),
+            rounds.to_string(),
+            format!("{:.1}", f64::from(rounds) * eps),
+        ]);
+    }
+    let (lo, hi) = products
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+    let pass = hi / lo < 1.5; // linear in 1/ε up to ceiling effects
+    ExperimentResult {
+        id: "e3",
+        title: "O(1/ε) round complexity".into(),
+        claim: "the tester runs in O(1/ε) CONGEST rounds; rounds × ε ≈ const".into(),
+        table,
+        pass,
+        notes: String::new(),
+    }
+}
+
+/// E4 — Lemma 2: the single-edge detector rejects iff a `Ck` passes
+/// through the designated edge (edge-exhaustive oracle comparison).
+pub fn e4_single_edge_exactness() -> ExperimentResult {
+    let mut table = Table::new(["graph", "n", "m", "k range", "edges×k checks", "mismatches", "positives"]);
+    let mut pass = true;
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("petersen", petersen()),
+        ("theta(3,2)", theta(3, 2)),
+        ("fan(3)", fan(3)),
+        ("grid(4,4)", grid(4, 4)),
+        ("gnp(24,0.18)", gnp(24, 0.18, 11)),
+    ];
+    for (name, g) in graphs {
+        let mut checks = 0;
+        let mut mismatches = 0;
+        let mut positives = 0;
+        for k in 3..=8usize {
+            for &e in g.edges() {
+                let expected = has_ck_through_edge(&g, k, e);
+                let got = detect_single(&g, k, e).reject;
+                checks += 1;
+                if expected {
+                    positives += 1;
+                }
+                if got != expected {
+                    mismatches += 1;
+                }
+            }
+        }
+        pass &= mismatches == 0;
+        table.row([
+            name.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            "3..=8".to_string(),
+            checks.to_string(),
+            mismatches.to_string(),
+            positives.to_string(),
+        ]);
+    }
+    ExperimentResult {
+        id: "e4",
+        title: "single-edge detector exactness (Lemma 2)".into(),
+        claim: "DetectCk(u,v): all nodes accept ⟺ no Ck through {u,v}".into(),
+        table,
+        pass,
+        notes: String::new(),
+    }
+}
+
+/// E5 — Lemma 3: per-message sequence counts stay within
+/// `(k−t+1)^(t−1)`; link loads are constant-factor `O(log n)` after
+/// normalization.
+pub fn e5_message_bound() -> ExperimentResult {
+    let mut table = Table::new([
+        "graph",
+        "k",
+        "max seqs/msg",
+        "Lemma 3 worst bound",
+        "max link bits",
+        "B = 4⌈log n⌉",
+        "normalized rounds",
+        "wall rounds",
+    ]);
+    let mut pass = true;
+    let cases: Vec<(&str, Graph, usize)> = vec![
+        ("spindle(16,2)", spindle(16, 2), 6),
+        ("spindle(12,4)", spindle(12, 4), 8),
+        ("fan(12)", fan(12), 5),
+        ("theta(8,3)", theta(8, 3), 5),
+        ("gnp(40,0.12)", gnp(40, 0.12, 5), 6),
+    ];
+    for (name, g, k) in cases {
+        let e = *g.edges().first().expect("nonempty");
+        let run = detect_single(&g, k, e);
+        let bound = (2..=k / 2).map(|t| lemma3_bound(k, t)).max().unwrap_or(1);
+        let wp = WireParams::for_graph(&g);
+        let b = wp.congest_bandwidth(4);
+        let ok = (run.max_sent_seqs() as u128) <= bound;
+        pass &= ok;
+        table.row([
+            name.to_string(),
+            k.to_string(),
+            run.max_sent_seqs().to_string(),
+            bound.to_string(),
+            run.outcome.report.max_link_bits().to_string(),
+            b.to_string(),
+            run.outcome.report.normalized_rounds(b).to_string(),
+            run.outcome.report.rounds.to_string(),
+        ]);
+    }
+    ExperimentResult {
+        id: "e5",
+        title: "message-size bound (Lemma 3)".into(),
+        claim: "≤ (k−t+1)^(t−1) sequences per message at round t ⟹ O_k(1) words of O(log n) bits".into(),
+        table,
+        pass,
+        notes: "Normalized rounds charge ⌈link-bits / B⌉ per wall round (constant for fixed k).".into(),
+    }
+}
+
+/// E6 — Lemma 4: ε-far graphs contain ≥ εm/k edge-disjoint copies.
+pub fn e6_packing() -> ExperimentResult {
+    let mut table =
+        Table::new(["k", "eps", "m", "greedy packing", "Lemma 4 bound εm/k", "packing ≥ bound"]);
+    let mut pass = true;
+    for k in 3..=6usize {
+        for &eps in &[0.05f64, 0.10] {
+            let inst = eps_far_instance(72, k, eps, 1);
+            let packing = greedy_ck_packing(&inst.graph, k).len();
+            let bound = eps * inst.graph.m() as f64 / k as f64;
+            let ok = packing as f64 >= bound;
+            pass &= ok;
+            table.row([
+                k.to_string(),
+                format!("{eps:.2}"),
+                inst.graph.m().to_string(),
+                packing.to_string(),
+                format!("{bound:.1}"),
+                if ok { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "e6",
+        title: "edge-disjoint copies in ε-far graphs (Lemma 4)".into(),
+        claim: "ε-far from Ck-free ⟹ ≥ εm/k edge-disjoint Ck copies".into(),
+        table,
+        pass,
+        notes: "Greedy packing is a lower bound on the optimum, so clearing εm/k validates the lemma.".into(),
+    }
+}
+
+/// E7 — Lemma 5: the minimum rank is unique with probability ≥ 1/e².
+pub fn e7_unique_minimum() -> ExperimentResult {
+    let mut table = Table::new(["m", "trials", "unique-min rate", "1/e²", "clears bound"]);
+    let mut pass = true;
+    for &m in &[20usize, 50, 200] {
+        let trials = 3000u32;
+        let mut unique = 0;
+        for t in 0..trials {
+            let mut rng = rank_rng(0xBEEF, m as u64, t);
+            let ranks: Vec<u64> = (0..m).map(|_| draw_rank(&mut rng, m)).collect();
+            if minimum_is_unique(&ranks) {
+                unique += 1;
+            }
+        }
+        let rate = f64::from(unique) / f64::from(trials);
+        let ok = rate >= 1.0 / E_SQUARED;
+        pass &= ok;
+        table.row([
+            m.to_string(),
+            trials.to_string(),
+            format!("{rate:.3}"),
+            format!("{:.3}", 1.0 / E_SQUARED),
+            if ok { "yes".into() } else { "NO".to_string() },
+        ]);
+    }
+    ExperimentResult {
+        id: "e7",
+        title: "unique minimum rank (Lemma 5)".into(),
+        claim: "Pr[unique min among m ranks from [1, m²]] ≥ 1/e²".into(),
+        table,
+        pass,
+        notes: String::new(),
+    }
+}
+
+/// E8 — Figure 1: the C5-through-{u,v} instance where arbitrary sequence
+/// dropping loses the only witness while the pruning rule keeps it.
+pub fn e8_figure1() -> ExperimentResult {
+    let g = figure1();
+    let e = Edge::new(0, 1);
+    let mut table = Table::new(["detector", "policy", "verdict", "expected"]);
+    let ours = detect_single(&g, 5, e);
+    table.row(["Algorithm 1", "pruned (Lemma 2)", if ours.reject { "reject" } else { "accept" }, "reject"]);
+    let keepall =
+        naive_detect_through_edge(&g, 5, e, DropPolicy::KeepAll, &EngineConfig::default()).unwrap();
+    table.row(["naive", "keep all", if keepall.reject { "reject" } else { "accept" }, "reject"]);
+    let trunc = naive_detect_through_edge(
+        &g,
+        5,
+        e,
+        DropPolicy::TruncateDeterministic { cap: 1 },
+        &EngineConfig::default(),
+    )
+    .unwrap();
+    table.row(["naive", "truncate cap=1", if trunc.reject { "reject" } else { "accept" }, "accept (miss)"]);
+    let seeds = 30u64;
+    let hits = (0..seeds)
+        .filter(|&s| {
+            naive_detect_through_edge(
+                &g,
+                5,
+                e,
+                DropPolicy::SampleRandom { cap: 1, seed: s },
+                &EngineConfig::default(),
+            )
+            .unwrap()
+            .reject
+        })
+        .count();
+    table.row([
+        "naive".to_string(),
+        "random cap=1 (30 seeds)".to_string(),
+        format!("{hits}/30 reject"),
+        "≈ 1/2 (coin flip)".to_string(),
+    ]);
+    let pass = ours.reject && keepall.reject && !trunc.reject && hits > 0 && hits < 30;
+    ExperimentResult {
+        id: "e8",
+        title: "Figure 1 — dropping sequences loses the cycle".into(),
+        claim: "if x and y forward only one side each, z may never assemble the C5; Algorithm 1's pruning always keeps a witness".into(),
+        table,
+        pass,
+        notes: String::new(),
+    }
+}
+
+/// E9 — §3.3 worked example: C9 with IDs 1..9 from edge {1,9}; the role
+/// of fake IDs at node 3.
+pub fn e9_c9_example() -> ExperimentResult {
+    let mut table = Table::new(["check", "result", "expected"]);
+    // Node 3 receives (1,2) at paper round t=3 and must forward (1,2,3).
+    let received = vec![IdSeq::from_slice(&[1, 2])];
+    let sent = build_send_set(PrunerKind::Representative, &received, 3, 9, 3);
+    let fwd = sent.first().map(|s| format!("{:?}", s.as_slice())).unwrap_or("∅".into());
+    table.row(["node 3 forwards at t=3", &fwd, "[1, 2, 3]"]);
+    let ok1 = sent.len() == 1 && sent[0].as_slice() == [1, 2, 3];
+
+    // Full run on C9 with IDs 1..9, detection from edge {1,9}.
+    let g = ck_graphgen::basic::cycle(9).with_ids((1..=9).collect()).unwrap();
+    let e = Edge::new(0, 8); // indices of IDs 1 and 9
+    let run = detect_single(&g, 9, e);
+    table.row([
+        "DetectC9 from {1,9}".to_string(),
+        if run.reject { "reject".into() } else { "accept".to_string() },
+        "reject".to_string(),
+    ]);
+    let rejecting: Vec<u64> = run
+        .outcome
+        .verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.reject)
+        .map(|(i, _)| g.id(i as u32))
+        .collect();
+    table.row([
+        "rejecting node (antipodal)".to_string(),
+        format!("{rejecting:?}"),
+        "[5]".to_string(),
+    ]);
+    let ok2 = run.reject && rejecting == vec![5];
+    ExperimentResult {
+        id: "e9",
+        title: "§3.3 worked example — fake IDs on the C9".into(),
+        claim: "without fake IDs node 3 would drop (1,2); with them it forwards (1,2,3), and the node antipodal to {1,9} rejects at round ⌊k/2⌋".into(),
+        table,
+        pass: ok1 && ok2,
+        notes: String::new(),
+    }
+}
+
+/// E10 — Behrend-style spread-cycle instances: the hard regime for
+/// sampling techniques; Algorithm 1 stays deterministic-exact.
+pub fn e10_behrend() -> ExperimentResult {
+    let mut table = Table::new([
+        "k",
+        "width",
+        "n",
+        "m",
+        "planted copies",
+        "Alg.1 single-edge",
+        "naive random cap=1 (20 seeds)",
+        "full tester rate (6 seeds)",
+    ]);
+    let mut pass = true;
+    for &(k, width) in &[(5usize, 40usize), (6, 32)] {
+        let inst = behrend_ck_instance(k, width);
+        let g = &inst.graph;
+        // A closing edge of the first planted copy.
+        let copy = &inst.planted[0];
+        let e = Edge::new(copy[k - 1], copy[0]);
+        let ours = detect_single(g, k, e);
+        let naive_hits = (0..20u64)
+            .filter(|&s| {
+                naive_detect_through_edge(
+                    g,
+                    k,
+                    e,
+                    DropPolicy::SampleRandom { cap: 1, seed: s },
+                    &EngineConfig::default(),
+                )
+                .unwrap()
+                .reject
+            })
+            .count();
+        let eps = 0.04;
+        let full_hits = (0..6u64).filter(|&s| test_ck_freeness(g, k, eps, s).reject).count();
+        pass &= ours.reject && full_hits * 3 >= 6 * 2;
+        table.row([
+            k.to_string(),
+            width.to_string(),
+            g.n().to_string(),
+            g.m().to_string(),
+            inst.planted.len().to_string(),
+            if ours.reject { "reject".into() } else { "accept".to_string() },
+            format!("{naive_hits}/20"),
+            format!("{full_hits}/6"),
+        ]);
+    }
+    ExperimentResult {
+        id: "e10",
+        title: "Behrend-style spread-cycle instances".into(),
+        claim: "cycles spread by arithmetic structure (the [20] hard instances for k ≥ 5) are still detected: Phase 2 is exact per edge, and farness (packing = m/k > εm) drives the full tester".into(),
+        table,
+        pass,
+        notes: "Substitution per DESIGN.md: Behrend strides as a workload family, not a lower-bound re-proof.".into(),
+    }
+}
+
+/// E11 — congestion ablation: naive offered load grows with the spindle
+/// width while Algorithm 1 stays at the Lemma-3 constant.
+pub fn e11_congestion() -> ExperimentResult {
+    let mut table = Table::new([
+        "spindle width p",
+        "naive max seqs offered",
+        "naive max link bits",
+        "pruned max seqs/msg",
+        "pruned max link bits",
+        "Lemma 3 worst bound (k=6)",
+    ]);
+    let k = 6usize;
+    let bound = (2..=k / 2).map(|t| lemma3_bound(k, t)).max().unwrap();
+    let mut pass = true;
+    for &p in &[4usize, 8, 16, 32] {
+        let g = spindle(p, 2);
+        let e = Edge::new(0, 1);
+        let naive =
+            naive_detect_through_edge(&g, k, e, DropPolicy::KeepAll, &EngineConfig::default())
+                .unwrap();
+        let pruned = detect_single(&g, k, e);
+        pass &= naive.reject && pruned.reject;
+        pass &= naive.max_offered >= p;
+        pass &= (pruned.max_sent_seqs() as u128) <= bound;
+        table.row([
+            p.to_string(),
+            naive.max_offered.to_string(),
+            naive.outcome.report.max_link_bits().to_string(),
+            pruned.max_sent_seqs().to_string(),
+            pruned.outcome.report.max_link_bits().to_string(),
+            bound.to_string(),
+        ]);
+    }
+    ExperimentResult {
+        id: "e11",
+        title: "naive vs pruned congestion on spindles".into(),
+        claim: "unpruned forwarding needs Ω(p) sequences on one link; Algorithm 1 forwards ≤ (k−t+1)^(t−1) regardless of p".into(),
+        table,
+        pass,
+        notes: String::new(),
+    }
+}
+
+/// E12 — prior-work scope: the \[7\]/\[20\]-style testers work for k ∈ {3,4}
+/// and our tester covers k ≥ 5 where they have no analog.
+pub fn e12_prior_work() -> ExperimentResult {
+    let mut table = Table::new(["tester", "target", "instance", "trials", "reject rate", "expected"]);
+    let mut pass = true;
+    let trials = 10u64;
+
+    let far3 = eps_far_instance(60, 3, 0.1, 0);
+    let r3 = (0..trials)
+        .filter(|&s| test_triangle_freeness(&far3.graph, 0.1, s, None).unwrap().0)
+        .count();
+    pass &= r3 * 3 >= trials as usize * 2;
+    table.row(["[7] triangle", "k=3", "ε-far (ε=0.1)", "10", &format!("{:.2}", r3 as f64 / 10.0), "≥ 2/3"]);
+
+    let p3 = (0..trials)
+        .filter(|&s| test_triangle_freeness(&petersen(), 0.1, s, Some(50)).unwrap().0)
+        .count();
+    pass &= p3 == 0;
+    table.row(["[7] triangle", "k=3", "Petersen (free)", "10", &format!("{:.2}", p3 as f64 / 10.0), "0 (1-sided)"]);
+
+    let far4 = eps_far_instance(60, 4, 0.1, 0);
+    let r4 = (0..trials)
+        .filter(|&s| test_c4_freeness(&far4.graph, 0.1, s, None).unwrap().0)
+        .count();
+    pass &= r4 * 3 >= trials as usize * 2;
+    table.row(["[20] C4", "k=4", "ε-far (ε=0.1)", "10", &format!("{:.2}", r4 as f64 / 10.0), "≥ 2/3"]);
+
+    let p4 = (0..trials)
+        .filter(|&s| test_c4_freeness(&petersen(), 0.1, s, Some(50)).unwrap().0)
+        .count();
+    pass &= p4 == 0;
+    table.row(["[20] C4", "k=4", "Petersen (free)", "10", &format!("{:.2}", p4 as f64 / 10.0), "0 (1-sided)"]);
+
+    let far5 = eps_far_instance(60, 5, 0.1, 0);
+    let r5 = (0..trials).filter(|&s| test_ck_freeness(&far5.graph, 5, 0.1, s).reject).count();
+    pass &= r5 * 3 >= trials as usize * 2;
+    table.row(["this paper", "k=5", "ε-far (ε=0.1)", "10", &format!("{:.2}", r5 as f64 / 10.0), "≥ 2/3"]);
+
+    ExperimentResult {
+        id: "e12",
+        title: "prior-work testers and where they stop".into(),
+        claim: "neighbor-sampling gives constant-round testers for C3/C4 ([7],[20]) but provably not for k ≥ 5; Algorithm 1 covers every k".into(),
+        table,
+        pass,
+        notes: String::new(),
+    }
+}
+
+/// E13 — §4 conclusion: the pruning is oblivious to chords, so an
+/// H-freeness tester (H = chorded k-cycle) built on Algorithm 1 misses H
+/// on a deterministic counterexample.
+pub fn e13_chord_obliviousness() -> ExperimentResult {
+    use ck_core::ablation::probe_chorded_coverage;
+    use ck_graphgen::basic::chorded_spindle;
+    let mut table = Table::new([
+        "fan-in p",
+        "chorded C6 exists (oracle)",
+        "detector rejects",
+        "witnesses",
+        "chorded witnesses",
+        "H missed",
+    ]);
+    let mut pass = true;
+    for &p in &[5usize, 8, 16] {
+        let g = chorded_spindle(p);
+        let probe = probe_chorded_coverage(&g, 6, Edge::new(0, 1));
+        pass &= probe.misses_chorded_pattern();
+        table.row([
+            p.to_string(),
+            probe.chorded_exists.to_string(),
+            probe.detector_rejects.to_string(),
+            probe.witnesses.len().to_string(),
+            probe.chorded_witnesses.to_string(),
+            probe.misses_chorded_pattern().to_string(),
+        ]);
+    }
+    ExperimentResult {
+        id: "e13",
+        title: "chord obliviousness of the pruning (§4 conclusion)".into(),
+        claim: "the pruning \"may well discard the sequence corresponding to the cycle in H, and keep a sequence without a chord\" — so the technique does not extend to chorded patterns".into(),
+        table,
+        pass,
+        notes: "Counterexample: spindle(p,2) + chord (x_big, z2); at p ≥ 5 the pruning at z1 keeps only the 4 smallest (u, x_i) and drops x_big's — the only fan-in node on the chorded copy.".into(),
+    }
+}
+
+/// E14 — the gap region: instances that contain a `Ck` but are NOT
+/// ε-far. The definition permits either answer; we measure where the
+/// detection probability actually lands as the copy count shrinks.
+pub fn e14_gap_region() -> ExperimentResult {
+    use ck_graphgen::mutate::thin_to_few_cycles;
+    use ck_graphgen::planted::cycle_chain;
+    let k = 5usize;
+    let eps = 0.05;
+    let mut table = Table::new([
+        "surviving copies",
+        "m",
+        "copies/m",
+        "status vs ε=0.05",
+        "trials",
+        "reject rate",
+    ]);
+    let base = cycle_chain(14, k);
+    let trials = 10u64;
+    let mut rates = Vec::new();
+    for &keep in &[14usize, 6, 2, 0] {
+        let (g, _) = if keep == 14 {
+            (base.graph.clone(), 0)
+        } else {
+            thin_to_few_cycles(&base.graph, k, keep, 3)
+        };
+        let m = g.m();
+        let status = if keep == 0 {
+            "Ck-free (accept forced)"
+        } else if keep as f64 > eps * m as f64 {
+            "certified ε-far (reject ≥ 2/3)"
+        } else {
+            "gap (either answer legal)"
+        };
+        let rejects =
+            (0..trials).filter(|&s| test_ck_freeness(&g, k, eps, s).reject).count();
+        rates.push((keep, rejects));
+        table.row([
+            keep.to_string(),
+            m.to_string(),
+            format!("{:.3}", keep as f64 / m as f64),
+            status.to_string(),
+            trials.to_string(),
+            format!("{:.2}", rejects as f64 / trials as f64),
+        ]);
+    }
+    // Pass criteria: far end ≥ 2/3 of trials, free end exactly 0, and
+    // monotone non-increasing rejection as copies shrink.
+    let far_ok = rates[0].1 * 3 >= trials as usize * 2;
+    let free_ok = rates.last().unwrap().1 == 0;
+    let monotone = rates.windows(2).all(|w| w[0].1 >= w[1].1);
+    ExperimentResult {
+        id: "e14",
+        title: "the gap region between ε-far and free".into(),
+        claim: "\"instances which are nearly satisfying P but not quite — the algorithm can output either ways\"; detection degrades smoothly from the guaranteed ≥2/3 to the forced 0".into(),
+        table,
+        pass: far_ok && free_ok && monotone,
+        notes: "Gap instances built by deleting one edge per surplus copy from a certified ε-far chain.".into(),
+    }
+}
+
+/// E15 — message-loss resilience (simulator extension; not a paper
+/// claim): 1-sidedness survives arbitrary loss, detection degrades
+/// gracefully with the per-message loss rate.
+pub fn e15_loss_resilience() -> ExperimentResult {
+    use ck_core::robust::loss_detection_curve;
+    use ck_congest::fault::FaultPlan;
+    let mut table = Table::new(["loss rate", "far instance reject rate", "free instance false rejects"]);
+    let k = 5usize;
+    let eps = 0.08;
+    let far = eps_far_instance(50, k, eps, 0);
+    let free = matched_free_instance(50, k);
+    let losses = [0.0, 0.05, 0.2, 0.5];
+    let curve = loss_detection_curve(&far.graph, k, eps, &losses, 6, 17);
+    let mut pass = true;
+    for point in &curve {
+        // Free-side check under the same loss.
+        let mut false_rejects = 0;
+        for t in 0..4u64 {
+            let engine = EngineConfig {
+                faults: FaultPlan::none().random_loss(point.loss, 900 + t),
+                ..EngineConfig::default()
+            };
+            let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, eps, t) };
+            if run_tester(&free, &cfg, &engine).unwrap().reject {
+                false_rejects += 1;
+            }
+        }
+        pass &= false_rejects == 0;
+        table.row([
+            format!("{:.2}", point.loss),
+            format!("{:.2}", point.rate()),
+            false_rejects.to_string(),
+        ]);
+    }
+    pass &= curve[0].rate() >= 2.0 / 3.0; // lossless meets the bound
+    ExperimentResult {
+        id: "e15",
+        title: "behavior under message loss (extension)".into(),
+        claim: "drops can suppress detections but never fabricate them: 1-sidedness is loss-proof, detection degrades with loss".into(),
+        table,
+        pass,
+        notes: "Not a paper claim — the paper assumes reliable links; this characterizes the implementation under the simulator's fault injection.".into(),
+    }
+}
+
+/// Runs one experiment by id.
+pub fn run_experiment(id: &str) -> Option<ExperimentResult> {
+    Some(match id {
+        "e1" => e1_soundness(),
+        "e2" => e2_detection(),
+        "e3" => e3_round_complexity(),
+        "e4" => e4_single_edge_exactness(),
+        "e5" => e5_message_bound(),
+        "e6" => e6_packing(),
+        "e7" => e7_unique_minimum(),
+        "e8" => e8_figure1(),
+        "e9" => e9_c9_example(),
+        "e10" => e10_behrend(),
+        "e11" => e11_congestion(),
+        "e12" => e12_prior_work(),
+        "e13" => e13_chord_obliviousness(),
+        "e14" => e14_gap_region(),
+        "e15" => e15_loss_resilience(),
+        _ => return None,
+    })
+}
+
+/// All experiment ids, in order.
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
+];
+
+/// Runs the full suite.
+pub fn all_experiments() -> Vec<ExperimentResult> {
+    ALL_IDS.iter().map(|id| run_experiment(id).expect("known id")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The cheap experiments run in the unit suite; the full suite runs in
+    // the integration test and the binary.
+    #[test]
+    fn e3_rounds_scale() {
+        assert!(e3_round_complexity().pass);
+    }
+
+    #[test]
+    fn e7_lemma5() {
+        assert!(e7_unique_minimum().pass);
+    }
+
+    #[test]
+    fn e8_figure1_story() {
+        assert!(e8_figure1().pass);
+    }
+
+    #[test]
+    fn e9_c9() {
+        assert!(e9_c9_example().pass);
+    }
+
+    #[test]
+    fn e11_spindles() {
+        assert!(e11_congestion().pass);
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_experiment("nope").is_none());
+    }
+}

@@ -1,0 +1,13 @@
+//! # ck-bench — experiment harness
+//!
+//! One function per experiment of DESIGN.md §4 (E1–E12). Each returns a
+//! rendered markdown table plus a machine-checkable pass flag; the
+//! `experiments` binary prints them, and `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison. Criterion benches in `benches/` reuse
+//! the same workloads for timing-shaped measurements.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::{all_experiments, run_experiment, ExperimentResult};
+pub use table::Table;

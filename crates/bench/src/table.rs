@@ -1,0 +1,83 @@
+//! Minimal markdown table rendering for experiment output.
+
+/// A column-aligned markdown table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as column-aligned markdown.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let padded: Vec<String> =
+                cells.iter().zip(width).map(|(c, w)| format!("{c:<w$}")).collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        let sep: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &width));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["k", "rate"]);
+        t.row(["3", "1.00"]).row(["10", "0.95"]);
+        let s = t.render();
+        assert!(s.contains("| k  | rate |"));
+        assert!(s.contains("| 10 | 0.95 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+}

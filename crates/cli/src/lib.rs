@@ -1,0 +1,283 @@
+//! # ck-cli — the `ckprobe` command-line tool
+//!
+//! One binary to generate or load a graph, run any of the distributed
+//! testers on it, and print verdicts with CONGEST cost accounting:
+//!
+//! ```text
+//! ckprobe --graph petersen --tester ck --k 5 --eps 0.1
+//! ckprobe --graph gnp:100:0.05 --tester triangle --trials 5
+//! ckprobe --graph file:instance.col --tester forest
+//! ckprobe --graph eps-far:60:5:0.05 --tester ck --k 5 --trials 10
+//! ```
+//!
+//! The library half hosts the spec parsers (unit-tested); `main.rs` is a
+//! thin shell around them.
+
+use ck_baselines::framework_impls::{C4Baseline, ForestBaseline, TriangleBaseline};
+use ck_congest::graph::Graph;
+use ck_core::framework::{CkFreenessTester, DistributedTester};
+use ck_graphgen::{basic, behrend, families, planted, random};
+
+/// Parsed command-line request.
+pub struct Request {
+    pub graph: Graph,
+    pub graph_desc: String,
+    pub tester: Box<dyn DistributedTester>,
+    pub trials: u32,
+    pub seed: u64,
+}
+
+/// Builds a graph from a spec string (see [`graph_spec_help`]).
+pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let usize_arg = |i: usize, what: &str| -> Result<usize, String> {
+        parts
+            .get(i)
+            .ok_or(format!("{what}: missing argument {i}"))?
+            .parse()
+            .map_err(|e| format!("{what}: bad argument {i}: {e}"))
+    };
+    let f64_arg = |i: usize, what: &str| -> Result<f64, String> {
+        parts
+            .get(i)
+            .ok_or(format!("{what}: missing argument {i}"))?
+            .parse()
+            .map_err(|e| format!("{what}: bad argument {i}: {e}"))
+    };
+    let seed_arg = |i: usize| -> u64 {
+        parts.get(i).and_then(|s| s.parse().ok()).unwrap_or(0)
+    };
+    match parts[0] {
+        "cycle" => Ok(basic::cycle(usize_arg(1, "cycle")?)),
+        "path" => Ok(basic::path(usize_arg(1, "path")?)),
+        "complete" => Ok(basic::complete(usize_arg(1, "complete")?)),
+        "grid" => Ok(basic::grid(usize_arg(1, "grid")?, usize_arg(2, "grid")?)),
+        "torus" => Ok(basic::torus(usize_arg(1, "torus")?, usize_arg(2, "torus")?)),
+        "hypercube" => Ok(basic::hypercube(usize_arg(1, "hypercube")? as u32)),
+        "petersen" => Ok(basic::petersen()),
+        "heawood" => Ok(basic::heawood()),
+        "mobius-kantor" => Ok(families::mobius_kantor()),
+        "pappus" => Ok(families::pappus()),
+        "theta" => Ok(basic::theta(usize_arg(1, "theta")?, usize_arg(2, "theta")?)),
+        "fan" => Ok(basic::fan(usize_arg(1, "fan")?)),
+        "spindle" => Ok(basic::spindle(usize_arg(1, "spindle")?, usize_arg(2, "spindle")?)),
+        "cactus" => Ok(basic::cycle_cactus(usize_arg(1, "cactus")?, usize_arg(2, "cactus")?)),
+        "circulant" => {
+            let n = usize_arg(1, "circulant")?;
+            let strides: Result<Vec<usize>, _> =
+                parts[2..].iter().map(|s| s.parse::<usize>()).collect();
+            let strides = strides.map_err(|e| format!("circulant strides: {e}"))?;
+            if strides.is_empty() {
+                return Err("circulant needs at least one stride".into());
+            }
+            Ok(families::circulant(n, &strides))
+        }
+        "gnp" => Ok(random::gnp(usize_arg(1, "gnp")?, f64_arg(2, "gnp")?, seed_arg(3))),
+        "gnm" => Ok(random::gnm(usize_arg(1, "gnm")?, usize_arg(2, "gnm")?, seed_arg(3))),
+        "tree" => Ok(random::random_tree(usize_arg(1, "tree")?, seed_arg(2))),
+        "regular" => Ok(random::random_regular(
+            usize_arg(1, "regular")?,
+            usize_arg(2, "regular")?,
+            seed_arg(3),
+        )),
+        "high-girth" => Ok(random::high_girth(
+            usize_arg(1, "high-girth")?,
+            usize_arg(2, "high-girth")?,
+            usize_arg(3, "high-girth")?,
+            seed_arg(4),
+        )),
+        "eps-far" => Ok(planted::eps_far_instance(
+            usize_arg(1, "eps-far")?,
+            usize_arg(2, "eps-far")?,
+            f64_arg(3, "eps-far")?,
+            seed_arg(4),
+        )
+        .graph),
+        "free" => Ok(planted::matched_free_instance(
+            usize_arg(1, "free")?,
+            usize_arg(2, "free")?,
+        )),
+        "behrend" => Ok(behrend::behrend_ck_instance(
+            usize_arg(1, "behrend")?,
+            usize_arg(2, "behrend")?,
+        )
+        .graph),
+        "file" => {
+            let path = parts.get(1).ok_or("file: missing path")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            if text.trim_start().starts_with('c') || text.trim_start().starts_with('p') {
+                ck_graphgen::io::parse_dimacs(&text)
+            } else {
+                Graph::from_edge_list(&text)
+            }
+        }
+        other => Err(format!("unknown graph family {other:?}; see --help")),
+    }
+}
+
+/// Builds a tester from CLI fields.
+pub fn parse_tester(
+    name: &str,
+    k: usize,
+    eps: f64,
+    repetitions: Option<u32>,
+) -> Result<Box<dyn DistributedTester>, String> {
+    match name {
+        "ck" => Ok(Box::new(CkFreenessTester { k, eps, repetitions })),
+        "triangle" => Ok(Box::new(TriangleBaseline { eps, repetitions })),
+        "c4" => Ok(Box::new(C4Baseline { eps, repetitions })),
+        "forest" => Ok(Box::new(ForestBaseline)),
+        other => Err(format!("unknown tester {other:?} (ck | triangle | c4 | forest)")),
+    }
+}
+
+/// Help text for graph specs.
+pub fn graph_spec_help() -> &'static str {
+    "graph specs:\n\
+     \x20 cycle:N | path:N | complete:N | grid:R:C | torus:R:C | hypercube:D\n\
+     \x20 petersen | heawood | mobius-kantor | pappus\n\
+     \x20 theta:P:L | fan:P | spindle:P:M | cactus:COUNT:LEN | circulant:N:S1[:S2…]\n\
+     \x20 gnp:N:P[:SEED] | gnm:N:M[:SEED] | tree:N[:SEED] | regular:N:D[:SEED]\n\
+     \x20 high-girth:N:K:ATTEMPTS[:SEED]\n\
+     \x20 eps-far:N:K:EPS[:SEED] | free:N:K | behrend:K:WIDTH\n\
+     \x20 file:PATH (DIMACS .col or native edge list)"
+}
+
+/// Parses full argv (without program name).
+pub fn parse_args(args: &[String]) -> Result<Request, String> {
+    let mut graph_spec: Option<String> = None;
+    let mut tester = "ck".to_string();
+    let mut k = 5usize;
+    let mut eps = 0.1f64;
+    let mut trials = 1u32;
+    let mut seed = 42u64;
+    let mut repetitions: Option<u32> = None;
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1).cloned().ok_or(format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--graph" => {
+                graph_spec = Some(value(args, i, "--graph")?);
+                i += 2;
+            }
+            "--tester" => {
+                tester = value(args, i, "--tester")?;
+                i += 2;
+            }
+            "--k" => {
+                k = value(args, i, "--k")?.parse().map_err(|e| format!("--k: {e}"))?;
+                i += 2;
+            }
+            "--eps" => {
+                eps = value(args, i, "--eps")?.parse().map_err(|e| format!("--eps: {e}"))?;
+                i += 2;
+            }
+            "--trials" => {
+                trials =
+                    value(args, i, "--trials")?.parse().map_err(|e| format!("--trials: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                seed = value(args, i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--repetitions" => {
+                repetitions = Some(
+                    value(args, i, "--repetitions")?
+                        .parse()
+                        .map_err(|e| format!("--repetitions: {e}"))?,
+                );
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let spec = graph_spec.ok_or("--graph is required")?;
+    let graph = parse_graph_spec(&spec)?;
+    let tester = parse_tester(&tester, k, eps, repetitions)?;
+    Ok(Request { graph, graph_desc: spec, tester, trials, seed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_every_family() {
+        let specs = [
+            "cycle:9",
+            "path:4",
+            "complete:5",
+            "grid:3:4",
+            "torus:3:3",
+            "hypercube:3",
+            "petersen",
+            "heawood",
+            "mobius-kantor",
+            "pappus",
+            "theta:3:2",
+            "fan:3",
+            "spindle:5:2",
+            "cactus:3:5",
+            "circulant:10:1:2",
+            "gnp:20:0.2:7",
+            "gnm:20:30:7",
+            "tree:15:3",
+            "regular:12:3:1",
+            "high-girth:30:5:200:2",
+            "eps-far:40:4:0.05:0",
+            "free:40:5",
+            "behrend:5:20",
+        ];
+        for s in specs {
+            let g = parse_graph_spec(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(g.n() > 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(parse_graph_spec("nosuch:1").is_err());
+        assert!(parse_graph_spec("cycle").is_err());
+        assert!(parse_graph_spec("gnp:10:notafloat").is_err());
+        assert!(parse_graph_spec("circulant:10").is_err());
+        assert!(parse_graph_spec("file:/definitely/not/here.col").is_err());
+    }
+
+    #[test]
+    fn parses_full_command_lines() {
+        let req = parse_args(&argv("--graph cycle:7 --tester ck --k 7 --eps 0.2 --trials 3 --seed 5")).unwrap();
+        assert_eq!(req.graph.n(), 7);
+        assert_eq!(req.tester.name(), "ck");
+        assert_eq!(req.trials, 3);
+        assert_eq!(req.seed, 5);
+
+        let req = parse_args(&argv("--graph petersen --tester forest")).unwrap();
+        assert_eq!(req.tester.name(), "forest");
+    }
+
+    #[test]
+    fn rejects_bad_command_lines() {
+        assert!(parse_args(&argv("--tester ck")).is_err(), "graph required");
+        assert!(parse_args(&argv("--graph cycle:5 --tester nosuch")).is_err());
+        assert!(parse_args(&argv("--graph cycle:5 --frobnicate yes")).is_err());
+        assert!(parse_args(&argv("--graph cycle:5 --k")).is_err());
+    }
+
+    #[test]
+    fn end_to_end_probe_via_request() {
+        let req = parse_args(&argv(
+            "--graph cycle:5 --tester ck --k 5 --eps 0.2 --repetitions 1 --trials 2",
+        ))
+        .unwrap();
+        let amp = ck_core::framework::amplify(&*req.tester, &req.graph, req.seed, req.trials);
+        assert!(amp.reject, "C5 must be rejected");
+    }
+}

@@ -1,0 +1,62 @@
+//! `ckprobe` — run distributed cycle/pattern testers on any graph.
+
+use ck_cli::{graph_spec_help, parse_args};
+use ck_congest::message::WireParams;
+use ck_core::framework::amplify;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let req = match parse_args(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+    let g = &req.graph;
+    println!(
+        "graph {} — n = {}, m = {}, max degree {}, girth {}",
+        req.graph_desc,
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        g.girth().map_or("∞".into(), |x| x.to_string()),
+    );
+    println!("tester: {} — {}", req.tester.name(), req.tester.property());
+    let amp = amplify(&*req.tester, g, req.seed, req.trials);
+    let wp = WireParams::for_graph(g);
+    let b = wp.congest_bandwidth(4);
+    for (i, t) in amp.trials.iter().enumerate() {
+        println!(
+            "  trial {i}: {} — {} rounds, {} messages, {} bits, worst link {} bits (B = {b})",
+            if t.reject { "REJECT" } else { "accept" },
+            t.rounds,
+            t.messages,
+            t.bits,
+            t.max_link_bits,
+        );
+    }
+    println!(
+        "verdict: {}  ({}/{} trials rejected)",
+        if amp.reject { "REJECT" } else { "accept" },
+        amp.trials.iter().filter(|t| t.reject).count(),
+        amp.trials.len(),
+    );
+    std::process::exit(if amp.reject { 1 } else { 0 });
+}
+
+fn print_help() {
+    println!(
+        "ckprobe — distributed cycle detection (Fraigniaud & Olivetti, SPAA 2017)\n\n\
+         usage: ckprobe --graph SPEC [--tester ck|triangle|c4|forest]\n\
+         \x20                       [--k K] [--eps E] [--trials N] [--seed S]\n\
+         \x20                       [--repetitions R]\n\n\
+         exit status: 0 = accept, 1 = reject, 2 = usage error\n\n{}",
+        graph_spec_help()
+    );
+}

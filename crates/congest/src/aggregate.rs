@@ -1,0 +1,249 @@
+//! Tree aggregation: convergecast and broadcast over a BFS tree.
+//!
+//! The textbook CONGEST pattern for global functions — sum/min/max/count
+//! flow *up* a rooted tree (convergecast), the result flows *down*
+//! (broadcast) — in `O(depth)` rounds with one `O(log n)`-bit value per
+//! edge per round. Used here both as a substrate reference protocol and
+//! to justify the "nodes know n and m" convention of the node context
+//! (both are one aggregation away).
+
+use crate::engine::{run, EngineConfig, EngineError};
+use crate::graph::{Graph, NodeIndex};
+use crate::node::{Incoming, Outbox, Program, Status};
+use crate::protocols::build_bfs_tree;
+
+/// Associative-commutative aggregations supported by the convergecast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregateOp {
+    Sum,
+    Min,
+    Max,
+    Count,
+}
+
+impl AggregateOp {
+    fn identity(&self) -> u64 {
+        match self {
+            AggregateOp::Sum | AggregateOp::Count => 0,
+            AggregateOp::Min => u64::MAX,
+            AggregateOp::Max => 0,
+        }
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        match self {
+            AggregateOp::Sum | AggregateOp::Count => a.saturating_add(b),
+            AggregateOp::Min => a.min(b),
+            AggregateOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Per-node convergecast state. The tree is provided upfront (parent
+/// port per node) — in a deployment it comes from [`build_bfs_tree`];
+/// the combined driver below wires both.
+struct Convergecast {
+    op: AggregateOp,
+    value: u64,
+    parent_port: Option<u32>,
+    /// Child ports still expected to report.
+    pending_children: usize,
+    sent_up: bool,
+    /// Final global value (valid at the root after convergecast, at all
+    /// nodes after broadcast).
+    result: Option<u64>,
+    rounds_cap: u32,
+}
+
+/// Messages: `Up(partial)` during convergecast, `Down(total)` during
+/// broadcast.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum AggMsg {
+    Up(u64),
+    Down(u64),
+}
+
+impl crate::message::WireMessage for AggMsg {
+    fn wire_bits(&self, params: &crate::message::WireParams) -> u64 {
+        // One value plus a direction bit; values are O(log n)-bit words
+        // for counts/ids (sums of bounded values stay within O(log n)
+        // words for the harness's use cases).
+        1 + u64::from(params.id_bits)
+    }
+}
+
+impl Program for Convergecast {
+    type Msg = AggMsg;
+    type Verdict = Option<u64>;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<AggMsg>], out: &mut Outbox<AggMsg>) -> Status {
+        for inc in inbox {
+            match inc.msg {
+                AggMsg::Up(v) => {
+                    self.value = self.op.combine(self.value, v);
+                    self.pending_children = self.pending_children.saturating_sub(1);
+                }
+                AggMsg::Down(total) => {
+                    if self.result.is_none() {
+                        self.result = Some(total);
+                        // Forward down to children (every port except the
+                        // parent's).
+                        for p in 0..out_degree(out) {
+                            if Some(p) != self.parent_port {
+                                out.send(p, AggMsg::Down(total));
+                            }
+                        }
+                        return Status::Halted;
+                    }
+                }
+            }
+        }
+        if self.pending_children == 0 && !self.sent_up {
+            self.sent_up = true;
+            match self.parent_port {
+                Some(p) => out.send(p, AggMsg::Up(self.value)),
+                None => {
+                    // Root: aggregation complete; start the broadcast.
+                    self.result = Some(self.value);
+                    for p in 0..out_degree(out) {
+                        out.send(p, AggMsg::Down(self.value));
+                    }
+                    return Status::Halted;
+                }
+            }
+        }
+        if round >= self.rounds_cap {
+            Status::Halted
+        } else {
+            Status::Running
+        }
+    }
+
+    fn verdict(&self) -> Option<u64> {
+        self.result
+    }
+}
+
+fn out_degree<M: Clone>(out: &Outbox<M>) -> u32 {
+    out.degree()
+}
+
+/// Aggregates `values[v]` over the component of `root` with `op`,
+/// returning the per-node results (every node in the component learns
+/// the total; nodes outside it return `None`).
+pub fn aggregate(
+    g: &Graph,
+    root: NodeIndex,
+    op: AggregateOp,
+    values: &[u64],
+    config: &EngineConfig,
+) -> Result<Vec<Option<u64>>, EngineError> {
+    assert_eq!(values.len(), g.n(), "one value per node");
+    // Stage 1: BFS tree (its own protocol run).
+    let tree = build_bfs_tree(g, root, config)?;
+    // Child counts per node.
+    let mut children = vec![0usize; g.n()];
+    let mut parent_port: Vec<Option<u32>> = vec![None; g.n()];
+    for (v, info) in tree.iter().enumerate() {
+        if let Some(pid) = info.parent {
+            let p = g.index_of(pid).expect("parent exists");
+            children[p as usize] += 1;
+            parent_port[v] = g.port_to(v as NodeIndex, p);
+        }
+    }
+    // Stage 2: convergecast + broadcast.
+    let cap = 2 * g.n() as u32 + 4;
+    let mut cfg = config.clone();
+    cfg.max_rounds = cap;
+    let reached: Vec<bool> = tree.iter().map(|t| t.dist != u32::MAX).collect();
+    let outcome = run(g, &cfg, |init| {
+        let v = init.index as usize;
+        Convergecast {
+            op,
+            value: if reached[v] {
+                match op {
+                    AggregateOp::Count => 1,
+                    _ => values[v],
+                }
+            } else {
+                op.identity()
+            },
+            parent_port: parent_port[v],
+            pending_children: children[v],
+            sent_up: !reached[v], // unreached nodes stay silent
+            result: None,
+            rounds_cap: cap,
+        }
+    })?;
+    Ok(outcome
+        .verdicts
+        .into_iter()
+        .enumerate()
+        .map(|(v, r)| if reached[v] { r } else { None })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn sample() -> Graph {
+        GraphBuilder::new(7)
+            .edges([(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sum_over_a_tree() {
+        let g = sample();
+        let values = [1u64, 2, 3, 4, 5, 6, 7];
+        let out = aggregate(&g, 0, AggregateOp::Sum, &values, &EngineConfig::default()).unwrap();
+        assert!(out.iter().all(|&r| r == Some(28)), "{out:?}");
+    }
+
+    #[test]
+    fn min_max_count() {
+        let g = sample();
+        let values = [9u64, 4, 12, 7, 3, 20, 1];
+        let min = aggregate(&g, 0, AggregateOp::Min, &values, &EngineConfig::default()).unwrap();
+        assert_eq!(min[3], Some(1));
+        let max = aggregate(&g, 0, AggregateOp::Max, &values, &EngineConfig::default()).unwrap();
+        assert_eq!(max[6], Some(20));
+        let count = aggregate(&g, 0, AggregateOp::Count, &values, &EngineConfig::default()).unwrap();
+        assert!(count.iter().all(|&r| r == Some(7)));
+    }
+
+    #[test]
+    fn works_on_cyclic_graphs_too() {
+        // Aggregation runs over the BFS tree of an arbitrary graph.
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)])
+            .build()
+            .unwrap();
+        let values = [1u64; 5];
+        let out = aggregate(&g, 2, AggregateOp::Sum, &values, &EngineConfig::default()).unwrap();
+        assert!(out.iter().all(|&r| r == Some(5)));
+    }
+
+    #[test]
+    fn disconnected_nodes_learn_nothing() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (2, 3)]).build().unwrap();
+        let values = [5u64, 6, 7, 8];
+        let out = aggregate(&g, 0, AggregateOp::Sum, &values, &EngineConfig::default()).unwrap();
+        assert_eq!(out[0], Some(11));
+        assert_eq!(out[1], Some(11));
+        assert_eq!(out[2], None);
+        assert_eq!(out[3], None);
+    }
+
+    #[test]
+    fn counting_nodes_justifies_knowing_n() {
+        // The "nodes know n" convention: one aggregation computes it.
+        let g = sample();
+        let out =
+            aggregate(&g, 0, AggregateOp::Count, &[0; 7], &EngineConfig::default()).unwrap();
+        assert!(out.iter().all(|&r| r == Some(g.n() as u64)));
+    }
+}

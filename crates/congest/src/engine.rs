@@ -1,0 +1,419 @@
+//! The synchronous round engine.
+//!
+//! Executes a [`Program`] on every node of a [`Graph`] in lock-step rounds:
+//! step all active nodes (optionally in parallel with rayon — node steps
+//! are independent by construction, exactly the data-parallelism the model
+//! prescribes), account every message against the wire model, enforce the
+//! configured bandwidth policy, then deliver. Delivery order into an inbox
+//! is canonical (ascending sender index, then queueing order), so runs are
+//! bit-for-bit reproducible and the parallel and sequential executors are
+//! interchangeable.
+
+use rayon::prelude::*;
+
+use crate::graph::{Graph, NodeIndex};
+use crate::message::{WireMessage, WireParams};
+use crate::metrics::{RoundStats, RunReport};
+use crate::node::{Incoming, NodeInit, Outbox, Program, Status};
+
+/// How strictly the engine applies the `O(log n)`-bit CONGEST bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BandwidthPolicy {
+    /// No cap; loads are still measured and reported.
+    Measure,
+    /// Hard-fail the run if any directed link carries more than `bits` in
+    /// one round. Use this to demonstrate that unpruned protocols violate
+    /// the model while Algorithm 1 fits after normalization.
+    Enforce { bits: u64 },
+}
+
+/// Which executor steps the nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Plain loop; reference semantics.
+    Sequential,
+    /// rayon `par_iter` over nodes; identical results, faster wall-clock.
+    #[default]
+    Parallel,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Hard cap on executed rounds (guards non-terminating protocols).
+    pub max_rounds: u32,
+    /// Bandwidth policy.
+    pub bandwidth: BandwidthPolicy,
+    /// Executor choice.
+    pub executor: Executor,
+    /// If true, per-round stats are recorded in the report (tiny cost;
+    /// disable only for the hottest benchmark loops).
+    pub record_rounds: bool,
+    /// Deterministic message-loss plan (defaults to no loss). Dropped
+    /// messages are charged to the sender's accounting but never
+    /// delivered.
+    pub faults: crate::fault::FaultPlan,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_rounds: 1 << 20,
+            bandwidth: BandwidthPolicy::Measure,
+            executor: Executor::Parallel,
+            record_rounds: true,
+            faults: crate::fault::FaultPlan::none(),
+        }
+    }
+}
+
+/// Run failure modes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A directed link exceeded the enforced per-round bit budget.
+    BandwidthExceeded {
+        round: u32,
+        node: NodeIndex,
+        port: u32,
+        bits: u64,
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BandwidthExceeded { round, node, port, bits, limit } => write!(
+                f,
+                "round {round}: node {node} port {port} sent {bits} bits > limit {limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of a completed run: the measurement report plus one verdict per
+/// node (indexed by node index).
+#[derive(Clone, Debug)]
+pub struct RunOutcome<V> {
+    pub report: RunReport,
+    pub verdicts: Vec<V>,
+}
+
+struct Slot<P: Program> {
+    prog: P,
+    inbox: Vec<Incoming<P::Msg>>,
+    status: Status,
+    degree: u32,
+}
+
+/// Runs `factory`-instantiated programs on `graph` until every node halts
+/// or `config.max_rounds` is reached.
+pub fn run<P, F>(graph: &Graph, config: &EngineConfig, mut factory: F) -> Result<RunOutcome<P::Verdict>, EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit) -> P,
+{
+    let params = WireParams::for_graph(graph);
+    run_with_params(graph, config, &params, &mut factory)
+}
+
+/// As [`run`], with explicit wire parameters (used when a harness wants to
+/// pin `id_bits`/`rank_bits` across differently-labeled graphs).
+pub fn run_with_params<P, F>(
+    graph: &Graph,
+    config: &EngineConfig,
+    params: &WireParams,
+    factory: &mut F,
+) -> Result<RunOutcome<P::Verdict>, EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit) -> P,
+{
+    let n = graph.n();
+    let mut slots: Vec<Slot<P>> = (0..n)
+        .map(|v| {
+            let v = v as NodeIndex;
+            let init = NodeInit {
+                index: v,
+                id: graph.id(v),
+                neighbor_ids: graph.neighbors(v).iter().map(|&w| graph.id(w)).collect(),
+                n,
+                m: graph.m(),
+            };
+            let degree = init.degree() as u32;
+            Slot { prog: factory(init), inbox: Vec::new(), status: Status::Running, degree }
+        })
+        .collect();
+
+    let mut report = RunReport::default();
+    let mut round = 0u32;
+    let mut all_halted = false;
+
+    while round < config.max_rounds {
+        let active = slots.iter().filter(|s| s.status == Status::Running).count();
+        if active == 0 {
+            all_halted = true;
+            break;
+        }
+
+        // Step phase: every running node consumes its inbox and queues sends.
+        let step_one = |s: &mut Slot<P>, round: u32| -> Vec<(u32, P::Msg)> {
+            if s.status != Status::Running {
+                s.inbox.clear();
+                return Vec::new();
+            }
+            let inbox = std::mem::take(&mut s.inbox);
+            let mut out = Outbox::new(s.degree);
+            s.status = s.prog.step(round, &inbox, &mut out);
+            out.sends
+        };
+        let outboxes: Vec<Vec<(u32, P::Msg)>> = match config.executor {
+            Executor::Sequential => slots.iter_mut().map(|s| step_one(s, round)).collect(),
+            Executor::Parallel => slots.par_iter_mut().map(|s| step_one(s, round)).collect(),
+        };
+
+        // Accounting phase.
+        let mut stats = RoundStats { round, active_nodes: active, ..RoundStats::default() };
+        for (v, sends) in outboxes.iter().enumerate() {
+            // Per-port loads; adjacency rows are small, a linear scan per
+            // message grouped via a sort-free accumulation is fine because
+            // sends within a round per node are few.
+            let mut port_bits: Vec<(u32, u64, u64)> = Vec::new(); // (port, bits, msgs)
+            for (port, msg) in sends {
+                let b = msg.wire_bits(params);
+                stats.messages += 1;
+                stats.bits += b;
+                stats.max_message_bits = stats.max_message_bits.max(b);
+                match port_bits.iter_mut().find(|e| e.0 == *port) {
+                    Some(e) => {
+                        e.1 += b;
+                        e.2 += 1;
+                    }
+                    None => port_bits.push((*port, b, 1)),
+                }
+            }
+            for (port, bits, msgs) in port_bits {
+                stats.max_link_bits = stats.max_link_bits.max(bits);
+                stats.max_link_messages = stats.max_link_messages.max(msgs);
+                if let BandwidthPolicy::Enforce { bits: limit } = config.bandwidth {
+                    if bits > limit {
+                        return Err(EngineError::BandwidthExceeded {
+                            round,
+                            node: v as NodeIndex,
+                            port,
+                            bits,
+                            limit,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Delivery phase: canonical order (ascending sender index, then the
+        // order the sender queued) keeps inboxes deterministic. Faulted
+        // messages are dropped here — sent (and accounted) but not
+        // delivered.
+        let check_faults = !config.faults.is_trivial();
+        for (v, sends) in outboxes.into_iter().enumerate() {
+            let v = v as NodeIndex;
+            for (port, msg) in sends {
+                if check_faults && config.faults.drops(round, v, port) {
+                    continue;
+                }
+                let w = graph.neighbor_at(v, port);
+                let q = graph.reverse_port(v, port);
+                slots[w as usize].inbox.push(Incoming { port: q, msg });
+            }
+        }
+
+        if config.record_rounds {
+            report.per_round.push(stats);
+        }
+        round += 1;
+    }
+
+    // A run that exits the loop because max_rounds was reached may still
+    // have every node halted (final iteration); recheck.
+    if !all_halted {
+        all_halted = slots.iter().all(|s| s.status == Status::Halted);
+    }
+    report.rounds = round;
+    report.all_halted = all_halted;
+
+    let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
+    Ok(RunOutcome { report, verdicts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Flood the smallest ID seen so far; halt after `ttl` rounds. The
+    /// classical leader-election-by-flooding warm-up protocol.
+    struct MinFlood {
+        best: u64,
+        ttl: u32,
+        changed: bool,
+    }
+
+    impl Program for MinFlood {
+        type Msg = u64;
+        type Verdict = u64;
+
+        fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+            for inc in inbox {
+                if inc.msg < self.best {
+                    self.best = inc.msg;
+                    self.changed = true;
+                }
+            }
+            if round >= self.ttl {
+                return Status::Halted;
+            }
+            if round == 0 || self.changed {
+                out.broadcast(&self.best);
+                self.changed = false;
+            }
+            Status::Running
+        }
+
+        fn verdict(&self) -> u64 {
+            self.best
+        }
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        GraphBuilder::new(n)
+            .edges((0..n as u32 - 1).map(|i| (i, i + 1)))
+            .build()
+            .unwrap()
+    }
+
+    fn run_minflood(g: &Graph, exec: Executor) -> RunOutcome<u64> {
+        let ttl = g.n() as u32; // diameter bound
+        let cfg = EngineConfig { executor: exec, ..EngineConfig::default() };
+        run(g, &cfg, |init| MinFlood { best: init.id, ttl, changed: false }).unwrap()
+    }
+
+    #[test]
+    fn min_flood_converges_on_path() {
+        let g = path_graph(16).with_ids((0..16).map(|i| 100 - i as u64).collect()).unwrap();
+        let out = run_minflood(&g, Executor::Sequential);
+        let global_min = *g.ids().iter().min().unwrap();
+        assert!(out.verdicts.iter().all(|&v| v == global_min));
+        assert!(out.report.all_halted);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let g = path_graph(64)
+            .with_ids((0..64).map(|i| (i as u64 * 2654435761) % 100_000).collect())
+            .unwrap();
+        let a = run_minflood(&g, Executor::Sequential);
+        let b = run_minflood(&g, Executor::Parallel);
+        assert_eq!(a.verdicts, b.verdicts);
+        assert_eq!(a.report.per_round, b.report.per_round);
+        assert_eq!(a.report.rounds, b.report.rounds);
+    }
+
+    #[test]
+    fn round_cap_is_respected() {
+        struct Chatter;
+        impl Program for Chatter {
+            type Msg = ();
+            type Verdict = ();
+            fn step(&mut self, _round: u32, _inbox: &[Incoming<()>], out: &mut Outbox<()>) -> Status {
+                out.broadcast(&());
+                Status::Running
+            }
+            fn verdict(&self) {}
+        }
+        let g = path_graph(4);
+        let cfg = EngineConfig { max_rounds: 7, ..EngineConfig::default() };
+        let out = run(&g, &cfg, |_| Chatter).unwrap();
+        assert_eq!(out.report.rounds, 7);
+        assert!(!out.report.all_halted);
+    }
+
+    #[test]
+    fn bandwidth_enforcement_trips() {
+        struct BigTalker;
+        impl Program for BigTalker {
+            type Msg = Vec<u64>;
+            type Verdict = ();
+            fn step(&mut self, _round: u32, _inbox: &[Incoming<Vec<u64>>], out: &mut Outbox<Vec<u64>>) -> Status {
+                out.broadcast(&vec![1; 100]);
+                Status::Running
+            }
+            fn verdict(&self) {}
+        }
+        let g = path_graph(3);
+        let cfg = EngineConfig {
+            bandwidth: BandwidthPolicy::Enforce { bits: 16 },
+            ..EngineConfig::default()
+        };
+        let err = run(&g, &cfg, |_| BigTalker).unwrap_err();
+        assert!(matches!(err, EngineError::BandwidthExceeded { round: 0, .. }));
+    }
+
+    #[test]
+    fn stats_count_messages_and_links() {
+        let g = path_graph(3); // 0-1-2
+        let cfg = EngineConfig::default();
+        // Everyone broadcasts a unit message at round 0, then halts.
+        struct OneShot;
+        impl Program for OneShot {
+            type Msg = ();
+            type Verdict = ();
+            fn step(&mut self, round: u32, _inbox: &[Incoming<()>], out: &mut Outbox<()>) -> Status {
+                if round == 0 {
+                    out.broadcast(&());
+                    Status::Running
+                } else {
+                    Status::Halted
+                }
+            }
+            fn verdict(&self) {}
+        }
+        let out = run(&g, &cfg, |_| OneShot).unwrap();
+        // Degrees 1,2,1 → 4 messages in round 0.
+        assert_eq!(out.report.per_round[0].messages, 4);
+        assert_eq!(out.report.per_round[0].max_link_messages, 1);
+        assert_eq!(out.report.total_messages(), 4);
+    }
+
+    #[test]
+    fn halted_nodes_stop_participating() {
+        // Node 0 halts immediately; others keep broadcasting for 3 rounds.
+        struct MaybeQuit {
+            quit_now: bool,
+        }
+        impl Program for MaybeQuit {
+            type Msg = ();
+            type Verdict = u32;
+            fn step(&mut self, round: u32, inbox: &[Incoming<()>], out: &mut Outbox<()>) -> Status {
+                let _ = inbox;
+                if self.quit_now {
+                    return Status::Halted;
+                }
+                out.broadcast(&());
+                if round >= 2 {
+                    Status::Halted
+                } else {
+                    Status::Running
+                }
+            }
+            fn verdict(&self) -> u32 {
+                0
+            }
+        }
+        let g = path_graph(3);
+        let out = run(&g, &EngineConfig::default(), |init| MaybeQuit { quit_now: init.index == 0 }).unwrap();
+        assert!(out.report.all_halted);
+        // Round 0: nodes 1 and 2 broadcast (degrees 2 and 1) = 3 msgs.
+        assert_eq!(out.report.per_round[0].messages, 3);
+    }
+}

@@ -1,0 +1,145 @@
+//! Deterministic fault injection.
+//!
+//! Production network simulators must answer "what happens under loss?".
+//! A [`FaultPlan`] deterministically drops messages by (round, sender,
+//! port) — either from an explicit deny-list or by a seeded Bernoulli
+//! coin per directed link per round. Drops are applied at delivery time;
+//! accounting still records the *sent* message (the sender spent the
+//! bandwidth), which matches the synchronous-network reading of loss.
+//!
+//! A structural consequence worth testing (and tested in `ck-core`):
+//! dropping Phase-2 messages can only *suppress* detections, never
+//! fabricate them — the tester's 1-sidedness survives arbitrary loss,
+//! while its detection guarantee degrades gracefully.
+
+use crate::graph::NodeIndex;
+use crate::rngs::mix64;
+
+/// A single scheduled drop: the message sent by `sender` on local port
+/// `port` during `round` never arrives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DropRule {
+    pub round: u32,
+    pub sender: NodeIndex,
+    pub port: u32,
+}
+
+/// Deterministic message-loss plan.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    explicit: std::collections::HashSet<DropRule>,
+    random: Option<RandomLoss>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RandomLoss {
+    seed: u64,
+    /// Loss probability as a fixed-point fraction of `u32::MAX`.
+    threshold: u32,
+}
+
+impl FaultPlan {
+    /// A plan that drops nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds one explicit drop rule.
+    pub fn drop_at(mut self, round: u32, sender: NodeIndex, port: u32) -> Self {
+        self.explicit.insert(DropRule { round, sender, port });
+        self
+    }
+
+    /// Installs i.i.d. Bernoulli loss with probability `p` per message,
+    /// derived deterministically from `seed` and the (round, sender,
+    /// port) coordinate — replayable across runs and executors.
+    pub fn random_loss(mut self, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability in [0,1]");
+        self.random = Some(RandomLoss {
+            seed,
+            threshold: (p * f64::from(u32::MAX)) as u32,
+        });
+        self
+    }
+
+    /// True when no rule can ever fire (lets the engine skip the check).
+    pub fn is_trivial(&self) -> bool {
+        self.explicit.is_empty() && self.random.is_none()
+    }
+
+    /// Decides whether the message sent by `sender` on `port` at `round`
+    /// is dropped.
+    pub fn drops(&self, round: u32, sender: NodeIndex, port: u32) -> bool {
+        if self.explicit.contains(&DropRule { round, sender, port }) {
+            return true;
+        }
+        if let Some(r) = self.random {
+            let h = mix64(
+                r.seed ^ mix64(u64::from(round) << 40 | u64::from(sender) << 12 | u64::from(port)),
+            );
+            return (h as u32) < r.threshold;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_plan_never_drops() {
+        let p = FaultPlan::none();
+        assert!(p.is_trivial());
+        for r in 0..10 {
+            assert!(!p.drops(r, 0, 0));
+        }
+    }
+
+    #[test]
+    fn explicit_rules_fire_exactly() {
+        let p = FaultPlan::none().drop_at(3, 7, 1);
+        assert!(!p.is_trivial());
+        assert!(p.drops(3, 7, 1));
+        assert!(!p.drops(3, 7, 0));
+        assert!(!p.drops(2, 7, 1));
+        assert!(!p.drops(3, 6, 1));
+    }
+
+    #[test]
+    fn random_loss_is_deterministic_and_calibrated() {
+        let p = FaultPlan::none().random_loss(0.25, 99);
+        let q = FaultPlan::none().random_loss(0.25, 99);
+        let mut dropped = 0;
+        let total = 40_000;
+        for r in 0..200u32 {
+            for s in 0..20u32 {
+                for port in 0..10u32 {
+                    let d = p.drops(r, s, port);
+                    assert_eq!(d, q.drops(r, s, port), "determinism");
+                    if d {
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        let rate = f64::from(dropped) / f64::from(total);
+        assert!((rate - 0.25).abs() < 0.02, "empirical loss {rate} far from 0.25");
+    }
+
+    #[test]
+    fn zero_and_full_loss() {
+        let none = FaultPlan::none().random_loss(0.0, 1);
+        let all = FaultPlan::none().random_loss(1.0, 1);
+        for r in 0..50u32 {
+            assert!(!none.drops(r, 1, 0));
+            assert!(all.drops(r, 1, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_bad_probability() {
+        let _ = FaultPlan::none().random_loss(1.5, 0);
+    }
+}

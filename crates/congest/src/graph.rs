@@ -1,0 +1,684 @@
+//! Static, simple, undirected graphs in CSR form.
+//!
+//! The CONGEST model operates on a connected simple graph whose nodes carry
+//! arbitrary distinct identities polynomial in `n`. This module provides the
+//! immutable topology the round engine runs on: adjacency in compressed
+//! sparse row layout, a canonical edge list, per-port reverse-port tables
+//! (needed to label incoming messages with the receiver-side port), and the
+//! usual structural queries (connectivity, BFS, girth, degree statistics).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node identity. The paper assumes IDs are distinct and polynomial in
+/// `n`, hence representable in `O(log n)` bits; we use `u64`.
+pub type NodeId = u64;
+
+/// Dense node index in `0..n`. Topology internals use indices; protocol
+/// payloads use [`NodeId`]s.
+pub type NodeIndex = u32;
+
+/// An undirected edge in canonical (smaller index, larger index) order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    pub a: NodeIndex,
+    pub b: NodeIndex,
+}
+
+impl Edge {
+    /// Canonicalizes the endpoint order.
+    pub fn new(x: NodeIndex, y: NodeIndex) -> Self {
+        if x <= y {
+            Edge { a: x, b: y }
+        } else {
+            Edge { a: y, b: x }
+        }
+    }
+
+    /// Returns the endpoint distinct from `v`, or `None` if `v` is not an
+    /// endpoint.
+    pub fn other(&self, v: NodeIndex) -> Option<NodeIndex> {
+        if v == self.a {
+            Some(self.b)
+        } else if v == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// True if `v` is an endpoint of this edge.
+    pub fn touches(&self, v: NodeIndex) -> bool {
+        v == self.a || v == self.b
+    }
+}
+
+/// Errors raised while assembling a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A self-loop was inserted; CONGEST graphs are simple.
+    SelfLoop(NodeIndex),
+    /// An endpoint index is out of the declared node range.
+    NodeOutOfRange { node: NodeIndex, n: usize },
+    /// Two nodes were assigned the same identity.
+    DuplicateId(NodeId),
+    /// The ID table length does not match the node count.
+    IdTableLength { expected: usize, got: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for n={n}")
+            }
+            GraphError::DuplicateId(id) => write!(f, "duplicate node identity {id}"),
+            GraphError::IdTableLength { expected, got } => {
+                write!(f, "ID table has {got} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder for [`Graph`]. Parallel edges are merged silently
+/// (the model allows at most one edge per node pair); self-loops are
+/// rejected at [`GraphBuilder::build`] time.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    ids: Option<Vec<NodeId>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            ids: None,
+        }
+    }
+
+    /// Number of declared nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds an undirected edge between node indices `x` and `y`.
+    pub fn edge(&mut self, x: NodeIndex, y: NodeIndex) -> &mut Self {
+        self.edges.push(Edge::new(x, y));
+        self
+    }
+
+    /// Adds every edge from the iterator.
+    pub fn edges<I: IntoIterator<Item = (NodeIndex, NodeIndex)>>(&mut self, it: I) -> &mut Self {
+        for (x, y) in it {
+            self.edge(x, y);
+        }
+        self
+    }
+
+    /// Installs an explicit ID table (one identity per node index). By
+    /// default nodes get identity `index` (a valid polynomial-range
+    /// assignment); experiments that need adversarial or randomized IDs
+    /// override it here or via [`Graph::with_ids`].
+    pub fn ids(&mut self, ids: Vec<NodeId>) -> &mut Self {
+        self.ids = Some(ids);
+        self
+    }
+
+    /// Validates and freezes the topology.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        let n = self.n;
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for e in &self.edges {
+            if e.a == e.b {
+                return Err(GraphError::SelfLoop(e.a));
+            }
+            if (e.b as usize) >= n {
+                return Err(GraphError::NodeOutOfRange { node: e.b, n });
+            }
+            edges.push(*e);
+        }
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.a as usize] += 1;
+            degree[e.b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as NodeIndex; 2 * edges.len()];
+        let mut edge_of_slot = vec![0u32; 2 * edges.len()];
+        for (ei, e) in edges.iter().enumerate() {
+            let ca = cursor[e.a as usize];
+            neighbors[ca as usize] = e.b;
+            edge_of_slot[ca as usize] = ei as u32;
+            cursor[e.a as usize] += 1;
+            let cb = cursor[e.b as usize];
+            neighbors[cb as usize] = e.a;
+            edge_of_slot[cb as usize] = ei as u32;
+            cursor[e.b as usize] += 1;
+        }
+        // Adjacency of each node is sorted because edges were sorted
+        // lexicographically, which emits neighbors in increasing order for
+        // the `a` side but not necessarily the `b` side; sort each row (and
+        // carry the edge-of-slot payload along).
+        for v in 0..n {
+            let (s, t) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let mut row: Vec<(NodeIndex, u32)> = neighbors[s..t]
+                .iter()
+                .copied()
+                .zip(edge_of_slot[s..t].iter().copied())
+                .collect();
+            row.sort_unstable();
+            for (i, (nb, ei)) in row.into_iter().enumerate() {
+                neighbors[s + i] = nb;
+                edge_of_slot[s + i] = ei;
+            }
+        }
+
+        // Reverse ports: rev_port[slot of (v -> w)] = port of v in w's row.
+        let mut rev_port = vec![0u32; neighbors.len()];
+        for v in 0..n {
+            let (s, t) = (offsets[v] as usize, offsets[v + 1] as usize);
+            for (p, &w) in neighbors[s..t].iter().enumerate() {
+                let (ws, wt) = (offsets[w as usize] as usize, offsets[w as usize + 1] as usize);
+                let q = neighbors[ws..wt]
+                    .binary_search(&(v as NodeIndex))
+                    .expect("reverse edge must exist");
+                rev_port[s + p] = q as u32;
+            }
+        }
+
+        let ids = match &self.ids {
+            Some(ids) => {
+                if ids.len() != n {
+                    return Err(GraphError::IdTableLength {
+                        expected: n,
+                        got: ids.len(),
+                    });
+                }
+                let mut seen = HashMap::with_capacity(n);
+                for (i, &id) in ids.iter().enumerate() {
+                    if let Some(_prev) = seen.insert(id, i) {
+                        return Err(GraphError::DuplicateId(id));
+                    }
+                }
+                ids.clone()
+            }
+            None => (0..n as NodeId).collect(),
+        };
+        let mut index_of_id = HashMap::with_capacity(n);
+        for (i, &id) in ids.iter().enumerate() {
+            index_of_id.insert(id, i as NodeIndex);
+        }
+
+        Ok(Graph {
+            n,
+            offsets,
+            neighbors,
+            edge_of_slot,
+            rev_port,
+            edges,
+            ids,
+            index_of_id,
+        })
+    }
+}
+
+/// An immutable simple undirected graph with node identities, stored in
+/// CSR form. All engine-facing lookups are O(1) or O(log degree).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    offsets: Vec<u32>,
+    neighbors: Vec<NodeIndex>,
+    /// Edge index (into `edges`) for each adjacency slot.
+    edge_of_slot: Vec<u32>,
+    /// Port of `v` within `w`'s adjacency row, per slot of `v -> w`.
+    rev_port: Vec<u32>,
+    edges: Vec<Edge>,
+    ids: Vec<NodeId>,
+    index_of_id: HashMap<NodeId, NodeIndex>,
+}
+
+impl Graph {
+    /// Number of nodes (`n` in the paper).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (`m` in the paper).
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Canonical edge list (sorted lexicographically).
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Identity of node `v`.
+    pub fn id(&self, v: NodeIndex) -> NodeId {
+        self.ids[v as usize]
+    }
+
+    /// The full ID table, indexed by node index.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Node index carrying identity `id`, if any.
+    pub fn index_of(&self, id: NodeId) -> Option<NodeIndex> {
+        self.index_of_id.get(&id).copied()
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeIndex) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v as NodeIndex)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m/n`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.m() as f64 / self.n as f64
+        }
+    }
+
+    /// Sorted neighbor row of `v`.
+    pub fn neighbors(&self, v: NodeIndex) -> &[NodeIndex] {
+        let (s, t) = (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize);
+        &self.neighbors[s..t]
+    }
+
+    /// Neighbor reached from `v` through local port `p`.
+    pub fn neighbor_at(&self, v: NodeIndex, p: u32) -> NodeIndex {
+        self.neighbors(v)[p as usize]
+    }
+
+    /// Port of `v` leading to `w`, if the edge exists.
+    pub fn port_to(&self, v: NodeIndex, w: NodeIndex) -> Option<u32> {
+        self.neighbors(v).binary_search(&w).ok().map(|p| p as u32)
+    }
+
+    /// Port of `v` within `w`'s adjacency row, given `v`'s local port `p`
+    /// towards `w` (the receiver-side label of a message sent on `p`).
+    pub fn reverse_port(&self, v: NodeIndex, p: u32) -> u32 {
+        self.rev_port[self.offsets[v as usize] as usize + p as usize]
+    }
+
+    /// Edge index (into [`Graph::edges`]) of the adjacency slot `(v, p)`.
+    pub fn edge_index_at(&self, v: NodeIndex, p: u32) -> u32 {
+        self.edge_of_slot[self.offsets[v as usize] as usize + p as usize]
+    }
+
+    /// True if `{v, w}` is an edge.
+    pub fn has_edge(&self, v: NodeIndex, w: NodeIndex) -> bool {
+        if v == w {
+            return false;
+        }
+        let (v, w) = if self.degree(v) <= self.degree(w) { (v, w) } else { (w, v) };
+        self.neighbors(v).binary_search(&w).is_ok()
+    }
+
+    /// Replaces the ID table, returning a new graph with identical topology.
+    pub fn with_ids(&self, ids: Vec<NodeId>) -> Result<Graph, GraphError> {
+        if ids.len() != self.n {
+            return Err(GraphError::IdTableLength { expected: self.n, got: ids.len() });
+        }
+        let mut index_of_id = HashMap::with_capacity(self.n);
+        for (i, &id) in ids.iter().enumerate() {
+            if index_of_id.insert(id, i as NodeIndex).is_some() {
+                return Err(GraphError::DuplicateId(id));
+            }
+        }
+        let mut g = self.clone();
+        g.ids = ids;
+        g.index_of_id = index_of_id;
+        Ok(g)
+    }
+
+    /// BFS distances from `src` (`u32::MAX` marks unreachable nodes).
+    pub fn bfs_distances(&self, src: NodeIndex) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            let dv = dist[v as usize];
+            for &w in self.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dv + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True if the graph is connected (the CONGEST model assumes so; the
+    /// engine itself tolerates disconnected inputs).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != u32::MAX)
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut c = 0;
+        for s in 0..self.n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s as NodeIndex];
+            comp[s] = c;
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if comp[w as usize] == usize::MAX {
+                        comp[w as usize] = c;
+                        stack.push(w);
+                    }
+                }
+            }
+            c += 1;
+        }
+        c
+    }
+
+    /// Eccentricity-based diameter (exact; O(n·m) — for test-scale graphs).
+    pub fn diameter(&self) -> Option<u32> {
+        if self.n == 0 {
+            return Some(0);
+        }
+        let mut best = 0;
+        for v in 0..self.n {
+            let d = self.bfs_distances(v as NodeIndex);
+            for &x in &d {
+                if x == u32::MAX {
+                    return None; // disconnected
+                }
+                best = best.max(x);
+            }
+        }
+        Some(best)
+    }
+
+    /// Girth (length of a shortest cycle), or `None` for forests. Standard
+    /// BFS-per-vertex bound: O(n·m).
+    pub fn girth(&self) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        let mut dist = vec![u32::MAX; self.n];
+        let mut parent = vec![u32::MAX; self.n];
+        for s in 0..self.n {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            parent.iter_mut().for_each(|p| *p = u32::MAX);
+            let mut queue = std::collections::VecDeque::new();
+            dist[s] = 0;
+            queue.push_back(s as NodeIndex);
+            while let Some(v) = queue.pop_front() {
+                for &w in self.neighbors(v) {
+                    if dist[w as usize] == u32::MAX {
+                        dist[w as usize] = dist[v as usize] + 1;
+                        parent[w as usize] = v;
+                        queue.push_back(w);
+                    } else if parent[v as usize] != w {
+                        // Non-tree edge: cycle through s of length
+                        // dist[v] + dist[w] + 1 (an upper bound that is
+                        // tight for the BFS root on its shortest cycle).
+                        let len = dist[v as usize] + dist[w as usize] + 1;
+                        best = Some(best.map_or(len, |b| b.min(len)));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Total degree histogram, indexed by degree.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.max_degree() + 1];
+        for v in 0..self.n {
+            h[self.degree(v as NodeIndex)] += 1;
+        }
+        h
+    }
+
+    /// Serializes to a plain edge-list text format (`n m` header, then one
+    /// `a b` pair per line, then an `ids` line) — a stable interchange
+    /// format for the experiment harness.
+    pub fn to_edge_list(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "{} {}", self.n, self.m());
+        for e in &self.edges {
+            let _ = writeln!(s, "{} {}", e.a, e.b);
+        }
+        let ids: Vec<String> = self.ids.iter().map(|i| i.to_string()).collect();
+        let _ = writeln!(s, "ids {}", ids.join(" "));
+        s
+    }
+
+    /// Parses the format produced by [`Graph::to_edge_list`].
+    pub fn from_edge_list(text: &str) -> Result<Graph, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("missing header")?;
+        let mut hp = header.split_whitespace();
+        let n: usize = hp
+            .next()
+            .ok_or("missing n")?
+            .parse()
+            .map_err(|e| format!("bad n: {e}"))?;
+        let m: usize = hp
+            .next()
+            .ok_or("missing m")?
+            .parse()
+            .map_err(|e| format!("bad m: {e}"))?;
+        let mut b = GraphBuilder::new(n);
+        let mut count = 0;
+        let mut ids = None;
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("ids ") {
+                let parsed: Result<Vec<NodeId>, _> =
+                    rest.split_whitespace().map(|t| t.parse()).collect();
+                ids = Some(parsed.map_err(|e| format!("bad id: {e}"))?);
+                continue;
+            }
+            let mut p = line.split_whitespace();
+            let a: NodeIndex = p
+                .next()
+                .ok_or("missing endpoint")?
+                .parse()
+                .map_err(|e| format!("bad endpoint: {e}"))?;
+            let bidx: NodeIndex = p
+                .next()
+                .ok_or("missing endpoint")?
+                .parse()
+                .map_err(|e| format!("bad endpoint: {e}"))?;
+            b.edge(a, bidx);
+            count += 1;
+        }
+        if count != m {
+            return Err(format!("header claims {m} edges, found {count}"));
+        }
+        if let Some(ids) = ids {
+            b.ids(ids);
+        }
+        b.build().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build().unwrap()
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = GraphBuilder::new(2).edges([(0, 0)]).build().unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop(0));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = GraphBuilder::new(2).edges([(0, 5)]).build().unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 5, n: 2 }));
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let g = GraphBuilder::new(2).edges([(0, 1), (1, 0), (0, 1)]).build().unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let err = GraphBuilder::new(2)
+            .edges([(0, 1)])
+            .ids(vec![7, 7])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::DuplicateId(7));
+    }
+
+    #[test]
+    fn reverse_ports_are_consistent() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4)])
+            .build()
+            .unwrap();
+        for v in 0..g.n() as NodeIndex {
+            for p in 0..g.degree(v) as u32 {
+                let w = g.neighbor_at(v, p);
+                let q = g.reverse_port(v, p);
+                assert_eq!(g.neighbor_at(w, q), v, "rev port must lead back");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_index_agrees_with_edge_list() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3), (0, 3)]).build().unwrap();
+        for v in 0..g.n() as NodeIndex {
+            for p in 0..g.degree(v) as u32 {
+                let w = g.neighbor_at(v, p);
+                let e = g.edges()[g.edge_index_at(v, p) as usize];
+                assert_eq!(e, Edge::new(v, w));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_and_diameter() {
+        // Path 0-1-2-3-4.
+        let g = GraphBuilder::new(5).edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build().unwrap();
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.diameter(), Some(4));
+        assert!(g.is_connected());
+        assert_eq!(g.component_count(), 1);
+        assert_eq!(g.girth(), None);
+    }
+
+    #[test]
+    fn girth_of_cycles() {
+        for k in 3..12u32 {
+            let mut b = GraphBuilder::new(k as usize);
+            for i in 0..k {
+                b.edge(i, (i + 1) % k);
+            }
+            let g = b.build().unwrap();
+            assert_eq!(g.girth(), Some(k), "girth of C{k}");
+        }
+    }
+
+    #[test]
+    fn girth_of_petersen_is_five() {
+        // Petersen graph: outer C5, inner pentagram, spokes.
+        let mut b = GraphBuilder::new(10);
+        for i in 0..5u32 {
+            b.edge(i, (i + 1) % 5);
+            b.edge(5 + i, 5 + ((i + 2) % 5));
+            b.edge(i, 5 + i);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.girth(), Some(5));
+    }
+
+    #[test]
+    fn disconnected_component_count() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (2, 3)]).build().unwrap();
+        assert!(!g.is_connected());
+        assert_eq!(g.component_count(), 2);
+        assert_eq!(g.diameter(), None);
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)])
+            .ids(vec![10, 20, 30, 40])
+            .build()
+            .unwrap();
+        let text = g.to_edge_list();
+        let h = Graph::from_edge_list(&text).unwrap();
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.edges(), h.edges());
+        assert_eq!(g.ids(), h.ids());
+    }
+
+    #[test]
+    fn with_ids_replaces_identities() {
+        let g = triangle().with_ids(vec![100, 50, 75]).unwrap();
+        assert_eq!(g.id(0), 100);
+        assert_eq!(g.index_of(50), Some(1));
+        assert!(g.with_ids(vec![1, 1, 2]).is_err());
+        assert!(g.with_ids(vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn edge_other_and_touches() {
+        let e = Edge::new(3, 1);
+        assert_eq!((e.a, e.b), (1, 3));
+        assert_eq!(e.other(1), Some(3));
+        assert_eq!(e.other(3), Some(1));
+        assert_eq!(e.other(2), None);
+        assert!(e.touches(1) && e.touches(3) && !e.touches(0));
+    }
+}

@@ -1,0 +1,72 @@
+//! # ck-congest — a deterministic CONGEST-model simulator
+//!
+//! Substrate for the reproduction of *Distributed Detection of Cycles*
+//! (Fraigniaud & Olivetti, SPAA 2017). The CONGEST model \[Peleg 2000\] is a
+//! synchronous message-passing model over a connected simple graph: in
+//! every round each node performs local computation, sends one message of
+//! `O(log n)` bits along each incident edge, and receives its neighbors'
+//! messages.
+//!
+//! This crate provides:
+//!
+//! * [`graph`] — immutable CSR graphs with node identities, reverse-port
+//!   tables, and structural queries (connectivity, girth, diameter);
+//! * [`node`] — the per-node programming model ([`node::Program`]);
+//! * [`engine`] — the synchronous executor (sequential reference and
+//!   rayon-parallel implementations with identical semantics), bandwidth
+//!   enforcement, and verdict collection;
+//! * [`message`] — wire-size accounting (`O(log n)`-bit budgeting and
+//!   CONGEST-normalized round costs);
+//! * [`metrics`] — per-round and per-run measurement reports;
+//! * [`rngs`] — deterministic seed derivation so every run replays.
+//!
+//! ## Example
+//!
+//! ```
+//! use ck_congest::graph::GraphBuilder;
+//! use ck_congest::engine::{run, EngineConfig};
+//! use ck_congest::node::{Incoming, Outbox, Program, Status};
+//!
+//! /// Each node learns the maximum identity among itself and neighbors.
+//! struct MaxOfNeighborhood { best: u64, sent: bool }
+//!
+//! impl Program for MaxOfNeighborhood {
+//!     type Msg = u64;
+//!     type Verdict = u64;
+//!     fn step(&mut self, _round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+//!         for inc in inbox { self.best = self.best.max(inc.msg); }
+//!         if !self.sent {
+//!             out.broadcast(&self.best);
+//!             self.sent = true;
+//!             Status::Running
+//!         } else {
+//!             Status::Halted
+//!         }
+//!     }
+//!     fn verdict(&self) -> u64 { self.best }
+//! }
+//!
+//! let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build().unwrap();
+//! let out = run(&g, &EngineConfig::default(), |init| {
+//!     MaxOfNeighborhood { best: init.id, sent: false }
+//! }).unwrap();
+//! assert_eq!(out.verdicts, vec![1, 2, 2]);
+//! ```
+
+pub mod aggregate;
+pub mod engine;
+pub mod fault;
+pub mod graph;
+pub mod message;
+pub mod metrics;
+pub mod node;
+pub mod protocols;
+pub mod rngs;
+pub mod topology;
+pub mod trace;
+
+pub use engine::{run, BandwidthPolicy, EngineConfig, EngineError, Executor, RunOutcome};
+pub use graph::{Edge, Graph, GraphBuilder, GraphError, NodeId, NodeIndex};
+pub use message::{bits_for, WireMessage, WireParams};
+pub use metrics::{RoundStats, RunReport};
+pub use node::{Incoming, NodeInit, Outbox, Program, Status};

@@ -1,0 +1,127 @@
+//! Wire-size accounting for CONGEST messages.
+//!
+//! The CONGEST model bounds each message to `O(log n)` bits. The engine
+//! does not serialize messages (they travel as Rust values between node
+//! programs), but every message must report the number of bits its
+//! canonical encoding would occupy so the engine can account for link
+//! loads, enforce bandwidth caps, and compute *normalized* round counts
+//! (wall rounds × ⌈bits / B⌉) — the honest cost of a protocol that ships
+//! more than one `O(log n)`-bit word per edge per round.
+
+use crate::graph::Graph;
+
+/// Encoding parameters shared by all messages of a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Bits required to encode one node identity.
+    pub id_bits: u32,
+    /// Bits required to encode one Phase-1 rank (`⌈log2 m²⌉`).
+    pub rank_bits: u32,
+}
+
+impl WireParams {
+    /// Derives parameters from a graph: `id_bits` from the largest identity
+    /// actually in use, `rank_bits` from `m²`.
+    pub fn for_graph(g: &Graph) -> Self {
+        let max_id = g.ids().iter().copied().max().unwrap_or(0);
+        WireParams {
+            n: g.n(),
+            m: g.m(),
+            id_bits: bits_for(max_id.max(1)),
+            rank_bits: bits_for((g.m() as u64).saturating_mul(g.m() as u64).max(1)),
+        }
+    }
+
+    /// The classical CONGEST bandwidth `B = c·⌈log2 n⌉` bits per edge per
+    /// round.
+    pub fn congest_bandwidth(&self, c: u32) -> u64 {
+        u64::from(c) * u64::from(bits_for(self.n.max(2) as u64 - 1).max(1))
+    }
+}
+
+/// Number of bits needed to represent `v` (at least 1).
+pub fn bits_for(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+/// A message type whose canonical encoded size is known.
+pub trait WireMessage: Clone + Send + Sync + 'static {
+    /// Bits of the canonical encoding of this message under `params`.
+    fn wire_bits(&self, params: &WireParams) -> u64;
+}
+
+/// Unit messages (pure synchronization pulses) cost one bit.
+impl WireMessage for () {
+    fn wire_bits(&self, _params: &WireParams) -> u64 {
+        1
+    }
+}
+
+/// A bare node identity.
+impl WireMessage for u64 {
+    fn wire_bits(&self, params: &WireParams) -> u64 {
+        u64::from(params.id_bits)
+    }
+}
+
+/// A vector of identities (e.g. neighbor lists) costs `id_bits` each plus a
+/// length prefix.
+impl WireMessage for Vec<u64> {
+    fn wire_bits(&self, params: &WireParams) -> u64 {
+        u64::from(bits_for(self.len().max(1) as u64))
+            + self.len() as u64 * u64::from(params.id_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn bits_for_powers() {
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn params_from_graph() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .ids(vec![3, 17, 120, 6, 9])
+            .build()
+            .unwrap();
+        let wp = WireParams::for_graph(&g);
+        assert_eq!(wp.n, 5);
+        assert_eq!(wp.m, 4);
+        assert_eq!(wp.id_bits, bits_for(120));
+        assert_eq!(wp.rank_bits, bits_for(16));
+    }
+
+    #[test]
+    fn congest_bandwidth_scales_with_log_n() {
+        let g = GraphBuilder::new(1024)
+            .edges((0..1023u32).map(|i| (i, i + 1)))
+            .build()
+            .unwrap();
+        let wp = WireParams::for_graph(&g);
+        assert_eq!(wp.congest_bandwidth(1), 10);
+        assert_eq!(wp.congest_bandwidth(4), 40);
+    }
+
+    #[test]
+    fn vec_message_costs_len_prefix_plus_ids() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
+        let wp = WireParams::for_graph(&g);
+        let v: Vec<u64> = vec![0, 1, 2];
+        assert_eq!(v.wire_bits(&wp), u64::from(bits_for(3)) + 3 * u64::from(wp.id_bits));
+    }
+}

@@ -1,0 +1,150 @@
+//! Node-side programming interface: what a CONGEST node sees and does.
+//!
+//! A protocol is a [`Program`] instantiated once per node. Each round the
+//! engine hands every active program the messages received on its ports
+//! during the previous round and collects the messages it wants to send.
+//! Programs are plain state machines; all randomness must come from the
+//! RNG handed to the factory so runs are reproducible.
+
+use crate::graph::{NodeId, NodeIndex};
+use crate::message::WireMessage;
+
+/// Immutable per-node view of the network, as permitted by the CONGEST
+/// model: own identity, neighbor identities (learnable in one round, so we
+/// provide them upfront), and the global scalars `n` and `m`.
+///
+/// Exposing `n` and `m` is the standard "nodes know the graph size"
+/// assumption; the paper's Phase 1 draws ranks from `[1, m²]`, and any
+/// polynomial upper bound suffices for its analysis.
+#[derive(Clone, Debug)]
+pub struct NodeInit {
+    /// Dense index of this node (simulator-internal; programs should key
+    /// protocol logic on `id`, not `index`).
+    pub index: NodeIndex,
+    /// Identity of this node.
+    pub id: NodeId,
+    /// Identities of neighbors, indexed by local port.
+    pub neighbor_ids: Vec<NodeId>,
+    /// Total number of nodes.
+    pub n: usize,
+    /// Total number of edges.
+    pub m: usize,
+}
+
+impl NodeInit {
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbor_ids.len()
+    }
+
+    /// Local port towards the neighbor with identity `id`, if adjacent.
+    pub fn port_of_neighbor(&self, id: NodeId) -> Option<u32> {
+        self.neighbor_ids.iter().position(|&x| x == id).map(|p| p as u32)
+    }
+}
+
+/// A message delivered to a node, labeled with the local port it arrived on.
+#[derive(Clone, Debug)]
+pub struct Incoming<M> {
+    /// Receiver-side port the message arrived on.
+    pub port: u32,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Messages queued for sending in the current round.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    pub(crate) sends: Vec<(u32, M)>,
+    degree: u32,
+}
+
+impl<M: Clone> Outbox<M> {
+    pub(crate) fn new(degree: u32) -> Self {
+        Outbox { sends: Vec::new(), degree }
+    }
+
+    /// Sends `msg` on local port `port`.
+    ///
+    /// # Panics
+    /// Panics if `port` is out of range — that is a protocol bug, not a
+    /// runtime condition.
+    pub fn send(&mut self, port: u32, msg: M) {
+        assert!(port < self.degree, "send on port {port} of node with degree {}", self.degree);
+        self.sends.push((port, msg));
+    }
+
+    /// Sends a clone of `msg` on every port.
+    pub fn broadcast(&mut self, msg: &M) {
+        for p in 0..self.degree {
+            self.sends.push((p, msg.clone()));
+        }
+    }
+
+    /// Number of messages queued so far this round.
+    pub fn queued(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Number of ports available (the node's degree).
+    pub fn degree(&self) -> u32 {
+        self.degree
+    }
+}
+
+/// Whether a node keeps participating after the current round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Keep stepping this node.
+    Running,
+    /// The node has produced its verdict and sends/receives nothing more.
+    Halted,
+}
+
+/// A per-node protocol state machine.
+///
+/// `step` is called once per round with the inbox of the *previous* round
+/// (empty at round 0) and must queue this round's sends into `out`. The
+/// engine stops when every node has halted or the round cap is hit.
+pub trait Program: Send {
+    /// Message type exchanged over edges.
+    type Msg: WireMessage;
+    /// Final output of a node (e.g. accept/reject).
+    type Verdict: Send + Clone + 'static;
+
+    /// Executes one synchronous round.
+    fn step(&mut self, round: u32, inbox: &[Incoming<Self::Msg>], out: &mut Outbox<Self::Msg>) -> Status;
+
+    /// The node's output; meaningful once the node has halted, but callable
+    /// at any time (the engine collects verdicts at run end).
+    fn verdict(&self) -> Self::Verdict;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_send_and_broadcast() {
+        let mut ob: Outbox<u64> = Outbox::new(3);
+        ob.send(0, 42);
+        ob.broadcast(&7);
+        assert_eq!(ob.queued(), 4);
+        assert_eq!(ob.sends, vec![(0, 42), (0, 7), (1, 7), (2, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "send on port 3")]
+    fn outbox_rejects_bad_port() {
+        let mut ob: Outbox<u64> = Outbox::new(3);
+        ob.send(3, 1);
+    }
+
+    #[test]
+    fn node_init_port_lookup() {
+        let init = NodeInit { index: 0, id: 5, neighbor_ids: vec![9, 2, 7], n: 4, m: 3 };
+        assert_eq!(init.degree(), 3);
+        assert_eq!(init.port_of_neighbor(2), Some(1));
+        assert_eq!(init.port_of_neighbor(5), None);
+    }
+}

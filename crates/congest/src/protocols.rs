@@ -1,0 +1,246 @@
+//! Classic CONGEST protocols.
+//!
+//! Reusable building blocks (and engine stress-tests): min-ID leader
+//! election by flooding, BFS tree construction from a root, and 1-hop
+//! neighborhood collection. They double as reference workloads for the
+//! engine benchmarks and as executable documentation of the programming
+//! model.
+
+use crate::engine::{run, EngineConfig, EngineError, RunOutcome};
+use crate::graph::{Graph, NodeId, NodeIndex};
+use crate::node::{Incoming, Outbox, Program, Status};
+
+/// Leader election by min-ID flooding: after `ttl` rounds every node
+/// outputs the smallest ID within distance `ttl`; with `ttl ≥ diameter`,
+/// the global minimum.
+pub struct MinIdFlood {
+    best: NodeId,
+    ttl: u32,
+    changed: bool,
+}
+
+impl MinIdFlood {
+    pub fn new(own_id: NodeId, ttl: u32) -> Self {
+        MinIdFlood { best: own_id, ttl, changed: false }
+    }
+}
+
+impl Program for MinIdFlood {
+    type Msg = NodeId;
+    type Verdict = NodeId;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<NodeId>], out: &mut Outbox<NodeId>) -> Status {
+        for inc in inbox {
+            if inc.msg < self.best {
+                self.best = inc.msg;
+                self.changed = true;
+            }
+        }
+        if round >= self.ttl {
+            return Status::Halted;
+        }
+        if round == 0 || self.changed {
+            out.broadcast(&self.best);
+            self.changed = false;
+        }
+        Status::Running
+    }
+
+    fn verdict(&self) -> NodeId {
+        self.best
+    }
+}
+
+/// Elects the minimum ID (requires a connected graph); returns the
+/// elected ID and the run report.
+pub fn elect_min_id(g: &Graph, config: &EngineConfig) -> Result<(NodeId, RunOutcome<NodeId>), EngineError> {
+    let ttl = g.n() as u32; // ≥ diameter
+    let outcome = run(g, config, |init| MinIdFlood::new(init.id, ttl))?;
+    let leader = outcome.verdicts[0];
+    Ok((leader, outcome))
+}
+
+/// Per-node result of BFS tree construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsVerdict {
+    /// Hop distance from the root (`u32::MAX` if unreached).
+    pub dist: u32,
+    /// Parent's ID on the tree (None at the root / unreached nodes).
+    pub parent: Option<NodeId>,
+}
+
+/// BFS tree layer-by-layer from a designated root ID.
+pub struct BfsTree {
+    root: NodeId,
+    dist: u32,
+    parent: Option<NodeId>,
+    announced: bool,
+    max_rounds: u32,
+}
+
+impl BfsTree {
+    pub fn new(own_id: NodeId, root: NodeId, max_rounds: u32) -> Self {
+        let at_root = own_id == root;
+        BfsTree {
+            root,
+            dist: if at_root { 0 } else { u32::MAX },
+            parent: None,
+            announced: false,
+            max_rounds,
+        }
+    }
+}
+
+impl Program for BfsTree {
+    /// Message: the sender's distance (the receiver derives its own).
+    type Msg = u64;
+    type Verdict = BfsVerdict;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+        let _ = self.root;
+        for inc in inbox {
+            let d = inc.msg as u32 + 1;
+            if d < self.dist {
+                self.dist = d;
+                // Port → sender ID is resolved by the harness; stash the
+                // port in parent via the verdict collection below. We use
+                // the message itself: sender distance; parent ID is
+                // attached by `build_bfs_tree` after the run using ports.
+                self.parent = Some(inc.port as u64);
+            }
+        }
+        if self.dist != u32::MAX && !self.announced {
+            out.broadcast(&u64::from(self.dist));
+            self.announced = true;
+        }
+        if round >= self.max_rounds {
+            Status::Halted
+        } else {
+            Status::Running
+        }
+    }
+
+    fn verdict(&self) -> BfsVerdict {
+        BfsVerdict { dist: self.dist, parent: self.parent }
+    }
+}
+
+/// Builds a BFS tree from `root` (a node index); returns per-node
+/// verdicts with parent *IDs* resolved, matching `Graph::bfs_distances`.
+pub fn build_bfs_tree(
+    g: &Graph,
+    root: NodeIndex,
+    config: &EngineConfig,
+) -> Result<Vec<BfsVerdict>, EngineError> {
+    let root_id = g.id(root);
+    let mut cfg = config.clone();
+    cfg.max_rounds = g.n() as u32 + 1;
+    let outcome = run(g, &cfg, |init| BfsTree::new(init.id, root_id, g.n() as u32))?;
+    // Resolve the stored parent *port* into the neighbor's ID.
+    let resolved = outcome
+        .verdicts
+        .iter()
+        .enumerate()
+        .map(|(v, bv)| BfsVerdict {
+            dist: bv.dist,
+            parent: bv.parent.map(|port| g.id(g.neighbor_at(v as NodeIndex, port as u32))),
+        })
+        .collect();
+    Ok(resolved)
+}
+
+/// One-round neighborhood collection: every node learns its neighbors'
+/// IDs (demonstrates why the engine may hand `neighbor_ids` to programs
+/// upfront — it costs exactly one round).
+pub struct CollectNeighbors {
+    myid: NodeId,
+    seen: Vec<NodeId>,
+}
+
+impl CollectNeighbors {
+    pub fn new(own_id: NodeId) -> Self {
+        CollectNeighbors { myid: own_id, seen: Vec::new() }
+    }
+}
+
+impl Program for CollectNeighbors {
+    type Msg = NodeId;
+    type Verdict = Vec<NodeId>;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<NodeId>], out: &mut Outbox<NodeId>) -> Status {
+        if round == 0 {
+            out.broadcast(&self.myid);
+            return Status::Running;
+        }
+        self.seen = inbox.iter().map(|i| i.msg).collect();
+        self.seen.sort_unstable();
+        Status::Halted
+    }
+
+    fn verdict(&self) -> Vec<NodeId> {
+        self.seen.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn ring(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as NodeIndex {
+            b.edge(i, ((i as usize + 1) % n) as NodeIndex);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn elects_global_minimum() {
+        let g = ring(12).with_ids((0..12).map(|i| 100 - 3 * i as u64).collect()).unwrap();
+        let (leader, out) = elect_min_id(&g, &EngineConfig::default()).unwrap();
+        assert_eq!(leader, *g.ids().iter().min().unwrap());
+        assert!(out.verdicts.iter().all(|&v| v == leader));
+    }
+
+    #[test]
+    fn bfs_tree_matches_sequential_bfs() {
+        let mut b = GraphBuilder::new(8);
+        b.edges([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (4, 6), (6, 7)]);
+        let g = b.build().unwrap();
+        let verdicts = build_bfs_tree(&g, 0, &EngineConfig::default()).unwrap();
+        let dist = g.bfs_distances(0);
+        for (v, bv) in verdicts.iter().enumerate() {
+            assert_eq!(bv.dist, dist[v], "node {v}");
+            if v == 0 {
+                assert_eq!(bv.parent, None);
+            } else {
+                // Parent is a neighbor one hop closer to the root.
+                let p = g.index_of(bv.parent.expect("reached")).unwrap();
+                assert!(g.has_edge(v as NodeIndex, p));
+                assert_eq!(dist[p as usize] + 1, dist[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_on_disconnected_marks_unreached() {
+        let g = GraphBuilder::new(4).edges([(0, 1), (2, 3)]).build().unwrap();
+        let verdicts = build_bfs_tree(&g, 0, &EngineConfig::default()).unwrap();
+        assert_eq!(verdicts[1].dist, 1);
+        assert_eq!(verdicts[2].dist, u32::MAX);
+        assert_eq!(verdicts[3].dist, u32::MAX);
+    }
+
+    #[test]
+    fn neighborhood_collection_is_exact() {
+        let g = ring(6).with_ids(vec![60, 10, 20, 30, 40, 50]).unwrap();
+        let out = run(&g, &EngineConfig::default(), |init| CollectNeighbors::new(init.id)).unwrap();
+        for v in 0..6u32 {
+            let mut expect: Vec<u64> = g.neighbors(v).iter().map(|&w| g.id(w)).collect();
+            expect.sort_unstable();
+            assert_eq!(out.verdicts[v as usize], expect);
+        }
+        assert_eq!(out.report.rounds, 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic RNG derivation.
+//!
+//! Every random decision in the repository flows from a single master seed
+//! through stable mixing, so any run — tests, experiments, benches — can be
+//! replayed exactly. Nodes get statistically independent streams via a
+//! splitmix-style finalizer over (seed, label, node, repetition).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// 64-bit avalanche mix (splitmix64 finalizer). Good enough to decorrelate
+/// seeds that differ in one coordinate.
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combines coordinates into one derived seed.
+pub fn derive_seed(master: u64, label: u64, node: u64, repetition: u64) -> u64 {
+    let a = mix64(master ^ mix64(label));
+    let b = mix64(a ^ mix64(node.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    mix64(b ^ mix64(repetition.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)))
+}
+
+/// A deterministic RNG for a (master, label, node, repetition) coordinate.
+pub fn derived_rng(master: u64, label: u64, node: u64, repetition: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, label, node, repetition))
+}
+
+/// Protocol-label constants (keep distinct across the workspace so two
+/// protocols never consume identical streams).
+pub mod labels {
+    /// Phase-1 edge ranks of the Ck tester.
+    pub const CK_RANKS: u64 = 0x0101;
+    /// ID assignment during graph generation.
+    pub const GRAPH_IDS: u64 = 0x0202;
+    /// Graph topology generation.
+    pub const GRAPH_TOPOLOGY: u64 = 0x0203;
+    /// Baseline triangle tester coins.
+    pub const TRIANGLE_COINS: u64 = 0x0301;
+    /// Baseline C4 tester coins.
+    pub const C4_COINS: u64 = 0x0302;
+    /// Naive forwarding sampling decisions.
+    pub const NAIVE_SAMPLER: u64 = 0x0303;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn mixing_changes_everything() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_coordinate() {
+        let base = derive_seed(42, 1, 7, 0);
+        assert_ne!(base, derive_seed(43, 1, 7, 0));
+        assert_ne!(base, derive_seed(42, 2, 7, 0));
+        assert_ne!(base, derive_seed(42, 1, 8, 0));
+        assert_ne!(base, derive_seed(42, 1, 7, 1));
+    }
+
+    #[test]
+    fn derived_rng_is_reproducible() {
+        let mut a = derived_rng(9, 9, 9, 9);
+        let mut b = derived_rng(9, 9, 9, 9);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn streams_look_independent() {
+        // Crude decorrelation check: first draws of adjacent node streams
+        // should not be identical or trivially shifted.
+        let firsts: Vec<u64> = (0..64)
+            .map(|v| derived_rng(1, labels::CK_RANKS, v, 0).random())
+            .collect();
+        let mut sorted = firsts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), firsts.len(), "collision in first draws");
+    }
+}

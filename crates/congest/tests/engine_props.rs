@@ -1,0 +1,157 @@
+//! Engine-level property tests: conservation, determinism, accounting,
+//! and fault-plan semantics over random topologies and protocols.
+
+use ck_congest::engine::{run, BandwidthPolicy, EngineConfig, Executor};
+use ck_congest::fault::FaultPlan;
+use ck_congest::graph::{Graph, GraphBuilder, NodeIndex};
+use ck_congest::message::{WireMessage, WireParams};
+use ck_congest::node::{Incoming, Outbox, Program, Status};
+use proptest::prelude::*;
+
+/// A protocol that, for `rounds` rounds, sends on each port a counter
+/// and records everything received. Message count bookkeeping is exact:
+/// what is sent equals what is received (absent faults).
+struct Echo {
+    rounds: u32,
+    sent: u64,
+    received: u64,
+}
+
+impl Program for Echo {
+    type Msg = u64;
+    type Verdict = (u64, u64);
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+        self.received += inbox.len() as u64;
+        if round < self.rounds {
+            out.broadcast(&u64::from(round));
+            self.sent += out.queued() as u64;
+            Status::Running
+        } else {
+            Status::Halted
+        }
+    }
+
+    fn verdict(&self) -> (u64, u64) {
+        (self.sent, self.received)
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let mut b = GraphBuilder::new(n);
+        let mut has_edge = false;
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if next() % 100 < 35 {
+                    b.edge(i, j);
+                    has_edge = true;
+                }
+            }
+        }
+        if !has_edge {
+            b.edge(0, 1);
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Conservation: on a reliable network, Σ sent = Σ received, and the
+    /// engine's message statistics agree with the programs' own counts.
+    #[test]
+    fn messages_are_conserved(g in arb_graph(), rounds in 1u32..6) {
+        let out = run(&g, &EngineConfig::default(), |_| Echo { rounds, sent: 0, received: 0 }).unwrap();
+        let sent: u64 = out.verdicts.iter().map(|v| v.0).sum();
+        let received: u64 = out.verdicts.iter().map(|v| v.1).sum();
+        prop_assert_eq!(sent, received);
+        prop_assert_eq!(sent, out.report.total_messages());
+        // Every round's broadcast hits every directed edge once: 2m msgs.
+        prop_assert_eq!(sent, 2 * g.m() as u64 * u64::from(rounds));
+    }
+
+    /// Executor equivalence on arbitrary graphs and round counts.
+    #[test]
+    fn executors_equivalent(g in arb_graph(), rounds in 1u32..5) {
+        let mk = |exec| {
+            let cfg = EngineConfig { executor: exec, ..EngineConfig::default() };
+            run(&g, &cfg, |_| Echo { rounds, sent: 0, received: 0 }).unwrap()
+        };
+        let a = mk(Executor::Sequential);
+        let b = mk(Executor::Parallel);
+        prop_assert_eq!(a.verdicts, b.verdicts);
+        prop_assert_eq!(a.report.per_round, b.report.per_round);
+    }
+
+    /// Fault semantics: with full loss nothing is received but everything
+    /// is still accounted as sent; with an explicit plan, exactly the
+    /// planned messages disappear.
+    #[test]
+    fn full_loss_blocks_delivery_only(g in arb_graph()) {
+        let cfg = EngineConfig {
+            faults: FaultPlan::none().random_loss(1.0, 7),
+            ..EngineConfig::default()
+        };
+        let out = run(&g, &cfg, |_| Echo { rounds: 2, sent: 0, received: 0 }).unwrap();
+        let received: u64 = out.verdicts.iter().map(|v| v.1).sum();
+        prop_assert_eq!(received, 0);
+        prop_assert_eq!(out.report.total_messages(), 2 * g.m() as u64 * 2);
+    }
+
+    /// One planned drop removes exactly one delivery.
+    #[test]
+    fn single_drop_is_surgical(g in arb_graph()) {
+        let baseline = run(&g, &EngineConfig::default(), |_| Echo { rounds: 1, sent: 0, received: 0 }).unwrap();
+        let total: u64 = baseline.verdicts.iter().map(|v| v.1).sum();
+        let victim: NodeIndex = 0;
+        prop_assume!(g.degree(victim) > 0);
+        let cfg = EngineConfig {
+            faults: FaultPlan::none().drop_at(0, victim, 0),
+            ..EngineConfig::default()
+        };
+        let out = run(&g, &cfg, |_| Echo { rounds: 1, sent: 0, received: 0 }).unwrap();
+        let received: u64 = out.verdicts.iter().map(|v| v.1).sum();
+        prop_assert_eq!(received, total - 1);
+    }
+
+    /// Bandwidth enforcement: a cap below the message size trips on the
+    /// first round; a generous cap never trips.
+    #[test]
+    fn bandwidth_enforcement_is_sharp(g in arb_graph()) {
+        let wp = WireParams::for_graph(&g);
+        let msg_bits = 0u64.wire_bits(&wp);
+        let tight = EngineConfig {
+            bandwidth: BandwidthPolicy::Enforce { bits: msg_bits.saturating_sub(1) },
+            ..EngineConfig::default()
+        };
+        let tripped = run(&g, &tight, |_| Echo { rounds: 1, sent: 0, received: 0 }).is_err();
+        prop_assert!(tripped);
+        let loose = EngineConfig {
+            bandwidth: BandwidthPolicy::Enforce { bits: msg_bits },
+            ..EngineConfig::default()
+        };
+        let passed = run(&g, &loose, |_| Echo { rounds: 1, sent: 0, received: 0 }).is_ok();
+        prop_assert!(passed);
+    }
+
+    /// Reverse ports really invert: a message sent on port p arrives at
+    /// the neighbor on the port that leads back.
+    #[test]
+    fn reverse_ports_invert(g in arb_graph()) {
+        for v in 0..g.n() as NodeIndex {
+            for p in 0..g.degree(v) as u32 {
+                let w = g.neighbor_at(v, p);
+                let q = g.reverse_port(v, p);
+                prop_assert_eq!(g.neighbor_at(w, q), v);
+                prop_assert_eq!(g.reverse_port(w, q), p);
+            }
+        }
+    }
+}

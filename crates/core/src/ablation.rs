@@ -1,0 +1,131 @@
+//! Chorded-pattern obliviousness — the paper's §4 conclusion, executable.
+//!
+//! The paper explains why Algorithm 1 does *not* extend to testing
+//! `H`-freeness for `H` = a k-cycle with a chord: the pruning rule
+//! "is oblivious to the neighborhood of the nodes in these sequences.
+//! Hence, while Algorithm 1 makes sure to keep at least one sequence
+//! corresponding to a cycle, if such cycle exists, it may well discard
+//! the sequence corresponding to the cycle in H, and keep a sequence
+//! without a chord."
+//!
+//! This module realizes that argument as a deterministic counterexample:
+//! on [`ck_graphgen::basic::chorded_spindle`], a chorded C6 passes
+//! through `{u, v}` (oracle-verified), yet *every* witness the detector
+//! can assemble — exhaustively enumerated across all nodes and all
+//! sequence pairs — is chordless, because the pruning at the first
+//! middle node drops exactly the fan-in sequence lying on the chorded
+//! copy.
+
+use crate::prune::PrunerKind;
+use crate::single::detect_ck_through_edge;
+use ck_congest::engine::EngineConfig;
+use ck_congest::graph::{Edge, Graph, NodeIndex};
+use ck_graphgen::farness::{cycle_has_chord, has_chorded_ck_through_edge, is_valid_ck};
+
+/// Outcome of probing a graph for chorded-cycle coverage.
+#[derive(Clone, Debug)]
+pub struct ChordProbe {
+    /// The oracle: does a chorded `Ck` pass through the edge?
+    pub chorded_exists: bool,
+    /// Did the detector reject (some `Ck` found)?
+    pub detector_rejects: bool,
+    /// Witness cycles assembled by the detector (all pairs, all nodes),
+    /// as node-index sequences.
+    pub witnesses: Vec<Vec<NodeIndex>>,
+    /// How many of those witnesses carry a chord.
+    pub chorded_witnesses: usize,
+}
+
+impl ChordProbe {
+    /// The obliviousness event: `H` exists but no surviving witness
+    /// exhibits it.
+    pub fn misses_chorded_pattern(&self) -> bool {
+        self.chorded_exists && self.detector_rejects && self.chorded_witnesses == 0
+    }
+}
+
+/// Runs the single-edge detector and grades every assembled witness
+/// against the chord oracle.
+pub fn probe_chorded_coverage(g: &Graph, k: usize, e: Edge) -> ChordProbe {
+    let run = detect_ck_through_edge(g, k, e, PrunerKind::Representative, &EngineConfig::default())
+        .expect("engine run");
+    let mut witnesses = Vec::new();
+    let mut chorded = 0;
+    for v in &run.outcome.verdicts {
+        for w in &v.all_witnesses {
+            let idx: Vec<NodeIndex> = w
+                .cycle_ids()
+                .iter()
+                .map(|&id| g.index_of(id).expect("witness IDs exist"))
+                .collect();
+            debug_assert!(is_valid_ck(g, k, &idx), "witnesses are sound");
+            if cycle_has_chord(g, &idx) {
+                chorded += 1;
+            }
+            witnesses.push(idx);
+        }
+    }
+    ChordProbe {
+        chorded_exists: has_chorded_ck_through_edge(g, k, e),
+        detector_rejects: run.reject,
+        witnesses,
+        chorded_witnesses: chorded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_graphgen::basic::{chorded_spindle, fan, spindle};
+
+    #[test]
+    fn chorded_spindle_reproduces_the_conclusion() {
+        // p = 5: pruning at z1 keeps (u, x) for the 4 smallest x and drops
+        // x_big — the only fan-in node on the chorded C6.
+        for p in [5usize, 8, 12] {
+            let g = chorded_spindle(p);
+            let probe = probe_chorded_coverage(&g, 6, Edge::new(0, 1));
+            assert!(probe.chorded_exists, "p={p}: the chorded C6 exists (oracle)");
+            assert!(probe.detector_rejects, "p={p}: Ck detection itself still works");
+            assert!(
+                probe.misses_chorded_pattern(),
+                "p={p}: expected every witness chordless, found {} chorded of {}",
+                probe.chorded_witnesses,
+                probe.witnesses.len()
+            );
+        }
+    }
+
+    #[test]
+    fn small_spindles_do_not_trigger_the_drop() {
+        // With p ≤ 4 nothing is pruned at z1 (bound k−t+1 = 4), so the
+        // chorded witness survives: the miss is a *pruning* effect, not a
+        // detector defect.
+        let base = spindle(4, 2);
+        let x_big = 5u32; // last fan-in index for p=4
+        let z2 = 7u32;
+        let mut b = ck_congest::graph::GraphBuilder::new(base.n());
+        b.edges(base.edges().iter().map(|e| (e.a, e.b)));
+        b.edge(x_big, z2);
+        let g = b.build().unwrap();
+        let probe = probe_chorded_coverage(&g, 6, Edge::new(0, 1));
+        assert!(probe.chorded_exists);
+        assert!(probe.detector_rejects);
+        assert!(
+            probe.chorded_witnesses > 0,
+            "below the pruning threshold the chorded witness must survive"
+        );
+    }
+
+    #[test]
+    fn fan_witnesses_are_all_chorded() {
+        // In fan(p) every C5 through {u,v} is chorded (the middle nodes
+        // touch both hubs), so coverage is trivially preserved.
+        let g = fan(3);
+        let probe = probe_chorded_coverage(&g, 5, Edge::new(0, 1));
+        assert!(probe.chorded_exists);
+        assert!(probe.detector_rejects);
+        assert_eq!(probe.chorded_witnesses, probe.witnesses.len());
+        assert!(!probe.misses_chorded_pattern());
+    }
+}

@@ -1,0 +1,193 @@
+//! The final-round reject decision (Algorithm 1, Instructions 31–42).
+//!
+//! A node `w` rejects when it can assemble a full `Ck` out of two
+//! sequences plus itself: `|L1 ∪ L2 ∪ {ID(w)}| = k`.
+//!
+//! * **odd `k`** — both sequences were *received* at round `⌊k/2⌋` (each of
+//!   length `⌊k/2⌋`); the size condition forces them disjoint and free of
+//!   `ID(w)`, and Lemma 1 makes them vertex-disjoint paths from `u` and
+//!   `v` to two distinct neighbors of `w`: a genuine `Ck`.
+//! * **even `k`** — exactly one sequence comes from the node's *own* final
+//!   send `S` (length `k/2`, ending in `ID(w)`), the other was received at
+//!   round `k/2`. Pairing two received sequences would be unsound: two
+//!   length-`k/2` paths overlapping in exactly one internal node also
+//!   reach union size `k` without forming any cycle. This is the even-`k`
+//!   correction discussed in DESIGN.md (the arXiv pseudocode's
+//!   "`⌊k/2⌋ − 1`" cannot ever reject; the Lemma 2 proof uses the version
+//!   implemented here).
+
+use crate::seq::IdSeq;
+use ck_congest::graph::NodeId;
+
+/// A reject witness: the two sequences that assembled a `Ck` at `myid`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RejectWitness {
+    /// The sequence containing `myid` for even `k` (from the node's own
+    /// final send), or the first received sequence for odd `k`.
+    pub l1: IdSeq,
+    /// The second (always received) sequence.
+    pub l2: IdSeq,
+    /// The deciding node.
+    pub myid: NodeId,
+    /// Cycle length.
+    pub k: usize,
+}
+
+impl RejectWitness {
+    /// Reconstructs the cycle's vertex sequence
+    /// `(x1, …, xℓ, w, ym, …, y1)` from the witness pair.
+    pub fn cycle_ids(&self) -> Vec<NodeId> {
+        let mut cycle = Vec::with_capacity(self.k);
+        cycle.extend(self.l1.iter());
+        if self.k % 2 == 1 {
+            // Odd: neither sequence contains myid; w sits between them.
+            cycle.push(self.myid);
+        }
+        // Even: l1 already ends with myid.
+        cycle.extend(self.l2.iter().collect::<Vec<_>>().into_iter().rev());
+        cycle
+    }
+}
+
+/// Decides the reject predicate for node `myid`.
+///
+/// * `own_sent` — the sequences this node broadcast at round `⌊k/2⌋`
+///   (each ends with `myid`); only consulted for even `k`.
+/// * `received_final` — sequences received at round `⌊k/2⌋` (deduplicated
+///   by the caller or not; duplicates cannot create spurious rejects).
+///
+/// Returns a witness when the node must output **reject**.
+pub fn decide_reject(
+    k: usize,
+    myid: NodeId,
+    own_sent: &[IdSeq],
+    received_final: &[IdSeq],
+) -> Option<RejectWitness> {
+    decide_all_rejects(k, myid, own_sent, received_final).into_iter().next()
+}
+
+/// Exhaustive variant of [`decide_reject`]: every witnessing pair at this
+/// node (used by the ablation probes; the protocol itself only needs
+/// one).
+pub fn decide_all_rejects(
+    k: usize,
+    myid: NodeId,
+    own_sent: &[IdSeq],
+    received_final: &[IdSeq],
+) -> Vec<RejectWitness> {
+    assert!(k >= 3);
+    let half = k / 2;
+    let mut out = Vec::new();
+    if k % 2 == 1 {
+        // Both sequences received, length ⌊k/2⌋ each.
+        for (i, l1) in received_final.iter().enumerate() {
+            if l1.len() != half {
+                continue;
+            }
+            for l2 in &received_final[i + 1..] {
+                if l2.len() != half {
+                    continue;
+                }
+                if l1.union_size_with(l2, myid) == k {
+                    out.push(RejectWitness { l1: *l1, l2: *l2, myid, k });
+                }
+            }
+        }
+    } else {
+        // Exactly one sequence from own S (contains myid), one received.
+        for l1 in own_sent {
+            if l1.len() != half {
+                continue;
+            }
+            debug_assert_eq!(l1.last(), Some(myid), "own sequences end with myid");
+            for l2 in received_final {
+                if l2.len() != half {
+                    continue;
+                }
+                if l1.union_size_with(l2, myid) == k {
+                    out.push(RejectWitness { l1: *l1, l2: *l2, myid, k });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(ids: &[u64]) -> IdSeq {
+        IdSeq::from_slice(ids)
+    }
+
+    #[test]
+    fn odd_k_detects_disjoint_pair() {
+        // C5 at w=50: received (10, 11) and (20, 21).
+        let rec = vec![seq(&[10, 11]), seq(&[20, 21])];
+        let w = decide_reject(5, 50, &[], &rec).expect("must reject");
+        assert_eq!(w.cycle_ids(), vec![10, 11, 50, 21, 20]);
+    }
+
+    #[test]
+    fn odd_k_ignores_overlap() {
+        // Shared internal node 11: union size 4 ≠ 5.
+        let rec = vec![seq(&[10, 11]), seq(&[20, 11])];
+        assert!(decide_reject(5, 50, &[], &rec).is_none());
+    }
+
+    #[test]
+    fn odd_k_ignores_sequences_containing_self() {
+        let rec = vec![seq(&[10, 50]), seq(&[20, 21])];
+        assert!(decide_reject(5, 50, &[], &rec).is_none());
+    }
+
+    #[test]
+    fn even_k_pairs_own_with_received() {
+        // C4 at w=50: own (10, 50), received (20, 21).
+        let own = vec![seq(&[10, 50])];
+        let rec = vec![seq(&[20, 21])];
+        let w = decide_reject(4, 50, &own, &rec).expect("must reject");
+        assert_eq!(w.cycle_ids(), vec![10, 50, 21, 20]);
+    }
+
+    #[test]
+    fn even_k_never_pairs_two_received() {
+        // The unsoundness the correction avoids: two received paths
+        // sharing one node reach union size k without a cycle.
+        let rec = vec![seq(&[10, 11]), seq(&[20, 21])];
+        assert!(decide_reject(4, 50, &[], &rec).is_none());
+    }
+
+    #[test]
+    fn even_k_requires_disjointness() {
+        let own = vec![seq(&[10, 50])];
+        let rec = vec![seq(&[10, 21])];
+        assert!(decide_reject(4, 50, &own, &rec).is_none());
+    }
+
+    #[test]
+    fn k3_detects_two_seeds() {
+        let rec = vec![seq(&[1]), seq(&[2])];
+        let w = decide_reject(3, 9, &[], &rec).expect("triangle");
+        assert_eq!(w.cycle_ids(), vec![1, 9, 2]);
+    }
+
+    #[test]
+    fn wrong_lengths_are_skipped() {
+        // Stale shorter sequences must not participate.
+        let rec = vec![seq(&[1]), seq(&[2]), seq(&[3, 4])];
+        assert!(decide_reject(5, 9, &[], &rec).is_none());
+    }
+
+    #[test]
+    fn witness_cycle_has_k_distinct_ids() {
+        let rec = vec![seq(&[10, 11, 12]), seq(&[20, 21, 22])];
+        let w = decide_reject(7, 50, &[], &rec).unwrap();
+        let mut ids = w.cycle_ids();
+        assert_eq!(ids.len(), 7);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 7);
+    }
+}

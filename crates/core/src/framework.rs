@@ -1,0 +1,150 @@
+//! A common interface over distributed property testers.
+//!
+//! The paper situates its algorithm in the distributed property-testing
+//! framework of \[6, 7\]: a randomized distributed algorithm whose
+//! network-level verdict (every node accepts / someone rejects) satisfies
+//! the (1-sided) 2/3 guarantees. This module captures that contract as a
+//! trait so the `Ck` tester, the prior-work baselines, and future testers
+//! run under one harness — plus the standard *amplification* combinator
+//! ("one can boost any success guarantee by repetition", §1.1).
+
+use ck_congest::graph::Graph;
+
+/// Network-level outcome of one tester execution, with the cost metrics
+/// the CONGEST model cares about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// True if at least one node output reject.
+    pub reject: bool,
+    /// Synchronous rounds executed.
+    pub rounds: u32,
+    /// Messages sent in total.
+    pub messages: u64,
+    /// Bits sent in total.
+    pub bits: u64,
+    /// Worst per-directed-link load in one round, in bits.
+    pub max_link_bits: u64,
+}
+
+/// A distributed property tester in the sense of \[7\]: given a network
+/// and a seed, produce a network-level accept/reject.
+///
+/// Implementations promise 1-sidedness (their `reject` implies the
+/// property is violated) unless documented otherwise; the ε-far
+/// detection probability is tester-specific.
+pub trait DistributedTester {
+    /// Short machine-friendly name (`ck`, `triangle`, `c4`, `forest`).
+    fn name(&self) -> &'static str;
+
+    /// Human description of the tested property.
+    fn property(&self) -> String;
+
+    /// Executes once on `g` with the given seed.
+    fn probe(&self, g: &Graph, seed: u64) -> ProbeOutcome;
+}
+
+/// Outcome of an amplified (repeated) run.
+#[derive(Clone, Debug)]
+pub struct AmplifiedOutcome {
+    /// Per-trial outcomes.
+    pub trials: Vec<ProbeOutcome>,
+    /// Network-level decision after amplification: reject iff any trial
+    /// rejected (sound for 1-sided testers).
+    pub reject: bool,
+}
+
+impl AmplifiedOutcome {
+    /// Fraction of trials that rejected.
+    pub fn reject_rate(&self) -> f64 {
+        if self.trials.is_empty() {
+            return 0.0;
+        }
+        self.trials.iter().filter(|t| t.reject).count() as f64 / self.trials.len() as f64
+    }
+
+    /// Total rounds across trials (sequential composition cost).
+    pub fn total_rounds(&self) -> u64 {
+        self.trials.iter().map(|t| u64::from(t.rounds)).sum()
+    }
+}
+
+/// Runs `tester` `trials` times with derived seeds and ORs the verdicts —
+/// for a 1-sided tester with per-run detection probability `p`, the
+/// amplified failure probability is `(1−p)^trials` while soundness is
+/// preserved exactly.
+pub fn amplify(tester: &dyn DistributedTester, g: &Graph, base_seed: u64, trials: u32) -> AmplifiedOutcome {
+    let trials: Vec<ProbeOutcome> = (0..trials)
+        .map(|t| tester.probe(g, base_seed.wrapping_add(u64::from(t).wrapping_mul(0x9E37_79B9))))
+        .collect();
+    let reject = trials.iter().any(|t| t.reject);
+    AmplifiedOutcome { trials, reject }
+}
+
+/// The paper's tester as a [`DistributedTester`].
+pub struct CkFreenessTester {
+    pub k: usize,
+    pub eps: f64,
+    /// Optional repetition override (None = the paper's schedule).
+    pub repetitions: Option<u32>,
+}
+
+impl DistributedTester for CkFreenessTester {
+    fn name(&self) -> &'static str {
+        "ck"
+    }
+
+    fn property(&self) -> String {
+        format!("C{}-freeness (ε = {})", self.k, self.eps)
+    }
+
+    fn probe(&self, g: &Graph, seed: u64) -> ProbeOutcome {
+        let cfg = crate::tester::TesterConfig {
+            repetitions: self.repetitions,
+            ..crate::tester::TesterConfig::new(self.k, self.eps, seed)
+        };
+        let run = crate::tester::run_tester(g, &cfg, &ck_congest::engine::EngineConfig::default())
+            .expect("engine run");
+        ProbeOutcome {
+            reject: run.reject,
+            rounds: run.outcome.report.rounds,
+            messages: run.outcome.report.total_messages(),
+            bits: run.outcome.report.total_bits(),
+            max_link_bits: run.outcome.report.max_link_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_graphgen::basic::cycle;
+    use ck_graphgen::planted::matched_free_instance;
+
+    #[test]
+    fn ck_tester_through_the_trait() {
+        let t = CkFreenessTester { k: 5, eps: 0.1, repetitions: Some(2) };
+        assert_eq!(t.name(), "ck");
+        assert!(t.property().contains("C5"));
+        let free = matched_free_instance(30, 5);
+        let out = t.probe(&free, 1);
+        assert!(!out.reject);
+        assert!(out.rounds > 0 && out.messages > 0);
+        let c5 = cycle(5);
+        assert!(t.probe(&c5, 1).reject);
+    }
+
+    #[test]
+    fn amplification_is_sound_and_boosts() {
+        let t = CkFreenessTester { k: 4, eps: 0.2, repetitions: Some(1) };
+        let free = matched_free_instance(24, 4);
+        let amp = amplify(&t, &free, 9, 6);
+        assert!(!amp.reject, "amplification preserves 1-sidedness");
+        assert_eq!(amp.reject_rate(), 0.0);
+        let c4 = cycle(4);
+        let amp = amplify(&t, &c4, 9, 6);
+        assert!(amp.reject);
+        assert!(amp.reject_rate() > 0.0);
+        assert_eq!(amp.trials.len(), 6);
+        assert!(amp.total_rounds() >= 6);
+    }
+}

@@ -1,0 +1,59 @@
+//! # ck-core — distributed detection of cycles (SPAA 2017)
+//!
+//! Implementation of *Distributed Detection of Cycles* by Pierre
+//! Fraigniaud and Dennis Olivetti (SPAA 2017): for every `k ≥ 3`, a
+//! 1-sided-error distributed property-testing algorithm for
+//! `Ck`-freeness running in `O(1/ε)` rounds of the CONGEST model.
+//!
+//! The crate decomposes the algorithm the way the paper does:
+//!
+//! * [`seq`] — the ordered ID-sequences exchanged by Phase 2;
+//! * [`mod@prune`] — the representative-family pruning rule (Instructions
+//!   13–24 of Algorithm 1), in a literal and an efficient implementation
+//!   with identical semantics;
+//! * [`decide`] — the final reject predicate (Instructions 31–42);
+//! * [`single`] — `DetectCk(u, v)`: Phase 2 for one designated edge,
+//!   deterministic, rejects **iff** a `Ck` passes through the edge
+//!   (Lemma 2);
+//! * [`rank`] — Phase 1: edge ranks, arbitration keys, repetition
+//!   schedule (Lemmas 4 and 5);
+//! * [`tester`] — the full tester: concurrent rank-arbitrated checks,
+//!   `⌈(e²/ε)·ln 3⌉` repetitions (Theorem 1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ck_core::tester::test_ck_freeness;
+//! use ck_graphgen::basic::cycle;
+//! use ck_graphgen::planted::matched_free_instance;
+//!
+//! // A graph that IS C5-free is accepted with probability 1 …
+//! let free = matched_free_instance(30, 5);
+//! assert!(!test_ck_freeness(&free, 5, 0.1, 42).reject);
+//!
+//! // … while a 5-cycle is rejected.
+//! let c5 = cycle(5);
+//! assert!(test_ck_freeness(&c5, 5, 0.1, 42).reject);
+//! ```
+
+pub mod ablation;
+pub mod cost;
+pub mod decide;
+pub mod framework;
+pub mod girth;
+pub mod listing;
+pub mod msg;
+pub mod prune;
+pub mod rank;
+pub mod robust;
+pub mod seq;
+pub mod single;
+pub mod tester;
+
+pub use decide::{decide_reject, RejectWitness};
+pub use msg::{CkMsg, EdgeTag, SeqBundle};
+pub use prune::{build_send_set, lemma3_bound, prune, PrunerKind};
+pub use rank::{repetitions_for, rounds_per_repetition, total_rounds};
+pub use seq::{IdSeq, MAX_K, MAX_SEQ_LEN};
+pub use single::{detect_ck_through_edge, DetectSingle, SingleRun, SingleVerdict};
+pub use tester::{run_tester, test_ck_freeness, CkTester, NodeVerdict, TesterConfig, TesterRun};

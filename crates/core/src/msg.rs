@@ -1,0 +1,126 @@
+//! Message types of the tester protocols, with CONGEST wire accounting.
+
+use crate::seq::IdSeq;
+use ck_congest::graph::NodeId;
+use ck_congest::message::{bits_for, WireMessage, WireParams};
+
+/// Identity of a Phase-2 check: the edge under test and its Phase-1 rank.
+/// Total order = (rank, endpoints): the arbitration key of Phase 1
+/// ("ties are broken arbitrarily, e.g., based on the ID of extremities").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeTag {
+    /// Phase-1 rank `r(e) ∈ [1, m²]`.
+    pub rank: u64,
+    /// Smaller endpoint identity.
+    pub lo: NodeId,
+    /// Larger endpoint identity.
+    pub hi: NodeId,
+}
+
+impl EdgeTag {
+    /// Builds a tag with canonical endpoint order.
+    pub fn new(rank: u64, a: NodeId, b: NodeId) -> Self {
+        assert_ne!(a, b, "an edge tag needs two distinct endpoints");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        EdgeTag { rank, lo, hi }
+    }
+
+    /// True if `id` is an endpoint of the tagged edge.
+    pub fn is_endpoint(&self, id: NodeId) -> bool {
+        id == self.lo || id == self.hi
+    }
+}
+
+/// A bundle of sequences, the Phase-2 payload of the single-edge detector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqBundle(pub Vec<IdSeq>);
+
+/// Encoded size of a sequence list: count prefix plus `len · id_bits` per
+/// sequence (the receiver learns lengths from the round number; a
+/// conservative per-sequence length field would not change the asymptotics
+/// tracked by Lemma 3).
+pub fn seqs_wire_bits(seqs: &[IdSeq], params: &WireParams) -> u64 {
+    let ids: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+    u64::from(bits_for(seqs.len().max(1) as u64)) + ids * u64::from(params.id_bits)
+}
+
+impl WireMessage for SeqBundle {
+    fn wire_bits(&self, params: &WireParams) -> u64 {
+        seqs_wire_bits(&self.0, params)
+    }
+}
+
+/// Full-tester messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CkMsg {
+    /// Phase 1: the edge owner ships the rank to the other endpoint.
+    Rank(u64),
+    /// Phase 2: sequences for the check identified by `tag`.
+    Seqs { tag: EdgeTag, seqs: Vec<IdSeq> },
+    /// Early-abort extension: a node has rejected; the flag floods so
+    /// everyone can skip the remaining repetitions (sound because only a
+    /// genuine reject originates it).
+    Abort,
+}
+
+impl WireMessage for CkMsg {
+    fn wire_bits(&self, params: &WireParams) -> u64 {
+        match self {
+            // One rank value (plus a 1-bit discriminant).
+            CkMsg::Rank(_) => 1 + u64::from(params.rank_bits),
+            // Tag (rank + both endpoint IDs) plus the sequence payload.
+            CkMsg::Seqs { seqs, .. } => {
+                1 + u64::from(params.rank_bits)
+                    + 2 * u64::from(params.id_bits)
+                    + seqs_wire_bits(seqs, params)
+            }
+            // A bare flag (discriminant only).
+            CkMsg::Abort => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> WireParams {
+        WireParams { n: 64, m: 128, id_bits: 12, rank_bits: 14 }
+    }
+
+    #[test]
+    fn edge_tag_orders_by_rank_then_endpoints() {
+        let a = EdgeTag::new(5, 9, 3);
+        assert_eq!((a.lo, a.hi), (3, 9));
+        let b = EdgeTag::new(5, 1, 2);
+        let c = EdgeTag::new(4, 100, 200);
+        assert!(c < b && b < a);
+        assert!(a.is_endpoint(3) && a.is_endpoint(9) && !a.is_endpoint(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct endpoints")]
+    fn edge_tag_rejects_loops() {
+        let _ = EdgeTag::new(1, 4, 4);
+    }
+
+    #[test]
+    fn bundle_bits_scale_with_content() {
+        let p = params();
+        let small = SeqBundle(vec![IdSeq::from_slice(&[1])]);
+        let big = SeqBundle(vec![IdSeq::from_slice(&[1, 2, 3]), IdSeq::from_slice(&[4, 5, 6])]);
+        assert!(small.wire_bits(&p) < big.wire_bits(&p));
+        assert_eq!(big.wire_bits(&p), bits_for(2) as u64 + 6 * 12);
+    }
+
+    #[test]
+    fn ck_msg_bits() {
+        let p = params();
+        assert_eq!(CkMsg::Rank(7).wire_bits(&p), 15);
+        let m = CkMsg::Seqs {
+            tag: EdgeTag::new(7, 1, 2),
+            seqs: vec![IdSeq::from_slice(&[1, 2])],
+        };
+        assert_eq!(m.wire_bits(&p), 1 + 14 + 24 + (1 + 24));
+    }
+}

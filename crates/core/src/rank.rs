@@ -1,0 +1,133 @@
+//! Phase 1 machinery: edge ranks, arbitration keys, and the repetition
+//! schedule.
+//!
+//! Every edge is owned by its smaller-identity endpoint, which draws a
+//! uniform rank in `[1, m²]` and ships it across the edge; every node then
+//! adopts its incident edge of minimum `(rank, endpoints)` key and starts
+//! Phase 2 for it. Lemma 5: with ranks from `[1, m²]` the minimum is
+//! unique with probability ≥ 1/e², so a graph that is ε-far (hence has
+//! ≥ εm edges on edge-disjoint `Ck` copies, Lemma 4) yields a useful
+//! Phase-2 run with probability ≥ ε/e² per repetition; `⌈(e²/ε)·ln 3⌉`
+//! repetitions push the detection probability to ≥ 2/3.
+
+use ck_congest::graph::NodeId;
+use ck_congest::rngs::{derived_rng, labels};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Euler's constant squared, the `1/e²` of Lemma 5.
+pub const E_SQUARED: f64 = std::f64::consts::E * std::f64::consts::E;
+
+/// Number of Phase-1+2 repetitions the paper prescribes for detection
+/// probability ≥ 2/3 on ε-far inputs: `⌈(e²/ε)·ln 3⌉`.
+pub fn repetitions_for(eps: f64) -> u32 {
+    assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0,1), got {eps}");
+    ((E_SQUARED / eps) * 3f64.ln()).ceil() as u32
+}
+
+/// Engine rounds per repetition: one rank-exchange round, the seed round
+/// (paper round 1), paper rounds `2..⌊k/2⌋`, and the decision round.
+pub fn rounds_per_repetition(k: usize) -> u32 {
+    (k / 2) as u32 + 2
+}
+
+/// Total engine rounds of the full tester.
+pub fn total_rounds(k: usize, reps: u32) -> u32 {
+    reps * rounds_per_repetition(k)
+}
+
+/// The rank RNG of a node for one repetition. Keyed by the node's
+/// *identity* (not simulator index) so logically identical networks
+/// draw identical ranks regardless of index labeling.
+pub fn rank_rng(master_seed: u64, node_id: NodeId, repetition: u32) -> StdRng {
+    derived_rng(master_seed, labels::CK_RANKS, node_id, u64::from(repetition))
+}
+
+/// Draws one rank uniformly from `[1, m²]`.
+pub fn draw_rank(rng: &mut StdRng, m: usize) -> u64 {
+    let m = m as u64;
+    let hi = m.saturating_mul(m).max(1);
+    rng.random_range(1..=hi)
+}
+
+/// Empirical check helper for Lemma 5: draws `m` ranks and reports
+/// whether the minimum is unique.
+pub fn minimum_is_unique(ranks: &[u64]) -> bool {
+    match ranks.iter().min() {
+        None => false,
+        Some(min) => ranks.iter().filter(|&&r| r == *min).count() == 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetition_schedule_is_o_one_over_eps() {
+        let r1 = repetitions_for(0.1);
+        let r2 = repetitions_for(0.05);
+        let r4 = repetitions_for(0.025);
+        // Halving ε roughly doubles the repetitions.
+        assert!(r2 >= 2 * r1 - 2 && r2 <= 2 * r1 + 2, "{r1} vs {r2}");
+        assert!(r4 >= 2 * r2 - 2 && r4 <= 2 * r2 + 2);
+        // Paper constant: e²·ln3 ≈ 8.12.
+        assert_eq!(repetitions_for(0.5), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0,1)")]
+    fn repetitions_rejects_bad_eps() {
+        let _ = repetitions_for(0.0);
+    }
+
+    #[test]
+    fn rounds_per_repetition_values() {
+        assert_eq!(rounds_per_repetition(3), 3);
+        assert_eq!(rounds_per_repetition(4), 4);
+        assert_eq!(rounds_per_repetition(5), 4);
+        assert_eq!(rounds_per_repetition(9), 6);
+        assert_eq!(total_rounds(5, 10), 40);
+    }
+
+    #[test]
+    fn ranks_are_in_range_and_deterministic() {
+        let mut a = rank_rng(7, 42, 3);
+        let mut b = rank_rng(7, 42, 3);
+        for _ in 0..100 {
+            let x = draw_rank(&mut a, 50);
+            assert!((1..=2500).contains(&x));
+            assert_eq!(x, draw_rank(&mut b, 50));
+        }
+        let mut c = rank_rng(7, 42, 4);
+        let differs = (0..100).any(|_| draw_rank(&mut a, 50) != draw_rank(&mut c, 50));
+        assert!(differs, "different repetitions must draw different ranks");
+    }
+
+    #[test]
+    fn lemma5_empirical_rate() {
+        // Pr[unique min] ≥ 1/e² ≈ 0.135; with m = 50 the no-collision
+        // probability is ≈ (1 − 1/m)^m ≈ 0.364, and unique-min holds even
+        // more often. Check the empirical rate clears the bound.
+        let m = 50;
+        let trials = 2000;
+        let mut unique = 0;
+        for t in 0..trials {
+            let mut rng = rank_rng(99, 0, t);
+            let ranks: Vec<u64> = (0..m).map(|_| draw_rank(&mut rng, m)).collect();
+            if minimum_is_unique(&ranks) {
+                unique += 1;
+            }
+        }
+        let rate = f64::from(unique) / f64::from(trials);
+        assert!(rate >= 1.0 / E_SQUARED, "unique-min rate {rate} below Lemma 5 bound");
+    }
+
+    #[test]
+    fn minimum_uniqueness_detection() {
+        assert!(minimum_is_unique(&[3, 1, 2]));
+        assert!(!minimum_is_unique(&[1, 1, 2]));
+        assert!(!minimum_is_unique(&[]));
+        assert!(minimum_is_unique(&[5]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Behavior under message loss.
+//!
+//! The paper assumes a reliable synchronous network. A useful systems
+//! question the simulator can answer is what each guarantee degrades
+//! into under loss:
+//!
+//! * **1-sidedness is loss-proof.** A reject is assembled from sequences
+//!   that *arrived*; by Lemma 1 every arrived sequence is a genuine
+//!   simple path, so any assembled `Ck` is real no matter which messages
+//!   vanished. Dropping messages can suppress detections, never invent
+//!   them.
+//! * **Detection degrades gracefully.** Each repetition needs the
+//!   `O(k)` messages along one cycle to survive; with per-message loss
+//!   rate `p`, a repetition succeeds with probability ≳ `(1−p)^{k·⌊k/2⌋}`
+//!   and independent repetitions recover the 2/3 bound at the cost of a
+//!   constant-factor schedule inflation.
+//!
+//! [`loss_detection_curve`] measures the detection rate as a function of
+//! the loss rate; the experiment harness and tests consume it.
+
+use crate::tester::{run_tester, TesterConfig};
+use ck_congest::engine::EngineConfig;
+use ck_congest::fault::FaultPlan;
+use ck_congest::graph::Graph;
+
+/// One point of the loss-vs-detection curve.
+#[derive(Clone, Copy, Debug)]
+pub struct LossPoint {
+    /// Per-message loss probability.
+    pub loss: f64,
+    /// Trials run.
+    pub trials: u32,
+    /// Trials in which the network rejected.
+    pub rejects: u32,
+}
+
+impl LossPoint {
+    /// Empirical detection rate.
+    pub fn rate(&self) -> f64 {
+        f64::from(self.rejects) / f64::from(self.trials.max(1))
+    }
+}
+
+/// Measures the detection rate of the full tester on `g` under the given
+/// per-message loss probabilities.
+pub fn loss_detection_curve(
+    g: &Graph,
+    k: usize,
+    eps: f64,
+    losses: &[f64],
+    trials: u32,
+    seed: u64,
+) -> Vec<LossPoint> {
+    losses
+        .iter()
+        .map(|&loss| {
+            let mut rejects = 0;
+            for t in 0..trials {
+                let engine = EngineConfig {
+                    faults: FaultPlan::none().random_loss(loss, seed ^ (u64::from(t) << 17)),
+                    ..EngineConfig::default()
+                };
+                let cfg = TesterConfig::new(k, eps, seed.wrapping_add(u64::from(t)));
+                if run_tester(g, &cfg, &engine).expect("engine run").reject {
+                    rejects += 1;
+                }
+            }
+            LossPoint { loss, trials, rejects }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_graphgen::basic::cycle;
+    use ck_graphgen::farness::{contains_ck, is_valid_ck};
+    use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
+
+    #[test]
+    fn one_sidedness_survives_arbitrary_loss() {
+        // Heavy random loss on a Ck-free graph: still never a reject.
+        let g = matched_free_instance(40, 5);
+        for seed in 0..4u64 {
+            let engine = EngineConfig {
+                faults: FaultPlan::none().random_loss(0.3, seed),
+                ..EngineConfig::default()
+            };
+            let cfg = TesterConfig { repetitions: Some(4), ..TesterConfig::new(5, 0.1, seed) };
+            assert!(!run_tester(&g, &cfg, &engine).unwrap().reject);
+        }
+    }
+
+    #[test]
+    fn rejects_under_loss_are_still_sound() {
+        // On a graph WITH cycles, whatever survives the loss and triggers
+        // a reject must be a real cycle.
+        let inst = eps_far_instance(40, 4, 0.05, 0);
+        for seed in 0..4u64 {
+            let engine = EngineConfig {
+                faults: FaultPlan::none().random_loss(0.15, seed * 7 + 1),
+                ..EngineConfig::default()
+            };
+            let cfg = TesterConfig { repetitions: Some(20), ..TesterConfig::new(4, 0.05, seed) };
+            let run = run_tester(&inst.graph, &cfg, &engine).unwrap();
+            if run.reject {
+                assert!(contains_ck(&inst.graph, 4));
+                for r in run.rejections() {
+                    let idx: Vec<_> = r
+                        .witness
+                        .cycle_ids()
+                        .iter()
+                        .map(|&id| inst.graph.index_of(id).unwrap())
+                        .collect();
+                    assert!(is_valid_ck(&inst.graph, 4, &idx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detection_rate_decreases_with_loss() {
+        let g = cycle(6);
+        let curve = loss_detection_curve(&g, 6, 0.2, &[0.0, 0.9], 6, 3);
+        assert_eq!(curve[0].rate(), 1.0, "lossless detection on a lone cycle is certain");
+        assert!(
+            curve[1].rate() <= curve[0].rate(),
+            "90% loss cannot beat lossless detection"
+        );
+    }
+
+    #[test]
+    fn clean_repetition_recovers_from_a_jammed_one() {
+        // Jam every message of node 0 during repetition 0 (rounds 0..4
+        // for k = 5). Repetition 1 runs untouched, and on a lone cycle a
+        // clean repetition detects deterministically.
+        let g = cycle(5);
+        let mut plan = FaultPlan::none();
+        for round in 0..4 {
+            for port in 0..2 {
+                plan = plan.drop_at(round, 0, port);
+            }
+        }
+        let engine = EngineConfig { faults: plan, ..EngineConfig::default() };
+        let cfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(5, 0.2, 11) };
+        let run = run_tester(&g, &cfg, &engine).unwrap();
+        assert!(run.reject, "the clean repetition must detect the cycle");
+    }
+}

@@ -1,0 +1,312 @@
+//! Phase 2 in isolation: `DetectCk(u, v)` for one designated edge.
+//!
+//! This is Algorithm 1 exactly as the paper analyzes it ("let us describe
+//! Phase 2 for edge e only, assuming that no other checks … are running
+//! concurrently"). It is fully deterministic, needs no ε-farness, and by
+//! Lemma 2 rejects **iff** some `Ck` passes through the edge — the
+//! strongest correctness statement in the paper, which the test-suite
+//! checks edge-exhaustively against the sequential oracle.
+//!
+//! Round mapping (engine round → paper round): engine round `r` sends the
+//! messages the paper sends "at round `r+1`"; the final decision happens
+//! at engine round `⌊k/2⌋` on the sequences sent at engine round
+//! `⌊k/2⌋ − 1`.
+
+use crate::decide::{decide_all_rejects, RejectWitness};
+use crate::msg::SeqBundle;
+use crate::prune::{build_send_set, PrunerKind};
+use crate::seq::{IdSeq, MAX_K};
+use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::graph::{Edge, Graph, NodeId};
+use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+
+/// Per-node outcome of the single-edge detector.
+#[derive(Clone, Debug, Default)]
+pub struct SingleVerdict {
+    /// True when this node output `reject` (a `Ck` through the edge was
+    /// assembled here).
+    pub reject: bool,
+    /// The witness pair when rejecting.
+    pub witness: Option<RejectWitness>,
+    /// Every witnessing pair found at this node (for ablation probes;
+    /// the protocol itself only needs one).
+    pub all_witnesses: Vec<RejectWitness>,
+    /// Largest number of sequences this node put into one message — the
+    /// quantity Lemma 3 bounds by `(k−t+1)^(t−1)`.
+    pub max_sent_seqs: usize,
+}
+
+/// The `DetectCk(u, v)` state machine for one node.
+pub struct DetectSingle {
+    k: usize,
+    half_k: u32,
+    myid: NodeId,
+    u_id: NodeId,
+    v_id: NodeId,
+    pruner: PrunerKind,
+    /// Sequences broadcast at the last send round (consulted for even k).
+    own_sent: Vec<IdSeq>,
+    verdict: SingleVerdict,
+}
+
+impl DetectSingle {
+    /// Creates the program for one node; `edge_ids` are the identities of
+    /// the designated edge's endpoints.
+    pub fn new(k: usize, init: &NodeInit, edge_ids: (NodeId, NodeId), pruner: PrunerKind) -> Self {
+        assert!((3..=MAX_K).contains(&k), "k = {k} outside supported range");
+        DetectSingle {
+            k,
+            half_k: (k / 2) as u32,
+            myid: init.id,
+            u_id: edge_ids.0,
+            v_id: edge_ids.1,
+            pruner,
+            own_sent: Vec::new(),
+            verdict: SingleVerdict::default(),
+        }
+    }
+
+    fn collect(inbox: &[Incoming<SeqBundle>]) -> Vec<IdSeq> {
+        let mut r: Vec<IdSeq> = inbox.iter().flat_map(|m| m.msg.0.iter().copied()).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+}
+
+impl Program for DetectSingle {
+    type Msg = SeqBundle;
+    type Verdict = SingleVerdict;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<SeqBundle>], out: &mut Outbox<SeqBundle>) -> Status {
+        if round == 0 {
+            // Paper round 1: the endpoints seed their own ID.
+            if self.myid == self.u_id || self.myid == self.v_id {
+                let seed = vec![IdSeq::single(self.myid)];
+                if self.half_k == 1 {
+                    // k ∈ {3}: the seed round is also the last send round.
+                    self.own_sent = seed.clone();
+                }
+                self.verdict.max_sent_seqs = 1;
+                out.broadcast(&SeqBundle(seed));
+            }
+            return Status::Running;
+        }
+        if round < self.half_k {
+            // Paper round t = round + 1: prune and forward.
+            let received = Self::collect(inbox);
+            let send = build_send_set(self.pruner, &received, self.myid, self.k, round as usize + 1);
+            if !send.is_empty() {
+                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(send.len());
+                self.own_sent = send.clone();
+                out.broadcast(&SeqBundle(send));
+            } else if round + 1 == self.half_k {
+                // Nothing to contribute at the final send round: stale
+                // own_sent from earlier rounds must not enter the decision.
+                self.own_sent.clear();
+            }
+            return Status::Running;
+        }
+        // round == half_k: decision round.
+        let received = Self::collect(inbox);
+        let all = decide_all_rejects(self.k, self.myid, &self.own_sent, &received);
+        if !all.is_empty() {
+            self.verdict.reject = true;
+            self.verdict.witness = all.first().cloned();
+            self.verdict.all_witnesses = all;
+        }
+        Status::Halted
+    }
+
+    fn verdict(&self) -> SingleVerdict {
+        self.verdict.clone()
+    }
+}
+
+/// Outcome of a whole-network single-edge run.
+#[derive(Clone, Debug)]
+pub struct SingleRun {
+    /// True if at least one node rejected (network-level reject).
+    pub reject: bool,
+    /// Engine outcome (report + per-node verdicts).
+    pub outcome: RunOutcome<SingleVerdict>,
+}
+
+impl SingleRun {
+    /// Largest per-message sequence count over all nodes and rounds (the
+    /// measured side of Lemma 3).
+    pub fn max_sent_seqs(&self) -> usize {
+        self.outcome.verdicts.iter().map(|v| v.max_sent_seqs).max().unwrap_or(0)
+    }
+}
+
+/// Runs `DetectCk` for edge `e` of `g` and aggregates the network verdict.
+pub fn detect_ck_through_edge(
+    g: &Graph,
+    k: usize,
+    e: Edge,
+    pruner: PrunerKind,
+    config: &EngineConfig,
+) -> Result<SingleRun, EngineError> {
+    assert!(g.has_edge(e.a, e.b), "designated edge must exist");
+    let ids = (g.id(e.a), g.id(e.b));
+    let mut cfg = config.clone();
+    cfg.max_rounds = (k / 2) as u32 + 1;
+    let outcome = run(g, &cfg, |init| DetectSingle::new(k, &init, ids, pruner))?;
+    let reject = outcome.verdicts.iter().any(|v| v.reject);
+    Ok(SingleRun { reject, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_congest::engine::Executor;
+    use ck_graphgen::basic::{cycle, figure1, petersen, theta};
+    use ck_graphgen::farness::{has_ck_through_edge, is_valid_ck};
+
+    fn run_edge(g: &Graph, k: usize, e: Edge) -> SingleRun {
+        detect_ck_through_edge(g, k, e, PrunerKind::Representative, &EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn detects_the_full_cycle_from_any_edge() {
+        for k in 3..10 {
+            let g = cycle(k);
+            for &e in g.edges() {
+                let out = run_edge(&g, k, e);
+                assert!(out.reject, "C{k} through every edge of the cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn accepts_when_no_cycle_of_that_length() {
+        let g = cycle(6);
+        for &e in g.edges() {
+            assert!(!run_edge(&g, 5, e).reject, "C6 has no C5");
+            assert!(!run_edge(&g, 4, e).reject, "C6 has no C4");
+        }
+    }
+
+    #[test]
+    fn figure1_c5_detected_at_z() {
+        let g = figure1();
+        let out = run_edge(&g, 5, Edge::new(0, 1));
+        assert!(out.reject);
+        // Node z (index 4) is the one antipodal to {u,v}: it decides.
+        let rejecting: Vec<usize> = out
+            .outcome
+            .verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.reject)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rejecting, vec![4]);
+        let w = out.outcome.verdicts[4].witness.clone().unwrap();
+        let cyc = w.cycle_ids();
+        let idx: Vec<_> = cyc.iter().map(|&id| g.index_of(id).unwrap()).collect();
+        assert!(is_valid_ck(&g, 5, &idx));
+    }
+
+    #[test]
+    fn witness_cycles_are_always_real() {
+        // Whenever any node rejects, its witness must reconstruct to an
+        // actual Ck of the graph through the designated edge.
+        let g = theta(4, 3);
+        for k in 3..=9 {
+            for &e in g.edges() {
+                let out = run_edge(&g, k, e);
+                for v in &out.outcome.verdicts {
+                    if let Some(w) = &v.witness {
+                        let idx: Vec<_> =
+                            w.cycle_ids().iter().map(|&id| g.index_of(id).unwrap()).collect();
+                        assert!(is_valid_ck(&g, k, &idx), "bogus witness k={k} e={e:?}");
+                        // The designated edge is on the cycle.
+                        let on_cycle = (0..k).any(|i| {
+                            let x = idx[i];
+                            let y = idx[(i + 1) % k];
+                            Edge::new(x, y) == e
+                        });
+                        assert!(on_cycle, "witness cycle must pass through {e:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_against_oracle_exhaustive() {
+        // Lemma 2 both directions, on structurally diverse graphs.
+        let graphs: Vec<Graph> = vec![petersen(), theta(3, 2), figure1(), cycle(8)];
+        for g in &graphs {
+            for k in 3..=8 {
+                for &e in g.edges() {
+                    let expected = has_ck_through_edge(g, k, e);
+                    let got = run_edge(g, k, e).reject;
+                    assert_eq!(got, expected, "k={k}, e={e:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn literal_and_representative_pruners_agree() {
+        let g = theta(3, 2);
+        for k in 3..=8 {
+            for &e in g.edges() {
+                let a = detect_ck_through_edge(&g, k, e, PrunerKind::Literal, &EngineConfig::default())
+                    .unwrap();
+                let b = detect_ck_through_edge(
+                    &g,
+                    k,
+                    e,
+                    PrunerKind::Representative,
+                    &EngineConfig::default(),
+                )
+                .unwrap();
+                assert_eq!(a.reject, b.reject, "k={k} e={e:?}");
+                assert_eq!(a.outcome.report.total_messages(), b.outcome.report.total_messages());
+            }
+        }
+    }
+
+    #[test]
+    fn executors_agree() {
+        let g = petersen();
+        for k in [5usize, 6] {
+            for &e in g.edges() {
+                let mut cfg = EngineConfig { executor: Executor::Sequential, ..EngineConfig::default() };
+                let a = detect_ck_through_edge(&g, k, e, PrunerKind::Representative, &cfg).unwrap();
+                cfg.executor = Executor::Parallel;
+                let b = detect_ck_through_edge(&g, k, e, PrunerKind::Representative, &cfg).unwrap();
+                assert_eq!(a.reject, b.reject);
+                assert_eq!(a.outcome.report.per_round, b.outcome.report.per_round);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_bound_holds_on_congestion_worst_cases() {
+        use crate::prune::lemma3_bound;
+        use ck_graphgen::basic::{fan, spindle};
+        for (g, k) in [(spindle(16, 2), 6usize), (spindle(12, 4), 8), (fan(10), 5)] {
+            let worst: u128 = (2..=k / 2).map(|t| lemma3_bound(k, t)).max().unwrap_or(1);
+            let out = run_edge(&g, k, Edge::new(0, 1));
+            assert!(out.reject, "k={k}");
+            assert!(
+                (out.max_sent_seqs() as u128) <= worst,
+                "k={k}: sent {} > Lemma 3 bound {worst}",
+                out.max_sent_seqs()
+            );
+        }
+    }
+
+    #[test]
+    fn runs_in_half_k_plus_one_rounds() {
+        let g = cycle(9);
+        let out = run_edge(&g, 9, Edge::new(0, 8));
+        assert_eq!(out.outcome.report.rounds, 5); // ⌊9/2⌋ + 1
+        assert!(out.reject);
+    }
+}

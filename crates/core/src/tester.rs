@@ -1,0 +1,517 @@
+//! The full distributed `Ck`-freeness tester (Phases 1 + 2, concurrent
+//! checks, repetitions) — Theorem 1's algorithm.
+//!
+//! Per repetition the engine runs `⌊k/2⌋ + 2` rounds:
+//!
+//! | local round | action |
+//! |---|---|
+//! | 0 | each edge's owner (smaller-ID endpoint) draws `r(e) ∈ [1, m²]` and ships it |
+//! | 1 | every node adopts its min-key incident edge and broadcasts its seed `(myid)` tagged with that edge (paper round 1) |
+//! | `t = 2..⌊k/2⌋` | prioritized append-and-forward: keep only traffic of the lowest-keyed edge seen, prune via Algorithm 1, forward (paper round `t`) |
+//! | `⌊k/2⌋ + 1` | final decision (Instructions 31–42) |
+//!
+//! Arbitration follows the paper: a node serves one edge at a time —
+//! the lowest `(rank, endpoints)` key it has ever heard of — discarding
+//! messages about higher keys and switching when a lower key arrives.
+//! With deterministic tie-breaking there is always a unique globally
+//! minimal key; Lemma 5 only enters the analysis to make that edge
+//! *uniformly distributed*, which is what the ε-far detection bound needs.
+
+use crate::decide::{decide_reject, RejectWitness};
+use crate::msg::{CkMsg, EdgeTag};
+use crate::prune::{build_send_set, PrunerKind};
+use crate::rank::{draw_rank, rank_rng, repetitions_for, rounds_per_repetition, total_rounds};
+use crate::seq::{IdSeq, MAX_K};
+use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::graph::{Graph, NodeId};
+use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+
+/// Tester parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TesterConfig {
+    /// Cycle length to test freeness of (`3 ≤ k ≤ 33`).
+    pub k: usize,
+    /// Property-testing parameter; drives the repetition count.
+    pub eps: f64,
+    /// Master seed for all Phase-1 randomness.
+    pub seed: u64,
+    /// Overrides the paper's `⌈(e²/ε)·ln 3⌉` repetition schedule.
+    pub repetitions: Option<u32>,
+    /// Pruning implementation (identical semantics; see `prune`).
+    pub pruner: PrunerKind,
+    /// Early-abort extension (off by default, matching the paper): a
+    /// rejecting node floods a 1-bit abort flag; every node halts within
+    /// diameter+1 rounds of the first rejection instead of finishing the
+    /// repetition schedule. Sound because only genuine rejects originate
+    /// the flag; on accepted inputs the cost is unchanged.
+    pub early_abort: bool,
+}
+
+impl TesterConfig {
+    /// Standard configuration for testing `Ck`-freeness at parameter `eps`.
+    pub fn new(k: usize, eps: f64, seed: u64) -> Self {
+        TesterConfig {
+            k,
+            eps,
+            seed,
+            repetitions: None,
+            pruner: PrunerKind::Representative,
+            early_abort: false,
+        }
+    }
+
+    /// Repetition count actually used.
+    pub fn effective_repetitions(&self) -> u32 {
+        self.repetitions.unwrap_or_else(|| repetitions_for(self.eps))
+    }
+}
+
+/// A recorded rejection.
+#[derive(Clone, Debug)]
+pub struct Rejection {
+    /// Repetition in which the node rejected.
+    pub repetition: u32,
+    /// The edge whose check assembled the cycle.
+    pub tag: EdgeTag,
+    /// The witnessing sequence pair.
+    pub witness: RejectWitness,
+}
+
+/// Per-node output of the full tester.
+#[derive(Clone, Debug, Default)]
+pub struct NodeVerdict {
+    /// True if the node output reject in any repetition.
+    pub rejected: bool,
+    /// Details of the first rejection.
+    pub first_rejection: Option<Rejection>,
+    /// Largest number of sequences this node put into one message (the
+    /// measured side of Lemma 3).
+    pub max_sent_seqs: usize,
+}
+
+/// One node of the full tester.
+pub struct CkTester {
+    k: usize,
+    half_k: u32,
+    rpr: u32,
+    reps_total: u32,
+    myid: NodeId,
+    neighbor_ids: Vec<NodeId>,
+    m: usize,
+    seed: u64,
+    pruner: PrunerKind,
+    early_abort: bool,
+    /// Early-abort: an abort flag was seen or originated.
+    aborting: bool,
+    /// Early-abort: the flag has been forwarded once already.
+    abort_forwarded: bool,
+    // Per-repetition state.
+    port_rank: Vec<Option<u64>>,
+    cur: Option<EdgeTag>,
+    own_sent: Vec<IdSeq>,
+    own_sent_tag: Option<EdgeTag>,
+    verdict: NodeVerdict,
+}
+
+impl CkTester {
+    /// Builds the program for one node.
+    pub fn new(cfg: &TesterConfig, init: &NodeInit) -> Self {
+        assert!((3..=MAX_K).contains(&cfg.k), "k = {} outside supported range", cfg.k);
+        let deg = init.degree();
+        CkTester {
+            k: cfg.k,
+            half_k: (cfg.k / 2) as u32,
+            rpr: rounds_per_repetition(cfg.k),
+            reps_total: cfg.effective_repetitions(),
+            myid: init.id,
+            neighbor_ids: init.neighbor_ids.clone(),
+            m: init.m,
+            seed: cfg.seed,
+            pruner: cfg.pruner,
+            early_abort: cfg.early_abort,
+            aborting: false,
+            abort_forwarded: false,
+            port_rank: vec![None; deg],
+            cur: None,
+            own_sent: Vec::new(),
+            own_sent_tag: None,
+            verdict: NodeVerdict::default(),
+        }
+    }
+
+    /// Lowers `cur` to the smallest tag among the incoming Phase-2
+    /// messages (the paper's switch rule), then returns the deduplicated
+    /// sequences of the edge now being served.
+    fn absorb(&mut self, inbox: &[Incoming<CkMsg>]) -> Vec<IdSeq> {
+        for inc in inbox {
+            if let CkMsg::Seqs { tag, .. } = &inc.msg {
+                if self.cur.is_none_or(|c| *tag < c) {
+                    self.cur = Some(*tag);
+                }
+            }
+        }
+        let Some(cur) = self.cur else { return Vec::new() };
+        let mut r: Vec<IdSeq> = inbox
+            .iter()
+            .filter_map(|inc| match &inc.msg {
+                CkMsg::Seqs { tag, seqs } if *tag == cur => Some(seqs.iter().copied()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    fn reset_repetition(&mut self) {
+        self.port_rank.iter_mut().for_each(|r| *r = None);
+        self.cur = None;
+        self.own_sent.clear();
+        self.own_sent_tag = None;
+    }
+}
+
+impl Program for CkTester {
+    type Msg = CkMsg;
+    type Verdict = NodeVerdict;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<CkMsg>], out: &mut Outbox<CkMsg>) -> Status {
+        // Early-abort extension: adopt an incoming flag, forward it once,
+        // halt the round after (the normal protocol below never runs
+        // again on this node).
+        if self.early_abort {
+            if inbox.iter().any(|inc| matches!(inc.msg, CkMsg::Abort)) {
+                self.aborting = true;
+            }
+            if self.aborting {
+                if self.abort_forwarded {
+                    return Status::Halted;
+                }
+                self.abort_forwarded = true;
+                out.broadcast(&CkMsg::Abort);
+                return Status::Running;
+            }
+        }
+
+        let rep = round / self.rpr;
+        let local = round % self.rpr;
+
+        if local == 0 {
+            // Phase 1: owners draw and ship ranks.
+            self.reset_repetition();
+            let mut rng = rank_rng(self.seed, self.myid, rep);
+            for p in 0..self.neighbor_ids.len() {
+                if self.myid < self.neighbor_ids[p] {
+                    let r = draw_rank(&mut rng, self.m);
+                    self.port_rank[p] = Some(r);
+                    out.send(p as u32, CkMsg::Rank(r));
+                }
+            }
+            return Status::Running;
+        }
+
+        if local == 1 {
+            // Phase 1 completion: learn the remaining ranks, adopt the
+            // minimum-key incident edge, broadcast the seed (paper rd. 1).
+            for inc in inbox {
+                if let CkMsg::Rank(r) = inc.msg {
+                    self.port_rank[inc.port as usize] = Some(r);
+                }
+            }
+            let mut best: Option<EdgeTag> = None;
+            for (p, &nb) in self.neighbor_ids.iter().enumerate() {
+                // On a reliable network every edge has exactly one owner
+                // and the rank is always known; under fault injection the
+                // rank message may be lost, in which case this node cannot
+                // serve that edge this repetition.
+                let Some(rank) = self.port_rank[p] else { continue };
+                let tag = EdgeTag::new(rank, self.myid, nb);
+                if best.is_none_or(|b| tag < b) {
+                    best = Some(tag);
+                }
+            }
+            if let Some(tag) = best {
+                self.cur = Some(tag);
+                let seed_seqs = vec![IdSeq::single(self.myid)];
+                if self.half_k == 1 {
+                    // k = 3: the seed round is the last send round.
+                    self.own_sent = seed_seqs.clone();
+                    self.own_sent_tag = Some(tag);
+                }
+                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(1);
+                out.broadcast(&CkMsg::Seqs { tag, seqs: seed_seqs });
+            }
+            return Status::Running;
+        }
+
+        if local <= self.half_k {
+            // Paper round t = local: prioritized prune-and-forward.
+            let received = self.absorb(inbox);
+            let send = build_send_set(self.pruner, &received, self.myid, self.k, local as usize);
+            if !send.is_empty() {
+                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(send.len());
+                self.own_sent = send.clone();
+                self.own_sent_tag = self.cur;
+                out.broadcast(&CkMsg::Seqs { tag: self.cur.expect("cur set when R nonempty"), seqs: send });
+            } else if local == self.half_k {
+                // Nothing contributed at the final send round: stale own
+                // sequences must not feed the even-k decision.
+                self.own_sent.clear();
+                self.own_sent_tag = None;
+            }
+            return Status::Running;
+        }
+
+        // local == half_k + 1: decision round (Instructions 31–42).
+        let received = self.absorb(inbox);
+        let own: &[IdSeq] =
+            if self.own_sent_tag == self.cur && self.cur.is_some() { &self.own_sent } else { &[] };
+        if !self.verdict.rejected {
+            if let Some(w) = decide_reject(self.k, self.myid, own, &received) {
+                self.verdict.rejected = true;
+                self.verdict.first_rejection = Some(Rejection {
+                    repetition: rep,
+                    tag: self.cur.expect("a decision needs served traffic"),
+                    witness: w,
+                });
+                if self.early_abort {
+                    // Originate the abort flood and linger one round so
+                    // it propagates.
+                    self.aborting = true;
+                    self.abort_forwarded = true;
+                    out.broadcast(&CkMsg::Abort);
+                    return Status::Running;
+                }
+            }
+        }
+        if rep + 1 == self.reps_total {
+            Status::Halted
+        } else {
+            Status::Running
+        }
+    }
+
+    fn verdict(&self) -> NodeVerdict {
+        self.verdict.clone()
+    }
+}
+
+/// Aggregated network-level result.
+#[derive(Clone, Debug)]
+pub struct TesterRun {
+    /// True if at least one node rejected in some repetition — the
+    /// network-level *reject* of distributed property testing.
+    pub reject: bool,
+    /// Repetitions executed.
+    pub repetitions: u32,
+    /// Engine outcome (per-round stats + per-node verdicts).
+    pub outcome: RunOutcome<NodeVerdict>,
+}
+
+impl TesterRun {
+    /// All recorded rejections, ordered by node index.
+    pub fn rejections(&self) -> Vec<&Rejection> {
+        self.outcome
+            .verdicts
+            .iter()
+            .filter_map(|v| v.first_rejection.as_ref())
+            .collect()
+    }
+
+    /// Largest per-message sequence count over all nodes and rounds.
+    pub fn max_sent_seqs(&self) -> usize {
+        self.outcome.verdicts.iter().map(|v| v.max_sent_seqs).max().unwrap_or(0)
+    }
+}
+
+/// Runs the full tester on `g`.
+pub fn run_tester(g: &Graph, cfg: &TesterConfig, engine: &EngineConfig) -> Result<TesterRun, EngineError> {
+    let reps = cfg.effective_repetitions();
+    let mut ecfg = engine.clone();
+    ecfg.max_rounds = total_rounds(cfg.k, reps);
+    let outcome = run(g, &ecfg, |init| CkTester::new(cfg, &init))?;
+    let reject = outcome.verdicts.iter().any(|v| v.rejected);
+    Ok(TesterRun { reject, repetitions: reps, outcome })
+}
+
+/// One-call convenience: tests `Ck`-freeness of `g` at parameter `eps`.
+pub fn test_ck_freeness(g: &Graph, k: usize, eps: f64, seed: u64) -> TesterRun {
+    run_tester(g, &TesterConfig::new(k, eps, seed), &EngineConfig::default())
+        .expect("default engine config cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_congest::engine::Executor;
+    use ck_graphgen::basic::{complete_bipartite, cycle, petersen};
+    use ck_graphgen::farness::is_valid_ck;
+    use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
+    use ck_graphgen::random::{random_tree, randomize_ids};
+
+    #[test]
+    fn single_cycle_always_detected() {
+        // Every edge of C_k lies on the (unique) C_k, so whichever edge
+        // wins arbitration, Phase 2 finds the cycle: detection holds for
+        // every seed, not just with probability 2/3.
+        for k in 3..=9 {
+            for seed in 0..5 {
+                let g = cycle(k);
+                let cfg = TesterConfig { repetitions: Some(1), ..TesterConfig::new(k, 0.1, seed) };
+                let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+                assert!(run.reject, "C{k} must be rejected (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn one_sidedness_on_free_graphs() {
+        // Ck-free ⟹ accept with probability exactly 1: no seed, ID
+        // labeling, or k may ever produce a reject.
+        let mut cases: Vec<(Graph, Vec<usize>)> = vec![
+            (random_tree(40, 1), (3..=9).collect()),
+            (petersen(), vec![3, 4, 7]),
+            (complete_bipartite(5, 5), vec![3, 5, 7, 9]),
+        ];
+        for k in 3..=8 {
+            cases.push((matched_free_instance(40, k), vec![k]));
+        }
+        for (g, ks) in &cases {
+            for &k in ks {
+                for seed in 0..4u64 {
+                    let g = randomize_ids(g, seed.wrapping_mul(31) + 5);
+                    let cfg =
+                        TesterConfig { repetitions: Some(2), ..TesterConfig::new(k, 0.2, seed) };
+                    let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+                    assert!(!run.reject, "false reject: k={k} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eps_far_detection_rate_clears_two_thirds() {
+        for k in [3usize, 4, 5, 6] {
+            let eps = 0.08;
+            let inst = eps_far_instance(60, k, eps, 0);
+            let trials = 12;
+            let mut rejects = 0;
+            for seed in 0..trials {
+                if test_ck_freeness(&inst.graph, k, eps, seed).reject {
+                    rejects += 1;
+                }
+            }
+            assert!(
+                rejects * 3 >= trials * 2,
+                "k={k}: detection rate {rejects}/{trials} below 2/3"
+            );
+        }
+    }
+
+    #[test]
+    fn rejection_witnesses_are_real_cycles() {
+        let inst = eps_far_instance(40, 5, 0.05, 2);
+        let run = test_ck_freeness(&inst.graph, 5, 0.05, 3);
+        assert!(run.reject);
+        for r in run.rejections() {
+            let ids = r.witness.cycle_ids();
+            let idx: Vec<_> = ids.iter().map(|&id| inst.graph.index_of(id).unwrap()).collect();
+            assert!(is_valid_ck(&inst.graph, 5, &idx), "bogus witness {ids:?}");
+            // The tagged edge lies on the witness cycle.
+            let on = (0..5).any(|i| {
+                let (x, y) = (ids[i], ids[(i + 1) % 5]);
+                (x.min(y), x.max(y)) == (r.tag.lo, r.tag.hi)
+            });
+            assert!(on, "witness must pass through the tagged edge");
+        }
+    }
+
+    #[test]
+    fn round_budget_matches_schedule() {
+        let g = cycle(7);
+        let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(7, 0.1, 0) };
+        let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+        assert_eq!(run.outcome.report.rounds, 3 * rounds_per_repetition(7));
+        assert!(run.outcome.report.all_halted);
+    }
+
+    #[test]
+    fn executors_agree_on_full_tester() {
+        let inst = eps_far_instance(36, 4, 0.05, 1);
+        let cfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(4, 0.05, 9) };
+        let mut e = EngineConfig { executor: Executor::Sequential, ..EngineConfig::default() };
+        let a = run_tester(&inst.graph, &cfg, &e).unwrap();
+        e.executor = Executor::Parallel;
+        let b = run_tester(&inst.graph, &cfg, &e).unwrap();
+        assert_eq!(a.reject, b.reject);
+        assert_eq!(a.outcome.report.per_round, b.outcome.report.per_round);
+    }
+
+    #[test]
+    fn early_abort_cuts_rounds_on_far_instances() {
+        use crate::rank::total_rounds;
+        let inst = eps_far_instance(60, 5, 0.05, 0);
+        let reps = 150u32;
+        let base = TesterConfig { repetitions: Some(reps), ..TesterConfig::new(5, 0.05, 3) };
+        let full = run_tester(&inst.graph, &base, &EngineConfig::default()).unwrap();
+        assert!(full.reject);
+        assert_eq!(full.outcome.report.rounds, total_rounds(5, reps));
+
+        let abort_cfg = TesterConfig { early_abort: true, ..base };
+        let fast = run_tester(&inst.graph, &abort_cfg, &EngineConfig::default()).unwrap();
+        assert!(fast.reject, "abort must not lose the verdict");
+        assert!(
+            fast.outcome.report.rounds < full.outcome.report.rounds / 4,
+            "expected a large cut: {} vs {}",
+            fast.outcome.report.rounds,
+            full.outcome.report.rounds
+        );
+        assert!(fast.outcome.report.all_halted);
+    }
+
+    #[test]
+    fn early_abort_never_fires_on_free_graphs() {
+        use crate::rank::total_rounds;
+        let g = matched_free_instance(40, 5);
+        let cfg = TesterConfig {
+            early_abort: true,
+            repetitions: Some(4),
+            ..TesterConfig::new(5, 0.1, 7)
+        };
+        let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+        assert!(!run.reject);
+        // Without a reject the schedule runs in full: identical cost.
+        assert_eq!(run.outcome.report.rounds, total_rounds(5, 4));
+    }
+
+    #[test]
+    fn early_abort_preserves_witness_soundness() {
+        use ck_graphgen::farness::is_valid_ck;
+        let inst = eps_far_instance(40, 4, 0.05, 1);
+        let cfg = TesterConfig { early_abort: true, ..TesterConfig::new(4, 0.05, 5) };
+        let run = run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap();
+        assert!(run.reject);
+        for r in run.rejections() {
+            let idx: Vec<_> = r
+                .witness
+                .cycle_ids()
+                .iter()
+                .map(|&id| inst.graph.index_of(id).unwrap())
+                .collect();
+            assert!(is_valid_ck(&inst.graph, 4, &idx));
+        }
+    }
+
+    #[test]
+    fn index_relabeling_does_not_change_id_keyed_randomness() {
+        // Ranks key on node identity: relabeling indices but keeping IDs
+        // and topology produces the same verdict.
+        let g = cycle(6);
+        let cfg = TesterConfig { repetitions: Some(1), ..TesterConfig::new(6, 0.1, 4) };
+        let a = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+        let b = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+        assert_eq!(a.reject, b.reject);
+        assert_eq!(a.outcome.report.total_messages(), b.outcome.report.total_messages());
+    }
+}

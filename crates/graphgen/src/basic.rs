@@ -1,0 +1,461 @@
+//! Deterministic graph families.
+//!
+//! These are the structured workloads of the experiment suite: cycles and
+//! theta graphs (the Figure-1 family of the paper), grids, tori,
+//! hypercubes, complete and complete-bipartite graphs, cages, and cactus
+//! graphs whose only cycles have one fixed length (clean `Ck`-free /
+//! `Ck`-present controls).
+
+use ck_congest::graph::{Graph, GraphBuilder, NodeIndex};
+
+/// The cycle `C_n` on nodes `0..n` (requires `n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as NodeIndex {
+        b.edge(i, ((i as usize + 1) % n) as NodeIndex);
+    }
+    b.build().expect("cycle is valid")
+}
+
+/// The path `P_n` on nodes `0..n`.
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n as NodeIndex {
+        b.edge(i - 1, i);
+    }
+    b.build().expect("path is valid")
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n as NodeIndex {
+        for j in (i + 1)..n as NodeIndex {
+            b.edge(i, j);
+        }
+    }
+    b.build().expect("complete graph is valid")
+}
+
+/// The complete bipartite graph `K_{a,b}` (left part `0..a`, right part
+/// `a..a+b`). Bipartite ⟹ free of every odd cycle.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = GraphBuilder::new(a + b);
+    for i in 0..a as NodeIndex {
+        for j in 0..b as NodeIndex {
+            g.edge(i, a as NodeIndex + j);
+        }
+    }
+    g.build().expect("complete bipartite is valid")
+}
+
+/// Star with `leaves` leaves (center is node 0). A tree: cycle-free.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::new(leaves + 1);
+    for i in 1..=leaves as NodeIndex {
+        b.edge(0, i);
+    }
+    b.build().expect("star is valid")
+}
+
+/// Balanced binary tree with `levels` levels (cycle-free control).
+pub fn binary_tree(levels: u32) -> Graph {
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n.max(1));
+    for i in 1..n {
+        b.edge(i as NodeIndex, ((i - 1) / 2) as NodeIndex);
+    }
+    b.build().expect("tree is valid")
+}
+
+/// `rows × cols` grid. Shortest cycles are C4.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| (r * cols + c) as NodeIndex;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build().expect("grid is valid")
+}
+
+/// `rows × cols` torus (grid with wraparound; requires both dims ≥ 3 for
+/// simplicity of the wrap edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions ≥ 3");
+    let idx = |r: usize, c: usize| (r * cols + c) as NodeIndex;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.edge(idx(r, c), idx(r, (c + 1) % cols));
+            b.edge(idx(r, c), idx((r + 1) % rows, c));
+        }
+    }
+    b.build().expect("torus is valid")
+}
+
+/// The `d`-dimensional hypercube `Q_d` (bipartite: only even cycles).
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if w > v {
+                b.edge(v as NodeIndex, w as NodeIndex);
+            }
+        }
+    }
+    b.build().expect("hypercube is valid")
+}
+
+/// The Petersen graph: 3-regular, girth 5, famously C3- and C4-free.
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    for i in 0..5u32 {
+        b.edge(i, (i + 1) % 5);
+        b.edge(5 + i, 5 + ((i + 2) % 5));
+        b.edge(i, 5 + i);
+    }
+    b.build().expect("petersen is valid")
+}
+
+/// The Heawood graph: 3-regular bipartite cage of girth 6 (no C3/C4/C5,
+/// and no odd cycle at all).
+pub fn heawood() -> Graph {
+    let mut b = GraphBuilder::new(14);
+    for i in 0..14u32 {
+        b.edge(i, (i + 1) % 14);
+    }
+    // Chords of the standard LCF notation [5, -5]^7.
+    for i in (0..14u32).step_by(2) {
+        b.edge(i, (i + 5) % 14);
+    }
+    b.build().expect("heawood is valid")
+}
+
+/// Theta graph `Θ(paths, len)`: two hub nodes `u = 0` and `v = 1` joined
+/// by `paths` internally-disjoint paths of `len` internal nodes each, plus
+/// the direct edge `{u, v}`. Every pair of paths closes a cycle of length
+/// `2·len + 2` through the hubs, and each path closes a `(len + 2)`-cycle
+/// with the hub edge — the generalization of the paper's Figure 1
+/// (`paths = 2, len = 1` is close to the figure) and the worst case for
+/// unpruned append-and-forward, since each hub neighbor sees `paths`
+/// same-length route prefixes.
+pub fn theta(paths: usize, len: usize) -> Graph {
+    assert!(paths >= 1 && len >= 1);
+    let n = 2 + paths * len;
+    let mut b = GraphBuilder::new(n);
+    b.edge(0, 1);
+    for p in 0..paths {
+        let base = (2 + p * len) as NodeIndex;
+        b.edge(0, base);
+        for i in 1..len {
+            b.edge(base + i as NodeIndex - 1, base + i as NodeIndex);
+        }
+        b.edge(base + (len - 1) as NodeIndex, 1);
+    }
+    b.build().expect("theta graph is valid")
+}
+
+/// Fan graph `F(p)`: hubs `u = 0`, `v = 1` joined by an edge, `p` middle
+/// nodes each adjacent to *both* hubs, and an apex `z` adjacent to every
+/// middle node. Every ordered pair of distinct middle nodes `x_i, x_j`
+/// closes the C5 `(u, x_i, z, x_j, v)` through `{u, v}`.
+///
+/// This is the paper's Figure-1 pitfall family: each middle node receives
+/// both `ID(u)` and `ID(v)` in the first round, and if all of them forward
+/// only the same one side, the apex can never assemble a C5.
+pub fn fan(p: usize) -> Graph {
+    assert!(p >= 2, "the fan needs at least two middle nodes");
+    let z = (2 + p) as NodeIndex;
+    let mut b = GraphBuilder::new(3 + p);
+    b.edge(0, 1);
+    for i in 0..p {
+        let x = (2 + i) as NodeIndex;
+        b.edge(0, x);
+        b.edge(1, x);
+        b.edge(x, z);
+    }
+    b.build().expect("fan is valid")
+}
+
+/// The exact 5-node instance of the paper's Figure 1 (`fan(2)`): hubs
+/// `u = 0`, `v = 1`, middle nodes `x = 2`, `y = 3` adjacent to both hubs,
+/// apex `z = 4`. Contains the C5 `(u, x, z, y, v)` through `{u, v}`.
+pub fn figure1() -> Graph {
+    fan(2)
+}
+
+/// Spindle graph: hubs `u = 0`, `v = 1` with the edge `{u, v}`, a layer
+/// of `p` nodes fanning out of `u`, a middle path of `mid ≥ 1` nodes, and
+/// a layer of `p` nodes fanning into `v`:
+/// `u → X(p) → m_1 → … → m_mid → Y(p) → v`. Every `(x, y)` pair closes a
+/// cycle of length `mid + 4` through `{u, v}`, and the first middle node
+/// receives `p` same-length route prefixes — the congestion worst case
+/// for unpruned forwarding (it must offer `p` sequences while Algorithm 1
+/// forwards at most `k − t + 1`).
+pub fn spindle(p: usize, mid: usize) -> Graph {
+    assert!(p >= 1 && mid >= 1);
+    let n = 2 + 2 * p + mid;
+    let x0 = 2;
+    let m0 = 2 + p;
+    let y0 = 2 + p + mid;
+    let mut b = GraphBuilder::new(n);
+    b.edge(0, 1);
+    for i in 0..p {
+        b.edge(0, (x0 + i) as NodeIndex);
+        b.edge((x0 + i) as NodeIndex, m0 as NodeIndex);
+        b.edge((y0 + i) as NodeIndex, (m0 + mid - 1) as NodeIndex);
+        b.edge((y0 + i) as NodeIndex, 1);
+    }
+    for j in 1..mid {
+        b.edge((m0 + j - 1) as NodeIndex, (m0 + j) as NodeIndex);
+    }
+    b.build().expect("spindle is valid")
+}
+
+/// A cactus whose blocks are `count` cycles of length `len`, attached in a
+/// chain by bridge edges. Every simple cycle of the graph has length
+/// exactly `len`, so the graph is `Ck`-free for every `k ≠ len` while
+/// still containing `count` edge-disjoint `C_len` copies.
+pub fn cycle_cactus(count: usize, len: usize) -> Graph {
+    assert!(count >= 1 && len >= 3);
+    let n = count * len;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..count {
+        let base = (c * len) as NodeIndex;
+        for i in 0..len {
+            b.edge(base + i as NodeIndex, base + ((i + 1) % len) as NodeIndex);
+        }
+        if c + 1 < count {
+            // Bridge from this block to the next.
+            b.edge(base, base + len as NodeIndex);
+        }
+    }
+    b.build().expect("cactus is valid")
+}
+
+/// The deterministic counterexample of the paper's conclusion (§4): a
+/// [`spindle`]`(p, 2)` plus one chord from the highest-index fan-in node
+/// `x_big` to the second middle node `z2`.
+///
+/// The unique *chorded* C6 through `{u, v}` is `u–x_big–z1–z2–y_j–v`
+/// (chord `x_big–z2` joins positions 1 and 3). With `p ≥ 5`, Algorithm
+/// 1's pruning at `z1` keeps only the `k−t+1 = 4` lexicographically
+/// smallest `(u, x_i)` sequences — dropping exactly `x_big`'s — because
+/// the pruning is *oblivious to neighborhoods*: it preserves *some* C6
+/// witness for every completable remainder, but not the chorded one.
+/// An H-freeness tester (H = chorded k-cycle) built on this pruning
+/// therefore misses H while happily reporting chordless C6s.
+pub fn chorded_spindle(p: usize) -> Graph {
+    assert!(p >= 5, "the pruning drop needs at least 5 fan-in nodes");
+    let base = spindle(p, 2);
+    let x_big = (1 + p) as NodeIndex; // last fan-in node
+    let z2 = (3 + p) as NodeIndex; // second middle node
+    let mut b = GraphBuilder::new(base.n());
+    b.edges(base.edges().iter().map(|e| (e.a, e.b)));
+    b.edge(x_big, z2);
+    b.build().expect("chorded spindle is valid")
+}
+
+/// Book graph `B(pages, k)`: `pages` copies of `C_k` all sharing one common
+/// edge `{0, 1}`. Maximally *non*-edge-disjoint cycles: useful for checking
+/// that detection does not rely on disjointness.
+pub fn book(pages: usize, k: usize) -> Graph {
+    assert!(pages >= 1 && k >= 3);
+    let inner = k - 2;
+    let mut b = GraphBuilder::new(2 + pages * inner);
+    b.edge(0, 1);
+    for p in 0..pages {
+        let base = (2 + p * inner) as NodeIndex;
+        b.edge(0, base);
+        for i in 1..inner {
+            b.edge(base + i as NodeIndex - 1, base + i as NodeIndex);
+        }
+        b.edge(base + (inner - 1) as NodeIndex, 1);
+    }
+    b.build().expect("book graph is valid")
+}
+
+/// Lollipop: `K_clique` glued to a path of `tail` nodes. Dense cluster with
+/// a long sparse appendix; stress case for rank arbitration (the heavy side
+/// floods candidates while the tail stays silent).
+pub fn lollipop(clique: usize, tail: usize) -> Graph {
+    assert!(clique >= 1);
+    let mut b = GraphBuilder::new(clique + tail);
+    for i in 0..clique as NodeIndex {
+        for j in (i + 1)..clique as NodeIndex {
+            b.edge(i, j);
+        }
+    }
+    for t in 0..tail as NodeIndex {
+        let prev = if t == 0 { (clique - 1) as NodeIndex } else { clique as NodeIndex + t - 1 };
+        b.edge(prev, clique as NodeIndex + t);
+    }
+    b.build().expect("lollipop is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_basics() {
+        for k in 3..10 {
+            let g = cycle(k);
+            assert_eq!(g.n(), k);
+            assert_eq!(g.m(), k);
+            assert_eq!(g.girth(), Some(k as u32));
+            assert!(g.is_connected());
+            assert!((0..k).all(|v| g.degree(v as NodeIndex) == 2));
+        }
+    }
+
+    #[test]
+    fn path_is_acyclic() {
+        let g = path(10);
+        assert_eq!(g.m(), 9);
+        assert_eq!(g.girth(), None);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.girth(), Some(3));
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.girth(), Some(4));
+    }
+
+    #[test]
+    fn star_and_tree_are_forests() {
+        assert_eq!(star(9).girth(), None);
+        let t = binary_tree(5);
+        assert_eq!(t.n(), 31);
+        assert_eq!(t.m(), 30);
+        assert_eq!(t.girth(), None);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn grid_girth_is_four() {
+        let g = grid(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 * 4 + 5 * 3); // horizontal 4*4, vertical 3*5
+        assert_eq!(g.girth(), Some(4));
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.n(), 20);
+        assert!((0..20).all(|v| g.degree(v) == 4));
+        assert_eq!(g.girth(), Some(4));
+    }
+
+    #[test]
+    fn hypercube_props() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert_eq!(g.girth(), Some(4));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn cages_have_expected_girth() {
+        assert_eq!(petersen().girth(), Some(5));
+        let h = heawood();
+        assert_eq!(h.n(), 14);
+        assert_eq!(h.m(), 21);
+        assert_eq!(h.girth(), Some(6));
+        assert!((0..14).all(|v| h.degree(v) == 3));
+    }
+
+    #[test]
+    fn theta_structure() {
+        let g = theta(3, 2);
+        assert_eq!(g.n(), 2 + 6);
+        // Hub degrees: 1 (direct edge) + 3 path attachments.
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 4);
+        // Direct edge + per path: 2 hub attachments + 1 internal edge.
+        assert_eq!(g.m(), 1 + 3 * 3);
+        // Hub edge + one path of 2 internal nodes = C4.
+        assert_eq!(g.girth(), Some(4));
+    }
+
+    #[test]
+    fn figure1_matches_paper() {
+        let g = figure1();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 7);
+        // x and y are adjacent to both u and v (they receive both IDs in
+        // round 1), so triangles u-x-v and u-y-v exist.
+        assert_eq!(g.girth(), Some(3));
+        assert!(g.has_edge(2, 0) && g.has_edge(2, 1));
+        assert!(g.has_edge(3, 0) && g.has_edge(3, 1));
+        assert_eq!(g.degree(4), 2);
+    }
+
+    #[test]
+    fn fan_structure() {
+        let g = fan(4);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 1 + 3 * 4);
+        assert_eq!(g.degree(6), 4); // apex z
+        assert_eq!(g.degree(0), 5); // hub u
+    }
+
+    #[test]
+    fn spindle_structure() {
+        let g = spindle(3, 2);
+        assert_eq!(g.n(), 2 + 6 + 2);
+        assert_eq!(g.m(), 1 + 4 * 3 + 1);
+        assert!(g.is_connected());
+        // First middle node: p in-edges + 1 path edge.
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn cactus_cycles_have_one_length() {
+        let g = cycle_cactus(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 * 5 + 3);
+        assert_eq!(g.girth(), Some(5));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn book_shares_an_edge() {
+        let g = book(5, 4);
+        assert_eq!(g.n(), 2 + 5 * 2);
+        assert_eq!(g.girth(), Some(4));
+        assert_eq!(g.degree(0), 6);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(5, 4);
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 10 + 4);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(8), 1);
+    }
+}

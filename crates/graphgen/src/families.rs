@@ -1,0 +1,171 @@
+//! Additional structured and heavy-tailed families.
+//!
+//! Circulants (tunable, vertex-transitive cycle structure), named cubic
+//! graphs with known girth, random bipartite graphs (even-cycle-only
+//! workloads), and a Chung–Lu power-law generator (heavy-tailed degrees:
+//! the regime where hub congestion stresses the pruning hardest).
+
+use ck_congest::graph::{Graph, GraphBuilder, NodeIndex};
+use ck_congest::rngs::{derived_rng, labels};
+use rand::RngExt;
+
+/// Circulant graph `C_n(S)`: vertex `i` adjacent to `i ± s (mod n)` for
+/// every stride `s ∈ strides`. `C_n({1})` is the cycle; strides tune the
+/// cycle spectrum precisely (e.g. `C_n({1, 2})` has triangles).
+pub fn circulant(n: usize, strides: &[usize]) -> Graph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for &s in strides {
+            assert!(s >= 1 && s < n, "stride {s} out of range");
+            b.edge(i as NodeIndex, ((i + s) % n) as NodeIndex);
+        }
+    }
+    b.build().expect("circulant is valid")
+}
+
+/// The Möbius–Kantor graph: cubic, girth 6, bipartite (16 nodes). A
+/// clean `C3/C4/C5`-free control with plenty of C6s.
+pub fn mobius_kantor() -> Graph {
+    // Generalized Petersen graph GP(8, 3).
+    let mut b = GraphBuilder::new(16);
+    for i in 0..8u32 {
+        b.edge(i, (i + 1) % 8); // outer octagon
+        b.edge(8 + i, 8 + ((i + 3) % 8)); // inner star polygon
+        b.edge(i, 8 + i); // spokes
+    }
+    b.build().expect("mobius-kantor is valid")
+}
+
+/// The Pappus graph: cubic, girth 6, bipartite (18 nodes).
+pub fn pappus() -> Graph {
+    // LCF notation [5, 7, -7, 7, -7, -5]^3 over an 18-cycle.
+    let shifts: [i64; 6] = [5, 7, -7, 7, -7, -5];
+    let n = 18i64;
+    let mut b = GraphBuilder::new(18);
+    for i in 0..18i64 {
+        b.edge(i as NodeIndex, ((i + 1) % n) as NodeIndex);
+        let s = shifts[(i % 6) as usize];
+        let j = (i + s).rem_euclid(n);
+        b.edge(i as NodeIndex, j as NodeIndex);
+    }
+    b.build().expect("pappus is valid")
+}
+
+/// Random bipartite graph: parts of `a` and `b` nodes, each cross pair
+/// an edge with probability `p`. Odd-cycle-free by construction.
+pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = derived_rng(seed, labels::GRAPH_TOPOLOGY, 9, 0);
+    let mut g = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            if rng.random_bool(p) {
+                g.edge(i as NodeIndex, (a + j) as NodeIndex);
+            }
+        }
+    }
+    g.build().expect("random bipartite is valid")
+}
+
+/// Chung–Lu power-law graph: node `v` gets weight `(v+1)^(−1/(γ−1))`
+/// (scaled); pair `{u, v}` becomes an edge with probability
+/// `min(1, w_u·w_v / Σw)`. Produces heavy-tailed degrees for
+/// `2 < γ < 3` — the hub-congestion stress regime.
+pub fn chung_lu_power_law(n: usize, gamma: f64, avg_degree: f64, seed: u64) -> Graph {
+    assert!(gamma > 2.0, "γ must exceed 2 for a finite mean");
+    let mut rng = derived_rng(seed, labels::GRAPH_TOPOLOGY, 10, 0);
+    let exp = -1.0 / (gamma - 1.0);
+    let raw: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(exp)).collect();
+    let raw_sum: f64 = raw.iter().sum();
+    // Scale weights so Σw ≈ avg_degree·n: expected edge count is
+    // Σ_{i<j} w_i·w_j / Σw ≈ Σw / 2 (up to clamping), giving the asked
+    // average degree 2m/n ≈ Σw / n.
+    let scale = avg_degree * n as f64 / raw_sum;
+    let w: Vec<f64> = raw.iter().map(|x| x * scale).collect();
+    let total: f64 = w.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let p = (w[i] * w[j] / total).min(1.0);
+            if rng.random_bool(p) {
+                b.edge(i as NodeIndex, j as NodeIndex);
+            }
+        }
+    }
+    b.build().expect("chung-lu is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::farness::{contains_ck, is_ck_free};
+    use ck_congest::topology::is_bipartite;
+
+    #[test]
+    fn circulant_stride_one_is_cycle() {
+        let g = circulant(9, &[1]);
+        assert_eq!(g.m(), 9);
+        assert_eq!(g.girth(), Some(9));
+    }
+
+    #[test]
+    fn circulant_with_chords_has_triangles() {
+        let g = circulant(10, &[1, 2]);
+        assert_eq!(g.girth(), Some(3));
+        assert!(contains_ck(&g, 3));
+        assert_eq!(g.m(), 20);
+        assert!((0..10).all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn mobius_kantor_properties() {
+        let g = mobius_kantor();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 24);
+        assert!((0..16).all(|v| g.degree(v) == 3));
+        assert_eq!(g.girth(), Some(6));
+        assert!(is_bipartite(&g));
+        assert!(is_ck_free(&g, 3) && is_ck_free(&g, 4) && is_ck_free(&g, 5));
+        assert!(contains_ck(&g, 6));
+    }
+
+    #[test]
+    fn pappus_properties() {
+        let g = pappus();
+        assert_eq!(g.n(), 18);
+        assert_eq!(g.m(), 27);
+        assert!((0..18).all(|v| g.degree(v) == 3));
+        assert_eq!(g.girth(), Some(6));
+        assert!(is_bipartite(&g));
+    }
+
+    #[test]
+    fn random_bipartite_has_no_odd_cycles() {
+        for seed in 0..4 {
+            let g = random_bipartite(8, 10, 0.4, seed);
+            assert!(is_bipartite(&g));
+            for k in [3usize, 5, 7] {
+                assert!(is_ck_free(&g, k));
+            }
+        }
+    }
+
+    #[test]
+    fn chung_lu_degrees_are_heavy_tailed() {
+        let g = chung_lu_power_law(150, 2.5, 4.0, 7);
+        let max = g.max_degree();
+        let avg = g.avg_degree();
+        assert!(avg > 1.0, "avg degree {avg} too small");
+        assert!(max as f64 > 3.0 * avg, "no heavy tail: max {max}, avg {avg}");
+        // Determinism.
+        let h = chung_lu_power_law(150, 2.5, 4.0, 7);
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "γ must exceed 2")]
+    fn chung_lu_rejects_bad_gamma() {
+        let _ = chung_lu_power_law(10, 1.5, 2.0, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # ck-graphgen — workloads and oracles for distributed cycle detection
+//!
+//! Companion crate to the SPAA 2017 reproduction: every graph family used
+//! by the tests, experiments, and benchmarks, plus the sequential oracles
+//! (`Ck` existence / counting / through-edge queries) and the ε-farness
+//! machinery (greedy edge-disjoint packings, farness certificates, planted
+//! ε-far instances, Behrend-style spread-cycle instances).
+//!
+//! All random generators are deterministic in a `u64` seed.
+//!
+//! ```
+//! use ck_graphgen::basic::cycle;
+//! use ck_graphgen::farness::{contains_ck, is_ck_free};
+//!
+//! let g = cycle(7);
+//! assert!(contains_ck(&g, 7));
+//! assert!(is_ck_free(&g, 5));
+//! ```
+
+pub mod basic;
+pub mod behrend;
+pub mod families;
+pub mod farness;
+pub mod io;
+pub mod mutate;
+pub mod planted;
+pub mod random;
+
+pub use basic::{cycle, figure1, path, theta};
+pub use farness::{
+    certify_eps_far, contains_ck, count_ck, edges_on_ck, find_ck, find_ck_through_edge,
+    has_ck_through_edge, is_ck_free, FarnessCertificate,
+};
+pub use planted::{eps_far_instance, matched_free_instance, PlantedInstance};

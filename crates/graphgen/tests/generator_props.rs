@@ -1,0 +1,138 @@
+//! Generator property tests: every family delivers what its docstring
+//! promises, across parameters and seeds.
+
+use ck_congest::topology::{is_bipartite, triangle_count};
+use ck_graphgen::basic::{book, cycle_cactus, fan, spindle, theta};
+use ck_graphgen::families::{circulant, random_bipartite};
+use ck_graphgen::farness::{contains_ck, count_ck, greedy_ck_packing, is_ck_free};
+use ck_graphgen::mutate::{make_ck_free, thin_to_few_cycles};
+use ck_graphgen::planted::{cycle_chain, plant_on_host};
+use ck_graphgen::random::{connected_gnm, gnm, gnp, high_girth, random_regular, random_tree};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// gnp/gnm/tree determinism and basic invariants.
+    #[test]
+    fn random_models_are_deterministic(n in 4usize..30, seed in any::<u64>()) {
+        let a = gnp(n, 0.3, seed);
+        let b = gnp(n, 0.3, seed);
+        prop_assert_eq!(a.edges(), b.edges());
+        let m = n; // a feasible edge count for n ≥ 4
+        let g = gnm(n, m, seed);
+        prop_assert_eq!(g.m(), m);
+        let t = random_tree(n, seed);
+        prop_assert_eq!(t.m(), n - 1);
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.girth(), None);
+    }
+
+    /// connected_gnm really is connected with the exact edge budget.
+    #[test]
+    fn connected_gnm_invariants(n in 4usize..24, extra in 0usize..10, seed in any::<u64>()) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let g = connected_gnm(n, m, seed);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.m(), m);
+    }
+
+    /// Regular graphs are regular.
+    #[test]
+    fn regular_is_regular(half_n in 3usize..10, d in 2usize..4, seed in any::<u64>()) {
+        let n = 2 * half_n; // even n·d guaranteed
+        prop_assume!(d < n);
+        let g = random_regular(n, d, seed);
+        prop_assert!((0..n).all(|v| g.degree(v as u32) == d));
+    }
+
+    /// high_girth(k) is Cj-free for every j ≤ k.
+    #[test]
+    fn high_girth_is_certified(n in 10usize..40, k in 3usize..7, seed in any::<u64>()) {
+        let g = high_girth(n, k, 250, seed);
+        for j in 3..=k {
+            prop_assert!(is_ck_free(&g, j), "C{} in a girth->{} graph", j, k);
+        }
+    }
+
+    /// Planted chains: packing exactly equals the planted count and the
+    /// certificate bound holds.
+    #[test]
+    fn chain_packing_is_exact(count in 2usize..8, k in 3usize..7) {
+        let inst = cycle_chain(count, k);
+        prop_assert_eq!(greedy_ck_packing(&inst.graph, k).len(), count);
+        prop_assert!(inst.max_certified_eps > 0.0);
+        prop_assert!(contains_ck(&inst.graph, k));
+    }
+
+    /// Planted-on-host copies survive and stay vertex-disjoint.
+    #[test]
+    fn plant_on_host_valid(count in 1usize..4, k in 3usize..6, seed in any::<u64>()) {
+        let host = random_tree(count * k + 5, seed);
+        let inst = plant_on_host(&host, k, count, seed);
+        prop_assert_eq!(inst.planted.len(), count);
+        let mut all: Vec<u32> = inst.planted.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), count * k, "planted copies must be vertex-disjoint");
+    }
+
+    /// Bipartite generator: no odd cycles ever.
+    #[test]
+    fn bipartite_generator_is_bipartite(a in 2usize..8, b in 2usize..8, seed in any::<u64>()) {
+        let g = random_bipartite(a, b, 0.5, seed);
+        prop_assert!(is_bipartite(&g));
+        prop_assert_eq!(triangle_count(&g), 0);
+    }
+
+    /// Mutations: thinning hits its quota; freeing frees.
+    #[test]
+    fn mutations_do_what_they_say(count in 3usize..7, k in 4usize..6, seed in any::<u64>()) {
+        let inst = cycle_chain(count, k);
+        let keep = count / 2;
+        let (thin, removed) = thin_to_few_cycles(&inst.graph, k, keep, seed);
+        prop_assert_eq!(greedy_ck_packing(&thin, k).len(), keep);
+        prop_assert!(removed >= count - keep);
+        let (free, removals) = make_ck_free(&inst.graph, k, seed);
+        prop_assert!(is_ck_free(&free, k));
+        prop_assert!(removals >= count);
+    }
+}
+
+/// Structured-family exact counts (deterministic, so plain tests).
+#[test]
+fn structured_counts_are_exact() {
+    // theta(p, len): C_{len+2} count = p (path + hub edge), C_{2len+2}
+    // count = C(p, 2) (pairs of paths).
+    for p in 2..5usize {
+        for len in 1..4usize {
+            let g = theta(p, len);
+            assert_eq!(count_ck(&g, len + 2) as usize, p, "theta({p},{len}) short cycles");
+            if 2 * len + 2 != len + 2 {
+                assert_eq!(
+                    count_ck(&g, 2 * len + 2) as usize,
+                    p * (p - 1) / 2,
+                    "theta({p},{len}) long cycles"
+                );
+            }
+        }
+    }
+    // book(pages, k): every page is one Ck through the spine.
+    for pages in 1..5usize {
+        let g = book(pages, 5);
+        assert_eq!(count_ck(&g, 5) as usize, pages);
+    }
+    // fan(p): each unordered middle pair {x_i, x_j} closes TWO distinct
+    // C5s (u–x_i–z–x_j–v and u–x_j–z–x_i–v use different hub chords), so
+    // the count is 2·C(p, 2) = p·(p−1).
+    assert_eq!(count_ck(&fan(2), 5), 2);
+    assert_eq!(count_ck(&fan(3), 5), 6);
+    // spindle(p, mid): cycles through the hub edge = p² (x, y pairs).
+    let g = spindle(3, 2);
+    assert_eq!(count_ck(&g, 6), 9);
+    // cactus blocks.
+    assert_eq!(count_ck(&cycle_cactus(4, 7), 7), 4);
+    // circulant C9(1, 2) triangle count: each i gives triangle
+    // (i, i+1, i+2) — 9 of them.
+    assert_eq!(count_ck(&circulant(9, &[1, 2]), 3), 9);
+}

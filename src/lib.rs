@@ -1,0 +1,12 @@
+//! # ck-repro — reproduction of *Distributed Detection of Cycles*
+//! (Fraigniaud & Olivetti, SPAA 2017)
+//!
+//! Umbrella crate re-exporting the workspace members; the examples and
+//! cross-crate integration tests live here. See `README.md` for the
+//! architecture overview, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use ck_baselines as baselines;
+pub use ck_congest as congest;
+pub use ck_core as core;
+pub use ck_graphgen as graphgen;

@@ -1,0 +1,137 @@
+//! Cross-crate end-to-end tests: generators → tester → oracle.
+
+use ck_congest::engine::EngineConfig;
+use ck_core::tester::{run_tester, test_ck_freeness, TesterConfig};
+use ck_graphgen::basic::{cycle, cycle_cactus, grid, hypercube, petersen, torus};
+use ck_graphgen::farness::{contains_ck, is_valid_ck};
+use ck_graphgen::planted::{eps_far_instance, matched_free_instance, plant_on_host};
+use ck_graphgen::random::{gnp, high_girth, random_tree, randomize_ids};
+
+/// The soundness half of Theorem 1, end-to-end: whenever the network
+/// rejects, the graph really does contain a `Ck` — with a concrete
+/// witness validating against the sequential oracle. This holds on EVERY
+/// graph (not only far ones), for every seed.
+#[test]
+fn reject_implies_containment_with_witness() {
+    let graphs: Vec<ck_congest::graph::Graph> = vec![
+        gnp(30, 0.12, 1),
+        gnp(30, 0.2, 2),
+        torus(4, 5),
+        hypercube(4),
+        petersen(),
+        grid(4, 5),
+        cycle_cactus(5, 5),
+    ];
+    for (gi, g) in graphs.iter().enumerate() {
+        for k in 3..=7usize {
+            for seed in 0..3u64 {
+                let cfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(k, 0.1, seed) };
+                let run = run_tester(g, &cfg, &EngineConfig::default()).unwrap();
+                if run.reject {
+                    assert!(contains_ck(g, k), "graph {gi}: rejected but C{k}-free");
+                    for r in run.rejections() {
+                        let idx: Vec<_> = r
+                            .witness
+                            .cycle_ids()
+                            .iter()
+                            .map(|&id| g.index_of(id).expect("witness IDs exist"))
+                            .collect();
+                        assert!(is_valid_ck(g, k, &idx), "graph {gi} k={k}: invalid witness");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The completeness half on certified ε-far instances across the full
+/// supported parameter grid.
+#[test]
+fn certified_far_instances_are_detected() {
+    for k in 3..=8usize {
+        let eps = 0.05;
+        let inst = eps_far_instance(64, k, eps, 1);
+        let trials = 9u64;
+        let rejects = (0..trials)
+            .filter(|&s| test_ck_freeness(&inst.graph, k, eps, s).reject)
+            .count();
+        assert!(
+            rejects * 3 >= trials as usize * 2,
+            "k={k}: {rejects}/{trials} below 2/3"
+        );
+    }
+}
+
+/// 1-sidedness across generator families, k values, seeds, and ID
+/// labelings: no Ck-free input is ever rejected.
+#[test]
+fn free_graphs_are_never_rejected() {
+    for k in 3..=8usize {
+        let frees: Vec<ck_congest::graph::Graph> = vec![
+            matched_free_instance(50, k),
+            random_tree(50, 3),
+            high_girth(50, k, 500, 9),
+        ];
+        for g in &frees {
+            for seed in 0..3u64 {
+                let g = randomize_ids(g, seed + 100);
+                let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, 0.1, seed) };
+                assert!(
+                    !run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject,
+                    "false reject at k={k}"
+                );
+            }
+        }
+    }
+}
+
+/// Planted copies on a host graph are found even when the host adds
+/// unrelated structure (other cycle lengths, higher degrees).
+#[test]
+fn planted_on_noisy_host_detected() {
+    // Host: bipartite-ish torus has C4s; plant C5s (odd) on top.
+    let host = torus(5, 8); // only even cycles
+    let inst = plant_on_host(&host, 5, 4, 7);
+    assert!(contains_ck(&inst.graph, 5));
+    let hits = (0..8u64)
+        .filter(|&s| {
+            let cfg = TesterConfig { repetitions: Some(40), ..TesterConfig::new(5, 0.05, s) };
+            run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject
+        })
+        .count();
+    assert!(hits >= 6, "planted C5s barely detected: {hits}/8");
+}
+
+/// The tester ignores cycles of other lengths: a C6-rich torus is C5-free
+/// and C7-free and must be accepted for those k.
+#[test]
+fn other_cycle_lengths_do_not_confuse() {
+    let g = torus(4, 6);
+    for k in [3usize, 5, 7] {
+        for seed in 0..3u64 {
+            let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, 0.1, seed) };
+            assert!(!run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject);
+        }
+    }
+    // … while C4s are everywhere.
+    let rejects = (0..3u64)
+        .filter(|&s| {
+            let cfg = TesterConfig { repetitions: Some(10), ..TesterConfig::new(4, 0.1, s) };
+            run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject
+        })
+        .count();
+    assert_eq!(rejects, 3, "every run should catch a C4 on the torus");
+}
+
+/// Single cycles are deterministically caught for every k and seed (all
+/// edges lie on the one cycle, so arbitration cannot pick a bad edge).
+#[test]
+fn lone_cycles_always_caught() {
+    for k in 3..=10usize {
+        for seed in 0..3u64 {
+            let g = randomize_ids(&cycle(k), seed + 1);
+            let cfg = TesterConfig { repetitions: Some(1), ..TesterConfig::new(k, 0.1, seed) };
+            assert!(run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject, "C{k}");
+        }
+    }
+}
