@@ -46,7 +46,7 @@ impl C4Tester {
     pub fn new(init: &NodeInit, reps: u32, seed: u64) -> Self {
         C4Tester {
             myid: init.id,
-            neighbor_ids: init.neighbor_ids.clone(),
+            neighbor_ids: init.neighbor_ids.to_vec(),
             reps_total: reps,
             rng: derived_rng(seed, labels::C4_COINS, init.id, 0),
             verdict: C4Verdict::default(),

@@ -62,7 +62,7 @@ impl ForestTest {
     pub fn new(init: &NodeInit, rounds_total: u32) -> Self {
         ForestTest {
             myid: init.id,
-            neighbor_ids: init.neighbor_ids.clone(),
+            neighbor_ids: init.neighbor_ids.to_vec(),
             root: init.id,
             dist: 0,
             parent_port: None,

@@ -47,7 +47,7 @@ impl TriangleTester {
     pub fn new(init: &NodeInit, reps: u32, seed: u64) -> Self {
         TriangleTester {
             myid: init.id,
-            neighbor_ids: init.neighbor_ids.clone(),
+            neighbor_ids: init.neighbor_ids.to_vec(),
             reps_total: reps,
             rng: derived_rng(seed, labels::TRIANGLE_COINS, init.id, 0),
             verdict: TriangleVerdict::default(),

@@ -1,0 +1,84 @@
+//! Arena engine vs the preserved pre-arena engine, small and mid scale.
+//!
+//! The committed scaling record (including n = 10⁵) lives in
+//! `BENCH_engine.json`, produced by the `bench_engine` binary; this
+//! criterion bench keeps the comparison runnable interactively via
+//! `cargo bench -p ck-bench --bench arena_engine`.
+
+use ck_bench::legacy_engine::run_legacy;
+use ck_bench::workloads::MinFlood;
+use ck_congest::engine::{run, EngineConfig, Executor};
+use ck_graphgen::basic::cycle;
+use ck_graphgen::random::gnp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cfg() -> EngineConfig {
+    EngineConfig { executor: Executor::Sequential, record_rounds: false, ..EngineConfig::default() }
+}
+
+/// `record_rounds: true` routes the arena engine through the CSR lane
+/// path with fused wire accounting (vs `cfg`'s counter-free delivery).
+fn cfg_accounted() -> EngineConfig {
+    EngineConfig { record_rounds: true, ..cfg() }
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/minflood-ring");
+    for n in [1_000usize, 10_000] {
+        let g = cycle(n);
+        group.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, _| {
+            b.iter(|| {
+                let out =
+                    run_legacy(&g, &cfg(), |i| MinFlood::new(&i, 60))
+                        .unwrap();
+                black_box(out.verdicts[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run(&g, &cfg(), |i| MinFlood::new(&i, 60))
+                    .unwrap();
+                black_box(out.verdicts[0])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("legacy-accounted", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run_legacy(&g, &cfg_accounted(), |i| MinFlood::new(&i, 60))
+                    .unwrap();
+                black_box(out.report.per_round.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("arena-accounted", n), &n, |b, _| {
+            b.iter(|| {
+                let out = run(&g, &cfg_accounted(), |i| MinFlood::new(&i, 60))
+                    .unwrap();
+                black_box(out.report.per_round.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gnp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/minflood-gnp2048-p0.01");
+    let g = gnp(2048, 0.01, 9);
+    group.bench_function("legacy", |b| {
+        b.iter(|| {
+            let out = run_legacy(&g, &cfg(), |i| MinFlood::new(&i, 20))
+                .unwrap();
+            black_box(out.verdicts.len())
+        });
+    });
+    group.bench_function("arena", |b| {
+        b.iter(|| {
+            let out =
+                run(&g, &cfg(), |i| MinFlood::new(&i, 20)).unwrap();
+            black_box(out.verdicts.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_gnp);
+criterion_main!(benches);

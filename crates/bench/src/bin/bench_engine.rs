@@ -1,0 +1,278 @@
+//! Emits `BENCH_engine.json`: rounds-per-second of the arena engine vs
+//! the preserved pre-arena (legacy) engine, on the workloads the round
+//! loop is actually bottlenecked by:
+//!
+//! * `minflood-ring` — min-ID flooding on a ring of `n` nodes, the pure
+//!   engine stress (every node broadcasts every round while the minimum
+//!   propagates);
+//! * `c4-tester-planted` — the paper's `Ck` tester at `k = 4` on a
+//!   random-tree host with planted vertex-disjoint C4 copies, the
+//!   protocol workload with structured multi-word messages.
+//!
+//! Each workload is timed in two modes: `fast` (`record_rounds: false`
+//! — the arena engine's counter-free delivery path) and `accounted`
+//! (`record_rounds: true` — the double-buffered CSR lane path with wire
+//! accounting and bandwidth checks fused into the sends, vs the legacy
+//! engine's separate accounting pass with its per-port linear scan).
+//! Before timing, each workload's verdicts are checked identical across
+//! the two engines in each mode — a benchmark of two engines that
+//! disagree would be meaningless. Both engines run the sequential
+//! executor so the numbers measure the round loop itself, not
+//! thread-pool behaviour.
+//!
+//! Usage: `cargo run --release -p ck-bench --bin bench_engine [OUT.json]`
+//! (default output path: `BENCH_engine.json` in the current directory).
+
+use ck_bench::legacy_engine::run_legacy;
+use ck_bench::workloads::MinFlood;
+use ck_congest::engine::{run, EngineConfig, Executor, RunOutcome};
+use ck_congest::graph::Graph;
+use ck_core::tester::{CkTester, TesterConfig};
+use ck_core::rank::total_rounds;
+use ck_graphgen::basic::cycle;
+use ck_graphgen::planted::plant_on_host;
+use ck_graphgen::random::random_tree;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Fixed flood horizon: keeps per-run round counts equal across `n`, so
+/// rounds-per-second is comparable along the scaling axis.
+const FLOOD_TTL: u32 = 60;
+/// Tester repetitions for the C4 workload.
+const C4_REPS: u32 = 2;
+/// Minimum measured wall-clock per configuration.
+const MEASURE_SECS: f64 = 1.0;
+/// Cap on timed runs per configuration.
+const MAX_RUNS: u32 = 12;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Legacy,
+    Arena,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Legacy => "legacy",
+            Engine::Arena => "arena",
+        }
+    }
+}
+
+struct Measurement {
+    workload: &'static str,
+    n: usize,
+    engine: Engine,
+    /// `"fast"` (no round recording) or `"accounted"` (recorded rounds:
+    /// the arena engine's lane path with fused wire accounting).
+    mode: &'static str,
+    rounds: u32,
+    runs: u32,
+    secs_per_run: f64,
+    rounds_per_sec: f64,
+}
+
+/// The two measured configurations; `record` selects the engine path
+/// (`false` → counter-free delivery, `true` → accounted lane writes).
+const MODES: [(&str, bool); 2] = [("fast", false), ("accounted", true)];
+
+/// Times `exec` (whole runs) until the measurement budget is spent;
+/// returns (runs, secs_per_run, rounds) using the final run's report.
+fn time_runs<V>(mut exec: impl FnMut() -> RunOutcome<V>) -> (u32, f64, u32) {
+    let mut rounds = exec().report.rounds; // warm-up (also primes allocator)
+    let start = Instant::now();
+    let mut runs = 0u32;
+    while runs < MAX_RUNS {
+        rounds = exec().report.rounds;
+        runs += 1;
+        if start.elapsed().as_secs_f64() >= MEASURE_SECS {
+            break;
+        }
+    }
+    (runs, start.elapsed().as_secs_f64() / f64::from(runs), rounds)
+}
+
+fn minflood_outcome(g: &Graph, engine: Engine, cfg: &EngineConfig) -> RunOutcome<u64> {
+    let mk = |init: ck_congest::node::NodeInit| MinFlood::new(&init, FLOOD_TTL);
+    match engine {
+        Engine::Legacy => run_legacy(g, cfg, mk).expect("measure policy cannot fail"),
+        Engine::Arena => run(g, cfg, mk).expect("measure policy cannot fail"),
+    }
+}
+
+fn c4_outcome(
+    g: &Graph,
+    engine: Engine,
+    tcfg: &TesterConfig,
+    cfg: &EngineConfig,
+) -> RunOutcome<ck_core::tester::NodeVerdict> {
+    let mk = |init: ck_congest::node::NodeInit| CkTester::new(tcfg, &init);
+    match engine {
+        Engine::Legacy => run_legacy(g, cfg, mk).expect("measure policy cannot fail"),
+        Engine::Arena => run(g, cfg, mk).expect("measure policy cannot fail"),
+    }
+}
+
+fn bench_engine_config(record: bool) -> EngineConfig {
+    EngineConfig {
+        executor: Executor::Sequential,
+        record_rounds: record,
+        ..EngineConfig::default()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".into());
+    let sizes = [1_000usize, 10_000, 100_000];
+    let mut measurements: Vec<Measurement> = Vec::new();
+
+    for &n in &sizes {
+        // ---- minflood-ring ------------------------------------------
+        let g = cycle(n);
+        for (mode, record) in MODES {
+            let cfg = bench_engine_config(record);
+            // Cross-engine verdict check before timing.
+            let legacy_v = minflood_outcome(&g, Engine::Legacy, &cfg).verdicts;
+            let arena_v = minflood_outcome(&g, Engine::Arena, &cfg).verdicts;
+            assert_eq!(legacy_v, arena_v, "engines disagree on minflood-ring n={n} ({mode})");
+            for engine in [Engine::Legacy, Engine::Arena] {
+                let (runs, secs, rounds) = time_runs(|| minflood_outcome(&g, engine, &cfg));
+                eprintln!(
+                    "minflood-ring n={n} {} [{mode}]: {:.4} s/run ({rounds} rounds, {runs} runs)",
+                    engine.name(),
+                    secs
+                );
+                measurements.push(Measurement {
+                    workload: "minflood-ring",
+                    n,
+                    engine,
+                    mode,
+                    rounds,
+                    runs,
+                    secs_per_run: secs,
+                    rounds_per_sec: f64::from(rounds) / secs,
+                });
+            }
+        }
+
+        // ---- c4-tester-planted --------------------------------------
+        let host = random_tree(n, 7);
+        let inst = plant_on_host(&host, 4, (n / 40).max(1), 7);
+        let tcfg = TesterConfig {
+            repetitions: Some(C4_REPS),
+            ..TesterConfig::new(4, 0.1, 42)
+        };
+        for (mode, record) in MODES {
+            let mut cfg = bench_engine_config(record);
+            cfg.max_rounds = total_rounds(4, C4_REPS);
+            let legacy_r = c4_outcome(&inst.graph, Engine::Legacy, &tcfg, &cfg);
+            let arena_r = c4_outcome(&inst.graph, Engine::Arena, &tcfg, &cfg);
+            assert_eq!(
+                legacy_r.verdicts.iter().map(|v| v.rejected).collect::<Vec<_>>(),
+                arena_r.verdicts.iter().map(|v| v.rejected).collect::<Vec<_>>(),
+                "engines disagree on c4-tester-planted n={n} ({mode})"
+            );
+            assert!(
+                legacy_r.verdicts.iter().any(|v| v.rejected),
+                "planted C4 instance must be rejected (n={n})"
+            );
+            for engine in [Engine::Legacy, Engine::Arena] {
+                let (runs, secs, rounds) =
+                    time_runs(|| c4_outcome(&inst.graph, engine, &tcfg, &cfg));
+                eprintln!(
+                    "c4-tester-planted n={n} {} [{mode}]: {:.4} s/run ({rounds} rounds, {runs} runs)",
+                    engine.name(),
+                    secs
+                );
+                measurements.push(Measurement {
+                    workload: "c4-tester-planted",
+                    n,
+                    engine,
+                    mode,
+                    rounds,
+                    runs,
+                    secs_per_run: secs,
+                    rounds_per_sec: f64::from(rounds) / secs,
+                });
+            }
+        }
+    }
+
+    // ---- render ------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"ck-bench/engine/v1\",\n");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"Round-engine throughput, arena (zero-allocation double-buffered \
+         CSR lanes) vs legacy (per-round Vec allocation); sequential executor. Mode 'fast' = \
+         record_rounds off (counter-free delivery path); mode 'accounted' = record_rounds on \
+         (lane writes with fused wire accounting vs legacy's separate accounting pass).\","
+    );
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    json.push_str("  \"entries\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"n\": {}, \"engine\": \"{}\", \"mode\": \"{}\", \
+             \"executor\": \"sequential\", \"rounds\": {}, \"runs\": {}, \
+             \"secs_per_run\": {:.6}, \"rounds_per_sec\": {:.2}}}",
+            m.workload,
+            m.n,
+            m.engine.name(),
+            m.mode,
+            m.rounds,
+            m.runs,
+            m.secs_per_run,
+            m.rounds_per_sec
+        );
+        json.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"speedups\": [\n");
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for &n in &sizes {
+        for workload in ["minflood-ring", "c4-tester-planted"] {
+            for (mode, _) in MODES {
+                let rps = |engine: Engine| {
+                    measurements
+                        .iter()
+                        .find(|m| {
+                            m.workload == workload && m.n == n && m.engine == engine && m.mode == mode
+                        })
+                        .expect("measured")
+                        .rounds_per_sec
+                };
+                let s = rps(Engine::Arena) / rps(Engine::Legacy);
+                // The fast-mode key keeps the bare `workload/n` form the
+                // acceptance record is keyed on.
+                let key = if mode == "fast" {
+                    format!("{workload}/{n}")
+                } else {
+                    format!("{workload}/{n}/{mode}")
+                };
+                speedups.push((key, s));
+            }
+        }
+    }
+    for (i, (key, s)) in speedups.iter().enumerate() {
+        let _ = write!(json, "    {{\"case\": \"{key}\", \"arena_over_legacy\": {s:.3}}}");
+        json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    let headline = speedups
+        .iter()
+        .find(|(k, _)| k == "minflood-ring/100000")
+        .map(|&(_, s)| s)
+        .unwrap_or(0.0);
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"acceptance\": {{\"case\": \"minflood-ring/100000\", \"speedup\": {headline:.3}, \
+         \"required\": 2.0, \"pass\": {}}}",
+        headline >= 2.0
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    eprintln!("wrote {out_path} (headline speedup {headline:.2}x)");
+}

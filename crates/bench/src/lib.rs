@@ -7,7 +7,10 @@
 //! the same workloads for timing-shaped measurements.
 
 pub mod experiments;
+pub mod legacy_engine;
 pub mod table;
+pub mod workloads;
 
 pub use experiments::{all_experiments, run_experiment, ExperimentResult};
+pub use legacy_engine::run_legacy;
 pub use table::Table;

@@ -1,0 +1,63 @@
+//! Shared benchmark workloads, defined once so every measurement
+//! surface (`bench_engine`, the criterion benches) times the same
+//! protocol.
+
+use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+
+/// Min-ID flooding with a fixed horizon: every node broadcasts on
+/// improvement for `ttl` rounds — the standard pure-engine stress
+/// (steady all-to-neighbors traffic, trivial per-node compute).
+pub struct MinFlood {
+    best: u64,
+    ttl: u32,
+    changed: bool,
+}
+
+impl MinFlood {
+    /// Builds the program for one node; use as the engine factory:
+    /// `|init| MinFlood::new(&init, ttl)`.
+    pub fn new(init: &NodeInit<'_>, ttl: u32) -> Self {
+        MinFlood { best: init.id, ttl, changed: false }
+    }
+}
+
+impl Program for MinFlood {
+    type Msg = u64;
+    type Verdict = u64;
+
+    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+        for inc in inbox {
+            if inc.msg < self.best {
+                self.best = inc.msg;
+                self.changed = true;
+            }
+        }
+        if round >= self.ttl {
+            return Status::Halted;
+        }
+        if round == 0 || self.changed {
+            out.broadcast(&self.best);
+            self.changed = false;
+        }
+        Status::Running
+    }
+
+    fn verdict(&self) -> u64 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ck_congest::engine::{run, EngineConfig};
+    use ck_graphgen::basic::cycle;
+
+    #[test]
+    fn floods_the_minimum_within_ttl() {
+        let g = cycle(16);
+        let out = run(&g, &EngineConfig::default(), |i| MinFlood::new(&i, 16)).unwrap();
+        assert!(out.verdicts.iter().all(|&v| v == 0));
+        assert!(out.report.all_halted);
+    }
+}

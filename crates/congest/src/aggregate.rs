@@ -124,7 +124,7 @@ impl Program for Convergecast {
     }
 }
 
-fn out_degree<M: Clone>(out: &Outbox<M>) -> u32 {
+fn out_degree<M: crate::message::WireMessage>(out: &Outbox<M>) -> u32 {
     out.degree()
 }
 

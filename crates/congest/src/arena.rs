@@ -1,0 +1,262 @@
+//! Shared internals of the arena engine: per-directed-edge message
+//! lanes, the double-buffered lane arena, and the per-round accumulator
+//! the fused accounting feeds. Split out of `engine` so the node-side
+//! [`crate::node::Outbox`] can write straight into lanes without a
+//! module cycle.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::graph::{DirectedEdgeId, NodeIndex};
+use crate::node::Incoming;
+
+/// Per-directed-edge wire load for one round, kept in a flat
+/// [`LoadTable`] indexed by [`DirectedEdgeId`] (not inside the message
+/// lanes: the loads are round-scoped accounting state, the lanes are
+/// round-crossing transport).
+///
+/// Loads are *round-stamped* instead of reset: a load whose `stamp`
+/// differs from the current round is semantically zero, and the first
+/// write of a round re-stamps it. No pass over the table — at drain
+/// time, at swap time, or anywhere else — ever has to zero anything.
+///
+/// `bits`/`count` include faulted sends: the sender spent the
+/// bandwidth even though the message is never delivered.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LinkLoad {
+    pub(crate) bits: u64,
+    pub(crate) count: u64,
+    /// Round these counters belong to; `u32::MAX` = never written.
+    pub(crate) stamp: u32,
+}
+
+impl Default for LinkLoad {
+    fn default() -> Self {
+        LinkLoad { bits: 0, count: 0, stamp: u32::MAX }
+    }
+}
+
+/// The flat per-directed-edge load table the fused accounting writes.
+///
+/// Disjointness mirrors the write side of [`Arena`]: directed edge
+/// `(v → w)` is loaded only by its unique sender `v`, so rows partition
+/// across nodes and the parallel executor's per-node step calls never
+/// touch the same entry.
+pub(crate) struct LoadTable {
+    cells: Vec<UnsafeCell<LinkLoad>>,
+}
+
+// SAFETY: entries are only reached through `LoadTable::row_ptr`, whose
+// callers guarantee sender-unique row access; `LinkLoad` is plain data.
+unsafe impl Sync for LoadTable {}
+
+impl LoadTable {
+    /// An all-stale table of `len` loads (`len` = 0 for runs that never
+    /// account — `row_ptr` must not be called on an empty table).
+    pub(crate) fn new(len: usize) -> Self {
+        LoadTable { cells: (0..len).map(|_| UnsafeCell::new(LinkLoad::default())).collect() }
+    }
+
+    /// Raw pointer to the load row starting at directed edge `de` — the
+    /// sender-side counterpart of [`Arena::row_ptr`].
+    ///
+    /// # Safety
+    /// The caller must be the unique accessor of the row's entries while
+    /// the pointer lives (sender-owned rows satisfy this), and `de` must
+    /// be at most the table length (`de == len` is the empty row of a
+    /// degree-0 sender — one past the end, fine to form, never read).
+    pub(crate) unsafe fn row_ptr(&self, de: DirectedEdgeId) -> *mut LinkLoad {
+        debug_assert!(de as usize <= self.cells.len());
+        // UnsafeCell<T> is repr(transparent) over T.
+        self.cells.as_ptr().add(de as usize) as *mut LinkLoad
+    }
+}
+
+/// One per-directed-edge message lane: the messages in flight across
+/// that edge, stored already labeled with their *receiver-side* port
+/// (one sequential `rev_port` lookup at send time), so a receiver's
+/// gather is a whole-`Vec` swap or bulk append — no per-message work.
+pub(crate) type Lane<M> = Vec<Incoming<M>>;
+
+/// A flat array of `2m` lanes keyed by [`DirectedEdgeId`].
+///
+/// Interior mutability with hand-verified disjointness: Rust's borrow
+/// checker cannot see that the engine's per-node access patterns
+/// partition the lanes, so the arena exposes unchecked exclusive access
+/// and the round loop upholds the contract documented on the accessors.
+pub(crate) struct Arena<M> {
+    lanes: Vec<UnsafeCell<Lane<M>>>,
+    /// Per-receiver traffic hint: `dirty[w]` is set (relaxed) by the
+    /// first write into any lane `(· → w)` this round, and cleared by
+    /// `w` when it gathers. Lets receivers skip the whole lane scan on
+    /// silent rounds — an O(n) check instead of O(2m) lane visits. The
+    /// flag's value is independent of executor interleaving (it only
+    /// ever goes false→true during a write phase), so determinism is
+    /// preserved.
+    dirty: Vec<AtomicBool>,
+}
+
+// SAFETY: lanes are only accessed through `Arena::lane` / `Arena::row`,
+// whose callers guarantee disjointness (each lane touched by exactly one
+// node per phase); `M: Send` makes moving messages across the worker
+// threads sound. No `&Lane` is ever handed out while a `&mut Lane`
+// exists.
+unsafe impl<M: Send> Sync for Arena<M> {}
+
+impl<M> Arena<M> {
+    pub(crate) fn new(directed_edges: usize, nodes: usize) -> Self {
+        Arena {
+            lanes: (0..directed_edges).map(|_| UnsafeCell::new(Lane::default())).collect(),
+            dirty: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// True if any lane addressed to `v` was written last round.
+    #[inline]
+    pub(crate) fn is_dirty(&self, v: NodeIndex) -> bool {
+        self.dirty[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// Clears `v`'s traffic hint (receiver-side, after gathering).
+    #[inline]
+    pub(crate) fn clear_dirty(&self, v: NodeIndex) {
+        self.dirty[v as usize].store(false, Ordering::Relaxed)
+    }
+
+    /// Base pointer of the dirty-flag array, for the sender-side outbox.
+    pub(crate) fn dirty_ptr(&self) -> *const AtomicBool {
+        self.dirty.as_ptr()
+    }
+
+    /// Exclusive access to one lane.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent or overlapping access to
+    /// `de`. The round loop satisfies this by construction: in the write
+    /// phase a lane is touched only by its unique sender, in the drain
+    /// phase only by its unique receiver, and the two phases address
+    /// different arenas.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn lane(&self, de: DirectedEdgeId) -> &mut Lane<M> {
+        &mut *self.lanes[de as usize].get()
+    }
+
+    /// Raw base pointer of the contiguous lane row starting at `de` —
+    /// handed to a sender's direct-writing outbox for the duration of
+    /// one step call.
+    ///
+    /// # Safety
+    /// Same contract as [`Arena::lane`], for every lane of the row: the
+    /// caller must be the row's unique writer while the pointer lives.
+    pub(crate) unsafe fn row_ptr(&self, de: DirectedEdgeId) -> *mut Lane<M> {
+        // UnsafeCell<T> is repr(transparent) over T.
+        self.lanes.as_ptr().add(de as usize) as *mut Lane<M>
+    }
+}
+
+/// Double-buffered per-receiver inboxes for the sequential fast path:
+/// senders push pre-labeled [`Incoming`]s straight into the receiver's
+/// next-round buffer, receivers read and clear their current one. No
+/// `Sync` impl — this arena must never cross threads (receiver buffers
+/// are multi-writer), which the engine guarantees by using it only
+/// under `Executor::Sequential`.
+pub(crate) struct InboxArena<M> {
+    boxes: Vec<UnsafeCell<Vec<Incoming<M>>>>,
+}
+
+impl<M> InboxArena<M> {
+    pub(crate) fn new(nodes: usize) -> Self {
+        InboxArena { boxes: (0..nodes).map(|_| UnsafeCell::new(Vec::new())).collect() }
+    }
+
+    /// Exclusive access to one receiver's buffer.
+    ///
+    /// # Safety
+    /// No other reference to `v`'s buffer may be live. The sequential
+    /// round loop alternates strictly between "owner reads/clears its
+    /// current buffer" and "senders push into next buffers", never
+    /// holding two references at once.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn inbox(&self, v: NodeIndex) -> &mut Vec<Incoming<M>> {
+        &mut *self.boxes[v as usize].get()
+    }
+
+    /// Type-erased base pointer of the buffer array, for the outbox's
+    /// inbox sink.
+    pub(crate) fn base_ptr(&self) -> *mut () {
+        self.boxes.as_ptr() as *mut ()
+    }
+}
+
+/// Round statistics accumulated in the fused write path, per node, and
+/// merged across nodes. Merging is associative, and `violation` keeps
+/// the leftmost (= lowest node index) entry, so sequential folds and
+/// chunked parallel reductions produce identical results.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct RoundAcc {
+    pub messages: u64,
+    pub bits: u64,
+    pub max_message_bits: u64,
+    pub max_link_bits: u64,
+    pub max_link_messages: u64,
+    /// Nodes that transitioned `Running → Halted` this round.
+    pub halted: u32,
+    /// First (by node index) lane that exceeded an enforced budget:
+    /// `(sender, port, end-of-round lane bits)`.
+    pub violation: Option<(NodeIndex, u32, u64)>,
+}
+
+impl RoundAcc {
+    pub(crate) fn merge(a: RoundAcc, b: RoundAcc) -> RoundAcc {
+        RoundAcc {
+            messages: a.messages + b.messages,
+            bits: a.bits + b.bits,
+            max_message_bits: a.max_message_bits.max(b.max_message_bits),
+            max_link_bits: a.max_link_bits.max(b.max_link_bits),
+            max_link_messages: a.max_link_messages.max(b.max_link_messages),
+            halted: a.halted + b.halted,
+            violation: a.violation.or(b.violation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_associative_and_keeps_leftmost_violation() {
+        let a = RoundAcc { messages: 1, bits: 10, violation: Some((3, 0, 9)), ..RoundAcc::default() };
+        let b = RoundAcc { messages: 2, bits: 5, violation: Some((7, 1, 4)), ..RoundAcc::default() };
+        let c = RoundAcc { messages: 4, max_link_bits: 99, ..RoundAcc::default() };
+        let left = RoundAcc::merge(RoundAcc::merge(a, b), c);
+        let right = RoundAcc::merge(a, RoundAcc::merge(b, c));
+        assert_eq!(left.messages, 7);
+        assert_eq!(left.messages, right.messages);
+        assert_eq!(left.max_link_bits, 99);
+        assert_eq!(left.violation, Some((3, 0, 9)));
+        assert_eq!(right.violation, Some((3, 0, 9)));
+    }
+
+    #[test]
+    fn lanes_start_zeroed() {
+        let arena: Arena<u64> = Arena::new(4, 2);
+        for de in 0..4 {
+            // SAFETY: single-threaded test, no overlapping access.
+            let lane = unsafe { arena.lane(de) };
+            assert!(lane.is_empty());
+        }
+        assert!(!arena.is_dirty(0) && !arena.is_dirty(1));
+    }
+
+    #[test]
+    fn loads_start_stale() {
+        let table = LoadTable::new(3);
+        for de in 0..3 {
+            // SAFETY: single-threaded test, no overlapping access.
+            let load = unsafe { &*table.row_ptr(de) };
+            assert_eq!(load.stamp, u32::MAX, "fresh loads must be stale-stamped");
+            assert_eq!((load.bits, load.count), (0, 0));
+        }
+    }
+}

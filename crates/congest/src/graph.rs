@@ -18,6 +18,13 @@ pub type NodeId = u64;
 /// payloads use [`NodeId`]s.
 pub type NodeIndex = u32;
 
+/// Identifier of a *directed* edge `(v, p)`: node `v`'s adjacency slot
+/// for local port `p`, i.e. `offsets[v] + p` in the CSR layout. Directed
+/// edges number exactly `2m` and tile `0..2m` contiguously per sender,
+/// which is what lets the round engine key flat per-link message lanes
+/// and accounting counters by this id with no hashing and no search.
+pub type DirectedEdgeId = u32;
+
 /// An undirected edge in canonical (smaller index, larger index) order.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Edge {
@@ -191,7 +198,10 @@ impl GraphBuilder {
         }
 
         // Reverse ports: rev_port[slot of (v -> w)] = port of v in w's row.
+        // rev_slot is the same map in directed-edge-id space: the slot of
+        // (w -> v), precomputed so the engine's lane lookups are one load.
         let mut rev_port = vec![0u32; neighbors.len()];
+        let mut rev_slot = vec![0 as DirectedEdgeId; neighbors.len()];
         for v in 0..n {
             let (s, t) = (offsets[v] as usize, offsets[v + 1] as usize);
             for (p, &w) in neighbors[s..t].iter().enumerate() {
@@ -200,6 +210,7 @@ impl GraphBuilder {
                     .binary_search(&(v as NodeIndex))
                     .expect("reverse edge must exist");
                 rev_port[s + p] = q as u32;
+                rev_slot[s + p] = offsets[w as usize] + q as u32;
             }
         }
 
@@ -226,17 +237,46 @@ impl GraphBuilder {
             index_of_id.insert(id, i as NodeIndex);
         }
 
+        let (neighbor_ids_flat, ports_by_id) =
+            build_id_views(n, &offsets, &neighbors, &ids);
+
         Ok(Graph {
             n,
             offsets,
             neighbors,
             edge_of_slot,
             rev_port,
+            rev_slot,
             edges,
             ids,
             index_of_id,
+            neighbor_ids_flat,
+            ports_by_id,
         })
     }
+}
+
+/// Builds the identity-keyed adjacency views: the CSR-aligned table of
+/// neighbor identities, and per row the port permutation sorted by
+/// neighbor identity (the index behind `NodeInit::port_of_neighbor`'s
+/// binary search). Recomputed whenever the ID table changes.
+fn build_id_views(
+    n: usize,
+    offsets: &[u32],
+    neighbors: &[NodeIndex],
+    ids: &[NodeId],
+) -> (Vec<NodeId>, Vec<u32>) {
+    let mut neighbor_ids_flat = vec![0 as NodeId; neighbors.len()];
+    let mut ports_by_id = vec![0u32; neighbors.len()];
+    for v in 0..n {
+        let (s, t) = (offsets[v] as usize, offsets[v + 1] as usize);
+        for (p, &w) in neighbors[s..t].iter().enumerate() {
+            neighbor_ids_flat[s + p] = ids[w as usize];
+            ports_by_id[s + p] = p as u32;
+        }
+        ports_by_id[s..t].sort_unstable_by_key(|&p| neighbor_ids_flat[s + p as usize]);
+    }
+    (neighbor_ids_flat, ports_by_id)
 }
 
 /// An immutable simple undirected graph with node identities, stored in
@@ -250,9 +290,17 @@ pub struct Graph {
     edge_of_slot: Vec<u32>,
     /// Port of `v` within `w`'s adjacency row, per slot of `v -> w`.
     rev_port: Vec<u32>,
+    /// Directed-edge id of `(w -> v)`, per slot of `v -> w` (the same map
+    /// as `rev_port`, pre-offset into directed-edge-id space).
+    rev_slot: Vec<DirectedEdgeId>,
     edges: Vec<Edge>,
     ids: Vec<NodeId>,
     index_of_id: HashMap<NodeId, NodeIndex>,
+    /// Identity of `neighbors[s]`, per adjacency slot `s` (CSR-aligned).
+    neighbor_ids_flat: Vec<NodeId>,
+    /// Per row: local ports permuted into ascending-neighbor-identity
+    /// order, enabling O(log degree) identity-to-port lookup.
+    ports_by_id: Vec<u32>,
 }
 
 impl Graph {
@@ -332,6 +380,51 @@ impl Graph {
         self.edge_of_slot[self.offsets[v as usize] as usize + p as usize]
     }
 
+    /// Number of directed edges (`2m`): the size of the engine's
+    /// per-link lane and counter arrays.
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Directed-edge id of `(v, p)`.
+    pub fn directed_edge(&self, v: NodeIndex, p: u32) -> DirectedEdgeId {
+        self.offsets[v as usize] + p
+    }
+
+    /// The contiguous directed-edge id range owned by sender `v` — one
+    /// lane per local port, in port order.
+    pub fn directed_edge_range(&self, v: NodeIndex) -> std::ops::Range<DirectedEdgeId> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Directed-edge id of the reverse link: for `de = (v -> w)`, the id
+    /// of `(w -> v)`.
+    pub fn reverse_directed_edge(&self, de: DirectedEdgeId) -> DirectedEdgeId {
+        self.rev_slot[de as usize]
+    }
+
+    /// Identities of `v`'s neighbors, indexed by local port — a borrow
+    /// of the graph's CSR-aligned table, so handing it to every node
+    /// costs nothing.
+    pub fn neighbor_ids(&self, v: NodeIndex) -> &[NodeId] {
+        let (s, t) = (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize);
+        &self.neighbor_ids_flat[s..t]
+    }
+
+    /// `v`'s local ports permuted into ascending-neighbor-identity order
+    /// (the index behind O(log degree) identity-to-port lookups).
+    pub fn ports_sorted_by_id(&self, v: NodeIndex) -> &[u32] {
+        let (s, t) = (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize);
+        &self.ports_by_id[s..t]
+    }
+
+    /// Receiver-side port per local port of `v` (the `rev_port` row) —
+    /// the engine labels outgoing messages with these at send time.
+    pub(crate) fn rev_ports_row(&self, v: NodeIndex) -> &[u32] {
+        let (s, t) = (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize);
+        &self.rev_port[s..t]
+    }
+
     /// True if `{v, w}` is an edge.
     pub fn has_edge(&self, v: NodeIndex, w: NodeIndex) -> bool {
         if v == w {
@@ -352,10 +445,21 @@ impl Graph {
                 return Err(GraphError::DuplicateId(id));
             }
         }
-        let mut g = self.clone();
-        g.ids = ids;
-        g.index_of_id = index_of_id;
-        Ok(g)
+        let (neighbor_ids_flat, ports_by_id) =
+            build_id_views(self.n, &self.offsets, &self.neighbors, &ids);
+        Ok(Graph {
+            n: self.n,
+            offsets: self.offsets.clone(),
+            neighbors: self.neighbors.clone(),
+            edge_of_slot: self.edge_of_slot.clone(),
+            rev_port: self.rev_port.clone(),
+            rev_slot: self.rev_slot.clone(),
+            edges: self.edges.clone(),
+            ids,
+            index_of_id,
+            neighbor_ids_flat,
+            ports_by_id,
+        })
     }
 
     /// BFS distances from `src` (`u32::MAX` marks unreachable nodes).
@@ -670,6 +774,59 @@ mod tests {
         assert_eq!(g.index_of(50), Some(1));
         assert!(g.with_ids(vec![1, 1, 2]).is_err());
         assert!(g.with_ids(vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn directed_edges_tile_and_invert() {
+        let g = GraphBuilder::new(5)
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4)])
+            .build()
+            .unwrap();
+        assert_eq!(g.num_directed_edges(), 2 * g.m());
+        let mut seen = vec![false; g.num_directed_edges()];
+        for v in 0..g.n() as NodeIndex {
+            let range = g.directed_edge_range(v);
+            assert_eq!(range.len(), g.degree(v));
+            for p in 0..g.degree(v) as u32 {
+                let de = g.directed_edge(v, p);
+                assert!(range.contains(&de));
+                assert!(!seen[de as usize], "directed ids must tile 0..2m");
+                seen[de as usize] = true;
+                let rev = g.reverse_directed_edge(de);
+                assert_eq!(g.reverse_directed_edge(rev), de, "involution");
+                let w = g.neighbor_at(v, p);
+                assert_eq!(rev, g.directed_edge(w, g.reverse_port(v, p)));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn id_views_are_csr_aligned_and_follow_relabeling() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (0, 3), (2, 3)])
+            .ids(vec![40, 30, 20, 10])
+            .build()
+            .unwrap();
+        for v in 0..g.n() as NodeIndex {
+            let ids = g.neighbor_ids(v);
+            assert_eq!(ids.len(), g.degree(v));
+            for (p, &nid) in ids.iter().enumerate() {
+                assert_eq!(nid, g.id(g.neighbor_at(v, p as u32)));
+            }
+            let by_id = g.ports_sorted_by_id(v);
+            assert!(by_id.windows(2).all(|w| ids[w[0] as usize] < ids[w[1] as usize]));
+        }
+        // Relabeling rebuilds both views.
+        let h = g.with_ids(vec![1, 2, 3, 4]).unwrap();
+        for v in 0..h.n() as NodeIndex {
+            for (p, &nid) in h.neighbor_ids(v).iter().enumerate() {
+                assert_eq!(nid, h.id(h.neighbor_at(v, p as u32)));
+            }
+            let ids = h.neighbor_ids(v);
+            let by_id = h.ports_sorted_by_id(v);
+            assert!(by_id.windows(2).all(|w| ids[w[0] as usize] < ids[w[1] as usize]));
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@
 //! ```
 
 pub mod aggregate;
+pub(crate) mod arena;
 pub mod engine;
 pub mod fault;
 pub mod graph;

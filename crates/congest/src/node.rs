@@ -6,8 +6,10 @@
 //! Programs are plain state machines; all randomness must come from the
 //! RNG handed to the factory so runs are reproducible.
 
+use crate::arena::{Lane, LinkLoad, RoundAcc};
+use crate::fault::FaultPlan;
 use crate::graph::{NodeId, NodeIndex};
-use crate::message::WireMessage;
+use crate::message::{WireMessage, WireParams};
 
 /// Immutable per-node view of the network, as permitted by the CONGEST
 /// model: own identity, neighbor identities (learnable in one round, so we
@@ -16,30 +18,56 @@ use crate::message::WireMessage;
 /// Exposing `n` and `m` is the standard "nodes know the graph size"
 /// assumption; the paper's Phase 1 draws ranks from `[1, m²]`, and any
 /// polynomial upper bound suffices for its analysis.
-#[derive(Clone, Debug)]
-pub struct NodeInit {
+///
+/// The view *borrows* the graph's CSR-aligned tables instead of owning
+/// copies — instantiating `n` programs allocates nothing per node.
+/// Programs that outlive the factory call copy what they keep (e.g.
+/// `init.neighbor_ids.to_vec()`).
+#[derive(Clone, Copy, Debug)]
+pub struct NodeInit<'g> {
     /// Dense index of this node (simulator-internal; programs should key
     /// protocol logic on `id`, not `index`).
     pub index: NodeIndex,
     /// Identity of this node.
     pub id: NodeId,
-    /// Identities of neighbors, indexed by local port.
-    pub neighbor_ids: Vec<NodeId>,
+    /// Identities of neighbors, indexed by local port (a borrow of the
+    /// graph's table).
+    pub neighbor_ids: &'g [NodeId],
+    /// Local ports permuted into ascending-neighbor-identity order; the
+    /// index behind [`NodeInit::port_of_neighbor`]'s binary search.
+    /// Hand-built views (tests, harnesses) may leave this empty to fall
+    /// back to a linear scan.
+    pub ports_by_id: &'g [u32],
     /// Total number of nodes.
     pub n: usize,
     /// Total number of edges.
     pub m: usize,
 }
 
-impl NodeInit {
+impl NodeInit<'_> {
     /// Degree of this node.
     pub fn degree(&self) -> usize {
         self.neighbor_ids.len()
     }
 
-    /// Local port towards the neighbor with identity `id`, if adjacent.
+    /// Local port towards the neighbor with identity `id`, if adjacent:
+    /// O(log degree) via the identity-sorted port permutation (linear
+    /// scan when a hand-built view did not supply one).
     pub fn port_of_neighbor(&self, id: NodeId) -> Option<u32> {
-        self.neighbor_ids.iter().position(|&x| x == id).map(|p| p as u32)
+        if self.ports_by_id.len() == self.neighbor_ids.len() {
+            debug_assert!(
+                self.ports_by_id
+                    .windows(2)
+                    .all(|w| self.neighbor_ids[w[0] as usize] < self.neighbor_ids[w[1] as usize]),
+                "ports_by_id must permute ports into ascending-neighbor-identity order"
+            );
+            self.ports_by_id
+                .binary_search_by_key(&id, |&p| self.neighbor_ids[p as usize])
+                .ok()
+                .map(|i| self.ports_by_id[i])
+        } else {
+            self.neighbor_ids.iter().position(|&x| x == id).map(|p| p as u32)
+        }
     }
 }
 
@@ -52,16 +80,170 @@ pub struct Incoming<M> {
     pub msg: M,
 }
 
-/// Messages queued for sending in the current round.
-#[derive(Debug)]
-pub struct Outbox<M> {
-    pub(crate) sends: Vec<(u32, M)>,
-    degree: u32,
+/// Where an [`Outbox`]'s sends go.
+enum Sink<M> {
+    /// Queue into an owned buffer — harnesses, tests, and reference
+    /// engines consume it via [`Outbox::drain_sends`]/[`Outbox::take_sends`].
+    Buffered(Vec<(u32, M)>),
+    /// Write straight into the engine's next-round message lanes, fusing
+    /// wire accounting and bandwidth checks into the send itself. Built
+    /// only by the arena engine, one per node per round, on the worker's
+    /// stack.
+    Direct(DirectSink),
+    /// As `Direct`, minus wire counters and fault checks — chosen by the
+    /// engine when neither can be observed (no round recording, no
+    /// bandwidth cap, no fault plan): the send is then just a lane push
+    /// plus the receiver's traffic hint.
+    DirectFast(DirectSink),
+    /// The sequential-executor fast path: push straight into the
+    /// receiver's next-round inbox (`lanes` points at the inbox array,
+    /// indexed by node). Sound only single-threaded — receivers' inboxes
+    /// are multi-writer — which the engine guarantees by selecting this
+    /// sink under `Executor::Sequential` alone. Ascending-sender
+    /// iteration makes the resulting inbox order identical to the lane
+    /// path's canonical order.
+    DirectInbox(DirectSink),
+    /// As `DirectInbox`, with the full fused accounting/fault path of
+    /// `Direct` — the sequential executor's accounted route: one inbox
+    /// push per delivered message, wire loads in the flat table, no lane
+    /// machinery and no traffic-hint atomics.
+    DirectInboxHeavy(DirectSink),
 }
 
-impl<M: Clone> Outbox<M> {
+/// How the engine wants sends routed this round.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SinkMode {
+    /// Full accounting/fault path into lanes (parallel executor).
+    Heavy,
+    /// Counter-free lane path (parallel executor, nothing observable).
+    FastLanes,
+    /// Counter-free per-receiver inbox path (sequential executor only).
+    FastInbox,
+    /// Accounting/fault per-receiver inbox path (sequential executor
+    /// only).
+    HeavyInbox,
+}
+
+/// Round-invariant context shared by every node's direct sink; built
+/// once per round on the engine's frame.
+pub(crate) struct SinkCtx {
+    /// Per-receiver traffic hints of the write arena. Valid for the
+    /// lane sink modes; the inbox modes never read hints (a receiver
+    /// reads its own inbox directly), so the sequential engine passes a
+    /// dangling pointer.
+    pub(crate) dirty: *const std::sync::atomic::AtomicBool,
+    pub(crate) params: *const WireParams,
+    pub(crate) faults: *const FaultPlan,
+    pub(crate) check_faults: bool,
+    /// False when neither round recording nor bandwidth enforcement can
+    /// observe the wire counters — the send path then skips them. When
+    /// true the engine has allocated the flat load table and every
+    /// `DirectSink::loads` row pointer is valid.
+    pub(crate) account: bool,
+    /// `account || check_faults`: selects the accounting send paths.
+    pub(crate) heavy: bool,
+    /// Enforced per-link bit budget; `u64::MAX` under `Measure`.
+    pub(crate) limit: u64,
+    pub(crate) round: u32,
+}
+
+// SAFETY: the context is shared by reference across worker threads; its
+// pointers reference round-lived shared state that is either read-only
+// for the whole round (`params`, `faults`) or accessed atomically
+// (`dirty`).
+unsafe impl Sync for SinkCtx {}
+
+/// Raw plumbing of the direct sink. Pointers are valid for the duration
+/// of the one `Program::step` call the outbox is built for; the engine
+/// guarantees the lane row is written by no one else meanwhile.
+pub(crate) struct DirectSink {
+    /// Base of this sender's contiguous lane row in the write arena
+    /// (type-erased here; re-typed in the `send` path where `M` is known).
+    pub(crate) lanes: *mut (),
+    /// Receiver node index per local port (the graph's neighbor row).
+    pub(crate) receivers: *const NodeIndex,
+    /// Receiver-side port per local port (the graph's rev-port row);
+    /// messages land in lanes pre-labeled for delivery.
+    pub(crate) rev_ports: *const u32,
+    /// The executor-chunk round accumulator.
+    pub(crate) acc: *mut RoundAcc,
+    /// Base of this sender's row in the flat per-directed-edge load
+    /// table (indexed by local port, like `lanes`). Valid iff the
+    /// context's `account` is set — the engine allocates the table
+    /// whenever the wire counters are observable, and `charge_send`
+    /// only reads this field under that flag (dangling otherwise).
+    pub(crate) loads: *mut LinkLoad,
+    /// Shared round-invariant context.
+    pub(crate) ctx: *const SinkCtx,
+    pub(crate) sender: NodeIndex,
+}
+
+/// Messages queued for sending in the current round.
+pub struct Outbox<M> {
+    sink: Sink<M>,
+    degree: u32,
+    queued: u32,
+}
+
+impl<M: WireMessage> Outbox<M> {
     pub(crate) fn new(degree: u32) -> Self {
-        Outbox { sends: Vec::new(), degree }
+        Outbox { sink: Sink::Buffered(Vec::new()), degree, queued: 0 }
+    }
+
+    /// Builds a lane- or inbox-writing outbox for one step call
+    /// (engine-internal); see [`SinkMode`] for when each routing is
+    /// sound.
+    ///
+    /// # Safety
+    /// `sink`'s pointers must be valid and exclusive for the outbox's
+    /// lifetime: `lanes` must point at the sender's `degree`-long lane
+    /// row (`*mut Lane<M>` type-erased) — or, for the inbox modes, at
+    /// the full per-receiver inbox array (`*mut Vec<Incoming<M>>`) —
+    /// `loads` at the sender's load row whenever the mode accounts, and
+    /// `acc`/`ctx` at live objects nobody else mutates during the call.
+    pub(crate) unsafe fn direct(degree: u32, sink: DirectSink, mode: SinkMode) -> Self {
+        let sink = match mode {
+            SinkMode::Heavy => Sink::Direct(sink),
+            SinkMode::FastLanes => Sink::DirectFast(sink),
+            SinkMode::FastInbox => Sink::DirectInbox(sink),
+            SinkMode::HeavyInbox => Sink::DirectInboxHeavy(sink),
+        };
+        Outbox { sink, degree, queued: 0 }
+    }
+
+    /// Constructs a free-standing buffered outbox for out-of-crate
+    /// harnesses and tests (reference engines, unit-testing a
+    /// [`Program`] step in isolation). The engine builds its own
+    /// outboxes internally.
+    pub fn for_harness(degree: u32) -> Self {
+        Outbox::new(degree)
+    }
+
+    /// Drains the queued `(port, message)` pairs in queueing order —
+    /// how a harness consumes what a step produced.
+    ///
+    /// # Panics
+    /// Panics on an engine-internal direct outbox (those have no queue).
+    pub fn drain_sends(&mut self) -> std::vec::Drain<'_, (u32, M)> {
+        self.queued = 0;
+        match &mut self.sink {
+            Sink::Buffered(v) => v.drain(..),
+            _ => panic!("drain_sends requires a buffered outbox"),
+        }
+    }
+
+    /// Moves the queued sends out, leaving an empty buffer. For
+    /// harnesses that want ownership (e.g. the pre-arena reference
+    /// engine kept for benchmarking).
+    ///
+    /// # Panics
+    /// Panics on an engine-internal direct outbox (those have no queue).
+    pub fn take_sends(&mut self) -> Vec<(u32, M)> {
+        self.queued = 0;
+        match &mut self.sink {
+            Sink::Buffered(v) => std::mem::take(v),
+            _ => panic!("take_sends requires a buffered outbox"),
+        }
     }
 
     /// Sends `msg` on local port `port`.
@@ -69,26 +251,191 @@ impl<M: Clone> Outbox<M> {
     /// # Panics
     /// Panics if `port` is out of range — that is a protocol bug, not a
     /// runtime condition.
+    #[inline]
     pub fn send(&mut self, port: u32, msg: M) {
         assert!(port < self.degree, "send on port {port} of node with degree {}", self.degree);
-        self.sends.push((port, msg));
+        self.queued += 1;
+        match &mut self.sink {
+            Sink::Buffered(v) => v.push((port, msg)),
+            // SAFETY: pointer validity/exclusivity guaranteed by the
+            // `Outbox::direct` contract; `lanes` was erased from
+            // `*mut Lane<M>` for this same `M`.
+            Sink::Direct(d) => unsafe { direct_send(d, port, msg) },
+            // SAFETY: as above.
+            Sink::DirectFast(d) => unsafe { direct_send_fast(d, port, msg) },
+            // SAFETY: as above.
+            Sink::DirectInbox(d) => unsafe { direct_send_inbox(d, port, msg) },
+            // SAFETY: as above.
+            Sink::DirectInboxHeavy(d) => unsafe { direct_send_inbox_heavy(d, port, msg) },
+        }
     }
 
     /// Sends a clone of `msg` on every port.
     pub fn broadcast(&mut self, msg: &M) {
-        for p in 0..self.degree {
-            self.sends.push((p, msg.clone()));
+        self.queued += self.degree;
+        match &mut self.sink {
+            Sink::Buffered(v) => {
+                v.reserve(self.degree as usize);
+                for p in 0..self.degree {
+                    v.push((p, msg.clone()));
+                }
+            }
+            // SAFETY: as in `send`; every port is in range by definition.
+            Sink::Direct(d) => unsafe {
+                for p in 0..self.degree {
+                    direct_send(d, p, msg.clone());
+                }
+            },
+            // SAFETY: as above.
+            Sink::DirectFast(d) => unsafe {
+                for p in 0..self.degree {
+                    direct_send_fast(d, p, msg.clone());
+                }
+            },
+            // SAFETY: as above.
+            Sink::DirectInbox(d) => unsafe {
+                for p in 0..self.degree {
+                    direct_send_inbox(d, p, msg.clone());
+                }
+            },
+            // SAFETY: as above.
+            Sink::DirectInboxHeavy(d) => unsafe {
+                for p in 0..self.degree {
+                    direct_send_inbox_heavy(d, p, msg.clone());
+                }
+            },
         }
     }
 
     /// Number of messages queued so far this round.
     pub fn queued(&self) -> usize {
-        self.sends.len()
+        self.queued as usize
     }
 
     /// Number of ports available (the node's degree).
     pub fn degree(&self) -> u32 {
         self.degree
+    }
+}
+
+/// The shared half of the heavy send paths: stamp/advance this link's
+/// load, feed the round accumulator, check the bandwidth budget.
+/// Returns whether the message survives the fault plan (the sender has
+/// already been charged either way).
+///
+/// # Safety
+/// See [`Outbox::direct`] — when the context accounts, `d.loads` must
+/// be the sender's valid load row — and `port < degree`.
+#[inline(always)]
+unsafe fn charge_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: &M) -> bool {
+    let ctx = &*d.ctx;
+    if ctx.account {
+        let load = &mut *d.loads.add(port as usize);
+        if load.stamp != ctx.round {
+            // First traffic on this link this round: the stale counters
+            // are semantically zero, re-stamp instead of ever scanning
+            // to reset.
+            load.bits = 0;
+            load.count = 0;
+            load.stamp = ctx.round;
+        }
+        load.count += 1;
+        let b = msg.wire_bits(&*ctx.params);
+        let acc = &mut *d.acc;
+        acc.messages += 1;
+        acc.bits += b;
+        if b > acc.max_message_bits {
+            acc.max_message_bits = b;
+        }
+        load.bits += b;
+        if load.bits > acc.max_link_bits {
+            acc.max_link_bits = load.bits;
+        }
+        if load.count > acc.max_link_messages {
+            acc.max_link_messages = load.count;
+        }
+        if load.bits > ctx.limit && acc.violation.is_none() {
+            acc.violation = Some((d.sender, port, load.bits));
+        }
+    }
+    !(ctx.check_faults && (*ctx.faults).drops(ctx.round, d.sender, port))
+}
+
+/// The fused lane write path: accounting, bandwidth check, delivery —
+/// one message move, no allocation.
+///
+/// # Safety
+/// See [`Outbox::direct`]; additionally `port < degree` was checked by
+/// the caller.
+#[inline(always)]
+unsafe fn direct_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M) {
+    if charge_send(d, port, &msg) {
+        let ctx = &*d.ctx;
+        let lane = &mut *(d.lanes as *mut Lane<M>).add(port as usize);
+        if lane.is_empty() {
+            // First delivery into this lane this round: flag the
+            // receiver so it knows to scan its lanes next round. A
+            // fault-dropped send leaves the lane empty and the flag
+            // untouched — there is nothing to gather.
+            let w = *d.receivers.add(port as usize);
+            (*ctx.dirty.add(w as usize)).store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        let rev = *d.rev_ports.add(port as usize);
+        lane.push(Incoming { port: rev, msg });
+    }
+}
+
+/// The minimal write path (see `Sink::DirectFast`): lane counters stay
+/// untouched (they are unobservable and the gather path then keys
+/// purely off `msgs`), the message-present transition drives the
+/// receiver's traffic hint.
+///
+/// # Safety
+/// As [`direct_send`].
+#[inline(always)]
+unsafe fn direct_send_fast<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M) {
+    let lane = &mut *(d.lanes as *mut Lane<M>).add(port as usize);
+    if lane.is_empty() {
+        let w = *d.receivers.add(port as usize);
+        let ctx = &*d.ctx;
+        (*ctx.dirty.add(w as usize)).store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    let rev = *d.rev_ports.add(port as usize);
+    lane.push(Incoming { port: rev, msg });
+}
+
+/// The sequential-executor write path (see `Sink::DirectInbox`): one
+/// push straight into the receiver's next-round inbox.
+///
+/// # Safety
+/// As [`direct_send`], plus: `d.lanes` points at the per-receiver inbox
+/// array and no other thread touches any inbox during the round (the
+/// engine only selects this sink for the sequential executor).
+#[inline(always)]
+unsafe fn direct_send_inbox<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M) {
+    let w = *d.receivers.add(port as usize);
+    let rev = *d.rev_ports.add(port as usize);
+    let inbox = &mut *(d.lanes as *mut Vec<Incoming<M>>).add(w as usize);
+    inbox.push(Incoming { port: rev, msg });
+}
+
+/// The sequential-executor accounted write path (see
+/// `Sink::DirectInboxHeavy`): identical wire accounting to the lane
+/// path — same accumulator updates in the same order, so the two
+/// executors' round statistics stay bit-for-bit equal — but delivery is
+/// one push into the receiver's next-round inbox, with no lane
+/// machinery and no traffic-hint atomics.
+///
+/// # Safety
+/// As [`direct_send_inbox`], plus `d.loads` must be the sender's valid
+/// load row.
+#[inline(always)]
+unsafe fn direct_send_inbox_heavy<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M) {
+    if charge_send(d, port, &msg) {
+        let w = *d.receivers.add(port as usize);
+        let rev = *d.rev_ports.add(port as usize);
+        let inbox = &mut *(d.lanes as *mut Vec<Incoming<M>>).add(w as usize);
+        inbox.push(Incoming { port: rev, msg });
     }
 }
 
@@ -130,7 +477,8 @@ mod tests {
         ob.send(0, 42);
         ob.broadcast(&7);
         assert_eq!(ob.queued(), 4);
-        assert_eq!(ob.sends, vec![(0, 42), (0, 7), (1, 7), (2, 7)]);
+        let sends: Vec<(u32, u64)> = ob.drain_sends().collect();
+        assert_eq!(sends, vec![(0, 42), (0, 7), (1, 7), (2, 7)]);
     }
 
     #[test]
@@ -142,9 +490,37 @@ mod tests {
 
     #[test]
     fn node_init_port_lookup() {
-        let init = NodeInit { index: 0, id: 5, neighbor_ids: vec![9, 2, 7], n: 4, m: 3 };
+        // With the identity-sorted permutation: binary-search path.
+        let init = NodeInit {
+            index: 0,
+            id: 5,
+            neighbor_ids: &[9, 2, 7],
+            ports_by_id: &[1, 2, 0],
+            n: 4,
+            m: 3,
+        };
         assert_eq!(init.degree(), 3);
         assert_eq!(init.port_of_neighbor(2), Some(1));
+        assert_eq!(init.port_of_neighbor(9), Some(0));
+        assert_eq!(init.port_of_neighbor(7), Some(2));
         assert_eq!(init.port_of_neighbor(5), None);
+        // Without it: linear fallback gives identical answers.
+        let plain = NodeInit { ports_by_id: &[], ..init };
+        for id in [2, 9, 7, 5, 0] {
+            assert_eq!(plain.port_of_neighbor(id), init.port_of_neighbor(id));
+        }
+    }
+
+    #[test]
+    fn outbox_drain_and_take() {
+        let mut ob: Outbox<u64> = Outbox::for_harness(2);
+        ob.send(1, 8);
+        ob.broadcast(&3);
+        let drained: Vec<(u32, u64)> = ob.drain_sends().collect();
+        assert_eq!(drained, vec![(1, 8), (0, 3), (1, 3)]);
+        assert_eq!(ob.queued(), 0);
+        ob.send(0, 1);
+        assert_eq!(ob.take_sends(), vec![(0, 1)]);
+        assert_eq!(ob.queued(), 0);
     }
 }

@@ -6,9 +6,7 @@
 //! log renders to a deterministic, line-oriented transcript — the format
 //! the round-by-round examples print and snapshot tests can assert on.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::graph::NodeIndex;
 use crate::node::{Incoming, Outbox, Program, Status};
@@ -37,14 +35,14 @@ impl TraceLog {
     }
 
     fn push(&self, e: TraceEvent) {
-        self.events.lock().push(e);
+        self.events.lock().expect("trace log poisoned").push(e);
     }
 
     /// Snapshot of the events, sorted canonically (round, node, send
     /// after recv) so parallel execution yields a deterministic
     /// transcript.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut ev = self.events.lock().clone();
+        let mut ev = self.events.lock().expect("trace log poisoned").clone();
         ev.sort_by_key(|e| match e {
             TraceEvent::Recv { round, node, port, .. } => (*round, *node, 0u8, *port),
             TraceEvent::Send { round, node, port, .. } => (*round, *node, 1, *port),
@@ -55,7 +53,7 @@ impl TraceLog {
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.events.lock().expect("trace log poisoned").len()
     }
 
     /// True when nothing was recorded.
@@ -114,15 +112,20 @@ where
                 what: format!("{:?}", inc.msg),
             });
         }
-        let before = out.queued();
-        let status = self.inner.step(round, inbox, out);
-        for (port, msg) in &out.sends[before..] {
+        // Step into a buffered side outbox, then replay into the real
+        // one: works with any engine backend (the arena engine's outbox
+        // writes straight into message lanes and keeps no queue to
+        // inspect). Tracing is explicitly not a hot path.
+        let mut buffered = Outbox::for_harness(out.degree());
+        let status = self.inner.step(round, inbox, &mut buffered);
+        for (port, msg) in buffered.drain_sends() {
             self.log.push(TraceEvent::Send {
                 round,
                 node: self.node,
-                port: *port,
+                port,
                 what: format!("{msg:?}"),
             });
+            out.send(port, msg);
         }
         if status == Status::Halted {
             self.log.push(TraceEvent::Halt { round, node: self.node });

@@ -90,6 +90,56 @@ proptest! {
         prop_assert_eq!(a.report.per_round, b.report.per_round);
     }
 
+    /// Arena-engine reproducibility under message loss: Sequential and
+    /// Parallel executors must produce identical `RunReport`s and
+    /// verdicts on random graphs when a nontrivial `FaultPlan` (random
+    /// loss plus explicit drops) reshapes delivery.
+    #[test]
+    fn executors_equivalent_under_faults(
+        g in arb_graph(),
+        rounds in 1u32..5,
+        loss_pct in 1u32..60,
+        seed in any::<u64>(),
+    ) {
+        let faults = FaultPlan::none()
+            .random_loss(f64::from(loss_pct) / 100.0, seed)
+            .drop_at(0, 0, 0)
+            .drop_at(1, 1, 0);
+        let mk = |exec| {
+            let cfg = EngineConfig { executor: exec, faults: faults.clone(), ..EngineConfig::default() };
+            run(&g, &cfg, |_| Echo { rounds, sent: 0, received: 0 }).unwrap()
+        };
+        let a = mk(Executor::Sequential);
+        let b = mk(Executor::Parallel);
+        prop_assert_eq!(a.verdicts, b.verdicts);
+        prop_assert_eq!(a.report.per_round, b.report.per_round);
+        prop_assert_eq!(a.report.rounds, b.report.rounds);
+        prop_assert_eq!(a.report.all_halted, b.report.all_halted);
+        // Faults only suppress deliveries, never fabricate them.
+        let sent: u64 = a.verdicts.iter().map(|v| v.0).sum();
+        let received: u64 = a.verdicts.iter().map(|v| v.1).sum();
+        prop_assert!(received <= sent);
+    }
+
+    /// The counter-free fast paths (taken when round recording is off)
+    /// must deliver exactly what the accounted path delivers, on both
+    /// executors.
+    #[test]
+    fn fast_paths_equivalent_to_accounted(g in arb_graph(), rounds in 1u32..5) {
+        let mk = |exec, record_rounds| {
+            let cfg = EngineConfig { executor: exec, record_rounds, ..EngineConfig::default() };
+            run(&g, &cfg, |_| Echo { rounds, sent: 0, received: 0 }).unwrap()
+        };
+        let reference = mk(Executor::Sequential, true);
+        for exec in [Executor::Sequential, Executor::Parallel] {
+            let fast = mk(exec, false);
+            prop_assert_eq!(&fast.verdicts, &reference.verdicts, "{:?}", exec);
+            prop_assert_eq!(fast.report.rounds, reference.report.rounds);
+            prop_assert_eq!(fast.report.all_halted, reference.report.all_halted);
+            prop_assert!(fast.report.per_round.is_empty());
+        }
+    }
+
     /// Fault semantics: with full loss nothing is received but everything
     /// is still accounted as sent; with an explicit plan, exactly the
     /// planned messages disappear.

@@ -124,7 +124,7 @@ impl CkTester {
             rpr: rounds_per_repetition(cfg.k),
             reps_total: cfg.effective_repetitions(),
             myid: init.id,
-            neighbor_ids: init.neighbor_ids.clone(),
+            neighbor_ids: init.neighbor_ids.to_vec(),
             m: init.m,
             seed: cfg.seed,
             pruner: cfg.pruner,

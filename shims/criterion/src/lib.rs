@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the builder/macro surface the workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!` — measuring with
+//! plain `std::time::Instant` instead of criterion's statistical engine.
+//!
+//! Methodology: each benchmark is warmed up for [`WARMUP`], then timed
+//! in whole-iteration batches until [`MEASURE`] of wall clock or
+//! [`MAX_ITERS`] iterations have elapsed; the reported figure is the
+//! mean. That is deliberately simpler than criterion (no outlier
+//! rejection, no regression analysis) but stable enough to compare
+//! engine variants on one machine, and it keeps `cargo bench` usable
+//! with no external dependencies.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Warm-up budget per benchmark.
+pub const WARMUP: Duration = Duration::from_millis(300);
+/// Measurement budget per benchmark.
+pub const MEASURE: Duration = Duration::from_secs(1);
+/// Iteration cap per benchmark (bounds total runtime of slow benches).
+pub const MAX_ITERS: u64 = 10_000;
+
+/// Re-export matching `criterion::black_box` (same guarantees).
+pub use std::hint::black_box;
+
+/// Top-level bench context; one per `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group; group benchmarks render as `group/id`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<S: Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    pub fn bench_with_input<S: Display, I: ?Sized, F>(
+        &mut self,
+        id: S,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API parity; this harness sizes measurement by wall
+    /// clock ([`MEASURE`]/[`MAX_ITERS`]) rather than sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        BenchmarkId { repr: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { repr: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: fills caches and triggers lazy init outside the
+        // measured window.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= MEASURE {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<60} (no iterations recorded)");
+        return;
+    }
+    let per_iter = b.total.as_nanos() / u128::from(b.iters);
+    println!(
+        "{name:<60} time: {} ({} iterations)",
+        format_ns(per_iter),
+        b.iters
+    );
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Mirrors `criterion_group!`: bundles bench functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher { total: Duration::ZERO, iters: 0 };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iters > 0);
+        assert!(b.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("sweep", 42).to_string(), "sweep/42");
+        assert_eq!(BenchmarkId::from_parameter("p0.05").to_string(), "p0.05");
+    }
+
+    #[test]
+    fn groups_compose_names() {
+        let mut c = Criterion::default();
+        // Smoke-run a trivial benchmark through the whole pipeline.
+        let mut g = c.benchmark_group("shim");
+        g.bench_with_input(BenchmarkId::from_parameter(1u32), &1u32, |b, &v| {
+            b.iter(|| v + 1);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,227 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides — with the same paths and method names — exactly the API
+//! surface the workspace consumes: [`rngs::StdRng`], [`SeedableRng`],
+//! and the [`RngExt`] sampling helpers (`random`, `random_range`,
+//! `random_bool`).
+//!
+//! The generator is xoshiro256++ seeded through splitmix64, which is the
+//! standard small-state construction with good statistical behaviour.
+//! Everything here is deterministic in the seed; nothing reads OS
+//! entropy. Streams are stable across platforms and releases of this
+//! workspace — experiment replays depend on that, so treat any change to
+//! the generator as a breaking change.
+
+/// RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A deterministic 256-bit-state generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Next raw 64-bit output.
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding, mirroring `rand::SeedableRng` for the subset used here.
+pub trait SeedableRng: Sized {
+    /// Expands a 64-bit seed into the full generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        // xoshiro's all-zero state is degenerate; splitmix64 never yields
+        // four consecutive zeros from any seed, so this is safe.
+        rngs::StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// A type samplable uniformly from the generator's raw output.
+pub trait Uniform: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Uniform for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Uniform for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Uniform for usize {
+    fn from_u64(raw: u64) -> Self {
+        raw as usize
+    }
+}
+
+impl Uniform for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw >> 63 == 1
+    }
+}
+
+/// A range type usable with [`RngExt::random_range`]: yields its
+/// inclusive bounds as `u64`s plus a converter back to the target type.
+pub trait SampleRange {
+    type Output;
+    /// Inclusive (lo, hi) bounds. Panics on an empty range, matching
+    /// `rand`'s behaviour.
+    fn bounds(&self) -> (u64, u64);
+    fn from_u64(v: u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn bounds(&self) -> (u64, u64) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start as u64, self.end as u64 - 1)
+            }
+            fn from_u64(v: u64) -> $t { v as $t }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn bounds(&self) -> (u64, u64) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start() as u64, *self.end() as u64)
+            }
+            fn from_u64(v: u64) -> $t { v as $t }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Sampling helpers, mirroring the `rand` 0.9 method names (`random`,
+/// `random_range`, `random_bool`).
+pub trait RngExt {
+    fn next_raw(&mut self) -> u64;
+
+    /// A uniform sample of `T` over its full value range.
+    fn random<T: Uniform>(&mut self) -> T {
+        T::from_u64(self.next_raw())
+    }
+
+    /// A uniform sample from `range` (debiased by rejection).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let (lo, hi) = range.bounds();
+        let width = hi - lo + 1; // 0 means the full 2^64 range
+        if width == 0 {
+            return R::from_u64(self.next_raw());
+        }
+        // Rejection sampling on the top bits: unbiased and cheap (the
+        // expected number of draws is < 2 for any width).
+        let zone = u64::MAX - (u64::MAX - width + 1) % width;
+        loop {
+            let raw = self.next_raw();
+            if raw <= zone {
+                return R::from_u64(lo + raw % width);
+            }
+        }
+    }
+
+    /// A Bernoulli trial with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare 53 uniform bits against p at double precision.
+        let unit = (self.next_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl RngExt for rngs::StdRng {
+    fn next_raw(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn ranges_hit_all_values_and_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.random_range(3usize..13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = r.random_range(5u64..=5);
+            assert_eq!(v, 5);
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_calibrated() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..20_000).filter(|_| r.random_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(3);
+        let _ = r.random_range(5u32..5);
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the fragment of rayon's API the workspace uses — `par_iter_mut` /
+//! `par_iter` over slices, `into_par_iter` over integer ranges, and the
+//! `map` / `enumerate` / `for_each` / `collect` adapters — implemented
+//! with `std::thread::scope` over contiguous chunks.
+//!
+//! Differences from real rayon, by design:
+//!
+//! * no global thread pool — threads are spawned per call and joined
+//!   before it returns (scoped, so borrowed captures work exactly as
+//!   they do with rayon);
+//! * small inputs (below [`MIN_PAR_LEN`]) run inline on the caller's
+//!   thread, since per-call spawning would dominate;
+//! * adapters are executed eagerly at the terminal operation; there is
+//!   no lazy iterator fusion beyond the single `map` this workspace
+//!   needs.
+//!
+//! Chunks are contiguous and results are reassembled in input order, so
+//! `collect` is order-preserving — the property the round engine's
+//! determinism contract relies on.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Inputs shorter than this run inline; scoped-thread spawning costs a
+/// few tens of microseconds per call, which only pays off for wide loops.
+pub const MIN_PAR_LEN: usize = 4096;
+
+/// Test override for the worker count (0 = use the core count).
+static FORCED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces every parallel call to split across exactly `n` scoped
+/// threads regardless of core count or input length (0 restores the
+/// default). For tests: lets single-core machines and small inputs
+/// exercise the genuinely multi-threaded code paths that callers'
+/// unsafe code (e.g. the round engine's shared arenas) must survive.
+pub fn force_workers_for_tests(n: usize) {
+    FORCED_WORKERS.store(n, Ordering::Relaxed);
+}
+
+fn worker_count(len: usize) -> usize {
+    let forced = FORCED_WORKERS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced.min(len.max(1));
+    }
+    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    cores.min(len)
+}
+
+/// True when a call should run on the caller's thread. The length
+/// threshold is bypassed under a test-forced worker count.
+fn run_inline(workers: usize, len: usize) -> bool {
+    workers <= 1 || (FORCED_WORKERS.load(Ordering::Relaxed) == 0 && len < MIN_PAR_LEN)
+}
+
+/// Runs `f(start_index, chunk)` over contiguous chunks of `data` on
+/// scoped threads, returning per-chunk outputs in input order.
+fn run_mut_chunks<T: Send, R: Send>(
+    data: &mut [T],
+    inline: bool,
+    f: impl Fn(usize, &mut [T]) -> R + Sync,
+) -> Vec<R> {
+    let n = data.len();
+    let workers = worker_count(n);
+    if inline || run_inline(workers, n) {
+        if n == 0 {
+            return Vec::new();
+        }
+        return vec![f(0, data)];
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, ch)| s.spawn(move || f(ci * chunk, ch)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Order-preserving parallel map over mutable slice elements.
+fn map_mut_indexed<T: Send, R: Send>(
+    data: &mut [T],
+    f: impl Fn(usize, &mut T) -> R + Sync,
+) -> Vec<R> {
+    let parts = run_mut_chunks(data, false, |base, ch| {
+        ch.iter_mut().enumerate().map(|(i, t)| f(base + i, t)).collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(data.len());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Collection target of a parallel `collect` (only `Vec` is needed).
+pub trait FromParallelVec<R>: Sized {
+    fn from_parallel_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelVec<R> for Vec<R> {
+    fn from_parallel_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+// ---------------------------------------------------------------- slices
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn map<R, F>(self, f: F) -> MapMut<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        MapMut { data: self.data, f }
+    }
+
+    pub fn enumerate(self) -> EnumerateMut<'a, T> {
+        EnumerateMut { data: self.data }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        run_mut_chunks(self.data, false, |_, ch| ch.iter_mut().for_each(&f));
+    }
+}
+
+pub struct MapMut<'a, T, F> {
+    data: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F> MapMut<'a, T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+        C: FromParallelVec<R>,
+    {
+        let f = self.f;
+        C::from_parallel_vec(map_mut_indexed(self.data, |_, t| f(t)))
+    }
+}
+
+pub struct EnumerateMut<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> EnumerateMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        run_mut_chunks(self.data, false, |base, ch| {
+            ch.iter_mut().enumerate().for_each(|(i, t)| f((base + i, t)));
+        });
+    }
+
+    pub fn map<R, F>(self, f: F) -> EnumerateMapMut<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+    {
+        EnumerateMapMut { data: self.data, f }
+    }
+
+    /// Mirrors rayon's `fold`: each chunk folds its items from a fresh
+    /// `identity()`; combine the chunk results with the returned
+    /// adapter's `reduce`.
+    pub fn fold<R, ID, F>(self, identity: ID, fold_op: F) -> EnumerateFoldMut<'a, T, ID, F>
+    where
+        R: Send,
+        ID: Fn() -> R + Sync,
+        F: Fn(R, (usize, &mut T)) -> R + Sync,
+    {
+        EnumerateFoldMut { data: self.data, identity, fold_op }
+    }
+}
+
+pub struct EnumerateFoldMut<'a, T, ID, F> {
+    data: &'a mut [T],
+    identity: ID,
+    fold_op: F,
+}
+
+impl<'a, T: Send, ID, F> EnumerateFoldMut<'a, T, ID, F> {
+    /// Combines per-chunk fold results in input order. With an
+    /// associative `op` (and `identity` a true identity) this equals
+    /// the sequential left fold.
+    pub fn reduce<R, ID2, OP>(self, identity: ID2, op: OP) -> R
+    where
+        R: Send,
+        ID: Fn() -> R + Sync,
+        F: Fn(R, (usize, &mut T)) -> R + Sync,
+        ID2: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let (identity_fn, fold_op) = (&self.identity, &self.fold_op);
+        let parts = run_mut_chunks(self.data, false, |base, ch| {
+            let mut acc = identity_fn();
+            for (i, t) in ch.iter_mut().enumerate() {
+                acc = fold_op(acc, (base + i, t));
+            }
+            acc
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+}
+
+pub struct EnumerateMapMut<'a, T, F> {
+    data: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F> EnumerateMapMut<'a, T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+        C: FromParallelVec<R>,
+    {
+        let f = self.f;
+        C::from_parallel_vec(map_mut_indexed(self.data, |i, t| f((i, t))))
+    }
+
+    /// Mirrors rayon's `reduce`: folds chunk-locally from `identity`,
+    /// then combines the per-chunk results in input order. With an
+    /// associative `op` this equals the sequential left fold.
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        R: Send,
+        F: Fn((usize, &mut T)) -> R + Sync,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let f = self.f;
+        let parts = run_mut_chunks(self.data, false, |base, ch| {
+            ch.iter_mut()
+                .enumerate()
+                .map(|(i, t)| f((base + i, t)))
+                .fold(identity(), &op)
+        });
+        parts.into_iter().fold(identity(), &op)
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> MapRef<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        MapRef { data: self.data, f }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&T) + Sync,
+    {
+        let n = self.data.len();
+        let workers = worker_count(n);
+        if run_inline(workers, n) {
+            self.data.iter().for_each(f);
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = self
+                .data
+                .chunks(chunk)
+                .map(|ch| s.spawn(move || ch.iter().for_each(f)))
+                .collect();
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        });
+    }
+}
+
+pub struct MapRef<'a, T, F> {
+    data: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MapRef<'a, T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+        C: FromParallelVec<R>,
+    {
+        let n = self.data.len();
+        let workers = worker_count(n);
+        let f = self.f;
+        if run_inline(workers, n) {
+            return C::from_parallel_vec(self.data.iter().map(f).collect());
+        }
+        let chunk = n.div_ceil(workers);
+        let parts: Vec<Vec<R>> = std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = self
+                .data
+                .chunks(chunk)
+                .map(|ch| s.spawn(move || ch.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        C::from_parallel_vec(out)
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+/// Parallel iterator over an exclusive integer range.
+pub struct RangePar<T> {
+    start: T,
+    end: T,
+}
+
+pub struct RangeMap<T, F> {
+    start: T,
+    end: T,
+    f: F,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl RangePar<$t> {
+            pub fn map<R, F>(self, f: F) -> RangeMap<$t, F>
+            where
+                R: Send,
+                F: Fn($t) -> R + Sync,
+            {
+                RangeMap { start: self.start, end: self.end, f }
+            }
+        }
+
+        impl<F> RangeMap<$t, F> {
+            pub fn collect<C, R>(self) -> C
+            where
+                R: Send,
+                F: Fn($t) -> R + Sync,
+                C: FromParallelVec<R>,
+            {
+                let mut idx: Vec<$t> = (self.start..self.end).collect();
+                let f = self.f;
+                C::from_parallel_vec(map_mut_indexed(&mut idx, |_, v| f(*v)))
+            }
+        }
+
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Iter = RangePar<$t>;
+            fn into_par_iter(self) -> RangePar<$t> {
+                RangePar { start: self.start, end: self.end }
+            }
+        }
+    )*};
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's trait of the
+/// same name for the types this workspace fans out over.
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl_range_par!(u32, u64, usize);
+
+/// Extension traits providing `par_iter` / `par_iter_mut` on slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { data: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { data: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { data: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { data: self }
+    }
+}
+
+/// The drop-in prelude, mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelVec, IntoParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let mut v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter_mut().map(|x| *x * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert!(doubled.iter().enumerate().all(|(i, &d)| d == 2 * i as u64));
+    }
+
+    #[test]
+    fn for_each_mutates_every_element() {
+        let mut v = vec![1u32; 9000];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let mut v = vec![0usize; 10_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let out: Vec<u64> = (0u64..5000).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.first(), Some(&1));
+        assert_eq!(out.last(), Some(&5000));
+        assert!(out.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let mut v = vec![3u8; 5];
+        let out: Vec<u8> = v.par_iter_mut().map(|x| *x).collect();
+        assert_eq!(out, vec![3; 5]);
+        let empty: Vec<u8> = Vec::new().par_iter().map(|x: &u8| *x).collect();
+        assert!(empty.is_empty());
+    }
+}
