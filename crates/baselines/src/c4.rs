@@ -13,7 +13,7 @@
 
 use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
-use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 use ck_congest::rngs::{derived_rng, labels};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -58,31 +58,31 @@ impl Program for C4Tester {
     type Msg = u64;
     type Verdict = C4Verdict;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
         let rep = round / 2;
         let local = round % 2;
         if local == 0 {
             if !self.neighbor_ids.is_empty() {
                 let pick = self.rng.random_range(0..self.neighbor_ids.len());
-                out.broadcast(&self.neighbor_ids[pick]);
+                out.broadcast(self.neighbor_ids[pick]);
             }
             return Status::Running;
         }
         if !self.verdict.reject {
             // Look for two distinct senders announcing the same candidate.
             for (i, a) in inbox.iter().enumerate() {
-                if a.msg == self.myid {
+                if *a.msg == self.myid {
                     continue;
                 }
                 let x = self.neighbor_ids[a.port as usize];
-                if a.msg == x {
+                if *a.msg == x {
                     continue;
                 }
-                for b in &inbox[i + 1..] {
+                for b in inbox.iter().skip(i + 1) {
                     let y = self.neighbor_ids[b.port as usize];
-                    if b.msg == a.msg && y != x && b.msg != y {
+                    if b.msg == a.msg && y != x && *b.msg != y {
                         self.verdict.reject = true;
-                        self.verdict.witness = Some((self.myid, x, a.msg, y));
+                        self.verdict.witness = Some((self.myid, x, *a.msg, y));
                         break;
                     }
                 }

@@ -15,7 +15,7 @@
 
 use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
-use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 
 /// Per-node verdict of the forest test.
 #[derive(Clone, Debug, Default)]
@@ -76,12 +76,12 @@ impl Program for ForestTest {
     type Msg = ForestMsg;
     type Verdict = ForestVerdict;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<ForestMsg>], out: &mut Outbox<ForestMsg>) -> Status {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, ForestMsg>, out: &mut Outbox<ForestMsg>) -> Status {
         let flood_rounds = self.rounds_total - 2;
         if round < flood_rounds {
             let mut improved = round == 0;
-            for inc in inbox {
-                if let ForestMsg::Wave { root, dist } = inc.msg {
+            for inc in inbox.iter() {
+                if let ForestMsg::Wave { root, dist } = *inc.msg {
                     if (root, dist + 1) < (self.root, self.dist) {
                         self.root = root;
                         self.dist = dist + 1;
@@ -91,20 +91,20 @@ impl Program for ForestTest {
                 }
             }
             if improved {
-                out.broadcast(&ForestMsg::Wave { root: self.root, dist: self.dist });
+                out.broadcast(ForestMsg::Wave { root: self.root, dist: self.dist });
             }
             return Status::Running;
         }
         if round == flood_rounds {
             // Announce the parent so both endpoints can classify edges.
             let parent = self.parent_port.map(|p| self.neighbor_ids[p as usize]);
-            out.broadcast(&ForestMsg::Parent { parent });
+            out.broadcast(ForestMsg::Parent { parent });
             return Status::Running;
         }
         // Classification round: an edge {me, w} is a tree edge iff I am
         // w's parent or w is mine; otherwise it closes a cycle.
-        for inc in inbox {
-            if let ForestMsg::Parent { parent } = &inc.msg {
+        for inc in inbox.iter() {
+            if let ForestMsg::Parent { parent } = inc.msg {
                 let w = self.neighbor_ids[inc.port as usize];
                 let my_parent = self.parent_port.map(|p| self.neighbor_ids[p as usize]);
                 let tree_edge = *parent == Some(self.myid) || my_parent == Some(w);

@@ -21,7 +21,7 @@
 
 use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Edge, Graph, NodeId};
-use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 use ck_congest::rngs::{derived_rng, labels};
 use ck_core::decide::decide_reject;
 use ck_core::msg::SeqBundle;
@@ -83,7 +83,7 @@ impl NaiveSingle {
         }
     }
 
-    fn collect(inbox: &[Incoming<SeqBundle>]) -> Vec<IdSeq> {
+    fn collect(inbox: Inbox<'_, SeqBundle>) -> Vec<IdSeq> {
         let mut r: Vec<IdSeq> = inbox.iter().flat_map(|m| m.msg.0.iter().copied()).collect();
         r.sort_unstable();
         r.dedup();
@@ -116,14 +116,14 @@ impl Program for NaiveSingle {
     type Msg = SeqBundle;
     type Verdict = NaiveVerdict;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<SeqBundle>], out: &mut Outbox<SeqBundle>) -> Status {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, SeqBundle>, out: &mut Outbox<SeqBundle>) -> Status {
         if round == 0 {
             if self.myid == self.u_id || self.myid == self.v_id {
                 let seed = vec![IdSeq::single(self.myid)];
                 if self.half_k == 1 {
                     self.own_sent = seed.clone();
                 }
-                out.broadcast(&SeqBundle(seed));
+                out.broadcast(SeqBundle(seed));
             }
             return Status::Running;
         }
@@ -137,7 +137,7 @@ impl Program for NaiveSingle {
             let send = self.shed(appended);
             if !send.is_empty() {
                 self.own_sent = send.clone();
-                out.broadcast(&SeqBundle(send));
+                out.broadcast(SeqBundle(send));
             } else if round + 1 == self.half_k {
                 self.own_sent.clear();
             }

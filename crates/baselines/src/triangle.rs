@@ -14,7 +14,7 @@
 
 use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
-use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 use ck_congest::rngs::{derived_rng, labels};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -59,20 +59,20 @@ impl Program for TriangleTester {
     type Msg = u64;
     type Verdict = TriangleVerdict;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
         let rep = round / 2;
         let local = round % 2;
         if local == 0 {
             if !self.neighbor_ids.is_empty() {
                 let pick = self.rng.random_range(0..self.neighbor_ids.len());
-                out.broadcast(&self.neighbor_ids[pick]);
+                out.broadcast(self.neighbor_ids[pick]);
             }
             return Status::Running;
         }
         // Check round.
         if !self.verdict.reject {
-            for inc in inbox {
-                let w = inc.msg;
+            for inc in inbox.iter() {
+                let w = *inc.msg;
                 let v = self.neighbor_ids[inc.port as usize];
                 if w != self.myid && w != v && self.neighbor_ids.contains(&w) {
                     self.verdict.reject = true;

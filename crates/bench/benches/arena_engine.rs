@@ -8,8 +8,11 @@
 use ck_bench::legacy_engine::run_legacy;
 use ck_bench::workloads::MinFlood;
 use ck_congest::engine::{run, EngineConfig, Executor};
+use ck_core::rank::total_rounds;
+use ck_core::tester::{CkTester, TesterConfig};
 use ck_graphgen::basic::cycle;
-use ck_graphgen::random::gnp;
+use ck_graphgen::planted::plant_on_host;
+use ck_graphgen::random::{gnp, random_tree};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -80,5 +83,46 @@ fn bench_gnp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ring, bench_gnp);
+/// The paper's full Ck tester at k = 5 (heavy pooled `SeqBundle`
+/// broadcasts through the clone-free slot path), arena vs legacy and
+/// sequential vs parallel, in both accounting modes.
+fn bench_ck5_tester(c: &mut Criterion) {
+    let n = 4000;
+    let host = random_tree(n, 7);
+    let inst = plant_on_host(&host, 5, n / 40, 7);
+    let tcfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(5, 0.1, 42) };
+    let mut group = c.benchmark_group("engine/ck5-tester-planted4000");
+    for (mode, record) in [("fast", false), ("accounted", true)] {
+        let cfg = |exec| EngineConfig {
+            executor: exec,
+            record_rounds: record,
+            max_rounds: total_rounds(5, 2),
+            ..EngineConfig::default()
+        };
+        group.bench_function(BenchmarkId::new("legacy-seq", mode), |b| {
+            let cfg = cfg(Executor::Sequential);
+            b.iter(|| {
+                let out = run_legacy(&inst.graph, &cfg, |i| CkTester::new(&tcfg, &i)).unwrap();
+                black_box(out.verdicts.len())
+            });
+        });
+        group.bench_function(BenchmarkId::new("arena-seq", mode), |b| {
+            let cfg = cfg(Executor::Sequential);
+            b.iter(|| {
+                let out = run(&inst.graph, &cfg, |i| CkTester::new(&tcfg, &i)).unwrap();
+                black_box(out.verdicts.len())
+            });
+        });
+        group.bench_function(BenchmarkId::new("arena-par", mode), |b| {
+            let cfg = cfg(Executor::Parallel);
+            b.iter(|| {
+                let out = run(&inst.graph, &cfg, |i| CkTester::new(&tcfg, &i)).unwrap();
+                black_box(out.verdicts.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring, bench_gnp, bench_ck5_tester);
 criterion_main!(benches);

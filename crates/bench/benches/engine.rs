@@ -2,7 +2,7 @@
 //! random topologies, sequential vs rayon-parallel executors.
 
 use ck_congest::engine::{run, EngineConfig, Executor};
-use ck_congest::node::{Incoming, Outbox, Program, Status};
+use ck_congest::node::{Inbox, Outbox, Program, Status};
 use ck_graphgen::basic::torus;
 use ck_graphgen::random::gnp;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -19,10 +19,10 @@ struct MinFlood {
 impl Program for MinFlood {
     type Msg = u64;
     type Verdict = u64;
-    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
-        for inc in inbox {
-            if inc.msg < self.best {
-                self.best = inc.msg;
+    fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+        for inc in inbox.iter() {
+            if *inc.msg < self.best {
+                self.best = *inc.msg;
                 self.changed = true;
             }
         }
@@ -30,7 +30,7 @@ impl Program for MinFlood {
             return Status::Halted;
         }
         if round == 0 || self.changed {
-            out.broadcast(&self.best);
+            out.broadcast(self.best);
             self.changed = false;
         }
         Status::Running

@@ -25,12 +25,12 @@ use ck_congest::engine::{BandwidthPolicy, EngineConfig, EngineError, Executor, R
 use ck_congest::graph::{Graph, NodeIndex};
 use ck_congest::message::{WireMessage, WireParams};
 use ck_congest::metrics::{RoundStats, RunReport};
-use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::node::{InboxBuf, NodeInit, Outbox, Program, Status};
 use rayon::prelude::*;
 
 struct Slot<P: Program> {
     prog: P,
-    inbox: Vec<Incoming<P::Msg>>,
+    inbox: InboxBuf<P::Msg>,
     status: Status,
     degree: u32,
 }
@@ -60,7 +60,7 @@ where
                 m: graph.m(),
             };
             let degree = init.degree() as u32;
-            Slot { prog: factory(init), inbox: Vec::new(), status: Status::Running, degree }
+            Slot { prog: factory(init), inbox: InboxBuf::new(), status: Status::Running, degree }
         })
         .collect();
 
@@ -77,16 +77,16 @@ where
             break;
         }
 
-        // Step phase: a fresh outbox Vec per node per round, and the
-        // inbox Vec is taken (hence reallocated next round).
+        // Step phase: a fresh outbox Vec per node per round; the inbox
+        // buffer is viewed in place and cleared afterwards for delivery.
         let step_one = |s: &mut Slot<P>, round: u32| -> Vec<(u32, P::Msg)> {
             if s.status != Status::Running {
                 s.inbox.clear();
                 return Vec::new();
             }
-            let inbox = std::mem::take(&mut s.inbox);
             let mut out = Outbox::for_harness(s.degree);
-            s.status = s.prog.step(round, &inbox, &mut out);
+            s.status = s.prog.step(round, s.inbox.view(), &mut out);
+            s.inbox.clear();
             out.take_sends()
         };
         let outboxes: Vec<Vec<(u32, P::Msg)>> = match config.executor {
@@ -139,7 +139,7 @@ where
                 }
                 let w = graph.neighbor_at(v, port);
                 let q = graph.reverse_port(v, port);
-                slots[w as usize].inbox.push(Incoming { port: q, msg });
+                slots[w as usize].inbox.push(q, msg);
             }
         }
 
@@ -154,6 +154,14 @@ where
     }
     report.rounds = round;
     report.all_halted = all_halted;
+    report.executor = match config.executor {
+        Executor::Sequential => "sequential",
+        Executor::Parallel => "parallel",
+    };
+    report.threads = match config.executor {
+        Executor::Sequential => 1,
+        Executor::Parallel => rayon::current_num_threads(),
+    };
 
     let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
     Ok(RunOutcome { report, verdicts })
@@ -175,10 +183,10 @@ mod tests {
     impl Program for Echo {
         type Msg = u64;
         type Verdict = u64;
-        fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+        fn step(&mut self, round: u32, inbox: ck_congest::node::Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
             self.received += inbox.len() as u64;
             if round < self.rounds {
-                out.broadcast(&u64::from(round));
+                out.broadcast(u64::from(round));
                 Status::Running
             } else {
                 Status::Halted

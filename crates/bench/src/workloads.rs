@@ -2,7 +2,7 @@
 //! surface (`bench_engine`, the criterion benches) times the same
 //! protocol.
 
-use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 
 /// Min-ID flooding with a fixed horizon: every node broadcasts on
 /// improvement for `ttl` rounds — the standard pure-engine stress
@@ -25,10 +25,10 @@ impl Program for MinFlood {
     type Msg = u64;
     type Verdict = u64;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
-        for inc in inbox {
-            if inc.msg < self.best {
-                self.best = inc.msg;
+    fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+        for inc in inbox.iter() {
+            if *inc.msg < self.best {
+                self.best = *inc.msg;
                 self.changed = true;
             }
         }
@@ -36,7 +36,7 @@ impl Program for MinFlood {
             return Status::Halted;
         }
         if round == 0 || self.changed {
-            out.broadcast(&self.best);
+            out.broadcast(self.best);
             self.changed = false;
         }
         Status::Running

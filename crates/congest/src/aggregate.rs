@@ -9,7 +9,7 @@
 
 use crate::engine::{run, EngineConfig, EngineError};
 use crate::graph::{Graph, NodeIndex};
-use crate::node::{Incoming, Outbox, Program, Status};
+use crate::node::{Inbox, Outbox, Program, Status};
 use crate::protocols::build_bfs_tree;
 
 /// Associative-commutative aggregations supported by the convergecast.
@@ -76,9 +76,9 @@ impl Program for Convergecast {
     type Msg = AggMsg;
     type Verdict = Option<u64>;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<AggMsg>], out: &mut Outbox<AggMsg>) -> Status {
-        for inc in inbox {
-            match inc.msg {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, AggMsg>, out: &mut Outbox<AggMsg>) -> Status {
+        for inc in inbox.iter() {
+            match *inc.msg {
                 AggMsg::Up(v) => {
                     self.value = self.op.combine(self.value, v);
                     self.pending_children = self.pending_children.saturating_sub(1);

@@ -8,7 +8,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::graph::{DirectedEdgeId, NodeIndex};
-use crate::node::Incoming;
+use crate::node::Packet;
 
 /// Per-directed-edge wire load for one round, kept in a flat
 /// [`LoadTable`] indexed by [`DirectedEdgeId`] (not inside the message
@@ -76,9 +76,12 @@ impl LoadTable {
 /// that edge, stored already labeled with their *receiver-side* port
 /// (one sequential `rev_port` lookup at send time), so a receiver's
 /// gather is a whole-`Vec` swap or bulk append — no per-message work.
-pub(crate) type Lane<M> = Vec<Incoming<M>>;
+/// Broadcast traffic appears as [`Packet::Shared`] refs into the same
+/// generation's broadcast slots.
+pub(crate) type Lane<M> = Vec<Packet<M>>;
 
-/// A flat array of `2m` lanes keyed by [`DirectedEdgeId`].
+/// A flat array of `2m` lanes keyed by [`DirectedEdgeId`], plus one
+/// broadcast slot per node.
 ///
 /// Interior mutability with hand-verified disjointness: Rust's borrow
 /// checker cannot see that the engine's per-node access patterns
@@ -86,6 +89,14 @@ pub(crate) type Lane<M> = Vec<Incoming<M>>;
 /// and the round loop upholds the contract documented on the accessors.
 pub(crate) struct Arena<M> {
     lanes: Vec<UnsafeCell<Lane<M>>>,
+    /// Per-sender broadcast slots: slot `v` holds the payload of `v`'s
+    /// broadcast of this generation *once*; the lanes carry shared refs
+    /// into it. Written only by `v` during the write phase, read only
+    /// by `v`'s neighbors during the following read phase (when no slot
+    /// of this arena is written at all), overwritten by `v`'s next
+    /// same-parity broadcast — which is when the stale payload is
+    /// evicted back to `v` for recycling. Never scanned or cleared.
+    slots: Vec<UnsafeCell<Option<M>>>,
     /// Per-receiver traffic hint: `dirty[w]` is set (relaxed) by the
     /// first write into any lane `(· → w)` this round, and cleared by
     /// `w` when it gathers. Lets receivers skip the whole lane scan on
@@ -99,14 +110,16 @@ pub(crate) struct Arena<M> {
 // SAFETY: lanes are only accessed through `Arena::lane` / `Arena::row`,
 // whose callers guarantee disjointness (each lane touched by exactly one
 // node per phase); `M: Send` makes moving messages across the worker
-// threads sound. No `&Lane` is ever handed out while a `&mut Lane`
-// exists.
-unsafe impl<M: Send> Sync for Arena<M> {}
+// threads sound, and `M: Sync` covers the concurrent shared reads of
+// broadcast slots by multiple receivers. No `&Lane` is ever handed out
+// while a `&mut Lane` exists.
+unsafe impl<M: Send + Sync> Sync for Arena<M> {}
 
 impl<M> Arena<M> {
     pub(crate) fn new(directed_edges: usize, nodes: usize) -> Self {
         Arena {
             lanes: (0..directed_edges).map(|_| UnsafeCell::new(Lane::default())).collect(),
+            slots: (0..nodes).map(|_| UnsafeCell::new(None)).collect(),
             dirty: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
         }
     }
@@ -126,6 +139,15 @@ impl<M> Arena<M> {
     /// Base pointer of the dirty-flag array, for the sender-side outbox.
     pub(crate) fn dirty_ptr(&self) -> *const AtomicBool {
         self.dirty.as_ptr()
+    }
+
+    /// Type-erased base pointer of the broadcast-slot array
+    /// (`*mut Option<M>`), for the sender-side outbox. Access contract
+    /// as documented on the field: slot `v` is touched only by sender
+    /// `v`, and only while this arena is in the write role.
+    pub(crate) fn slots_ptr(&self) -> *mut () {
+        // UnsafeCell<T> is repr(transparent) over T.
+        self.slots.as_ptr() as *mut ()
     }
 
     /// Exclusive access to one lane.
@@ -155,18 +177,25 @@ impl<M> Arena<M> {
 }
 
 /// Double-buffered per-receiver inboxes for the sequential fast path:
-/// senders push pre-labeled [`Incoming`]s straight into the receiver's
-/// next-round buffer, receivers read and clear their current one. No
-/// `Sync` impl — this arena must never cross threads (receiver buffers
-/// are multi-writer), which the engine guarantees by using it only
-/// under `Executor::Sequential`.
+/// senders push pre-labeled [`Packet`]s straight into the receiver's
+/// next-round buffer, receivers read and clear their current one.
+/// Broadcast payloads park once in the sender's slot (same
+/// double-buffered parity discipline as [`Arena`]'s slots) and the
+/// buffers carry shared refs. No `Sync` impl — this arena must never
+/// cross threads (receiver buffers are multi-writer), which the engine
+/// guarantees by using it only under `Executor::Sequential`.
 pub(crate) struct InboxArena<M> {
-    boxes: Vec<UnsafeCell<Vec<Incoming<M>>>>,
+    boxes: Vec<UnsafeCell<Vec<Packet<M>>>>,
+    /// Per-sender broadcast slots; see [`Arena::slots`].
+    slots: Vec<UnsafeCell<Option<M>>>,
 }
 
 impl<M> InboxArena<M> {
     pub(crate) fn new(nodes: usize) -> Self {
-        InboxArena { boxes: (0..nodes).map(|_| UnsafeCell::new(Vec::new())).collect() }
+        InboxArena {
+            boxes: (0..nodes).map(|_| UnsafeCell::new(Vec::new())).collect(),
+            slots: (0..nodes).map(|_| UnsafeCell::new(None)).collect(),
+        }
     }
 
     /// Exclusive access to one receiver's buffer.
@@ -177,7 +206,7 @@ impl<M> InboxArena<M> {
     /// current buffer" and "senders push into next buffers", never
     /// holding two references at once.
     #[allow(clippy::mut_from_ref)]
-    pub(crate) unsafe fn inbox(&self, v: NodeIndex) -> &mut Vec<Incoming<M>> {
+    pub(crate) unsafe fn inbox(&self, v: NodeIndex) -> &mut Vec<Packet<M>> {
         &mut *self.boxes[v as usize].get()
     }
 
@@ -185,6 +214,13 @@ impl<M> InboxArena<M> {
     /// inbox sink.
     pub(crate) fn base_ptr(&self) -> *mut () {
         self.boxes.as_ptr() as *mut ()
+    }
+
+    /// Type-erased base pointer of the broadcast-slot array
+    /// (`*mut Option<M>`); see [`Arena::slots_ptr`].
+    pub(crate) fn slots_ptr(&self) -> *mut () {
+        // UnsafeCell<T> is repr(transparent) over T.
+        self.slots.as_ptr() as *mut ()
     }
 }
 

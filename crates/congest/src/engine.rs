@@ -55,7 +55,7 @@ use crate::arena::{Arena, InboxArena, LoadTable, RoundAcc};
 use crate::graph::{Graph, NodeIndex};
 use crate::message::WireParams;
 use crate::metrics::{RoundStats, RunReport};
-use crate::node::{DirectSink, Incoming, NodeInit, Outbox, Program, SinkCtx, SinkMode, Status};
+use crate::node::{DirectSink, Inbox, NodeInit, Outbox, Packet, Program, SinkCtx, SinkMode, Status};
 
 /// How strictly the engine applies the `O(log n)`-bit CONGEST bound.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,7 +146,11 @@ struct Slot<P: Program> {
     prog: P,
     status: Status,
     /// Persistent gather buffer; cleared (capacity kept) every round.
-    inbox: Vec<Incoming<P::Msg>>,
+    /// Holds raw delivery packets — broadcast entries point into the
+    /// current arena's broadcast slots, valid for the round they are
+    /// gathered in (the buffer is cleared before reuse, and nothing
+    /// dereferences it between rounds).
+    inbox: Vec<Packet<P::Msg>>,
 }
 
 /// Observability of the wire, derived once per run so the sequential
@@ -293,6 +297,7 @@ fn round_step<P: Program>(v: usize, slot: &mut Slot<P>, rr: &RoundRefs<'_, P::Ms
             degree,
             DirectSink {
                 lanes: next.row_ptr(lanes.start) as *mut (),
+                slots: next.slots_ptr(),
                 receivers: graph.neighbors(v).as_ptr(),
                 rev_ports: graph.rev_ports_row(v).as_ptr(),
                 acc,
@@ -303,7 +308,11 @@ fn round_step<P: Program>(v: usize, slot: &mut Slot<P>, rr: &RoundRefs<'_, P::Ms
             if ctx.heavy { SinkMode::Heavy } else { SinkMode::FastLanes },
         )
     };
-    let status = slot.prog.step(ctx.round, &slot.inbox, &mut out);
+    // SAFETY: the gathered packets' shared pointers target broadcast
+    // slots of `cur`, which no one writes while `cur` is in the read
+    // role — valid for the whole step call.
+    let inbox = unsafe { Inbox::from_packets(&slot.inbox) };
+    let status = slot.prog.step(ctx.round, inbox, &mut out);
     drop(out);
     slot.status = status;
     if status == Status::Halted {
@@ -386,6 +395,7 @@ fn run_rounds_seq_inbox<P: Program>(
                     lanes.len() as u32,
                     DirectSink {
                         lanes: next.base_ptr(),
+                        slots: next.slots_ptr(),
                         receivers: graph.neighbors(vi).as_ptr(),
                         rev_ports: graph.rev_ports_row(vi).as_ptr(),
                         acc: &mut acc,
@@ -396,7 +406,11 @@ fn run_rounds_seq_inbox<P: Program>(
                     mode,
                 )
             };
-            let status = slot.prog.step(round, inbox, &mut out);
+            // SAFETY: the buffered packets' shared pointers target
+            // broadcast slots of `cur`, which only `next` sends write
+            // this round — valid for the whole step call.
+            let view = unsafe { Inbox::from_packets(inbox) };
+            let status = slot.prog.step(round, view, &mut out);
             drop(out);
             inbox.clear();
             slot.status = status;
@@ -479,6 +493,8 @@ where
             run_rounds_seq_inbox(graph, config, params, wf, &mut slots, active, &mut report)?;
         report.rounds = round;
         report.all_halted = active == 0;
+        report.executor = "sequential";
+        report.threads = 1;
         let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
         return Ok(RunOutcome { report, verdicts });
     }
@@ -542,6 +558,8 @@ where
 
     report.rounds = round;
     report.all_halted = active == 0;
+    report.executor = "parallel";
+    report.threads = rayon::current_num_threads();
 
     let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
     Ok(RunOutcome { report, verdicts })
@@ -565,10 +583,10 @@ mod tests {
         type Msg = u64;
         type Verdict = u64;
 
-        fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
-            for inc in inbox {
-                if inc.msg < self.best {
-                    self.best = inc.msg;
+        fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+            for inc in inbox.iter() {
+                if *inc.msg < self.best {
+                    self.best = *inc.msg;
                     self.changed = true;
                 }
             }
@@ -576,7 +594,7 @@ mod tests {
                 return Status::Halted;
             }
             if round == 0 || self.changed {
-                out.broadcast(&self.best);
+                out.broadcast(self.best);
                 self.changed = false;
             }
             Status::Running
@@ -627,8 +645,8 @@ mod tests {
         impl Program for Chatter {
             type Msg = ();
             type Verdict = ();
-            fn step(&mut self, _round: u32, _inbox: &[Incoming<()>], out: &mut Outbox<()>) -> Status {
-                out.broadcast(&());
+            fn step(&mut self, _round: u32, _inbox: Inbox<'_, ()>, out: &mut Outbox<()>) -> Status {
+                out.broadcast(());
                 Status::Running
             }
             fn verdict(&self) {}
@@ -646,8 +664,8 @@ mod tests {
         impl Program for BigTalker {
             type Msg = Vec<u64>;
             type Verdict = ();
-            fn step(&mut self, _round: u32, _inbox: &[Incoming<Vec<u64>>], out: &mut Outbox<Vec<u64>>) -> Status {
-                out.broadcast(&vec![1; 100]);
+            fn step(&mut self, _round: u32, _inbox: Inbox<'_, Vec<u64>>, out: &mut Outbox<Vec<u64>>) -> Status {
+                out.broadcast(vec![1; 100]);
                 Status::Running
             }
             fn verdict(&self) {}
@@ -670,9 +688,9 @@ mod tests {
         impl Program for OneShot {
             type Msg = ();
             type Verdict = ();
-            fn step(&mut self, round: u32, _inbox: &[Incoming<()>], out: &mut Outbox<()>) -> Status {
+            fn step(&mut self, round: u32, _inbox: Inbox<'_, ()>, out: &mut Outbox<()>) -> Status {
                 if round == 0 {
-                    out.broadcast(&());
+                    out.broadcast(());
                     Status::Running
                 } else {
                     Status::Halted
@@ -696,12 +714,12 @@ mod tests {
         impl Program for MaybeQuit {
             type Msg = ();
             type Verdict = u32;
-            fn step(&mut self, round: u32, inbox: &[Incoming<()>], out: &mut Outbox<()>) -> Status {
+            fn step(&mut self, round: u32, inbox: Inbox<'_, ()>, out: &mut Outbox<()>) -> Status {
                 let _ = inbox;
                 if self.quit_now {
                     return Status::Halted;
                 }
-                out.broadcast(&());
+                out.broadcast(());
                 if round >= 2 {
                     Status::Halted
                 } else {
@@ -729,7 +747,7 @@ mod tests {
         impl Program for Burst {
             type Msg = u64;
             type Verdict = Vec<(u32, u64)>;
-            fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+            fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
                 if round == 0 {
                     // Interleave sends across ports to stress grouping.
                     for i in 0..3u64 {
@@ -739,7 +757,7 @@ mod tests {
                     }
                     Status::Running
                 } else {
-                    self.got = inbox.iter().map(|inc| (inc.port, inc.msg)).collect();
+                    self.got = inbox.iter().map(|inc| (inc.port, *inc.msg)).collect();
                     Status::Halted
                 }
             }
@@ -779,15 +797,15 @@ mod tests {
         impl Program for Recorder {
             type Msg = u64;
             type Verdict = Vec<(u32, u32, u64)>;
-            fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
-                for inc in inbox {
-                    self.seen.push((round, inc.port, inc.msg));
+            fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+                for inc in inbox.iter() {
+                    self.seen.push((round, inc.port, *inc.msg));
                 }
                 if round >= self.ttl {
                     return Status::Halted;
                 }
                 // Mix broadcasts and targeted interleaved sends.
-                out.broadcast(&(u64::from(round) << 8));
+                out.broadcast(u64::from(round) << 8);
                 for p in 0..out.degree() {
                     out.send(p, u64::from(round) << 8 | u64::from(p) | 0x80);
                 }
@@ -828,11 +846,11 @@ mod tests {
         impl Program for HaltAt {
             type Msg = ();
             type Verdict = ();
-            fn step(&mut self, round: u32, _inbox: &[Incoming<()>], out: &mut Outbox<()>) -> Status {
+            fn step(&mut self, round: u32, _inbox: Inbox<'_, ()>, out: &mut Outbox<()>) -> Status {
                 if round >= self.at {
                     Status::Halted
                 } else {
-                    out.broadcast(&());
+                    out.broadcast(());
                     Status::Running
                 }
             }
@@ -896,11 +914,11 @@ mod tests {
         impl Program for TalkThenQuit {
             type Msg = u64;
             type Verdict = ();
-            fn step(&mut self, round: u32, _inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+            fn step(&mut self, round: u32, _inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
                 if round >= self.quit_round {
                     return Status::Halted;
                 }
-                out.broadcast(&7);
+                out.broadcast(7);
                 Status::Running
             }
             fn verdict(&self) {}
@@ -921,6 +939,129 @@ mod tests {
         assert!(out.report.all_halted);
         for r in &out.report.per_round {
             assert!(r.max_link_bits <= msg_bits, "stale lane counters: {r:?}");
+        }
+    }
+
+    /// The broadcast slot is double-buffered: a broadcast evicts the
+    /// payload this sender parked two rounds earlier (same arena
+    /// generation), on every sink mode.
+    #[test]
+    fn broadcast_evicts_the_two_round_old_payload() {
+        struct SlotProbe {
+            ttl: u32,
+            evictions: Vec<Option<u64>>,
+        }
+        impl Program for SlotProbe {
+            type Msg = u64;
+            type Verdict = Vec<Option<u64>>;
+            fn step(&mut self, round: u32, _inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+                if round >= self.ttl {
+                    return Status::Halted;
+                }
+                self.evictions.push(out.broadcast(u64::from(round) + 1000));
+                Status::Running
+            }
+            fn verdict(&self) -> Vec<Option<u64>> {
+                self.evictions.clone()
+            }
+        }
+        let g = path_graph(5);
+        for exec in [Executor::Sequential, Executor::Parallel] {
+            for record_rounds in [true, false] {
+                let cfg = EngineConfig { executor: exec, record_rounds, ..EngineConfig::default() };
+                let out = run(&g, &cfg, |_| SlotProbe { ttl: 6, evictions: Vec::new() }).unwrap();
+                for ev in &out.verdicts {
+                    let expect: Vec<Option<u64>> = (0u64..6)
+                        .map(|r| if r < 2 { None } else { Some(r - 2 + 1000) })
+                        .collect();
+                    assert_eq!(ev, &expect, "{exec:?} record_rounds={record_rounds}");
+                }
+            }
+        }
+    }
+
+    /// A second broadcast within one step cannot reuse the slot; it must
+    /// fall back to per-port copies, evict nothing, and still deliver
+    /// both payloads in queueing order with full accounting.
+    #[test]
+    fn double_broadcast_per_round_stays_ordered_and_counted() {
+        struct DoubleTalk {
+            got: Vec<(u32, u64)>,
+        }
+        impl Program for DoubleTalk {
+            type Msg = u64;
+            type Verdict = Vec<(u32, u64)>;
+            fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+                if round == 0 {
+                    assert_eq!(out.broadcast(1), None, "empty slot evicts nothing");
+                    assert_eq!(out.broadcast(2), None, "slot taken: clone path evicts nothing");
+                    out.send(0, 3);
+                    Status::Running
+                } else {
+                    self.got = inbox.iter().map(|inc| (inc.port, *inc.msg)).collect();
+                    Status::Halted
+                }
+            }
+            fn verdict(&self) -> Vec<(u32, u64)> {
+                self.got.clone()
+            }
+        }
+        for exec in [Executor::Sequential, Executor::Parallel] {
+            for record_rounds in [true, false] {
+                let g = path_graph(3);
+                let cfg = EngineConfig { executor: exec, record_rounds, ..EngineConfig::default() };
+                let out = run(&g, &cfg, |_| DoubleTalk { got: Vec::new() }).unwrap();
+                // Node 1 hears 1,2,3 from node 0 (port 0) then 1,2,3 from
+                // node 2 — except node 2's port 0 is node 1, so node 2's
+                // send(0, 3) also lands here.
+                assert_eq!(
+                    out.verdicts[1],
+                    vec![(0, 1), (0, 2), (0, 3), (1, 1), (1, 2), (1, 3)],
+                    "{exec:?} record_rounds={record_rounds}"
+                );
+                if record_rounds {
+                    // Degrees 1,2,1: broadcasts send 2·(1+2+1) = 8, plus 3
+                    // targeted sends.
+                    assert_eq!(out.report.per_round[0].messages, 11);
+                }
+            }
+        }
+    }
+
+    /// Broadcast payloads are stored once per sender; receivers of the
+    /// same broadcast observe the identical shared payload (same
+    /// address) on the lane path, while accounting still charges every
+    /// link the full message size.
+    #[test]
+    fn broadcast_accounting_charges_every_link() {
+        struct WideTalker;
+        impl Program for WideTalker {
+            type Msg = Vec<u64>;
+            type Verdict = ();
+            fn step(&mut self, round: u32, _inbox: Inbox<'_, Vec<u64>>, out: &mut Outbox<Vec<u64>>) -> Status {
+                if round == 0 {
+                    out.broadcast(vec![7; 5]);
+                    Status::Running
+                } else {
+                    Status::Halted
+                }
+            }
+            fn verdict(&self) {}
+        }
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (0, 3)])
+            .build()
+            .unwrap();
+        let params = WireParams::for_graph(&g);
+        let one = vec![7u64; 5].wire_bits(&params);
+        for exec in [Executor::Sequential, Executor::Parallel] {
+            let cfg = EngineConfig { executor: exec, ..EngineConfig::default() };
+            let out = run(&g, &cfg, |_| WideTalker).unwrap();
+            // 4 nodes broadcast: degrees 3,1,1,1 → 6 messages, each a
+            // full payload on its own link.
+            assert_eq!(out.report.per_round[0].messages, 6, "{exec:?}");
+            assert_eq!(out.report.per_round[0].bits, 6 * one);
+            assert_eq!(out.report.per_round[0].max_link_bits, one);
         }
     }
 }

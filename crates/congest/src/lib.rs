@@ -25,7 +25,7 @@
 //! ```
 //! use ck_congest::graph::GraphBuilder;
 //! use ck_congest::engine::{run, EngineConfig};
-//! use ck_congest::node::{Incoming, Outbox, Program, Status};
+//! use ck_congest::node::{Inbox, Outbox, Program, Status};
 //!
 //! /// Each node learns the maximum identity among itself and neighbors.
 //! struct MaxOfNeighborhood { best: u64, sent: bool }
@@ -33,10 +33,10 @@
 //! impl Program for MaxOfNeighborhood {
 //!     type Msg = u64;
 //!     type Verdict = u64;
-//!     fn step(&mut self, _round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
-//!         for inc in inbox { self.best = self.best.max(inc.msg); }
+//!     fn step(&mut self, _round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+//!         for inc in inbox.iter() { self.best = self.best.max(*inc.msg); }
 //!         if !self.sent {
-//!             out.broadcast(&self.best);
+//!             out.broadcast(self.best);
 //!             self.sent = true;
 //!             Status::Running
 //!         } else {
@@ -70,4 +70,4 @@ pub use engine::{run, BandwidthPolicy, EngineConfig, EngineError, Executor, RunO
 pub use graph::{Edge, Graph, GraphBuilder, GraphError, NodeId, NodeIndex};
 pub use message::{bits_for, WireMessage, WireParams};
 pub use metrics::{RoundStats, RunReport};
-pub use node::{Incoming, NodeInit, Outbox, Program, Status};
+pub use node::{Inbox, InboxBuf, Incoming, NodeInit, Outbox, Program, Status};

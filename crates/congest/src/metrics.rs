@@ -33,6 +33,14 @@ pub struct RunReport {
     /// True if the run ended because every node halted (as opposed to
     /// hitting the round cap).
     pub all_halted: bool,
+    /// Executor that produced the run (`"sequential"` / `"parallel"`),
+    /// recorded so measurement records can label entries honestly.
+    /// Never part of any cross-executor equality check — the *contents*
+    /// of the report are executor-independent by the determinism
+    /// contract.
+    pub executor: &'static str,
+    /// Worker threads the executor could use (1 for sequential).
+    pub threads: usize,
     /// Per-round statistics.
     pub per_round: Vec<RoundStats>,
 }
@@ -82,8 +90,8 @@ impl RunReport {
         let mut s = String::new();
         let _ = write!(
             s,
-            "{{\"rounds\":{},\"all_halted\":{},\"per_round\":[",
-            self.rounds, self.all_halted
+            "{{\"rounds\":{},\"all_halted\":{},\"executor\":\"{}\",\"threads\":{},\"per_round\":[",
+            self.rounds, self.all_halted, self.executor, self.threads
         );
         for (i, r) in self.per_round.iter().enumerate() {
             if i > 0 {
@@ -121,6 +129,8 @@ mod tests {
         RunReport {
             rounds: 3,
             all_halted: true,
+            executor: "sequential",
+            threads: 1,
             per_round: vec![
                 RoundStats { round: 0, active_nodes: 4, messages: 4, bits: 40, max_message_bits: 10, max_link_bits: 10, max_link_messages: 1 },
                 RoundStats { round: 1, active_nodes: 4, messages: 8, bits: 200, max_message_bits: 50, max_link_bits: 70, max_link_messages: 2 },
@@ -159,6 +169,8 @@ mod tests {
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"rounds\":3"));
+        assert!(json.contains("\"executor\":\"sequential\""));
+        assert!(json.contains("\"threads\":1"));
         assert!(json.contains("\"max_link_bits\":70"));
         // Three per-round objects.
         assert_eq!(json.matches("\"round\":").count(), 3);

@@ -5,6 +5,12 @@
 //! during the previous round and collects the messages it wants to send.
 //! Programs are plain state machines; all randomness must come from the
 //! RNG handed to the factory so runs are reproducible.
+//!
+//! Delivery is *by reference*: a step reads its [`Inbox`] without taking
+//! ownership of any payload, which is what lets a broadcast store its
+//! payload once per sender (in the arena's broadcast slot) and fan out
+//! shared refs instead of clones. Programs that keep a message beyond
+//! the step clone the payload explicitly.
 
 use crate::arena::{Lane, LinkLoad, RoundAcc};
 use crate::fault::FaultPlan;
@@ -71,13 +77,187 @@ impl NodeInit<'_> {
     }
 }
 
-/// A message delivered to a node, labeled with the local port it arrived on.
-#[derive(Clone, Debug)]
-pub struct Incoming<M> {
+/// Transport form of one delivered message, as stored in the arena's
+/// per-directed-edge lanes, the sequential per-receiver inboxes, and the
+/// engine's gather buffers. Not program-facing — programs read the
+/// resolved [`Incoming`] view through an [`Inbox`].
+pub(crate) enum Packet<M> {
+    /// A targeted send: payload inline, labeled with the receiver-side
+    /// port.
+    Own { port: u32, msg: M },
+    /// A broadcast delivery: the payload lives *once* in its sender's
+    /// broadcast slot of the same arena generation; `msg` points at it.
+    /// Valid exactly as long as that generation's slots are (one full
+    /// read phase) — [`Inbox::from_packets`] is the checkpoint where the
+    /// engine vouches for that.
+    Shared { port: u32, msg: *const M },
+}
+
+// SAFETY: `Own` payloads move between threads (`M: Send`); `Shared`
+// payloads are read concurrently by every receiver of a broadcast
+// (`M: Sync`). `WireMessage` requires both.
+unsafe impl<M: Send + Sync> Send for Packet<M> {}
+unsafe impl<M: Send + Sync> Sync for Packet<M> {}
+
+/// A message delivered to a node, labeled with the local port it arrived
+/// on. The payload is borrowed from the round's delivery buffers —
+/// broadcast payloads are shared by every receiver — so reading an
+/// inbox never clones.
+#[derive(Debug)]
+pub struct Incoming<'r, M> {
     /// Receiver-side port the message arrived on.
     pub port: u32,
-    /// Payload.
-    pub msg: M,
+    /// Payload (clone it to keep it beyond the step).
+    pub msg: &'r M,
+}
+
+impl<M> Clone for Incoming<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Incoming<'_, M> {}
+
+/// Everything a node received last round, in canonical delivery order:
+/// ascending sender identity-order port, then the sender's queueing
+/// order. A cheap borrowed view — copy it freely, iterate it as often
+/// as needed.
+pub struct Inbox<'r, M> {
+    packets: &'r [Packet<M>],
+}
+
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for Inbox<'_, M> {}
+
+impl<'r, M> Inbox<'r, M> {
+    /// Wraps raw delivery packets (engine-internal).
+    ///
+    /// # Safety
+    /// Every [`Packet::Shared`] pointer in `packets` must be valid for
+    /// `'r` and not written to while the view lives. The engine
+    /// guarantees this by only building views over the *current* arena
+    /// generation, whose broadcast slots are write-free for the whole
+    /// read phase.
+    pub(crate) unsafe fn from_packets(packets: &'r [Packet<M>]) -> Self {
+        Inbox { packets }
+    }
+
+    /// The empty inbox (what every node sees at round 0).
+    pub fn empty() -> Self {
+        Inbox { packets: &[] }
+    }
+
+    /// Number of messages delivered.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when nothing was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The `i`-th delivery in canonical order.
+    pub fn get(&self, i: usize) -> Option<Incoming<'r, M>> {
+        self.packets.get(i).map(resolve)
+    }
+
+    /// Iterates the deliveries in canonical order.
+    pub fn iter(&self) -> InboxIter<'r, M> {
+        InboxIter { inner: self.packets.iter() }
+    }
+}
+
+/// Resolves a packet to its program-facing view.
+fn resolve<'r, M>(p: &'r Packet<M>) -> Incoming<'r, M> {
+    match p {
+        Packet::Own { port, msg } => Incoming { port: *port, msg },
+        // SAFETY: upheld by `Inbox::from_packets` — the slot the pointer
+        // targets outlives the view and is not written meanwhile.
+        Packet::Shared { port, msg } => Incoming { port: *port, msg: unsafe { &**msg } },
+    }
+}
+
+/// Iterator over an [`Inbox`]'s deliveries.
+pub struct InboxIter<'r, M> {
+    inner: std::slice::Iter<'r, Packet<M>>,
+}
+
+impl<'r, M> Iterator for InboxIter<'r, M> {
+    type Item = Incoming<'r, M>;
+
+    fn next(&mut self) -> Option<Incoming<'r, M>> {
+        self.inner.next().map(resolve)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<M> ExactSizeIterator for InboxIter<'_, M> {}
+
+impl<'r, M> IntoIterator for Inbox<'r, M> {
+    type Item = Incoming<'r, M>;
+    type IntoIter = InboxIter<'r, M>;
+    fn into_iter(self) -> InboxIter<'r, M> {
+        self.iter()
+    }
+}
+
+impl<'r, M> IntoIterator for &Inbox<'r, M> {
+    type Item = Incoming<'r, M>;
+    type IntoIter = InboxIter<'r, M>;
+    fn into_iter(self) -> InboxIter<'r, M> {
+        self.iter()
+    }
+}
+
+/// Owned delivery buffer for out-of-crate harnesses and reference
+/// engines: fill it with `(port, message)` deliveries, hand the program
+/// a view of it. Its public API only ever stores inline payloads, so
+/// [`InboxBuf::view`] is safe.
+#[derive(Default)]
+pub struct InboxBuf<M> {
+    packets: Vec<Packet<M>>,
+}
+
+impl<M> InboxBuf<M> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        InboxBuf { packets: Vec::new() }
+    }
+
+    /// Appends a delivery (arrival on receiver-side `port`).
+    pub fn push(&mut self, port: u32, msg: M) {
+        self.packets.push(Packet::Own { port, msg });
+    }
+
+    /// Clears the buffer, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+    }
+
+    /// Number of buffered deliveries.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The program-facing view of the buffered deliveries.
+    pub fn view(&self) -> Inbox<'_, M> {
+        // SAFETY: `push` is the only public writer and stores
+        // `Packet::Own` exclusively — no Shared pointer can exist here.
+        unsafe { Inbox::from_packets(&self.packets) }
+    }
 }
 
 /// Where an [`Outbox`]'s sends go.
@@ -160,6 +340,11 @@ pub(crate) struct DirectSink {
     /// Base of this sender's contiguous lane row in the write arena
     /// (type-erased here; re-typed in the `send` path where `M` is known).
     pub(crate) lanes: *mut (),
+    /// Base of the write arena's per-node broadcast slot array
+    /// (`*mut Option<M>` type-erased). Slot `sender` is written by this
+    /// outbox alone; last generation's occupant is evicted back to the
+    /// program for recycling.
+    pub(crate) slots: *mut (),
     /// Receiver node index per local port (the graph's neighbor row).
     pub(crate) receivers: *const NodeIndex,
     /// Receiver-side port per local port (the graph's rev-port row);
@@ -183,11 +368,15 @@ pub struct Outbox<M> {
     sink: Sink<M>,
     degree: u32,
     queued: u32,
+    /// Whether this step already parked a payload in the broadcast slot
+    /// (only the first broadcast per step can; later ones clone per
+    /// port like targeted sends).
+    slot_used: bool,
 }
 
 impl<M: WireMessage> Outbox<M> {
     pub(crate) fn new(degree: u32) -> Self {
-        Outbox { sink: Sink::Buffered(Vec::new()), degree, queued: 0 }
+        Outbox { sink: Sink::Buffered(Vec::new()), degree, queued: 0, slot_used: false }
     }
 
     /// Builds a lane- or inbox-writing outbox for one step call
@@ -198,9 +387,11 @@ impl<M: WireMessage> Outbox<M> {
     /// `sink`'s pointers must be valid and exclusive for the outbox's
     /// lifetime: `lanes` must point at the sender's `degree`-long lane
     /// row (`*mut Lane<M>` type-erased) — or, for the inbox modes, at
-    /// the full per-receiver inbox array (`*mut Vec<Incoming<M>>`) —
-    /// `loads` at the sender's load row whenever the mode accounts, and
-    /// `acc`/`ctx` at live objects nobody else mutates during the call.
+    /// the full per-receiver inbox array (`*mut Vec<Packet<M>>`) —
+    /// `slots` at the write generation's `Option<M>` slot array (slot
+    /// `sender` unaliased), `loads` at the sender's load row whenever
+    /// the mode accounts, and `acc`/`ctx` at live objects nobody else
+    /// mutates during the call.
     pub(crate) unsafe fn direct(degree: u32, sink: DirectSink, mode: SinkMode) -> Self {
         let sink = match mode {
             SinkMode::Heavy => Sink::Direct(sink),
@@ -208,7 +399,7 @@ impl<M: WireMessage> Outbox<M> {
             SinkMode::FastInbox => Sink::DirectInbox(sink),
             SinkMode::HeavyInbox => Sink::DirectInboxHeavy(sink),
         };
-        Outbox { sink, degree, queued: 0 }
+        Outbox { sink, degree, queued: 0, slot_used: false }
     }
 
     /// Constructs a free-standing buffered outbox for out-of-crate
@@ -270,39 +461,93 @@ impl<M: WireMessage> Outbox<M> {
         }
     }
 
-    /// Sends a clone of `msg` on every port.
-    pub fn broadcast(&mut self, msg: &M) {
+    /// Sends `msg` on every port.
+    ///
+    /// Under the engine's direct sinks the payload is stored **once** in
+    /// this sender's broadcast slot of the write arena and every lane
+    /// (or sequential inbox) receives a lightweight shared ref — no
+    /// clone on either side of the wire. Wire accounting still charges
+    /// every link the full message size, and delivery order is
+    /// identical to `degree` targeted sends.
+    ///
+    /// Returns the payload evicted from the slot — the broadcast this
+    /// sender parked **two rounds earlier** (same arena generation),
+    /// which no receiver can still be reading. Protocols with pooled
+    /// payloads recycle it; everyone else ignores it. Buffered
+    /// (harness) outboxes clone per port instead (moving the last) and
+    /// return `None`, as does a second broadcast within one step, which
+    /// falls back to per-port clones because the slot is taken.
+    pub fn broadcast(&mut self, msg: M) -> Option<M> {
         self.queued += self.degree;
+        if self.degree == 0 {
+            return None;
+        }
+        // SAFETY (all direct arms): as in `send` — every port is in
+        // range by definition, slot `sender` is unaliased per the
+        // `Outbox::direct` contract, and the closures only forward to
+        // the send/charge/fan helpers under that same contract. The
+        // payload's wire size is computed once per broadcast (the
+        // parked payload is identical on every link) and only when the
+        // accounting path will read it.
         match &mut self.sink {
             Sink::Buffered(v) => {
+                let last = self.degree - 1;
                 v.reserve(self.degree as usize);
-                for p in 0..self.degree {
+                for p in 0..last {
                     v.push((p, msg.clone()));
                 }
+                v.push((last, msg));
+                None
             }
-            // SAFETY: as in `send`; every port is in range by definition.
             Sink::Direct(d) => unsafe {
-                for p in 0..self.degree {
-                    direct_send(d, p, msg.clone());
-                }
+                let bits = account_bits(d, &msg);
+                direct_broadcast(
+                    &mut self.slot_used,
+                    self.degree,
+                    d,
+                    msg,
+                    |d, p, m| direct_send(d, p, m),
+                    |d, p, ptr| {
+                        if charge_send_bits(d, p, bits) {
+                            lane_push_bcast(d, p, ptr);
+                        }
+                    },
+                )
             },
-            // SAFETY: as above.
             Sink::DirectFast(d) => unsafe {
-                for p in 0..self.degree {
-                    direct_send_fast(d, p, msg.clone());
-                }
+                direct_broadcast(
+                    &mut self.slot_used,
+                    self.degree,
+                    d,
+                    msg,
+                    |d, p, m| direct_send_fast(d, p, m),
+                    |d, p, ptr| lane_push_bcast(d, p, ptr),
+                )
             },
-            // SAFETY: as above.
             Sink::DirectInbox(d) => unsafe {
-                for p in 0..self.degree {
-                    direct_send_inbox(d, p, msg.clone());
-                }
+                direct_broadcast(
+                    &mut self.slot_used,
+                    self.degree,
+                    d,
+                    msg,
+                    |d, p, m| direct_send_inbox(d, p, m),
+                    |d, p, ptr| inbox_push_bcast(d, p, ptr),
+                )
             },
-            // SAFETY: as above.
             Sink::DirectInboxHeavy(d) => unsafe {
-                for p in 0..self.degree {
-                    direct_send_inbox_heavy(d, p, msg.clone());
-                }
+                let bits = account_bits(d, &msg);
+                direct_broadcast(
+                    &mut self.slot_used,
+                    self.degree,
+                    d,
+                    msg,
+                    |d, p, m| direct_send_inbox_heavy(d, p, m),
+                    |d, p, ptr| {
+                        if charge_send_bits(d, p, bits) {
+                            inbox_push_bcast(d, p, ptr);
+                        }
+                    },
+                )
             },
         }
     }
@@ -318,16 +563,137 @@ impl<M: WireMessage> Outbox<M> {
     }
 }
 
+/// Whether broadcasts of `M` deliver inline copies instead of shared
+/// refs: when the payload is no bigger than the pointer-sized `Shared`
+/// packet body, an owned copy costs the same lane space as a ref and
+/// spares every receiver the slot indirection (a cache miss on a
+/// random sender's slot). Heavy payloads — anything owning heap memory
+/// is bigger than this — always share. Monomorphizes to a constant, so
+/// each instantiation compiles to a single path.
+#[inline(always)]
+fn broadcast_inline<M>() -> bool {
+    std::mem::size_of::<M>() <= 2 * std::mem::size_of::<*const ()>()
+}
+
+/// The payload's wire size if this sink's context will account it,
+/// else 0 (never read): lets a broadcast price its payload once instead
+/// of once per port.
+///
+/// # Safety
+/// `d.ctx` must be valid per the [`Outbox::direct`] contract.
+#[inline(always)]
+unsafe fn account_bits<M: WireMessage>(d: &DirectSink, msg: &M) -> u64 {
+    let ctx = &*d.ctx;
+    if ctx.account {
+        msg.wire_bits(&*ctx.params)
+    } else {
+        0
+    }
+}
+
+/// The shared driver of every direct-sink broadcast: the slot path for
+/// the first broadcast of a step (park once, fan out via `fan_one`,
+/// return the evicted previous generation's payload), or the per-port
+/// clone fallback via `send_one` when the slot is already taken.
+///
+/// # Safety
+/// See [`Outbox::direct`]; `degree ≥ 1`, and the callbacks must uphold
+/// the same contract as the send helpers they wrap.
+#[inline(always)]
+unsafe fn direct_broadcast<M: Clone>(
+    slot_used: &mut bool,
+    degree: u32,
+    d: &mut DirectSink,
+    msg: M,
+    mut send_one: impl FnMut(&mut DirectSink, u32, M),
+    mut fan_one: impl FnMut(&mut DirectSink, u32, *const M),
+) -> Option<M> {
+    if *slot_used {
+        let last = degree - 1;
+        for p in 0..last {
+            send_one(d, p, msg.clone());
+        }
+        send_one(d, last, msg);
+        return None;
+    }
+    *slot_used = true;
+    let (evicted, ptr) = slot_park(d, msg);
+    for p in 0..degree {
+        fan_one(d, p, ptr);
+    }
+    evicted
+}
+
+/// Parks a broadcast payload in this sender's slot of the write
+/// generation, returning the evicted previous occupant and a pointer to
+/// the parked payload (stable: the slot array never reallocates).
+///
+/// # Safety
+/// See [`Outbox::direct`] — `d.slots` must be the write generation's
+/// slot array with slot `d.sender` unaliased for the outbox's lifetime.
+#[inline(always)]
+unsafe fn slot_park<M>(d: &DirectSink, msg: M) -> (Option<M>, *const M) {
+    let slot = &mut *(d.slots as *mut Option<M>).add(d.sender as usize);
+    let evicted = slot.replace(msg);
+    let ptr: *const M = slot.as_ref().expect("just parked") as *const M;
+    (evicted, ptr)
+}
+
+/// Pushes one broadcast delivery into the lane of `port`, maintaining
+/// the receiver's traffic hint exactly like a targeted lane push: an
+/// inline copy for pointer-sized payloads, a shared ref into the
+/// sender's parked slot otherwise.
+///
+/// # Safety
+/// As [`direct_send`], with `ptr` pointing at the parked payload of the
+/// same arena generation as `d.lanes`.
+#[inline(always)]
+unsafe fn lane_push_bcast<M: Clone>(d: &mut DirectSink, port: u32, ptr: *const M) {
+    let lane = &mut *(d.lanes as *mut Lane<M>).add(port as usize);
+    if lane.is_empty() {
+        let w = *d.receivers.add(port as usize);
+        let ctx = &*d.ctx;
+        (*ctx.dirty.add(w as usize)).store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+    let rev = *d.rev_ports.add(port as usize);
+    if broadcast_inline::<M>() {
+        lane.push(Packet::Own { port: rev, msg: (*ptr).clone() });
+    } else {
+        lane.push(Packet::Shared { port: rev, msg: ptr });
+    }
+}
+
+/// Pushes one broadcast delivery straight into the receiver's
+/// next-round inbox (sequential executor only); inline/shared split as
+/// [`lane_push_bcast`].
+///
+/// # Safety
+/// As [`direct_send_inbox`], with `ptr` pointing at the parked payload
+/// of the same inbox-arena generation as `d.lanes`.
+#[inline(always)]
+unsafe fn inbox_push_bcast<M: Clone>(d: &mut DirectSink, port: u32, ptr: *const M) {
+    let w = *d.receivers.add(port as usize);
+    let rev = *d.rev_ports.add(port as usize);
+    let inbox = &mut *(d.lanes as *mut Vec<Packet<M>>).add(w as usize);
+    if broadcast_inline::<M>() {
+        inbox.push(Packet::Own { port: rev, msg: (*ptr).clone() });
+    } else {
+        inbox.push(Packet::Shared { port: rev, msg: ptr });
+    }
+}
+
 /// The shared half of the heavy send paths: stamp/advance this link's
 /// load, feed the round accumulator, check the bandwidth budget.
 /// Returns whether the message survives the fault plan (the sender has
-/// already been charged either way).
+/// already been charged either way). `b` is the message's wire size,
+/// priced by the caller (per message for targeted sends, once per
+/// broadcast); it is only read when the context accounts.
 ///
 /// # Safety
 /// See [`Outbox::direct`] — when the context accounts, `d.loads` must
 /// be the sender's valid load row — and `port < degree`.
 #[inline(always)]
-unsafe fn charge_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: &M) -> bool {
+unsafe fn charge_send_bits(d: &mut DirectSink, port: u32, b: u64) -> bool {
     let ctx = &*d.ctx;
     if ctx.account {
         let load = &mut *d.loads.add(port as usize);
@@ -340,7 +706,6 @@ unsafe fn charge_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: &M) ->
             load.stamp = ctx.round;
         }
         load.count += 1;
-        let b = msg.wire_bits(&*ctx.params);
         let acc = &mut *d.acc;
         acc.messages += 1;
         acc.bits += b;
@@ -359,6 +724,17 @@ unsafe fn charge_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: &M) ->
         }
     }
     !(ctx.check_faults && (*ctx.faults).drops(ctx.round, d.sender, port))
+}
+
+/// [`charge_send_bits`] with the wire size priced here — the targeted
+/// send form.
+///
+/// # Safety
+/// As [`charge_send_bits`].
+#[inline(always)]
+unsafe fn charge_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: &M) -> bool {
+    let b = account_bits(d, msg);
+    charge_send_bits(d, port, b)
 }
 
 /// The fused lane write path: accounting, bandwidth check, delivery —
@@ -381,7 +757,7 @@ unsafe fn direct_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M) {
             (*ctx.dirty.add(w as usize)).store(true, std::sync::atomic::Ordering::Relaxed);
         }
         let rev = *d.rev_ports.add(port as usize);
-        lane.push(Incoming { port: rev, msg });
+        lane.push(Packet::Own { port: rev, msg });
     }
 }
 
@@ -401,7 +777,7 @@ unsafe fn direct_send_fast<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M
         (*ctx.dirty.add(w as usize)).store(true, std::sync::atomic::Ordering::Relaxed);
     }
     let rev = *d.rev_ports.add(port as usize);
-    lane.push(Incoming { port: rev, msg });
+    lane.push(Packet::Own { port: rev, msg });
 }
 
 /// The sequential-executor write path (see `Sink::DirectInbox`): one
@@ -415,8 +791,8 @@ unsafe fn direct_send_fast<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M
 unsafe fn direct_send_inbox<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M) {
     let w = *d.receivers.add(port as usize);
     let rev = *d.rev_ports.add(port as usize);
-    let inbox = &mut *(d.lanes as *mut Vec<Incoming<M>>).add(w as usize);
-    inbox.push(Incoming { port: rev, msg });
+    let inbox = &mut *(d.lanes as *mut Vec<Packet<M>>).add(w as usize);
+    inbox.push(Packet::Own { port: rev, msg });
 }
 
 /// The sequential-executor accounted write path (see
@@ -434,8 +810,8 @@ unsafe fn direct_send_inbox_heavy<M: WireMessage>(d: &mut DirectSink, port: u32,
     if charge_send(d, port, &msg) {
         let w = *d.receivers.add(port as usize);
         let rev = *d.rev_ports.add(port as usize);
-        let inbox = &mut *(d.lanes as *mut Vec<Incoming<M>>).add(w as usize);
-        inbox.push(Incoming { port: rev, msg });
+        let inbox = &mut *(d.lanes as *mut Vec<Packet<M>>).add(w as usize);
+        inbox.push(Packet::Own { port: rev, msg });
     }
 }
 
@@ -452,7 +828,9 @@ pub enum Status {
 ///
 /// `step` is called once per round with the inbox of the *previous* round
 /// (empty at round 0) and must queue this round's sends into `out`. The
-/// engine stops when every node has halted or the round cap is hit.
+/// inbox hands payloads out by reference (broadcast payloads are shared
+/// among all receivers); clone what you keep. The engine stops when
+/// every node has halted or the round cap is hit.
 pub trait Program: Send {
     /// Message type exchanged over edges.
     type Msg: WireMessage;
@@ -460,7 +838,7 @@ pub trait Program: Send {
     type Verdict: Send + Clone + 'static;
 
     /// Executes one synchronous round.
-    fn step(&mut self, round: u32, inbox: &[Incoming<Self::Msg>], out: &mut Outbox<Self::Msg>) -> Status;
+    fn step(&mut self, round: u32, inbox: Inbox<'_, Self::Msg>, out: &mut Outbox<Self::Msg>) -> Status;
 
     /// The node's output; meaningful once the node has halted, but callable
     /// at any time (the engine collects verdicts at run end).
@@ -475,7 +853,7 @@ mod tests {
     fn outbox_send_and_broadcast() {
         let mut ob: Outbox<u64> = Outbox::new(3);
         ob.send(0, 42);
-        ob.broadcast(&7);
+        assert_eq!(ob.broadcast(7), None, "buffered outboxes have no slot to evict");
         assert_eq!(ob.queued(), 4);
         let sends: Vec<(u32, u64)> = ob.drain_sends().collect();
         assert_eq!(sends, vec![(0, 42), (0, 7), (1, 7), (2, 7)]);
@@ -515,12 +893,39 @@ mod tests {
     fn outbox_drain_and_take() {
         let mut ob: Outbox<u64> = Outbox::for_harness(2);
         ob.send(1, 8);
-        ob.broadcast(&3);
+        ob.broadcast(3);
         let drained: Vec<(u32, u64)> = ob.drain_sends().collect();
         assert_eq!(drained, vec![(1, 8), (0, 3), (1, 3)]);
         assert_eq!(ob.queued(), 0);
         ob.send(0, 1);
         assert_eq!(ob.take_sends(), vec![(0, 1)]);
         assert_eq!(ob.queued(), 0);
+    }
+
+    #[test]
+    fn broadcast_to_degree_zero_is_a_no_op() {
+        let mut ob: Outbox<u64> = Outbox::for_harness(0);
+        assert_eq!(ob.broadcast(9), None);
+        assert_eq!(ob.queued(), 0);
+        assert!(ob.take_sends().is_empty());
+    }
+
+    #[test]
+    fn inbox_buf_views_deliveries_in_order() {
+        let mut buf: InboxBuf<u64> = InboxBuf::new();
+        assert!(buf.view().is_empty());
+        buf.push(2, 20);
+        buf.push(0, 10);
+        let view = buf.view();
+        assert_eq!(view.len(), 2);
+        let got: Vec<(u32, u64)> = view.iter().map(|inc| (inc.port, *inc.msg)).collect();
+        assert_eq!(got, vec![(2, 20), (0, 10)]);
+        // The view is Copy and re-iterable.
+        assert_eq!(view.iter().len(), 2);
+        assert_eq!(view.get(1).map(|inc| *inc.msg), Some(10));
+        assert_eq!(view.get(2).map(|inc| *inc.msg), None);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert!(Inbox::<u64>::empty().is_empty());
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::engine::{run, EngineConfig, EngineError, RunOutcome};
 use crate::graph::{Graph, NodeId, NodeIndex};
-use crate::node::{Incoming, Outbox, Program, Status};
+use crate::node::{Inbox, Outbox, Program, Status};
 
 /// Leader election by min-ID flooding: after `ttl` rounds every node
 /// outputs the smallest ID within distance `ttl`; with `ttl ≥ diameter`,
@@ -29,10 +29,10 @@ impl Program for MinIdFlood {
     type Msg = NodeId;
     type Verdict = NodeId;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<NodeId>], out: &mut Outbox<NodeId>) -> Status {
-        for inc in inbox {
-            if inc.msg < self.best {
-                self.best = inc.msg;
+    fn step(&mut self, round: u32, inbox: Inbox<'_, NodeId>, out: &mut Outbox<NodeId>) -> Status {
+        for inc in inbox.iter() {
+            if *inc.msg < self.best {
+                self.best = *inc.msg;
                 self.changed = true;
             }
         }
@@ -40,7 +40,7 @@ impl Program for MinIdFlood {
             return Status::Halted;
         }
         if round == 0 || self.changed {
-            out.broadcast(&self.best);
+            out.broadcast(self.best);
             self.changed = false;
         }
         Status::Running
@@ -96,10 +96,10 @@ impl Program for BfsTree {
     type Msg = u64;
     type Verdict = BfsVerdict;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<u64>], out: &mut Outbox<u64>) -> Status {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
         let _ = self.root;
-        for inc in inbox {
-            let d = inc.msg as u32 + 1;
+        for inc in inbox.iter() {
+            let d = *inc.msg as u32 + 1;
             if d < self.dist {
                 self.dist = d;
                 // Port → sender ID is resolved by the harness; stash the
@@ -110,7 +110,7 @@ impl Program for BfsTree {
             }
         }
         if self.dist != u32::MAX && !self.announced {
-            out.broadcast(&u64::from(self.dist));
+            out.broadcast(u64::from(self.dist));
             self.announced = true;
         }
         if round >= self.max_rounds {
@@ -167,12 +167,12 @@ impl Program for CollectNeighbors {
     type Msg = NodeId;
     type Verdict = Vec<NodeId>;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<NodeId>], out: &mut Outbox<NodeId>) -> Status {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, NodeId>, out: &mut Outbox<NodeId>) -> Status {
         if round == 0 {
-            out.broadcast(&self.myid);
+            out.broadcast(self.myid);
             return Status::Running;
         }
-        self.seen = inbox.iter().map(|i| i.msg).collect();
+        self.seen = inbox.iter().map(|i| *i.msg).collect();
         self.seen.sort_unstable();
         Status::Halted
     }

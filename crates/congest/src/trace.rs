@@ -9,7 +9,7 @@
 use std::sync::{Arc, Mutex};
 
 use crate::graph::NodeIndex;
-use crate::node::{Incoming, Outbox, Program, Status};
+use crate::node::{Inbox, Outbox, Program, Status};
 
 /// One logged event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -103,8 +103,8 @@ where
     type Msg = P::Msg;
     type Verdict = P::Verdict;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<Self::Msg>], out: &mut Outbox<Self::Msg>) -> Status {
-        for inc in inbox {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, Self::Msg>, out: &mut Outbox<Self::Msg>) -> Status {
+        for inc in inbox.iter() {
             self.log.push(TraceEvent::Recv {
                 round,
                 node: self.node,

@@ -51,8 +51,8 @@ pub mod single;
 pub mod tester;
 
 pub use decide::{decide_reject, RejectWitness};
-pub use msg::{CkMsg, EdgeTag, SeqBundle};
-pub use prune::{build_send_set, lemma3_bound, prune, PrunerKind};
+pub use msg::{CkMsg, EdgeTag, SeqBundle, SeqPool};
+pub use prune::{build_send_set, build_send_set_into, lemma3_bound, prune, PrunerKind, SendSetScratch};
 pub use rank::{repetitions_for, rounds_per_repetition, total_rounds};
 pub use seq::{IdSeq, MAX_K, MAX_SEQ_LEN};
 pub use single::{detect_ck_through_edge, DetectSingle, SingleRun, SingleVerdict};

@@ -1,4 +1,6 @@
-//! Message types of the tester protocols, with CONGEST wire accounting.
+//! Message types of the tester protocols, with CONGEST wire accounting,
+//! plus the recycling pool that makes heavy Phase-2 payloads
+//! allocation-free in steady state.
 
 use crate::seq::IdSeq;
 use ck_congest::graph::NodeId;
@@ -31,9 +33,98 @@ impl EdgeTag {
     }
 }
 
-/// A bundle of sequences, the Phase-2 payload of the single-edge detector.
+/// A bundle of sequences — the Phase-2 payload. The backing `Vec` is
+/// meant to circulate through a [`SeqPool`]: protocols build bundles
+/// from pooled buffers, broadcast them by value (the engine parks the
+/// payload in the sender's broadcast slot), and return the buffer to
+/// the pool when the slot evicts it two rounds later. In steady state
+/// no bundle construction allocates.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SeqBundle(pub Vec<IdSeq>);
+
+impl SeqBundle {
+    /// The sequences, in the sender's canonical order.
+    pub fn as_slice(&self) -> &[IdSeq] {
+        &self.0
+    }
+
+    /// Number of sequences bundled.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no sequence is bundled.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Take/return recycling pool for the `Vec<IdSeq>` backings of
+/// [`SeqBundle`]s, one per node program.
+///
+/// The cycle: `take` a buffer (reusing a returned one's capacity),
+/// fill it, ship it inside a broadcast; when the engine's broadcast
+/// slot evicts the payload two rounds later, `put` it back. After the
+/// first two rounds every `take` is served from the free list — zero
+/// steady-state allocation. The taken/returned counters make leaks
+/// observable: `outstanding()` is bounded by the number of engine
+/// slots that can hold this node's payloads (two — one per arena
+/// generation) for a leak-free protocol.
+#[derive(Debug, Default)]
+pub struct SeqPool {
+    free: Vec<Vec<IdSeq>>,
+    taken: u64,
+    returned: u64,
+}
+
+impl SeqPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        SeqPool::default()
+    }
+
+    /// Takes a cleared buffer, recycling capacity when available.
+    pub fn take(&mut self) -> Vec<IdSeq> {
+        self.taken += 1;
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Builds a bundle holding a copy of `seqs` in a pooled buffer.
+    pub fn bundle_from(&mut self, seqs: &[IdSeq]) -> SeqBundle {
+        let mut buf = self.take();
+        buf.extend_from_slice(seqs);
+        SeqBundle(buf)
+    }
+
+    /// Returns a bundle's buffer to the pool (cleared, capacity kept).
+    pub fn put(&mut self, bundle: SeqBundle) {
+        self.put_vec(bundle.0);
+    }
+
+    /// Returns a raw buffer to the pool (cleared, capacity kept).
+    pub fn put_vec(&mut self, mut buf: Vec<IdSeq>) {
+        buf.clear();
+        self.returned += 1;
+        self.free.push(buf);
+    }
+
+    /// Buffers taken and not (yet) returned — the leak indicator. For a
+    /// slot-recycling protocol this never exceeds the number of arena
+    /// generations (2), no matter how many rounds run.
+    pub fn outstanding(&self) -> u64 {
+        self.taken - self.returned
+    }
+
+    /// Total buffers ever taken.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Buffers currently resting in the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
 
 /// Encoded size of a sequence list: count prefix plus `len · id_bits` per
 /// sequence (the receiver learns lengths from the round number; a
@@ -55,8 +146,9 @@ impl WireMessage for SeqBundle {
 pub enum CkMsg {
     /// Phase 1: the edge owner ships the rank to the other endpoint.
     Rank(u64),
-    /// Phase 2: sequences for the check identified by `tag`.
-    Seqs { tag: EdgeTag, seqs: Vec<IdSeq> },
+    /// Phase 2: sequences for the check identified by `tag`, carried in
+    /// a pooled bundle.
+    Seqs { tag: EdgeTag, seqs: SeqBundle },
     /// Early-abort extension: a node has rejected; the flag floods so
     /// everyone can skip the remaining repetitions (sound because only a
     /// genuine reject originates it).
@@ -72,7 +164,7 @@ impl WireMessage for CkMsg {
             CkMsg::Seqs { seqs, .. } => {
                 1 + u64::from(params.rank_bits)
                     + 2 * u64::from(params.id_bits)
-                    + seqs_wire_bits(seqs, params)
+                    + seqs.wire_bits(params)
             }
             // A bare flag (discriminant only).
             CkMsg::Abort => 2,
@@ -119,8 +211,29 @@ mod tests {
         assert_eq!(CkMsg::Rank(7).wire_bits(&p), 15);
         let m = CkMsg::Seqs {
             tag: EdgeTag::new(7, 1, 2),
-            seqs: vec![IdSeq::from_slice(&[1, 2])],
+            seqs: SeqBundle(vec![IdSeq::from_slice(&[1, 2])]),
         };
         assert_eq!(m.wire_bits(&p), 1 + 14 + 24 + (1 + 24));
+    }
+
+    #[test]
+    fn pool_recycles_capacity_and_counts_leaks() {
+        let mut pool = SeqPool::new();
+        let b = pool.bundle_from(&[IdSeq::single(1), IdSeq::single(2)]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(pool.outstanding(), 1);
+        let cap = b.0.capacity();
+        pool.put(b);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.pooled(), 1);
+        // The recycled buffer comes back cleared with its capacity.
+        let reused = pool.take();
+        assert!(reused.is_empty());
+        assert!(reused.capacity() >= cap);
+        assert_eq!(pool.taken(), 2);
+        assert_eq!(pool.outstanding(), 1);
+        pool.put_vec(reused);
+        assert_eq!(pool.outstanding(), 0);
     }
 }

@@ -153,36 +153,52 @@ pub fn prune_literal(seqs: &[IdSeq], k: usize, t: usize) -> Vec<usize> {
 /// Representative-family implementation: identical accept/reject decisions
 /// to [`prune_literal`] for the same scan order, without enumerating `X`.
 pub fn prune_representative(seqs: &[IdSeq], k: usize, t: usize) -> Vec<usize> {
-    validate(seqs, k, t);
-    let budget = k - t;
-    let mut accepted_seqs: Vec<IdSeq> = Vec::new();
     let mut accepted = Vec::new();
-    let mut transversal: Vec<NodeId> = Vec::with_capacity(budget);
-    for (i, l) in seqs.iter().enumerate() {
-        transversal.clear();
-        if admits_transversal(&accepted_seqs, l, budget, &mut transversal) {
-            accepted.push(i);
-            accepted_seqs.push(*l);
-        }
-    }
-    debug_assert!(accepted.len() as u128 <= lemma3_bound(k, t), "Lemma 3 violated");
+    let mut transversal = Vec::new();
+    prune_representative_into(seqs, k, t, &mut accepted, &mut transversal);
     accepted
 }
 
+/// As [`prune_representative`], writing the accepted indices into a
+/// caller-provided buffer (cleared first) — the hot-path form the
+/// tester's per-round loop uses so steady state allocates nothing.
+/// `transversal` is branching scratch, also caller-recycled.
+fn prune_representative_into(
+    seqs: &[IdSeq],
+    k: usize,
+    t: usize,
+    accepted: &mut Vec<usize>,
+    transversal: &mut Vec<NodeId>,
+) {
+    validate(seqs, k, t);
+    let budget = k - t;
+    accepted.clear();
+    for (i, l) in seqs.iter().enumerate() {
+        transversal.clear();
+        if admits_transversal(seqs, accepted, l, budget, transversal) {
+            accepted.push(i);
+        }
+    }
+    debug_assert!(accepted.len() as u128 <= lemma3_bound(k, t), "Lemma 3 violated");
+}
+
 /// Decides whether some `T ⊆ (IDs ∖ L)` with `|T| ≤ budget` intersects
-/// every sequence in `accepted` — equivalently, whether a surviving
-/// witness set `X` (T padded with fake IDs) disjoint from `L` remains.
+/// every accepted sequence (`accepted` holds indices into `seqs`) —
+/// equivalently, whether a surviving witness set `X` (T padded with fake
+/// IDs) disjoint from `L` remains.
 ///
 /// Branches on the first accepted sequence not yet hit: every valid `T`
 /// must contain one of its eligible elements, so trying each is complete.
 fn admits_transversal(
-    accepted: &[IdSeq],
+    seqs: &[IdSeq],
+    accepted: &[usize],
     l: &IdSeq,
     budget: usize,
     transversal: &mut Vec<NodeId>,
 ) -> bool {
     let unhit = accepted
         .iter()
+        .map(|&i| &seqs[i])
         .find(|a| !transversal.iter().any(|&x| a.contains(x)));
     let Some(a) = unhit else {
         return true; // everything hit; pad with fakes
@@ -195,7 +211,7 @@ fn admits_transversal(
             continue; // T must avoid L
         }
         transversal.push(id);
-        if admits_transversal(accepted, l, budget - 1, transversal) {
+        if admits_transversal(seqs, accepted, l, budget - 1, transversal) {
             return true;
         }
         transversal.pop();
@@ -219,10 +235,60 @@ pub fn prune(kind: PrunerKind, seqs: &[IdSeq], k: usize, t: usize) -> Vec<usize>
     }
 }
 
-/// Full per-round send-set construction (Instructions 11–24): canonicalize
-/// the received collection (set semantics: sort + dedup), drop sequences
-/// containing `myid` (Instruction 12), prune, and append `myid`
-/// (Instruction 24). Returns the sequences to broadcast at round `t`.
+/// Reusable buffers for allocation-free repeated send-set construction
+/// (one per node program; every field keeps its capacity across rounds).
+#[derive(Debug, Default)]
+pub struct SendSetScratch {
+    /// Canonicalized received collection (filtered, sorted, deduped).
+    filtered: Vec<IdSeq>,
+    /// Accepted indices into `filtered`.
+    accepted: Vec<usize>,
+    /// Branching scratch of the representative pruner.
+    transversal: Vec<NodeId>,
+}
+
+/// Full per-round send-set construction (Instructions 11–24) into a
+/// caller-provided buffer: canonicalize the received collection (set
+/// semantics: sort + dedup), drop sequences containing `myid`
+/// (Instruction 12), prune, and append `myid` (Instruction 24). `out`
+/// (cleared first) receives the sequences to broadcast at round `t`;
+/// with the representative pruner the whole call is allocation-free
+/// once the scratch buffers have warmed up.
+pub fn build_send_set_into(
+    kind: PrunerKind,
+    received: &[IdSeq],
+    myid: NodeId,
+    k: usize,
+    t: usize,
+    scratch: &mut SendSetScratch,
+    out: &mut Vec<IdSeq>,
+) {
+    out.clear();
+    scratch.filtered.clear();
+    scratch.filtered.extend(received.iter().filter(|s| !s.contains(myid)).copied());
+    scratch.filtered.sort_unstable();
+    scratch.filtered.dedup();
+    if scratch.filtered.is_empty() {
+        return;
+    }
+    match kind {
+        PrunerKind::Literal => {
+            scratch.accepted.clear();
+            scratch.accepted.extend(prune_literal(&scratch.filtered, k, t));
+        }
+        PrunerKind::Representative => prune_representative_into(
+            &scratch.filtered,
+            k,
+            t,
+            &mut scratch.accepted,
+            &mut scratch.transversal,
+        ),
+    }
+    out.extend(scratch.accepted.iter().map(|&i| scratch.filtered[i].appended(myid)));
+}
+
+/// As [`build_send_set_into`], allocating fresh buffers — the
+/// convenience form for one-shot callers and tests.
 pub fn build_send_set(
     kind: PrunerKind,
     received: &[IdSeq],
@@ -230,18 +296,10 @@ pub fn build_send_set(
     k: usize,
     t: usize,
 ) -> Vec<IdSeq> {
-    let mut r: Vec<IdSeq> = received
-        .iter()
-        .filter(|s| !s.contains(myid))
-        .copied()
-        .collect();
-    r.sort_unstable();
-    r.dedup();
-    if r.is_empty() {
-        return Vec::new();
-    }
-    let accepted = prune(kind, &r, k, t);
-    accepted.into_iter().map(|i| r[i].appended(myid)).collect()
+    let mut scratch = SendSetScratch::default();
+    let mut out = Vec::new();
+    build_send_set_into(kind, received, myid, k, t, &mut scratch, &mut out);
+    out
 }
 
 #[cfg(test)]

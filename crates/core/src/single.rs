@@ -13,12 +13,12 @@
 //! `⌊k/2⌋ − 1`.
 
 use crate::decide::{decide_all_rejects, RejectWitness};
-use crate::msg::SeqBundle;
-use crate::prune::{build_send_set, PrunerKind};
+use crate::msg::{SeqBundle, SeqPool};
+use crate::prune::{build_send_set_into, PrunerKind, SendSetScratch};
 use crate::seq::{IdSeq, MAX_K};
 use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Edge, Graph, NodeId};
-use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 
 /// Per-node outcome of the single-edge detector.
 #[derive(Clone, Debug, Default)]
@@ -47,6 +47,15 @@ pub struct DetectSingle {
     /// Sequences broadcast at the last send round (consulted for even k).
     own_sent: Vec<IdSeq>,
     verdict: SingleVerdict,
+    /// Recycled receive buffer (collect output).
+    recv: Vec<IdSeq>,
+    /// Recycled send-set buffer.
+    send_buf: Vec<IdSeq>,
+    /// Pruner workspace.
+    scratch: SendSetScratch,
+    /// Recycling pool for outgoing bundle backings, refilled by the
+    /// payloads the engine's broadcast slot evicts.
+    pool: SeqPool,
 }
 
 impl DetectSingle {
@@ -63,14 +72,29 @@ impl DetectSingle {
             pruner,
             own_sent: Vec::new(),
             verdict: SingleVerdict::default(),
+            recv: Vec::new(),
+            send_buf: Vec::new(),
+            scratch: SendSetScratch::default(),
+            pool: SeqPool::new(),
         }
     }
 
-    fn collect(inbox: &[Incoming<SeqBundle>]) -> Vec<IdSeq> {
-        let mut r: Vec<IdSeq> = inbox.iter().flat_map(|m| m.msg.0.iter().copied()).collect();
-        r.sort_unstable();
-        r.dedup();
-        r
+    /// Dedups the received sequences into the recycled `recv` buffer,
+    /// reading the shared broadcast payloads in place.
+    fn collect(&mut self, inbox: Inbox<'_, SeqBundle>) {
+        self.recv.clear();
+        for inc in inbox.iter() {
+            self.recv.extend_from_slice(inc.msg.as_slice());
+        }
+        self.recv.sort_unstable();
+        self.recv.dedup();
+    }
+
+    /// Returns an evicted broadcast payload's buffer to the pool.
+    fn recycle(&mut self, evicted: Option<SeqBundle>) {
+        if let Some(bundle) = evicted {
+            self.pool.put(bundle);
+        }
     }
 }
 
@@ -78,28 +102,43 @@ impl Program for DetectSingle {
     type Msg = SeqBundle;
     type Verdict = SingleVerdict;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<SeqBundle>], out: &mut Outbox<SeqBundle>) -> Status {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, SeqBundle>, out: &mut Outbox<SeqBundle>) -> Status {
         if round == 0 {
             // Paper round 1: the endpoints seed their own ID.
             if self.myid == self.u_id || self.myid == self.v_id {
-                let seed = vec![IdSeq::single(self.myid)];
+                let seed = IdSeq::single(self.myid);
                 if self.half_k == 1 {
                     // k ∈ {3}: the seed round is also the last send round.
-                    self.own_sent = seed.clone();
+                    self.own_sent.clear();
+                    self.own_sent.push(seed);
                 }
                 self.verdict.max_sent_seqs = 1;
-                out.broadcast(&SeqBundle(seed));
+                let bundle = self.pool.bundle_from(&[seed]);
+                let evicted = out.broadcast(bundle);
+                self.recycle(evicted);
             }
             return Status::Running;
         }
         if round < self.half_k {
-            // Paper round t = round + 1: prune and forward.
-            let received = Self::collect(inbox);
-            let send = build_send_set(self.pruner, &received, self.myid, self.k, round as usize + 1);
-            if !send.is_empty() {
-                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(send.len());
-                self.own_sent = send.clone();
-                out.broadcast(&SeqBundle(send));
+            // Paper round t = round + 1: prune and forward, entirely
+            // within recycled buffers.
+            self.collect(inbox);
+            build_send_set_into(
+                self.pruner,
+                &self.recv,
+                self.myid,
+                self.k,
+                round as usize + 1,
+                &mut self.scratch,
+                &mut self.send_buf,
+            );
+            if !self.send_buf.is_empty() {
+                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(self.send_buf.len());
+                self.own_sent.clear();
+                self.own_sent.extend_from_slice(&self.send_buf);
+                let bundle = self.pool.bundle_from(&self.send_buf);
+                let evicted = out.broadcast(bundle);
+                self.recycle(evicted);
             } else if round + 1 == self.half_k {
                 // Nothing to contribute at the final send round: stale
                 // own_sent from earlier rounds must not enter the decision.
@@ -108,8 +147,8 @@ impl Program for DetectSingle {
             return Status::Running;
         }
         // round == half_k: decision round.
-        let received = Self::collect(inbox);
-        let all = decide_all_rejects(self.k, self.myid, &self.own_sent, &received);
+        self.collect(inbox);
+        let all = decide_all_rejects(self.k, self.myid, &self.own_sent, &self.recv);
         if !all.is_empty() {
             self.verdict.reject = true;
             self.verdict.witness = all.first().cloned();

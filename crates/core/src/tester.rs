@@ -18,13 +18,13 @@
 //! *uniformly distributed*, which is what the ε-far detection bound needs.
 
 use crate::decide::{decide_reject, RejectWitness};
-use crate::msg::{CkMsg, EdgeTag};
-use crate::prune::{build_send_set, PrunerKind};
+use crate::msg::{CkMsg, EdgeTag, SeqPool};
+use crate::prune::{build_send_set_into, PrunerKind, SendSetScratch};
 use crate::rank::{draw_rank, rank_rng, repetitions_for, rounds_per_repetition, total_rounds};
 use crate::seq::{IdSeq, MAX_K};
 use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
-use ck_congest::node::{Incoming, NodeInit, Outbox, Program, Status};
+use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 
 /// Tester parameters.
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +67,7 @@ impl TesterConfig {
 }
 
 /// A recorded rejection.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rejection {
     /// Repetition in which the node rejected.
     pub repetition: u32,
@@ -78,25 +78,47 @@ pub struct Rejection {
 }
 
 /// Per-node output of the full tester.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodeVerdict {
     /// True if the node output reject in any repetition.
     pub rejected: bool,
-    /// Details of the first rejection.
-    pub first_rejection: Option<Rejection>,
+    /// Details of the first rejection, boxed so the common
+    /// no-rejection verdict (and the per-node program state embedding
+    /// it) stays small — the witness pair alone is ~280 inline bytes,
+    /// and the round loop walks one verdict per node per round.
+    pub first_rejection: Option<Box<Rejection>>,
     /// Largest number of sequences this node put into one message (the
     /// measured side of Lemma 3).
     pub max_sent_seqs: usize,
+    /// Payload-pool buffers taken and never returned when the verdict
+    /// was collected — the leak indicator of the pooled `SeqBundle`
+    /// cycle. At most 2 for any run length (one per engine arena
+    /// generation still parking this node's last broadcasts).
+    pub pool_outstanding: u64,
 }
 
+/// A Phase-2 payload location captured during one `absorb` pass. Dead
+/// outside that call — the scan buffer is cleared before every use, so
+/// a stale pointer is never dereferenced.
+struct BundleLoc(*const crate::msg::SeqBundle);
+
+// SAFETY: the pointer is only formed and dereferenced inside a single
+// `absorb` call on one thread; whenever the program crosses threads
+// (between rounds) no live pointer exists.
+unsafe impl Send for BundleLoc {}
+
 /// One node of the full tester.
-pub struct CkTester {
+///
+/// Borrows the graph's neighbor-identity row (`'g`) instead of copying
+/// it: instantiating `n` testers performs no per-node allocation for
+/// the adjacency view.
+pub struct CkTester<'g> {
     k: usize,
     half_k: u32,
     rpr: u32,
     reps_total: u32,
     myid: NodeId,
-    neighbor_ids: Vec<NodeId>,
+    neighbor_ids: &'g [NodeId],
     m: usize,
     seed: u64,
     pruner: PrunerKind,
@@ -111,11 +133,27 @@ pub struct CkTester {
     own_sent: Vec<IdSeq>,
     own_sent_tag: Option<EdgeTag>,
     verdict: NodeVerdict,
+    // Recycled buffers: zero steady-state allocation per round.
+    /// Deduplicated sequences of the served edge (absorb output).
+    recv: Vec<IdSeq>,
+    /// Absorb's one-pass scan: the tag and payload location of each
+    /// Phase-2 message, so the shared broadcast slots (a random read
+    /// per sender) are dereferenced exactly once. The raw pointers are
+    /// produced and consumed inside one `absorb` call — never stored
+    /// across rounds, only the buffer's capacity is.
+    tag_scan: Vec<(EdgeTag, BundleLoc)>,
+    /// The send set under construction (build_send_set_into output).
+    send_buf: Vec<IdSeq>,
+    /// Pruner workspace.
+    scratch: SendSetScratch,
+    /// Recycling pool for outgoing bundle backings; refilled by the
+    /// payloads the engine's broadcast slot evicts.
+    pool: SeqPool,
 }
 
-impl CkTester {
+impl<'g> CkTester<'g> {
     /// Builds the program for one node.
-    pub fn new(cfg: &TesterConfig, init: &NodeInit) -> Self {
+    pub fn new(cfg: &TesterConfig, init: &NodeInit<'g>) -> Self {
         assert!((3..=MAX_K).contains(&cfg.k), "k = {} outside supported range", cfg.k);
         let deg = init.degree();
         CkTester {
@@ -124,7 +162,7 @@ impl CkTester {
             rpr: rounds_per_repetition(cfg.k),
             reps_total: cfg.effective_repetitions(),
             myid: init.id,
-            neighbor_ids: init.neighbor_ids.to_vec(),
+            neighbor_ids: init.neighbor_ids,
             m: init.m,
             seed: cfg.seed,
             pruner: cfg.pruner,
@@ -136,32 +174,51 @@ impl CkTester {
             own_sent: Vec::new(),
             own_sent_tag: None,
             verdict: NodeVerdict::default(),
+            recv: Vec::new(),
+            tag_scan: Vec::new(),
+            send_buf: Vec::new(),
+            scratch: SendSetScratch::default(),
+            pool: SeqPool::new(),
         }
     }
 
     /// Lowers `cur` to the smallest tag among the incoming Phase-2
-    /// messages (the paper's switch rule), then returns the deduplicated
-    /// sequences of the edge now being served.
-    fn absorb(&mut self, inbox: &[Incoming<CkMsg>]) -> Vec<IdSeq> {
-        for inc in inbox {
-            if let CkMsg::Seqs { tag, .. } = &inc.msg {
+    /// messages (the paper's switch rule), then fills `self.recv` with
+    /// the deduplicated sequences of the edge now being served. The
+    /// buffer is recycled across rounds; payloads are read straight out
+    /// of the shared broadcast slots — no clone, no allocation.
+    fn absorb(&mut self, inbox: Inbox<'_, CkMsg>) {
+        self.recv.clear();
+        self.tag_scan.clear();
+        for inc in inbox.iter() {
+            if let CkMsg::Seqs { tag, seqs } = inc.msg {
                 if self.cur.is_none_or(|c| *tag < c) {
                     self.cur = Some(*tag);
                 }
+                self.tag_scan.push((*tag, BundleLoc(seqs as *const _)));
             }
         }
-        let Some(cur) = self.cur else { return Vec::new() };
-        let mut r: Vec<IdSeq> = inbox
-            .iter()
-            .filter_map(|inc| match &inc.msg {
-                CkMsg::Seqs { tag, seqs } if *tag == cur => Some(seqs.iter().copied()),
-                _ => None,
-            })
-            .flatten()
-            .collect();
-        r.sort_unstable();
-        r.dedup();
-        r
+        let Some(cur) = self.cur else { return };
+        for &(tag, BundleLoc(seqs)) in &self.tag_scan {
+            if tag == cur {
+                // SAFETY: collected from this call's inbox a few lines
+                // up; the payloads live until the step returns.
+                self.recv.extend_from_slice(unsafe { (*seqs).as_slice() });
+            }
+        }
+        if self.recv.len() > 1 {
+            self.recv.sort_unstable();
+            self.recv.dedup();
+        }
+    }
+
+    /// Recycles the payload a broadcast evicted from this node's slot
+    /// (the bundle shipped two rounds earlier, which no receiver can
+    /// still be reading).
+    fn recycle(&mut self, evicted: Option<CkMsg>) {
+        if let Some(CkMsg::Seqs { seqs, .. }) = evicted {
+            self.pool.put(seqs);
+        }
     }
 
     fn reset_repetition(&mut self) {
@@ -172,11 +229,11 @@ impl CkTester {
     }
 }
 
-impl Program for CkTester {
+impl Program for CkTester<'_> {
     type Msg = CkMsg;
     type Verdict = NodeVerdict;
 
-    fn step(&mut self, round: u32, inbox: &[Incoming<CkMsg>], out: &mut Outbox<CkMsg>) -> Status {
+    fn step(&mut self, round: u32, inbox: Inbox<'_, CkMsg>, out: &mut Outbox<CkMsg>) -> Status {
         // Early-abort extension: adopt an incoming flag, forward it once,
         // halt the round after (the normal protocol below never runs
         // again on this node).
@@ -189,7 +246,8 @@ impl Program for CkTester {
                     return Status::Halted;
                 }
                 self.abort_forwarded = true;
-                out.broadcast(&CkMsg::Abort);
+                let evicted = out.broadcast(CkMsg::Abort);
+                self.recycle(evicted);
                 return Status::Running;
             }
         }
@@ -214,8 +272,8 @@ impl Program for CkTester {
         if local == 1 {
             // Phase 1 completion: learn the remaining ranks, adopt the
             // minimum-key incident edge, broadcast the seed (paper rd. 1).
-            for inc in inbox {
-                if let CkMsg::Rank(r) = inc.msg {
+            for inc in inbox.iter() {
+                if let CkMsg::Rank(r) = *inc.msg {
                     self.port_rank[inc.port as usize] = Some(r);
                 }
             }
@@ -233,27 +291,43 @@ impl Program for CkTester {
             }
             if let Some(tag) = best {
                 self.cur = Some(tag);
-                let seed_seqs = vec![IdSeq::single(self.myid)];
+                let seed = IdSeq::single(self.myid);
                 if self.half_k == 1 {
                     // k = 3: the seed round is the last send round.
-                    self.own_sent = seed_seqs.clone();
+                    self.own_sent.clear();
+                    self.own_sent.push(seed);
                     self.own_sent_tag = Some(tag);
                 }
                 self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(1);
-                out.broadcast(&CkMsg::Seqs { tag, seqs: seed_seqs });
+                let bundle = self.pool.bundle_from(&[seed]);
+                let evicted = out.broadcast(CkMsg::Seqs { tag, seqs: bundle });
+                self.recycle(evicted);
             }
             return Status::Running;
         }
 
         if local <= self.half_k {
-            // Paper round t = local: prioritized prune-and-forward.
-            let received = self.absorb(inbox);
-            let send = build_send_set(self.pruner, &received, self.myid, self.k, local as usize);
-            if !send.is_empty() {
-                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(send.len());
-                self.own_sent = send.clone();
+            // Paper round t = local: prioritized prune-and-forward,
+            // entirely within recycled buffers.
+            self.absorb(inbox);
+            build_send_set_into(
+                self.pruner,
+                &self.recv,
+                self.myid,
+                self.k,
+                local as usize,
+                &mut self.scratch,
+                &mut self.send_buf,
+            );
+            if !self.send_buf.is_empty() {
+                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(self.send_buf.len());
+                self.own_sent.clear();
+                self.own_sent.extend_from_slice(&self.send_buf);
                 self.own_sent_tag = self.cur;
-                out.broadcast(&CkMsg::Seqs { tag: self.cur.expect("cur set when R nonempty"), seqs: send });
+                let tag = self.cur.expect("cur set when R nonempty");
+                let bundle = self.pool.bundle_from(&self.send_buf);
+                let evicted = out.broadcast(CkMsg::Seqs { tag, seqs: bundle });
+                self.recycle(evicted);
             } else if local == self.half_k {
                 // Nothing contributed at the final send round: stale own
                 // sequences must not feed the even-k decision.
@@ -264,23 +338,24 @@ impl Program for CkTester {
         }
 
         // local == half_k + 1: decision round (Instructions 31–42).
-        let received = self.absorb(inbox);
+        self.absorb(inbox);
         let own: &[IdSeq] =
             if self.own_sent_tag == self.cur && self.cur.is_some() { &self.own_sent } else { &[] };
         if !self.verdict.rejected {
-            if let Some(w) = decide_reject(self.k, self.myid, own, &received) {
+            if let Some(w) = decide_reject(self.k, self.myid, own, &self.recv) {
                 self.verdict.rejected = true;
-                self.verdict.first_rejection = Some(Rejection {
+                self.verdict.first_rejection = Some(Box::new(Rejection {
                     repetition: rep,
                     tag: self.cur.expect("a decision needs served traffic"),
                     witness: w,
-                });
+                }));
                 if self.early_abort {
                     // Originate the abort flood and linger one round so
                     // it propagates.
                     self.aborting = true;
                     self.abort_forwarded = true;
-                    out.broadcast(&CkMsg::Abort);
+                    let evicted = out.broadcast(CkMsg::Abort);
+                    self.recycle(evicted);
                     return Status::Running;
                 }
             }
@@ -293,7 +368,9 @@ impl Program for CkTester {
     }
 
     fn verdict(&self) -> NodeVerdict {
-        self.verdict.clone()
+        let mut v = self.verdict.clone();
+        v.pool_outstanding = self.pool.outstanding();
+        v
     }
 }
 
@@ -315,7 +392,7 @@ impl TesterRun {
         self.outcome
             .verdicts
             .iter()
-            .filter_map(|v| v.first_rejection.as_ref())
+            .filter_map(|v| v.first_rejection.as_deref())
             .collect()
     }
 
@@ -500,6 +577,63 @@ mod tests {
                 .map(|&id| inst.graph.index_of(id).unwrap())
                 .collect();
             assert!(is_valid_ck(&inst.graph, 4, &idx));
+        }
+    }
+
+    /// The pooled bundle cycle must not leak: however many repetitions
+    /// run, a node's outstanding pool buffers are bounded by the two
+    /// engine arena generations still parking its last broadcasts —
+    /// every earlier bundle came back through slot eviction.
+    #[test]
+    fn payload_pool_never_leaks_across_repetitions() {
+        let inst = eps_far_instance(48, 5, 0.05, 2);
+        for exec in [Executor::Sequential, Executor::Parallel] {
+            for reps in [1u32, 8, 25] {
+                let cfg = TesterConfig { repetitions: Some(reps), ..TesterConfig::new(5, 0.05, 3) };
+                let e = EngineConfig { executor: exec, ..EngineConfig::default() };
+                let run = run_tester(&inst.graph, &cfg, &e).unwrap();
+                for (v, verdict) in run.outcome.verdicts.iter().enumerate() {
+                    assert!(
+                        verdict.pool_outstanding <= 2,
+                        "node {v} leaked {} pool buffers over {reps} reps ({exec:?})",
+                        verdict.pool_outstanding
+                    );
+                }
+            }
+        }
+    }
+
+    /// Heavy pooled payloads through the broadcast-slot path must stay
+    /// bit-identical across executors even when a nontrivial fault plan
+    /// reshapes both Phase-1 rank delivery and Phase-2 bundles.
+    #[test]
+    fn executors_agree_under_faults_with_pooled_payloads() {
+        use ck_congest::fault::FaultPlan;
+        let inst = eps_far_instance(40, 5, 0.05, 4);
+        let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(5, 0.05, 11) };
+        for faults in [
+            FaultPlan::none().random_loss(0.15, 9),
+            FaultPlan::none().random_loss(0.4, 2).drop_at(1, 0, 0).drop_at(2, 3, 1),
+        ] {
+            let mut e = EngineConfig {
+                executor: Executor::Sequential,
+                faults: faults.clone(),
+                ..EngineConfig::default()
+            };
+            let a = run_tester(&inst.graph, &cfg, &e).unwrap();
+            e.executor = Executor::Parallel;
+            let b = run_tester(&inst.graph, &cfg, &e).unwrap();
+            assert_eq!(a.reject, b.reject);
+            let digest = |r: &TesterRun| {
+                r.outcome
+                    .verdicts
+                    .iter()
+                    .map(|v| (v.rejected, v.max_sent_seqs, v.first_rejection.as_ref().map(|x| x.tag)))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(digest(&a), digest(&b));
+            assert_eq!(a.outcome.report.per_round, b.outcome.report.per_round);
+            assert_eq!(a.outcome.report.rounds, b.outcome.report.rounds);
         }
     }
 

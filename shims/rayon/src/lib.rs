@@ -40,6 +40,18 @@ pub fn force_workers_for_tests(n: usize) {
     FORCED_WORKERS.store(n, Ordering::Relaxed);
 }
 
+/// Number of worker threads a wide parallel call will use — the forced
+/// test override if set, else the core count. Mirrors rayon's
+/// `current_num_threads` so callers (e.g. benchmark metadata) can
+/// report the parallel executor's width honestly.
+pub fn current_num_threads() -> usize {
+    let forced = FORCED_WORKERS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
 fn worker_count(len: usize) -> usize {
     let forced = FORCED_WORKERS.load(Ordering::Relaxed);
     if forced > 0 {
