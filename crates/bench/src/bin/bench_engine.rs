@@ -38,10 +38,12 @@
 
 use ck_bench::legacy_engine::run_legacy;
 use ck_bench::workloads::MinFlood;
+use ck_congest::batch::effective_shards;
 use ck_congest::engine::{run, EngineConfig, Executor, RunOutcome};
 use ck_congest::graph::Graph;
+use ck_core::batch::{run_tester_batch, BatchJob, BatchOptions};
 use ck_core::rank::total_rounds;
-use ck_core::tester::{CkTester, NodeVerdict, TesterConfig};
+use ck_core::tester::{run_tester, CkTester, NodeVerdict, TesterConfig, TesterRun};
 use ck_graphgen::basic::cycle;
 use ck_graphgen::behrend::{behrend_ap_free_set, layered_ck};
 use ck_graphgen::planted::plant_on_host;
@@ -245,6 +247,143 @@ fn workloads_for(n: usize) -> Vec<Workload> {
     ]
 }
 
+/// One row of the batch sweep: how one execution strategy ran the
+/// whole multi-graph family.
+struct BatchRow {
+    variant: &'static str,
+    mode: &'static str,
+    /// Shards the strategy used (1 for the loop and batch-seq rows).
+    shards: usize,
+    threads: usize,
+    runs: u32,
+    secs_per_sweep: f64,
+    jobs_per_sec: f64,
+}
+
+/// Measures the batch runner against the one-by-one loop on a
+/// `count`-graph planted sweep: per mode, times (a) the plain
+/// `run_tester` loop, (b) the batch runner with one shard, and (c) the
+/// batch runner sharded across the thread pool — after asserting all
+/// three produce bit-identical per-job outputs. Returns the rows plus
+/// the sweep's observed batch-over-loop ratios keyed
+/// `"<variant>/<mode>"`.
+fn batch_sweep(
+    n: usize,
+    count: usize,
+    budget: &Budget,
+) -> (Vec<BatchRow>, Vec<(String, f64)>) {
+    use ck_graphgen::planted::plant_on_host;
+    let graphs: Vec<Graph> = (0..count)
+        .map(|i| {
+            let host = random_tree(n, 7 + i as u64);
+            plant_on_host(&host, 5, (n / 40).max(1), 7 + i as u64).graph
+        })
+        .collect();
+    let jobs: Vec<BatchJob> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let cfg = TesterConfig {
+                repetitions: Some(TESTER_REPS),
+                ..TesterConfig::new(5, 0.1, 42 + i as u64)
+            };
+            BatchJob::labeled(g, cfg, format!("planted/{i}"))
+        })
+        .collect();
+    let digest = |runs: &[TesterRun]| -> Vec<(bool, u32, Vec<NodeVerdict>)> {
+        runs.iter()
+            .map(|r| (r.reject, r.outcome.report.rounds, r.outcome.verdicts.clone()))
+            .collect()
+    };
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for (mode, record) in MODES {
+        let engine = EngineConfig {
+            executor: Executor::Sequential,
+            record_rounds: record,
+            ..EngineConfig::default()
+        };
+        let run_loop = || -> Vec<TesterRun> {
+            jobs.iter()
+                .map(|j| run_tester(j.graph, &j.cfg, &engine).expect("measure policy cannot fail"))
+                .collect()
+        };
+        let opts_seq = BatchOptions { engine: engine.clone(), shards: Some(1) };
+        let opts_sharded = BatchOptions { engine: engine.clone(), shards: None };
+        let sharded_width = effective_shards(None, jobs.len());
+        let run_batch = |opts: &BatchOptions| -> Vec<TesterRun> {
+            run_tester_batch(&jobs, opts).expect("measure policy cannot fail")
+        };
+
+        // Bit-identity across all three strategies, before any timing.
+        let reference = run_loop();
+        assert!(
+            reference.iter().all(|r| r.reject),
+            "planted sweep instance not rejected [{mode}]"
+        );
+        for (variant, runs) in
+            [("batch-seq", run_batch(&opts_seq)), ("batch-sharded", run_batch(&opts_sharded))]
+        {
+            assert_eq!(digest(&reference), digest(&runs), "{variant} diverges from loop [{mode}]");
+            if record {
+                for (a, b) in reference.iter().zip(&runs) {
+                    assert_eq!(
+                        a.outcome.report.per_round, b.outcome.report.per_round,
+                        "{variant} per-round stats diverge [{mode}]"
+                    );
+                }
+            }
+        }
+
+        let mut loop_rate = 0.0f64;
+        for (variant, shards, threads) in [
+            ("loop", 1usize, 1usize),
+            ("batch-seq", 1, 1),
+            ("batch-sharded", sharded_width, sharded_width),
+        ] {
+            let time_sweep = |exec: &dyn Fn() -> Vec<TesterRun>| -> (u32, f64) {
+                let _warm = exec();
+                let start = Instant::now();
+                let mut sweeps = 0u32;
+                while sweeps < budget.max_runs {
+                    let _ = exec();
+                    sweeps += 1;
+                    if start.elapsed().as_secs_f64() >= budget.measure_secs {
+                        break;
+                    }
+                }
+                (sweeps, start.elapsed().as_secs_f64() / f64::from(sweeps))
+            };
+            let (runs, secs) = match variant {
+                "loop" => time_sweep(&run_loop),
+                "batch-seq" => time_sweep(&|| run_batch(&opts_seq)),
+                _ => time_sweep(&|| run_batch(&opts_sharded)),
+            };
+            let rate = jobs.len() as f64 / secs;
+            eprintln!(
+                "ck5-batch-planted n={n} jobs={} {variant} [{mode}] shards={shards}: \
+                 {secs:.4} s/sweep ({runs} sweeps)",
+                jobs.len()
+            );
+            if variant == "loop" {
+                loop_rate = rate;
+            } else {
+                ratios.push((format!("{variant}/{mode}"), rate / loop_rate));
+            }
+            rows.push(BatchRow {
+                variant,
+                mode,
+                shards,
+                threads,
+                runs,
+                secs_per_sweep: secs,
+                jobs_per_sec: rate,
+            });
+        }
+    }
+    (rows, ratios)
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
@@ -336,6 +475,12 @@ fn main() {
         }
     }
 
+    // ---- batch sweep (schema v3) -------------------------------------
+    // The multi-graph family workload: batch-over-loop on a planted
+    // sweep, sequential and sharded, bit-identity asserted inside.
+    let (batch_n, batch_count) = if smoke { (300, 6) } else { (10_000, 24) };
+    let (batch_rows, batch_ratios) = batch_sweep(batch_n, batch_count, &budget);
+
     // ---- render ------------------------------------------------------
     let workload_names = ["minflood-ring", "c4-tester-planted", "ck5-tester-planted", "ck5-tester-behrend"];
     let rps_of = |workload: &str, n: usize, engine: Engine, mode: &str, executor: Executor| {
@@ -357,7 +502,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"ck-bench/engine/v2\",\n");
+    json.push_str("{\n  \"schema\": \"ck-bench/engine/v3\",\n");
     let _ = writeln!(
         json,
         "  \"description\": \"Round-engine throughput, arena (zero-allocation double-buffered \
@@ -369,7 +514,11 @@ fn main() {
          ratio of the accounted tester cases at the largest n (immune to machine drift \
          between bench days); pr1_reference reports the absolute comparison against the \
          committed schema-v1 PR-1 record with the unchanged legacy engine as drift control, \
-         and pr1_absolute_speedup_met states plainly whether the raw vs-PR-1 bar is met.\","
+         and pr1_absolute_speedup_met states plainly whether the raw vs-PR-1 bar is met. \
+         v3 adds the batch block: the sharded multi-graph batch runner (one reusable engine \
+         workspace + tester scratch per shard) vs the one-by-one run_tester loop on a \
+         multi-graph planted sweep, all three strategies asserted bit-identical per job \
+         before timing, shards/threads recorded honestly per row.\","
     );
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let _ = writeln!(json, "  \"cores\": {cores},");
@@ -415,6 +564,29 @@ fn main() {
     }
     json.push_str("  ],\n");
 
+    // The v3 batch block: the multi-graph family sweep.
+    let _ = writeln!(json, "  \"batch\": {{");
+    let _ = writeln!(json, "    \"workload\": \"ck5-batch-planted\",");
+    let _ = writeln!(json, "    \"n\": {batch_n},");
+    let _ = writeln!(json, "    \"jobs\": {batch_count},");
+    let _ = writeln!(json, "    \"bit_identical\": true,");
+    json.push_str("    \"entries\": [\n");
+    for (i, r) in batch_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"variant\": \"{}\", \"mode\": \"{}\", \"shards\": {}, \"threads\": {}, \
+             \"sweeps\": {}, \"secs_per_sweep\": {:.6}, \"jobs_per_sec\": {:.2}}}",
+            r.variant, r.mode, r.shards, r.threads, r.runs, r.secs_per_sweep, r.jobs_per_sec
+        );
+        json.push_str(if i + 1 < batch_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ],\n    \"speedups\": [\n");
+    for (i, (case, ratio)) in batch_ratios.iter().enumerate() {
+        let _ = write!(json, "      {{\"case\": \"{case}\", \"batch_over_loop\": {ratio:.3}}}");
+        json.push_str(if i + 1 < batch_ratios.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  },\n");
+
     // Acceptance: every *accounted* tester case at the largest measured
     // n must beat the legacy engine by the required ratio in the same
     // run (same machine, same minute — the only comparison that
@@ -449,11 +621,38 @@ fn main() {
     if first {
         all_pass = false;
     }
+    // Batch acceptance: amortized setup must make the batch runner
+    // strictly faster than the one-by-one loop (> 1.0×) in every mode.
+    // The sharded row is gated only when the machine actually gave it
+    // more than one shard — on a 1-core box it degenerates to the
+    // sequential path plus scheduling noise, and its honest
+    // shards/threads columns say so.
+    let sharded_is_parallel =
+        batch_rows.iter().any(|r| r.variant == "batch-sharded" && r.shards > 1);
+    let mut batch_pass = true;
+    let mut batch_cases = String::new();
+    for (i, (case, ratio)) in batch_ratios.iter().enumerate() {
+        let gated = case.starts_with("batch-seq") || sharded_is_parallel;
+        let pass = !gated || *ratio > 1.0;
+        batch_pass &= pass;
+        let _ = write!(
+            batch_cases,
+            "      {{\"case\": \"{case}\", \"batch_over_loop\": {ratio:.3}, \
+             \"gated\": {gated}, \"pass\": {pass}}}"
+        );
+        batch_cases.push_str(if i + 1 < batch_ratios.len() { ",\n" } else { "" });
+    }
+    if batch_ratios.is_empty() {
+        batch_pass = false;
+    }
+    all_pass &= batch_pass;
     // Smoke runs exist to catch bitrot, not to measure: tiny-n runs are
     // setup-dominated, so the perf ratio never gates them (reaching
-    // this line at all means both engines and executors ran and agreed).
+    // this line at all means both engines and executors ran and agreed,
+    // and the batch strategies were bit-identical).
     if smoke {
         all_pass = true;
+        batch_pass = true;
     }
     // Informational: absolute comparison against the committed PR-1
     // record, with the legacy engine as the machine-drift control (the
@@ -497,13 +696,15 @@ fn main() {
         "  \"acceptance\": {{\n    \"required_arena_over_legacy\": {REQUIRED_SPEEDUP},\n    \
          \"seq_par_bit_identical\": true,\n    \"cases\": [\n{cases}\n    ],\n    \
          \"pr1_reference\": [\n{pr1}\n    ],\n    \
-         \"pr1_absolute_speedup_met\": {pr1_absolute_met},\n    \"pass\": {all_pass}\n  }}"
+         \"pr1_absolute_speedup_met\": {pr1_absolute_met},\n    \
+         \"required_batch_over_loop\": 1.0,\n    \"batch_cases\": [\n{batch_cases}\n    ],\n    \
+         \"batch_pass\": {batch_pass},\n    \"pass\": {all_pass}\n  }}"
     );
     json.push_str("}\n");
 
     // Self-check: the record must at least be structurally sound before
     // it is committed or consumed by CI.
-    for key in ["\"schema\"", "\"entries\"", "\"speedups\"", "\"acceptance\""] {
+    for key in ["\"schema\"", "\"entries\"", "\"speedups\"", "\"acceptance\"", "\"batch\""] {
         assert!(json.contains(key), "malformed bench record: missing {key}");
     }
     assert_eq!(

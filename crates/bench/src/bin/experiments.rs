@@ -19,14 +19,24 @@ fn main() {
     let results = if let Some(pos) = args.iter().position(|a| a == "--exp") {
         let id = args.get(pos + 1).map(String::as_str).unwrap_or("");
         match run_experiment(id) {
-            Some(r) => vec![r],
+            Some(Ok(r)) => vec![r],
+            Some(Err(e)) => {
+                eprintln!("error: {e}");
+                std::process::exit(3);
+            }
             None => {
                 eprintln!("unknown experiment id {id:?}; try --list");
                 std::process::exit(2);
             }
         }
     } else {
-        all_experiments()
+        match all_experiments() {
+            Ok(rs) => rs,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(3);
+            }
+        }
     };
 
     println!("# Distributed Detection of Cycles — experiment suite\n");

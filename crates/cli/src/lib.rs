@@ -8,6 +8,7 @@
 //! ckprobe --graph gnp:100:0.05 --tester triangle --trials 5
 //! ckprobe --graph file:instance.col --tester forest
 //! ckprobe --graph eps-far:60:5:0.05 --tester ck --k 5 --trials 10
+//! ckprobe --batch graphs.txt --k 5 --eps 0.1 --trials 4 --shards 8
 //! ```
 //!
 //! The library half hosts the spec parsers (unit-tested); `main.rs` is a
@@ -16,6 +17,7 @@
 use ck_baselines::framework_impls::{C4Baseline, ForestBaseline, TriangleBaseline};
 use ck_congest::graph::Graph;
 use ck_core::framework::{CkFreenessTester, DistributedTester};
+use ck_core::rank::try_repetitions_for;
 use ck_graphgen::{basic, behrend, families, planted, random};
 
 /// Parsed command-line request.
@@ -25,6 +27,29 @@ pub struct Request {
     pub tester: Box<dyn DistributedTester>,
     pub trials: u32,
     pub seed: u64,
+}
+
+/// A `--batch` request: every spec in the batch file runs through the
+/// sharded batch runner (`ck` tester only), fanned out `trials` times
+/// with derived seeds.
+pub struct BatchRequest {
+    pub path: String,
+    pub k: usize,
+    pub eps: f64,
+    pub trials: u32,
+    pub seed: u64,
+    pub repetitions: Option<u32>,
+    pub shards: Option<usize>,
+}
+
+/// What one `ckprobe` invocation asks for.
+pub enum Invocation {
+    /// One graph, one tester (possibly amplified over trials). Boxed:
+    /// the request embeds the built graph, which dwarfs the batch
+    /// variant.
+    Single(Box<Request>),
+    /// A batch file of graph specs through the batch runner.
+    Batch(BatchRequest),
 }
 
 /// Builds a graph from a spec string (see [`graph_spec_help`]).
@@ -44,8 +69,22 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
             .parse()
             .map_err(|e| format!("{what}: bad argument {i}: {e}"))
     };
-    let seed_arg = |i: usize| -> u64 {
-        parts.get(i).and_then(|s| s.parse().ok()).unwrap_or(0)
+    // Seeds are optional (default 0), but a *malformed* seed is an
+    // error: `gnp:100:0.05:abc` must not silently run with seed 0.
+    let seed_arg = |i: usize, what: &str| -> Result<u64, String> {
+        match parts.get(i) {
+            None => Ok(0),
+            Some(s) => s.parse().map_err(|e| format!("{what}: bad seed argument {i}: {e}")),
+        }
+    };
+    // ε parameters must lie in (0,1) — downstream repetition schedules
+    // assert on it, and a CLI user should see an error, not a backtrace.
+    let eps_arg = |i: usize, what: &str| -> Result<f64, String> {
+        let eps = f64_arg(i, what)?;
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(format!("{what}: ε must lie in (0,1), got {eps}"));
+        }
+        Ok(eps)
     };
     match parts[0] {
         "cycle" => Ok(basic::cycle(usize_arg(1, "cycle")?)),
@@ -72,25 +111,25 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
             }
             Ok(families::circulant(n, &strides))
         }
-        "gnp" => Ok(random::gnp(usize_arg(1, "gnp")?, f64_arg(2, "gnp")?, seed_arg(3))),
-        "gnm" => Ok(random::gnm(usize_arg(1, "gnm")?, usize_arg(2, "gnm")?, seed_arg(3))),
-        "tree" => Ok(random::random_tree(usize_arg(1, "tree")?, seed_arg(2))),
+        "gnp" => Ok(random::gnp(usize_arg(1, "gnp")?, f64_arg(2, "gnp")?, seed_arg(3, "gnp")?)),
+        "gnm" => Ok(random::gnm(usize_arg(1, "gnm")?, usize_arg(2, "gnm")?, seed_arg(3, "gnm")?)),
+        "tree" => Ok(random::random_tree(usize_arg(1, "tree")?, seed_arg(2, "tree")?)),
         "regular" => Ok(random::random_regular(
             usize_arg(1, "regular")?,
             usize_arg(2, "regular")?,
-            seed_arg(3),
+            seed_arg(3, "regular")?,
         )),
         "high-girth" => Ok(random::high_girth(
             usize_arg(1, "high-girth")?,
             usize_arg(2, "high-girth")?,
             usize_arg(3, "high-girth")?,
-            seed_arg(4),
+            seed_arg(4, "high-girth")?,
         )),
         "eps-far" => Ok(planted::eps_far_instance(
             usize_arg(1, "eps-far")?,
             usize_arg(2, "eps-far")?,
-            f64_arg(3, "eps-far")?,
-            seed_arg(4),
+            eps_arg(3, "eps-far")?,
+            seed_arg(4, "eps-far")?,
         )
         .graph),
         "free" => Ok(planted::matched_free_instance(
@@ -117,12 +156,20 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
 }
 
 /// Builds a tester from CLI fields.
+///
+/// ε is validated here for every tester that consumes it: the paper's
+/// repetition schedule (`try_repetitions_for`) is only defined for
+/// ε ∈ (0,1), and `ckprobe --eps 1.5` must produce a usage error, not
+/// an assertion backtrace from deep inside the run.
 pub fn parse_tester(
     name: &str,
     k: usize,
     eps: f64,
     repetitions: Option<u32>,
 ) -> Result<Box<dyn DistributedTester>, String> {
+    if name != "forest" {
+        try_repetitions_for(eps).map_err(|e| format!("--eps: {e}"))?;
+    }
     match name {
         "ck" => Ok(Box::new(CkFreenessTester { k, eps, repetitions })),
         "triangle" => Ok(Box::new(TriangleBaseline { eps, repetitions })),
@@ -130,6 +177,51 @@ pub fn parse_tester(
         "forest" => Ok(Box::new(ForestBaseline)),
         other => Err(format!("unknown tester {other:?} (ck | triangle | c4 | forest)")),
     }
+}
+
+/// Parses a batch file: one graph spec per line, blank lines and
+/// `#`-comments skipped. Returns `(spec, graph)` pairs in file order;
+/// the first malformed line fails the whole batch with its line number.
+pub fn parse_batch_file(text: &str) -> Result<Vec<(String, Graph)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let spec = line.trim();
+        if spec.is_empty() || spec.starts_with('#') {
+            continue;
+        }
+        let graph =
+            parse_graph_spec(spec).map_err(|e| format!("batch line {}: {e}", lineno + 1))?;
+        out.push((spec.to_string(), graph));
+    }
+    if out.is_empty() {
+        return Err("batch file contains no graph specs".into());
+    }
+    Ok(out)
+}
+
+/// Expands parsed batch specs into batch-runner jobs: each spec fans
+/// out `trials` times with seeds derived exactly as the amplification
+/// combinator derives them, so a batch run is the sharded equivalent of
+/// per-graph amplified runs. Jobs are ordered spec-major (all trials of
+/// a spec are adjacent), labeled `spec[trial t]`.
+pub fn batch_jobs<'a>(
+    specs: &'a [(String, Graph)],
+    req: &BatchRequest,
+) -> Vec<ck_core::batch::BatchJob<'a>> {
+    use ck_core::tester::TesterConfig;
+    let trials = req.trials.max(1);
+    let mut jobs = Vec::with_capacity(specs.len() * trials as usize);
+    for (spec, graph) in specs {
+        for t in 0..trials {
+            let seed = req.seed.wrapping_add(u64::from(t).wrapping_mul(0x9E37_79B9));
+            let cfg = TesterConfig {
+                repetitions: req.repetitions,
+                ..TesterConfig::new(req.k, req.eps, seed)
+            };
+            jobs.push(ck_core::batch::BatchJob::labeled(graph, cfg, format!("{spec}[trial {t}]")));
+        }
+    }
+    jobs
 }
 
 /// Help text for graph specs.
@@ -145,8 +237,10 @@ pub fn graph_spec_help() -> &'static str {
 }
 
 /// Parses full argv (without program name).
-pub fn parse_args(args: &[String]) -> Result<Request, String> {
+pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut graph_spec: Option<String> = None;
+    let mut batch_path: Option<String> = None;
+    let mut shards: Option<usize> = None;
     let mut tester = "ck".to_string();
     let mut k = 5usize;
     let mut eps = 0.1f64;
@@ -161,6 +255,18 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
         match args[i].as_str() {
             "--graph" => {
                 graph_spec = Some(value(args, i, "--graph")?);
+                i += 2;
+            }
+            "--batch" => {
+                batch_path = Some(value(args, i, "--batch")?);
+                i += 2;
+            }
+            "--shards" => {
+                shards = Some(
+                    value(args, i, "--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
                 i += 2;
             }
             "--tester" => {
@@ -195,10 +301,23 @@ pub fn parse_args(args: &[String]) -> Result<Request, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    if let Some(path) = batch_path {
+        if graph_spec.is_some() {
+            return Err("--batch and --graph are mutually exclusive".into());
+        }
+        if tester != "ck" {
+            return Err(format!("--batch supports the ck tester only, got {tester:?}"));
+        }
+        try_repetitions_for(eps).map_err(|e| format!("--eps: {e}"))?;
+        return Ok(Invocation::Batch(BatchRequest { path, k, eps, trials, seed, repetitions, shards }));
+    }
+    if shards.is_some() {
+        return Err("--shards requires --batch".into());
+    }
     let spec = graph_spec.ok_or("--graph is required")?;
     let graph = parse_graph_spec(&spec)?;
     let tester = parse_tester(&tester, k, eps, repetitions)?;
-    Ok(Request { graph, graph_desc: spec, tester, trials, seed })
+    Ok(Invocation::Single(Box::new(Request { graph, graph_desc: spec, tester, trials, seed })))
 }
 
 #[cfg(test)]
@@ -207,6 +326,13 @@ mod tests {
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
+    }
+
+    fn single(s: &str) -> Request {
+        match parse_args(&argv(s)).unwrap() {
+            Invocation::Single(r) => *r,
+            Invocation::Batch(_) => panic!("expected a single-graph invocation"),
+        }
     }
 
     #[test]
@@ -251,15 +377,46 @@ mod tests {
         assert!(parse_graph_spec("file:/definitely/not/here.col").is_err());
     }
 
+    /// A malformed optional seed must be a parse error, not a silent
+    /// seed-0 run (the old `.parse().ok().unwrap_or(0)` bug).
+    #[test]
+    fn malformed_seeds_error_instead_of_defaulting() {
+        for spec in
+            ["gnp:100:0.05:abc", "gnm:20:30:x", "tree:15:-3", "regular:12:3:1.5", "high-girth:30:5:200:?", "eps-far:40:4:0.05:abc"]
+        {
+            let err = parse_graph_spec(spec).unwrap_err();
+            assert!(err.contains("bad seed argument"), "{spec}: {err}");
+        }
+        // Omitting the seed still defaults to 0.
+        assert!(parse_graph_spec("gnp:20:0.2").is_ok());
+        assert!(parse_graph_spec("tree:15").is_ok());
+    }
+
+    /// ε outside (0,1) must surface as a friendly error from the
+    /// parsers, never as the repetition schedule's assert backtrace.
+    #[test]
+    fn bad_eps_is_a_usage_error_not_a_panic() {
+        for eps in ["1.5", "0", "-0.1", "NaN"] {
+            let err = parse_args(&argv(&format!("--graph cycle:5 --tester ck --eps {eps}")))
+                .err()
+                .unwrap_or_else(|| panic!("--eps {eps} must be rejected"));
+            assert!(err.contains("must lie in (0,1)"), "{eps}: {err}");
+        }
+        let err = parse_graph_spec("eps-far:60:5:1.5").unwrap_err();
+        assert!(err.contains("must lie in (0,1)"), "{err}");
+        // The forest tester ignores ε entirely; a default ε never blocks it.
+        assert!(parse_args(&argv("--graph petersen --tester forest")).is_ok());
+    }
+
     #[test]
     fn parses_full_command_lines() {
-        let req = parse_args(&argv("--graph cycle:7 --tester ck --k 7 --eps 0.2 --trials 3 --seed 5")).unwrap();
+        let req = single("--graph cycle:7 --tester ck --k 7 --eps 0.2 --trials 3 --seed 5");
         assert_eq!(req.graph.n(), 7);
         assert_eq!(req.tester.name(), "ck");
         assert_eq!(req.trials, 3);
         assert_eq!(req.seed, 5);
 
-        let req = parse_args(&argv("--graph petersen --tester forest")).unwrap();
+        let req = single("--graph petersen --tester forest");
         assert_eq!(req.tester.name(), "forest");
     }
 
@@ -272,12 +429,67 @@ mod tests {
     }
 
     #[test]
+    fn parses_batch_command_lines() {
+        let inv = parse_args(&argv("--batch specs.txt --k 4 --eps 0.2 --trials 3 --shards 2"))
+            .unwrap();
+        let Invocation::Batch(b) = inv else { panic!("expected batch") };
+        assert_eq!(b.path, "specs.txt");
+        assert_eq!((b.k, b.trials, b.shards), (4, 3, Some(2)));
+
+        assert!(parse_args(&argv("--batch f --graph cycle:5")).is_err(), "mutually exclusive");
+        assert!(parse_args(&argv("--batch f --tester forest")).is_err(), "ck only");
+        assert!(parse_args(&argv("--batch f --eps 2.0")).is_err(), "eps validated");
+        assert!(parse_args(&argv("--graph cycle:5 --shards 2")).is_err(), "shards needs batch");
+    }
+
+    #[test]
+    fn batch_files_parse_with_comments_and_errors() {
+        let text = "# planted cells\ncycle:9\n\n  eps-far:40:4:0.05:1\npetersen\n";
+        let specs = parse_batch_file(text).unwrap();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].0, "cycle:9");
+        assert_eq!(specs[0].1.n(), 9);
+
+        let err = parse_batch_file("cycle:9\nnosuch:3\n").unwrap_err();
+        assert!(err.contains("batch line 2"), "{err}");
+        assert!(parse_batch_file("# only comments\n").is_err());
+    }
+
+    #[test]
     fn end_to_end_probe_via_request() {
-        let req = parse_args(&argv(
-            "--graph cycle:5 --tester ck --k 5 --eps 0.2 --repetitions 1 --trials 2",
-        ))
-        .unwrap();
+        let req = single("--graph cycle:5 --tester ck --k 5 --eps 0.2 --repetitions 1 --trials 2");
         let amp = ck_core::framework::amplify(&*req.tester, &req.graph, req.seed, req.trials);
         assert!(amp.reject, "C5 must be rejected");
+    }
+
+    /// The batch path end to end: specs × trials through the batch
+    /// runner match one-by-one `run_tester` calls bit for bit.
+    #[test]
+    fn end_to_end_batch_matches_loop() {
+        use ck_core::batch::{run_tester_batch, BatchOptions};
+        use ck_core::tester::run_tester;
+        let specs = parse_batch_file("cycle:5\nfree:30:5\neps-far:36:5:0.1:1\n").unwrap();
+        let trials = 2u32;
+        let req = BatchRequest {
+            path: String::new(),
+            k: 5,
+            eps: 0.1,
+            trials,
+            seed: 7,
+            repetitions: Some(1),
+            shards: Some(2),
+        };
+        let jobs = batch_jobs(&specs, &req);
+        let opts = BatchOptions { shards: Some(2), ..BatchOptions::default() };
+        let runs = run_tester_batch(&jobs, &opts).unwrap();
+        assert_eq!(runs.len(), specs.len() * trials as usize);
+        for (job, run) in jobs.iter().zip(&runs) {
+            let one = run_tester(job.graph, &job.cfg, &opts.engine).unwrap();
+            assert_eq!(one.reject, run.reject, "{}", job.label);
+            assert_eq!(one.outcome.verdicts, run.outcome.verdicts, "{}", job.label);
+        }
+        // cycle:5 is rejected on every trial; free:30:5 never is.
+        assert!(runs[..trials as usize].iter().all(|r| r.reject));
+        assert!(runs[trials as usize..2 * trials as usize].iter().all(|r| !r.reject));
     }
 }

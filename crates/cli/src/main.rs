@@ -1,7 +1,8 @@
 //! `ckprobe` — run distributed cycle/pattern testers on any graph.
 
-use ck_cli::{graph_spec_help, parse_args};
+use ck_cli::{batch_jobs, graph_spec_help, parse_args, parse_batch_file, BatchRequest, Invocation, Request};
 use ck_congest::message::WireParams;
+use ck_core::batch::{run_tester_batch, BatchOptions};
 use ck_core::framework::amplify;
 
 fn main() {
@@ -10,7 +11,7 @@ fn main() {
         print_help();
         return;
     }
-    let req = match parse_args(&args) {
+    let invocation = match parse_args(&args) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -18,6 +19,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    match invocation {
+        Invocation::Single(req) => run_single(&req),
+        Invocation::Batch(req) => run_batch(&req),
+    }
+}
+
+fn run_single(req: &Request) {
     let g = &req.graph;
     println!(
         "graph {} — n = {}, m = {}, max degree {}, girth {}",
@@ -50,12 +58,69 @@ fn main() {
     std::process::exit(if amp.reject { 1 } else { 0 });
 }
 
+fn run_batch(req: &BatchRequest) {
+    let text = match std::fs::read_to_string(&req.path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {}: {e}", req.path);
+            std::process::exit(2);
+        }
+    };
+    let specs = match parse_batch_file(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = batch_jobs(&specs, req);
+    let opts = BatchOptions { shards: req.shards, ..BatchOptions::default() };
+    println!(
+        "batch {}: {} graph(s) × {} trial(s) = {} job(s), tester ck (k = {}, ε = {})",
+        req.path,
+        specs.len(),
+        req.trials.max(1),
+        jobs.len(),
+        req.k,
+        req.eps,
+    );
+    let runs = match run_tester_batch(&jobs, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let trials = req.trials.max(1) as usize;
+    let mut any_reject = false;
+    for (gi, (spec, graph)) in specs.iter().enumerate() {
+        let cell = &runs[gi * trials..(gi + 1) * trials];
+        let rejects = cell.iter().filter(|r| r.reject).count();
+        let rounds: u64 = cell.iter().map(|r| u64::from(r.outcome.report.rounds)).sum();
+        let messages: u64 = cell.iter().map(|r| r.outcome.report.total_messages()).sum();
+        any_reject |= rejects > 0;
+        println!(
+            "  {spec} — n = {}, m = {}: {} ({rejects}/{trials} trials rejected, {rounds} rounds, {messages} messages)",
+            graph.n(),
+            graph.m(),
+            if rejects > 0 { "REJECT" } else { "accept" },
+        );
+    }
+    println!("batch verdict: {}", if any_reject { "REJECT" } else { "accept" });
+    std::process::exit(if any_reject { 1 } else { 0 });
+}
+
 fn print_help() {
     println!(
         "ckprobe — distributed cycle detection (Fraigniaud & Olivetti, SPAA 2017)\n\n\
          usage: ckprobe --graph SPEC [--tester ck|triangle|c4|forest]\n\
          \x20                       [--k K] [--eps E] [--trials N] [--seed S]\n\
-         \x20                       [--repetitions R]\n\n\
+         \x20                       [--repetitions R]\n\
+         \x20      ckprobe --batch FILE [--k K] [--eps E] [--trials N] [--seed S]\n\
+         \x20                       [--repetitions R] [--shards W]\n\n\
+         --batch runs every graph spec in FILE (one per line, # comments)\n\
+         through the sharded batch runner with the ck tester; --trials\n\
+         fans each spec out with derived seeds.\n\n\
          exit status: 0 = accept, 1 = reject, 2 = usage error\n\n{}",
         graph_spec_help()
     );

@@ -44,6 +44,10 @@ impl Default for LinkLoad {
 /// touch the same entry.
 pub(crate) struct LoadTable {
     cells: Vec<UnsafeCell<LinkLoad>>,
+    /// Extent the current (or last) run uses; `reset` only re-stales
+    /// this prefix, so a batch of shrinking graphs never rescans the
+    /// high-water mark.
+    used: usize,
 }
 
 // SAFETY: entries are only reached through `LoadTable::row_ptr`, whose
@@ -54,7 +58,25 @@ impl LoadTable {
     /// An all-stale table of `len` loads (`len` = 0 for runs that never
     /// account — `row_ptr` must not be called on an empty table).
     pub(crate) fn new(len: usize) -> Self {
-        LoadTable { cells: (0..len).map(|_| UnsafeCell::new(LinkLoad::default())).collect() }
+        LoadTable {
+            cells: (0..len).map(|_| UnsafeCell::new(LinkLoad::default())).collect(),
+            used: len,
+        }
+    }
+
+    /// Prepares the table for a run over `len` loads: re-stales the
+    /// extent the previous run used (round numbers restart at 0 between
+    /// jobs, so a stale entry carrying an old run's stamp could collide
+    /// with a fresh round and leak its counters) and grows the backing
+    /// array only when the new graph does not fit.
+    pub(crate) fn reset(&mut self, len: usize) {
+        for cell in self.cells.iter_mut().take(self.used) {
+            *cell.get_mut() = LinkLoad::default();
+        }
+        if self.cells.len() < len {
+            self.cells.resize_with(len, || UnsafeCell::new(LinkLoad::default()));
+        }
+        self.used = len;
     }
 
     /// Raw pointer to the load row starting at directed edge `de` — the
@@ -105,6 +127,10 @@ pub(crate) struct Arena<M> {
     /// ever goes false→true during a write phase), so determinism is
     /// preserved.
     dirty: Vec<AtomicBool>,
+    /// Lane/slot extents the current (or last) run uses; `reset` only
+    /// cleans these prefixes.
+    used_lanes: usize,
+    used_nodes: usize,
 }
 
 // SAFETY: lanes are only accessed through `Arena::lane` / `Arena::row`,
@@ -121,7 +147,39 @@ impl<M> Arena<M> {
             lanes: (0..directed_edges).map(|_| UnsafeCell::new(Lane::default())).collect(),
             slots: (0..nodes).map(|_| UnsafeCell::new(None)).collect(),
             dirty: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
+            used_lanes: directed_edges,
+            used_nodes: nodes,
         }
+    }
+
+    /// Prepares the arena for a run over `directed_edges` lanes and
+    /// `nodes` slots, reusing the previous run's allocations: lanes in
+    /// the previously used extent are cleared (capacity kept — the
+    /// whole point of batch reuse), stale broadcast payloads are
+    /// dropped, traffic hints are lowered, and the backing arrays grow
+    /// only when the new graph does not fit. `&mut self` proves
+    /// exclusivity, so no unsafe cell access is needed.
+    pub(crate) fn reset(&mut self, directed_edges: usize, nodes: usize) {
+        for lane in self.lanes.iter_mut().take(self.used_lanes) {
+            lane.get_mut().clear();
+        }
+        for slot in self.slots.iter_mut().take(self.used_nodes) {
+            *slot.get_mut() = None;
+        }
+        for flag in self.dirty.iter_mut().take(self.used_nodes) {
+            *flag.get_mut() = false;
+        }
+        if self.lanes.len() < directed_edges {
+            self.lanes.resize_with(directed_edges, || UnsafeCell::new(Lane::default()));
+        }
+        if self.slots.len() < nodes {
+            self.slots.resize_with(nodes, || UnsafeCell::new(None));
+        }
+        if self.dirty.len() < nodes {
+            self.dirty.resize_with(nodes, || AtomicBool::new(false));
+        }
+        self.used_lanes = directed_edges;
+        self.used_nodes = nodes;
     }
 
     /// True if any lane addressed to `v` was written last round.
@@ -188,6 +246,9 @@ pub(crate) struct InboxArena<M> {
     boxes: Vec<UnsafeCell<Vec<Packet<M>>>>,
     /// Per-sender broadcast slots; see [`Arena::slots`].
     slots: Vec<UnsafeCell<Option<M>>>,
+    /// Extent the current (or last) run uses; `reset` only cleans this
+    /// prefix.
+    used: usize,
 }
 
 impl<M> InboxArena<M> {
@@ -195,7 +256,26 @@ impl<M> InboxArena<M> {
         InboxArena {
             boxes: (0..nodes).map(|_| UnsafeCell::new(Vec::new())).collect(),
             slots: (0..nodes).map(|_| UnsafeCell::new(None)).collect(),
+            used: nodes,
         }
+    }
+
+    /// Prepares the arena for a run over `nodes` receivers, reusing the
+    /// previous run's buffer capacities; see [`Arena::reset`].
+    pub(crate) fn reset(&mut self, nodes: usize) {
+        for b in self.boxes.iter_mut().take(self.used) {
+            b.get_mut().clear();
+        }
+        for slot in self.slots.iter_mut().take(self.used) {
+            *slot.get_mut() = None;
+        }
+        if self.boxes.len() < nodes {
+            self.boxes.resize_with(nodes, || UnsafeCell::new(Vec::new()));
+        }
+        if self.slots.len() < nodes {
+            self.slots.resize_with(nodes, || UnsafeCell::new(None));
+        }
+        self.used = nodes;
     }
 
     /// Exclusive access to one receiver's buffer.

@@ -142,6 +142,48 @@ pub struct RunOutcome<V> {
     pub verdicts: Vec<V>,
 }
 
+/// Reusable engine state for batch runs: the double-buffered message
+/// arenas (lane form for the parallel executor, per-receiver inbox form
+/// for the sequential one) plus the flat wire-load table.
+///
+/// A fresh workspace owns nothing but empty vectors; the first run
+/// through it allocates exactly what a standalone [`run`] would. Runs
+/// *reset* the workspace instead of reallocating: lanes, inboxes, and
+/// load rows in the previously used extent are cleared with their
+/// capacities kept, and the backing arrays grow only when the next
+/// graph does not fit. A shard of a batch run drives dozens of graphs
+/// through one workspace and reaches steady-state allocation-free setup
+/// after the largest job has warmed it up.
+///
+/// Only the arenas matching the executor actually used are ever touched
+/// (a sequential-only workspace never builds lanes).
+pub struct EngineWorkspace<M> {
+    lane_cur: Arena<M>,
+    lane_next: Arena<M>,
+    inbox_cur: InboxArena<M>,
+    inbox_next: InboxArena<M>,
+    loads: LoadTable,
+}
+
+impl<M> Default for EngineWorkspace<M> {
+    fn default() -> Self {
+        EngineWorkspace {
+            lane_cur: Arena::new(0, 0),
+            lane_next: Arena::new(0, 0),
+            inbox_cur: InboxArena::new(0),
+            inbox_next: InboxArena::new(0),
+            loads: LoadTable::new(0),
+        }
+    }
+}
+
+impl<M> EngineWorkspace<M> {
+    /// An empty workspace (allocates nothing until its first run).
+    pub fn new() -> Self {
+        EngineWorkspace::default()
+    }
+}
+
 struct Slot<P: Program> {
     prog: P,
     status: Status,
@@ -332,6 +374,7 @@ fn round_step<P: Program>(v: usize, slot: &mut Slot<P>, rr: &RoundRefs<'_, P::Ms
 /// run the same fused accounting as the lane path against the flat
 /// per-directed-edge load table, producing bit-for-bit identical round
 /// statistics. Returns `(rounds_executed, active)`.
+#[allow(clippy::too_many_arguments)]
 fn run_rounds_seq_inbox<P: Program>(
     graph: &Graph,
     config: &EngineConfig,
@@ -340,16 +383,12 @@ fn run_rounds_seq_inbox<P: Program>(
     slots: &mut [Slot<P>],
     mut active: usize,
     report: &mut RunReport,
+    cur: &mut InboxArena<P::Msg>,
+    next: &mut InboxArena<P::Msg>,
+    loads: &LoadTable,
 ) -> Result<(u32, usize), EngineError> {
-    let n = slots.len();
     let WireFlags { check_faults, limit, account, heavy } = wf;
     let mode = if heavy { SinkMode::HeavyInbox } else { SinkMode::FastInbox };
-    // Flat per-directed-edge wire loads (round-stamped; see `LinkLoad`).
-    // Empty when nothing can observe them — nothing then reads the row
-    // pointers either.
-    let loads = LoadTable::new(if account { graph.num_directed_edges() } else { 0 });
-    let mut cur: InboxArena<P::Msg> = InboxArena::new(n);
-    let mut next: InboxArena<P::Msg> = InboxArena::new(n);
     let mut round = 0u32;
     while round < config.max_rounds {
         if active == 0 {
@@ -427,7 +466,7 @@ fn run_rounds_seq_inbox<P: Program>(
         if config.record_rounds {
             report.per_round.push(round_stats(&acc, round, active + acc.halted as usize));
         }
-        std::mem::swap(&mut cur, &mut next);
+        std::mem::swap(cur, next);
         round += 1;
     }
     Ok((round, active))
@@ -460,6 +499,33 @@ where
     P: Program,
     F: FnMut(NodeInit<'g>) -> P,
 {
+    let mut ws = EngineWorkspace::new();
+    run_with_workspace(graph, config, params, &mut ws, factory, |_| {})
+}
+
+/// As [`run_with_params`], executing through a caller-owned
+/// [`EngineWorkspace`] — the batch hot path. The workspace is reset
+/// (never reallocated when the graph fits) before the run; outputs are
+/// bit-identical to a fresh-workspace run by construction, since a
+/// reset workspace is observationally indistinguishable from a new one.
+///
+/// `reclaim` receives every node program after its verdict has been
+/// collected, in node-index order — protocols with recyclable per-node
+/// scratch (pools, buffers) harvest it here so the next job in a batch
+/// starts warm. Pass `|_| {}` when there is nothing to recover.
+pub fn run_with_workspace<'g, P, F, R>(
+    graph: &'g Graph,
+    config: &EngineConfig,
+    params: &WireParams,
+    ws: &mut EngineWorkspace<P::Msg>,
+    factory: &mut F,
+    mut reclaim: R,
+) -> Result<RunOutcome<P::Verdict>, EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit<'g>) -> P,
+    R: FnMut(P),
+{
     let n = graph.n();
     let m = graph.m();
     let mut slots: Vec<Slot<P>> = (0..n)
@@ -484,30 +550,47 @@ where
     let wf = WireFlags::for_config(config);
     let WireFlags { check_faults, limit, account, heavy } = wf;
 
+    // Flat per-directed-edge wire loads (round-stamped, sender-owned
+    // rows; see `LinkLoad`). Empty when nothing can observe them —
+    // nothing then reads the row pointers either.
+    let directed = graph.num_directed_edges();
+    ws.loads.reset(if account { directed } else { 0 });
+
     // The sequential executor never needs lanes: single-threaded sends
     // can push straight into per-receiver double-buffered inboxes (same
     // canonical order — ascending sender, then queueing order), with the
     // same fused accounting against the flat load table when observable.
     if config.executor == Executor::Sequential {
-        (round, active) =
-            run_rounds_seq_inbox(graph, config, params, wf, &mut slots, active, &mut report)?;
+        ws.inbox_cur.reset(n);
+        ws.inbox_next.reset(n);
+        (round, active) = run_rounds_seq_inbox(
+            graph,
+            config,
+            params,
+            wf,
+            &mut slots,
+            active,
+            &mut report,
+            &mut ws.inbox_cur,
+            &mut ws.inbox_next,
+            &ws.loads,
+        )?;
         report.rounds = round;
         report.all_halted = active == 0;
         report.executor = "sequential";
         report.threads = 1;
         let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
+        slots.into_iter().for_each(|s| reclaim(s.prog));
         return Ok(RunOutcome { report, verdicts });
     }
 
     // Double-buffered arenas. Invariant at the top of every round: `next`
     // is entirely empty/zeroed, `cur` holds exactly the undelivered
     // traffic of the previous round.
-    let directed = graph.num_directed_edges();
-    let mut cur: Arena<P::Msg> = Arena::new(directed, n);
-    let mut next: Arena<P::Msg> = Arena::new(directed, n);
-    // Flat per-directed-edge wire loads (round-stamped, sender-owned
-    // rows; see `LinkLoad`). Empty when nothing can observe them.
-    let loads = LoadTable::new(if account { directed } else { 0 });
+    ws.lane_cur.reset(directed, n);
+    ws.lane_next.reset(directed, n);
+    let EngineWorkspace { lane_cur: cur, lane_next: next, loads, .. } = ws;
+    let loads = &*loads;
 
     while round < config.max_rounds {
         if active == 0 {
@@ -530,7 +613,7 @@ where
                 limit,
                 round,
             };
-            let rr = RoundRefs { graph, cur: &cur, next: &next, loads: &loads, ctx: &ctx };
+            let rr = RoundRefs { graph, cur: &*cur, next: &*next, loads, ctx: &ctx };
             let rr_ref = &rr;
             slots
                 .par_iter_mut()
@@ -552,7 +635,7 @@ where
 
         // Swap buffers: this round's writes become next round's reads;
         // the fully-drained read arena becomes the write arena.
-        std::mem::swap(&mut cur, &mut next);
+        std::mem::swap(cur, next);
         round += 1;
     }
 
@@ -562,6 +645,7 @@ where
     report.threads = rayon::current_num_threads();
 
     let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
+    slots.into_iter().for_each(|s| reclaim(s.prog));
     Ok(RunOutcome { report, verdicts })
 }
 
@@ -897,6 +981,50 @@ mod tests {
                 assert_eq!(seq.verdicts, par.verdicts, "record_rounds={record_rounds}");
                 assert_eq!(seq.report.per_round, par.report.per_round);
                 assert_eq!(seq.report.rounds, par.report.rounds);
+            }
+        }
+    }
+
+    /// A workspace reused across differently-sized graphs (growing and
+    /// shrinking, with faults in between leaving undelivered traffic
+    /// and stale load stamps) must behave exactly like a fresh one, on
+    /// both executors.
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_graphs() {
+        let jobs: Vec<(Graph, crate::fault::FaultPlan)> = vec![
+            (path_graph(12), crate::fault::FaultPlan::none()),
+            (path_graph(40), crate::fault::FaultPlan::none().random_loss(0.3, 7)),
+            (path_graph(5), crate::fault::FaultPlan::none()),
+            (path_graph(40), crate::fault::FaultPlan::none()),
+        ];
+        for exec in [Executor::Sequential, Executor::Parallel] {
+            for record_rounds in [true, false] {
+                let mut ws = EngineWorkspace::new();
+                for (g, faults) in &jobs {
+                    let cfg = EngineConfig {
+                        executor: exec,
+                        record_rounds,
+                        faults: faults.clone(),
+                        ..EngineConfig::default()
+                    };
+                    let ttl = g.n() as u32;
+                    let fresh =
+                        run(g, &cfg, |init| MinFlood { best: init.id, ttl, changed: false })
+                            .unwrap();
+                    let params = WireParams::for_graph(g);
+                    let reused = run_with_workspace(
+                        g,
+                        &cfg,
+                        &params,
+                        &mut ws,
+                        &mut |init| MinFlood { best: init.id, ttl, changed: false },
+                        |_| {},
+                    )
+                    .unwrap();
+                    assert_eq!(fresh.verdicts, reused.verdicts, "{exec:?}");
+                    assert_eq!(fresh.report.per_round, reused.report.per_round, "{exec:?}");
+                    assert_eq!(fresh.report.rounds, reused.report.rounds, "{exec:?}");
+                }
             }
         }
     }

@@ -55,6 +55,7 @@
 
 pub mod aggregate;
 pub(crate) mod arena;
+pub mod batch;
 pub mod engine;
 pub mod fault;
 pub mod graph;
@@ -66,7 +67,11 @@ pub mod rngs;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{run, BandwidthPolicy, EngineConfig, EngineError, Executor, RunOutcome};
+pub use batch::{effective_shards, run_sharded};
+pub use engine::{
+    run, run_with_workspace, BandwidthPolicy, EngineConfig, EngineError, EngineWorkspace,
+    Executor, RunOutcome,
+};
 pub use graph::{Edge, Graph, GraphBuilder, GraphError, NodeId, NodeIndex};
 pub use message::{bits_for, WireMessage, WireParams};
 pub use metrics::{RoundStats, RunReport};

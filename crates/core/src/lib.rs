@@ -18,7 +18,10 @@
 //! * [`rank`] — Phase 1: edge ranks, arbitration keys, repetition
 //!   schedule (Lemmas 4 and 5);
 //! * [`tester`] — the full tester: concurrent rank-arbitrated checks,
-//!   `⌈(e²/ε)·ln 3⌉` repetitions (Theorem 1).
+//!   `⌈(e²/ε)·ln 3⌉` repetitions (Theorem 1);
+//! * [`batch`] — the sharded multi-graph batch runner: whole instance
+//!   families through reusable per-shard engine workspaces, bit-identical
+//!   to one-by-one runs.
 //!
 //! ## Quick start
 //!
@@ -37,6 +40,7 @@
 //! ```
 
 pub mod ablation;
+pub mod batch;
 pub mod cost;
 pub mod decide;
 pub mod framework;
@@ -50,10 +54,14 @@ pub mod seq;
 pub mod single;
 pub mod tester;
 
+pub use batch::{run_tester_batch, BatchError, BatchJob, BatchOptions};
 pub use decide::{decide_reject, RejectWitness};
 pub use msg::{CkMsg, EdgeTag, SeqBundle, SeqPool};
 pub use prune::{build_send_set, build_send_set_into, lemma3_bound, prune, PrunerKind, SendSetScratch};
-pub use rank::{repetitions_for, rounds_per_repetition, total_rounds};
+pub use rank::{repetitions_for, rounds_per_repetition, total_rounds, try_repetitions_for};
 pub use seq::{IdSeq, MAX_K, MAX_SEQ_LEN};
 pub use single::{detect_ck_through_edge, DetectSingle, SingleRun, SingleVerdict};
-pub use tester::{run_tester, test_ck_freeness, CkTester, NodeVerdict, TesterConfig, TesterRun};
+pub use tester::{
+    run_tester, run_tester_reusing, test_ck_freeness, CkTester, NodeScratch, NodeVerdict,
+    TesterConfig, TesterRun, TesterScratch,
+};

@@ -124,6 +124,17 @@ impl SeqPool {
     pub fn pooled(&self) -> usize {
         self.free.len()
     }
+
+    /// Resets the take/return accounting while keeping the free list —
+    /// for pools recycled across independent runs (batch shards). The
+    /// previous run's in-flight buffers (the ≤ 2 parked in engine
+    /// broadcast slots) are dropped by the engine's workspace reset, so
+    /// carrying their `outstanding` count into the next run would
+    /// misreport a leak that is not there.
+    pub fn reset_accounting(&mut self) {
+        self.taken = 0;
+        self.returned = 0;
+    }
 }
 
 /// Encoded size of a sequence list: count prefix plus `len · id_bits` per

@@ -20,9 +20,22 @@ pub const E_SQUARED: f64 = std::f64::consts::E * std::f64::consts::E;
 
 /// Number of Phase-1+2 repetitions the paper prescribes for detection
 /// probability ≥ 2/3 on ε-far inputs: `⌈(e²/ε)·ln 3⌉`.
+///
+/// # Panics
+/// Panics when `eps` lies outside `(0, 1)`. Callers holding unvalidated
+/// user input (CLI flags, spec strings) should use
+/// [`try_repetitions_for`] and surface the error instead.
 pub fn repetitions_for(eps: f64) -> u32 {
-    assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0,1), got {eps}");
-    ((E_SQUARED / eps) * 3f64.ln()).ceil() as u32
+    try_repetitions_for(eps).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked form of [`repetitions_for`]: returns a descriptive error for
+/// `eps` outside `(0, 1)` (including NaN) instead of aborting.
+pub fn try_repetitions_for(eps: f64) -> Result<u32, String> {
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(format!("ε must lie in (0,1), got {eps}"));
+    }
+    Ok(((E_SQUARED / eps) * 3f64.ln()).ceil() as u32)
 }
 
 /// Engine rounds per repetition: one rank-exchange round, the seed round
@@ -79,6 +92,15 @@ mod tests {
     #[should_panic(expected = "must lie in (0,1)")]
     fn repetitions_rejects_bad_eps() {
         let _ = repetitions_for(0.0);
+    }
+
+    #[test]
+    fn try_repetitions_matches_and_reports() {
+        assert_eq!(try_repetitions_for(0.1), Ok(repetitions_for(0.1)));
+        for bad in [0.0, -0.2, 1.0, 1.5, f64::NAN, f64::INFINITY] {
+            let err = try_repetitions_for(bad).unwrap_err();
+            assert!(err.contains("must lie in (0,1)"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -102,6 +102,53 @@ pub struct NodeVerdict {
 /// a stale pointer is never dereferenced.
 struct BundleLoc(*const crate::msg::SeqBundle);
 
+/// The recyclable buffers of one [`CkTester`] node: everything that
+/// warms up during a run and is worth carrying into the next one.
+/// [`CkTester::with_scratch`] adopts a scratch (contents cleared,
+/// capacities kept) and [`CkTester::into_scratch`] releases it after
+/// the run — the batch runner's per-shard reuse cycle.
+#[derive(Default)]
+pub struct NodeScratch {
+    port_rank: Vec<Option<u64>>,
+    own_sent: Vec<IdSeq>,
+    recv: Vec<IdSeq>,
+    tag_scan: Vec<(EdgeTag, BundleLoc)>,
+    send_buf: Vec<IdSeq>,
+    prune: SendSetScratch,
+    pool: SeqPool,
+}
+
+/// A shard-local pool of [`NodeScratch`]es, recycled across the jobs of
+/// a batch: graph sizes vary between jobs, so the pool simply hands out
+/// whatever it has and grows on demand — after the largest job every
+/// `take` is served warm.
+#[derive(Default)]
+pub struct TesterScratch {
+    nodes: Vec<NodeScratch>,
+}
+
+impl TesterScratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        TesterScratch::default()
+    }
+
+    /// Takes one node's scratch (fresh if the pool is dry).
+    pub fn take(&mut self) -> NodeScratch {
+        self.nodes.pop().unwrap_or_default()
+    }
+
+    /// Returns one node's scratch to the pool.
+    pub fn put(&mut self, scratch: NodeScratch) {
+        self.nodes.push(scratch);
+    }
+
+    /// Number of scratches currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
 // SAFETY: the pointer is only formed and dereferenced inside a single
 // `absorb` call on one thread; whenever the program crosses threads
 // (between rounds) no live pointer exists.
@@ -154,8 +201,23 @@ pub struct CkTester<'g> {
 impl<'g> CkTester<'g> {
     /// Builds the program for one node.
     pub fn new(cfg: &TesterConfig, init: &NodeInit<'g>) -> Self {
+        CkTester::with_scratch(cfg, init, NodeScratch::default())
+    }
+
+    /// As [`CkTester::new`], adopting recycled buffers: `scratch` is
+    /// cleared (capacities kept) and its payload-pool accounting is
+    /// reset, so the resulting program is observationally identical to
+    /// a fresh one — only warmer.
+    pub fn with_scratch(cfg: &TesterConfig, init: &NodeInit<'g>, mut scratch: NodeScratch) -> Self {
         assert!((3..=MAX_K).contains(&cfg.k), "k = {} outside supported range", cfg.k);
         let deg = init.degree();
+        scratch.port_rank.clear();
+        scratch.port_rank.resize(deg, None);
+        scratch.own_sent.clear();
+        scratch.recv.clear();
+        scratch.tag_scan.clear();
+        scratch.send_buf.clear();
+        scratch.pool.reset_accounting();
         CkTester {
             k: cfg.k,
             half_k: (cfg.k / 2) as u32,
@@ -169,16 +231,31 @@ impl<'g> CkTester<'g> {
             early_abort: cfg.early_abort,
             aborting: false,
             abort_forwarded: false,
-            port_rank: vec![None; deg],
+            port_rank: scratch.port_rank,
             cur: None,
-            own_sent: Vec::new(),
+            own_sent: scratch.own_sent,
             own_sent_tag: None,
             verdict: NodeVerdict::default(),
-            recv: Vec::new(),
-            tag_scan: Vec::new(),
-            send_buf: Vec::new(),
-            scratch: SendSetScratch::default(),
-            pool: SeqPool::new(),
+            recv: scratch.recv,
+            tag_scan: scratch.tag_scan,
+            send_buf: scratch.send_buf,
+            scratch: scratch.prune,
+            pool: scratch.pool,
+        }
+    }
+
+    /// Releases the node's recyclable buffers after a run (the verdict
+    /// must have been collected first; the engine's reclaim hook runs
+    /// after verdict collection by contract).
+    pub fn into_scratch(self) -> NodeScratch {
+        NodeScratch {
+            port_rank: self.port_rank,
+            own_sent: self.own_sent,
+            recv: self.recv,
+            tag_scan: self.tag_scan,
+            send_buf: self.send_buf,
+            prune: self.scratch,
+            pool: self.pool,
         }
     }
 
@@ -408,6 +485,46 @@ pub fn run_tester(g: &Graph, cfg: &TesterConfig, engine: &EngineConfig) -> Resul
     let mut ecfg = engine.clone();
     ecfg.max_rounds = total_rounds(cfg.k, reps);
     let outcome = run(g, &ecfg, |init| CkTester::new(cfg, &init))?;
+    let reject = outcome.verdicts.iter().any(|v| v.rejected);
+    Ok(TesterRun { reject, repetitions: reps, outcome })
+}
+
+/// As [`run_tester`], executing through a caller-owned engine workspace
+/// and tester-scratch pool — the batch runner's per-shard hot path.
+/// Arenas, wire-load rows, and per-node tester buffers are recycled
+/// from the previous job instead of reallocated; the output is
+/// bit-identical to [`run_tester`] with the same `engine` config (a
+/// reset workspace and a cleared scratch are observationally fresh).
+pub fn run_tester_reusing(
+    g: &Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+    ws: &mut ck_congest::engine::EngineWorkspace<CkMsg>,
+    scratch: &mut TesterScratch,
+) -> Result<TesterRun, EngineError> {
+    use ck_congest::engine::run_with_workspace;
+    let reps = cfg.effective_repetitions();
+    let mut ecfg = engine.clone();
+    ecfg.max_rounds = total_rounds(cfg.k, reps);
+    let params = ck_congest::message::WireParams::for_graph(g);
+    // The factory and the reclaim hook both feed on the scratch pool;
+    // they never run concurrently (setup vs teardown), so a RefCell
+    // splits the borrow cleanly.
+    let pool = std::cell::RefCell::new(std::mem::take(scratch));
+    let result = run_with_workspace(
+        g,
+        &ecfg,
+        &params,
+        ws,
+        &mut |init| CkTester::with_scratch(cfg, &init, pool.borrow_mut().take()),
+        |prog: CkTester<'_>| pool.borrow_mut().put(prog.into_scratch()),
+    );
+    // Restore the pool before propagating any failure: a shard whose
+    // job trips bandwidth enforcement keeps its warm buffers for the
+    // remaining jobs (only the failed run's node scratches are gone —
+    // the engine drops its programs without the reclaim hook on error).
+    *scratch = pool.into_inner();
+    let outcome = result?;
     let reject = outcome.verdicts.iter().any(|v| v.rejected);
     Ok(TesterRun { reject, repetitions: reps, outcome })
 }

@@ -267,6 +267,71 @@ impl<'a, T: Send, F> EnumerateMapMut<'a, T, F> {
     }
 }
 
+/// Parallel iterator over contiguous mutable chunks of a slice,
+/// mirroring rayon's `par_chunks_mut`. Unlike the element-wise
+/// adapters, the chunk size is an *explicit* granularity choice by the
+/// caller — batch runners size one chunk per shard — so the
+/// [`MIN_PAR_LEN`] heuristic does not apply: chunks run on scoped
+/// threads whenever more than one worker is available (each chunk's
+/// work is presumed heavy). Like real rayon, concurrency is bounded by
+/// the pool width: chunks are multiplexed round-robin onto at most
+/// [`current_num_threads`] workers, so a caller asking for thousands
+/// of tiny chunks gets thousands of `f` calls, not thousands of OS
+/// threads. Chunk order and contents match `slice::chunks_mut`.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateChunksMut<'a, T> {
+        EnumerateChunksMut { data: self.data, chunk: self.chunk }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, ch)| f(ch));
+    }
+}
+
+pub struct EnumerateChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> EnumerateChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk = self.chunk.max(1);
+        let chunks = self.data.len().div_ceil(chunk);
+        let workers = worker_count(chunks);
+        if workers <= 1 {
+            self.data.chunks_mut(chunk).enumerate().for_each(f);
+            return;
+        }
+        // Deal chunks round-robin onto exactly `workers` scoped
+        // threads; each thread drains its hand in chunk order.
+        let mut hands: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (ci, ch) in self.data.chunks_mut(chunk).enumerate() {
+            hands[ci % workers].push((ci, ch));
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = hands
+                .into_iter()
+                .map(|hand| s.spawn(move || hand.into_iter().for_each(|(ci, ch)| f((ci, ch)))))
+                .collect();
+            for h in handles {
+                h.join().expect("worker panicked");
+            }
+        });
+    }
+}
+
 /// Parallel iterator over `&[T]`.
 pub struct ParIter<'a, T> {
     data: &'a [T],
@@ -406,6 +471,10 @@ pub trait ParallelSlice<T: Sync> {
 
 pub trait ParallelSliceMut<T: Send> {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// Parallel iterator over contiguous mutable chunks of `chunk`
+    /// elements (the last may be shorter); see [`ParChunksMut`].
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
@@ -418,6 +487,10 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
         ParIterMut { data: self }
     }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { data: self, chunk }
+    }
 }
 
 impl<T: Sync> ParallelSlice<T> for Vec<T> {
@@ -429,6 +502,10 @@ impl<T: Sync> ParallelSlice<T> for Vec<T> {
 impl<T: Send> ParallelSliceMut<T> for Vec<T> {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
         ParIterMut { data: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { data: self, chunk }
     }
 }
 
@@ -471,6 +548,38 @@ mod tests {
         assert_eq!(out.first(), Some(&1));
         assert_eq!(out.last(), Some(&5000));
         assert!(out.windows(2).all(|w| w[1] == w[0] + 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_with_global_indices() {
+        // Small input: the explicit-granularity path must still run
+        // every chunk (inline on 1 worker, threaded otherwise).
+        let mut v = vec![0usize; 10];
+        v.par_chunks_mut(4).enumerate().for_each(|(ci, ch)| {
+            for x in ch.iter_mut() {
+                *x = ci + 1;
+            }
+        });
+        assert_eq!(v, vec![1, 1, 1, 1, 2, 2, 2, 2, 3, 3]);
+
+        // Forced workers: exercise the genuinely threaded path.
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                crate::force_workers_for_tests(0);
+            }
+        }
+        let _reset = Reset;
+        crate::force_workers_for_tests(3);
+        let mut v = vec![0usize; 10];
+        v.par_chunks_mut(3).for_each(|ch| ch.iter_mut().for_each(|x| *x += 7));
+        assert!(v.iter().all(|&x| x == 7));
+
+        // Far more chunks than workers: every chunk still runs with its
+        // global index, multiplexed onto the bounded worker set.
+        let mut v = vec![0usize; 500];
+        v.par_chunks_mut(1).enumerate().for_each(|(ci, ch)| ch[0] = ci);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
     }
 
     #[test]
