@@ -51,7 +51,8 @@ impl ck_congest::message::WireMessage for ForestMsg {
     fn wire_bits(&self, params: &ck_congest::message::WireParams) -> u64 {
         match self {
             ForestMsg::Wave { .. } => {
-                1 + u64::from(params.id_bits) + u64::from(ck_congest::message::bits_for(params.n as u64))
+                1 + u64::from(params.id_bits)
+                    + u64::from(ck_congest::message::bits_for(params.n as u64))
             }
             ForestMsg::Parent { .. } => 2 + u64::from(params.id_bits),
         }
@@ -76,7 +77,12 @@ impl Program for ForestTest {
     type Msg = ForestMsg;
     type Verdict = ForestVerdict;
 
-    fn step(&mut self, round: u32, inbox: Inbox<'_, ForestMsg>, out: &mut Outbox<ForestMsg>) -> Status {
+    fn step(
+        &mut self,
+        round: u32,
+        inbox: Inbox<'_, ForestMsg>,
+        out: &mut Outbox<ForestMsg>,
+    ) -> Status {
         let flood_rounds = self.rounds_total - 2;
         if round < flood_rounds {
             let mut improved = round == 0;
@@ -122,7 +128,10 @@ impl Program for ForestTest {
 }
 
 /// Runs the exact forest test: returns true iff a cycle was certified.
-pub fn test_cycle_freeness(g: &Graph, config: &EngineConfig) -> Result<(bool, RunOutcome<ForestVerdict>), EngineError> {
+pub fn test_cycle_freeness(
+    g: &Graph,
+    config: &EngineConfig,
+) -> Result<(bool, RunOutcome<ForestVerdict>), EngineError> {
     let rounds_total = g.n() as u32 + 3; // flood to quiescence + 2
     let mut cfg = config.clone();
     cfg.max_rounds = rounds_total;

@@ -55,8 +55,8 @@ impl DistributedTester for C4Baseline {
     }
 
     fn probe(&self, g: &Graph, seed: u64) -> ProbeOutcome {
-        let (reject, run) = crate::c4::test_c4_freeness(g, self.eps, seed, self.repetitions)
-            .expect("engine run");
+        let (reject, run) =
+            crate::c4::test_c4_freeness(g, self.eps, seed, self.repetitions).expect("engine run");
         outcome_from(reject, &run.report)
     }
 }

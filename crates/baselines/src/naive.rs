@@ -116,7 +116,12 @@ impl Program for NaiveSingle {
     type Msg = SeqBundle;
     type Verdict = NaiveVerdict;
 
-    fn step(&mut self, round: u32, inbox: Inbox<'_, SeqBundle>, out: &mut Outbox<SeqBundle>) -> Status {
+    fn step(
+        &mut self,
+        round: u32,
+        inbox: Inbox<'_, SeqBundle>,
+        out: &mut Outbox<SeqBundle>,
+    ) -> Status {
         if round == 0 {
             if self.myid == self.u_id || self.myid == self.v_id {
                 let seed = vec![IdSeq::single(self.myid)];
@@ -193,7 +198,14 @@ mod tests {
         for k in 3..=8 {
             let g = cycle(k);
             for &e in g.edges() {
-                let out = naive_detect_through_edge(&g, k, e, DropPolicy::KeepAll, &EngineConfig::default()).unwrap();
+                let out = naive_detect_through_edge(
+                    &g,
+                    k,
+                    e,
+                    DropPolicy::KeepAll,
+                    &EngineConfig::default(),
+                )
+                .unwrap();
                 assert!(out.reject, "C{k} edge {e:?}");
             }
         }
@@ -206,7 +218,9 @@ mod tests {
         // disjoint pair.
         let g = figure1();
         let e = Edge::new(0, 1);
-        let full = naive_detect_through_edge(&g, 5, e, DropPolicy::KeepAll, &EngineConfig::default()).unwrap();
+        let full =
+            naive_detect_through_edge(&g, 5, e, DropPolicy::KeepAll, &EngineConfig::default())
+                .unwrap();
         assert!(full.reject);
         let capped = naive_detect_through_edge(
             &g,
@@ -225,7 +239,9 @@ mod tests {
         // route prefixes and must offer all of them.
         let g = spindle(12, 2);
         let e = Edge::new(0, 1);
-        let out = naive_detect_through_edge(&g, 6, e, DropPolicy::KeepAll, &EngineConfig::default()).unwrap();
+        let out =
+            naive_detect_through_edge(&g, 6, e, DropPolicy::KeepAll, &EngineConfig::default())
+                .unwrap();
         assert!(out.reject);
         assert!(out.max_offered >= 12, "offered {} must scale with p", out.max_offered);
     }

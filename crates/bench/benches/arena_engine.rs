@@ -32,30 +32,25 @@ fn bench_ring(c: &mut Criterion) {
         let g = cycle(n);
         group.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, _| {
             b.iter(|| {
-                let out =
-                    run_legacy(&g, &cfg(), |i| MinFlood::new(&i, 60))
-                        .unwrap();
+                let out = run_legacy(&g, &cfg(), |i| MinFlood::new(&i, 60)).unwrap();
                 black_box(out.verdicts[0])
             });
         });
         group.bench_with_input(BenchmarkId::new("arena", n), &n, |b, _| {
             b.iter(|| {
-                let out = run(&g, &cfg(), |i| MinFlood::new(&i, 60))
-                    .unwrap();
+                let out = run(&g, &cfg(), |i| MinFlood::new(&i, 60)).unwrap();
                 black_box(out.verdicts[0])
             });
         });
         group.bench_with_input(BenchmarkId::new("legacy-accounted", n), &n, |b, _| {
             b.iter(|| {
-                let out = run_legacy(&g, &cfg_accounted(), |i| MinFlood::new(&i, 60))
-                    .unwrap();
+                let out = run_legacy(&g, &cfg_accounted(), |i| MinFlood::new(&i, 60)).unwrap();
                 black_box(out.report.per_round.len())
             });
         });
         group.bench_with_input(BenchmarkId::new("arena-accounted", n), &n, |b, _| {
             b.iter(|| {
-                let out = run(&g, &cfg_accounted(), |i| MinFlood::new(&i, 60))
-                    .unwrap();
+                let out = run(&g, &cfg_accounted(), |i| MinFlood::new(&i, 60)).unwrap();
                 black_box(out.report.per_round.len())
             });
         });
@@ -68,15 +63,13 @@ fn bench_gnp(c: &mut Criterion) {
     let g = gnp(2048, 0.01, 9);
     group.bench_function("legacy", |b| {
         b.iter(|| {
-            let out = run_legacy(&g, &cfg(), |i| MinFlood::new(&i, 20))
-                .unwrap();
+            let out = run_legacy(&g, &cfg(), |i| MinFlood::new(&i, 20)).unwrap();
             black_box(out.verdicts.len())
         });
     });
     group.bench_function("arena", |b| {
         b.iter(|| {
-            let out =
-                run(&g, &cfg(), |i| MinFlood::new(&i, 20)).unwrap();
+            let out = run(&g, &cfg(), |i| MinFlood::new(&i, 20)).unwrap();
             black_box(out.verdicts.len())
         });
     });

@@ -45,14 +45,21 @@ fn bench_full_tester(c: &mut Criterion) {
     {
         let &(k, width) = &(5usize, 40usize);
         let inst = behrend_ck_instance(k, width);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}-w{width}")), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                let cfg = TesterConfig { repetitions: Some(20), ..TesterConfig::new(k, 0.05, seed) };
-                black_box(run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}-w{width}")),
+            &k,
+            |b, &k| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let cfg =
+                        TesterConfig { repetitions: Some(20), ..TesterConfig::new(k, 0.05, seed) };
+                    black_box(
+                        run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject,
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -19,18 +19,30 @@ fn bench_naive_vs_pruned(c: &mut Criterion) {
         group.bench_function("naive-keepall", |b| {
             b.iter(|| {
                 black_box(
-                    naive_detect_through_edge(&g, 6, e, DropPolicy::KeepAll, &EngineConfig::default())
-                        .unwrap()
-                        .reject,
+                    naive_detect_through_edge(
+                        &g,
+                        6,
+                        e,
+                        DropPolicy::KeepAll,
+                        &EngineConfig::default(),
+                    )
+                    .unwrap()
+                    .reject,
                 )
             });
         });
         group.bench_function("pruned", |b| {
             b.iter(|| {
                 black_box(
-                    detect_ck_through_edge(&g, 6, e, PrunerKind::Representative, &EngineConfig::default())
-                        .unwrap()
-                        .reject,
+                    detect_ck_through_edge(
+                        &g,
+                        6,
+                        e,
+                        PrunerKind::Representative,
+                        &EngineConfig::default(),
+                    )
+                    .unwrap()
+                    .reject,
                 )
             });
         });

@@ -45,12 +45,16 @@ fn bench_eps_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("tester/eps-sweep-k5");
     let g = matched_free_instance(40, 5);
     for eps in [0.2f64, 0.1, 0.05] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("eps{eps}")), &eps, |b, &eps| {
-            b.iter(|| {
-                let cfg = TesterConfig::new(5, eps, 7);
-                black_box(run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let cfg = TesterConfig::new(5, eps, 7);
+                    black_box(run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -46,7 +46,11 @@ fn bench_executors(c: &mut Criterion) {
         let name = format!("engine/minflood-torus40/{exec:?}");
         c.bench_function(&name, |b| {
             b.iter(|| {
-                let cfg = EngineConfig { executor: exec, record_rounds: false, ..EngineConfig::default() };
+                let cfg = EngineConfig {
+                    executor: exec,
+                    record_rounds: false,
+                    ..EngineConfig::default()
+                };
                 let out = run(&g, &cfg, |init| MinFlood { best: init.id, ttl: 80, changed: false })
                     .unwrap();
                 black_box(out.verdicts[0])

@@ -18,9 +18,15 @@ fn bench_k_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(format!("k{k}")), &k, |b, &k| {
             b.iter(|| {
                 black_box(
-                    detect_ck_through_edge(&g, k, e, PrunerKind::Representative, &EngineConfig::default())
-                        .unwrap()
-                        .reject,
+                    detect_ck_through_edge(
+                        &g,
+                        k,
+                        e,
+                        PrunerKind::Representative,
+                        &EngineConfig::default(),
+                    )
+                    .unwrap()
+                    .reject,
                 )
             });
         });
@@ -37,9 +43,15 @@ fn bench_width_invariance(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(format!("p{p}")), &p, |b, _| {
             b.iter(|| {
                 black_box(
-                    detect_ck_through_edge(&g, 6, e, PrunerKind::Representative, &EngineConfig::default())
-                        .unwrap()
-                        .reject,
+                    detect_ck_through_edge(
+                        &g,
+                        6,
+                        e,
+                        PrunerKind::Representative,
+                        &EngineConfig::default(),
+                    )
+                    .unwrap()
+                    .reject,
                 )
             });
         });

@@ -12,10 +12,7 @@ use ck_graphgen::planted::cycle_chain;
 use std::time::Instant;
 
 fn main() {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(100_000);
+    let max_n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100_000);
     let k = 5usize;
     let reps = 8u32;
     println!("Ck tester scale study: k={k}, {reps} repetitions per run\n");
@@ -46,5 +43,7 @@ fn main() {
         }
         n *= 10;
     }
-    println!("\nBoth executors compute identical verdicts; the parallel one exists for wall-clock.");
+    println!(
+        "\nBoth executors compute identical verdicts; the parallel one exists for wall-clock."
+    );
 }

@@ -10,10 +10,10 @@ use ck_baselines::naive::{naive_detect_through_edge, DropPolicy};
 use ck_baselines::{test_c4_freeness, test_triangle_freeness};
 use ck_congest::engine::{EngineConfig, EngineError};
 use ck_congest::graph::{Edge, Graph};
-use ck_core::batch::{run_tester_batch, BatchError, BatchJob, BatchOptions};
 use ck_congest::message::WireParams;
+use ck_core::batch::{run_tester_batch, BatchError, BatchJob, BatchOptions};
 use ck_core::prune::{build_send_set, lemma3_bound, PrunerKind};
-use ck_core::rank::{minimum_is_unique, rank_rng, draw_rank, E_SQUARED};
+use ck_core::rank::{draw_rank, minimum_is_unique, rank_rng, E_SQUARED};
 use ck_core::seq::IdSeq;
 use ck_core::single::detect_ck_through_edge;
 use ck_core::tester::{run_tester, TesterConfig};
@@ -135,8 +135,7 @@ pub fn e1_soundness() -> Result<ExperimentResult, ExperimentError> {
                 .iter()
                 .zip(&seeds)
                 .map(|(vg, &s)| {
-                    let cfg =
-                        TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, 0.1, s) };
+                    let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, 0.1, s) };
                     BatchJob::labeled(vg, cfg, format!("e1 {name} k={k} seed={s}"))
                 })
                 .collect();
@@ -232,9 +231,8 @@ pub fn e3_round_complexity() -> Result<ExperimentResult, ExperimentError> {
             format!("{:.1}", f64::from(rounds) * eps),
         ]);
     }
-    let (lo, hi) = products
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+    let (lo, hi) =
+        products.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &p| (lo.min(p), hi.max(p)));
     let pass = hi / lo < 1.5; // linear in 1/ε up to ceiling effects
     Ok(ExperimentResult {
         id: "e3",
@@ -249,7 +247,8 @@ pub fn e3_round_complexity() -> Result<ExperimentResult, ExperimentError> {
 /// E4 — Lemma 2: the single-edge detector rejects iff a `Ck` passes
 /// through the designated edge (edge-exhaustive oracle comparison).
 pub fn e4_single_edge_exactness() -> Result<ExperimentResult, ExperimentError> {
-    let mut table = Table::new(["graph", "n", "m", "k range", "edges×k checks", "mismatches", "positives"]);
+    let mut table =
+        Table::new(["graph", "n", "m", "k range", "edges×k checks", "mismatches", "positives"]);
     let mut pass = true;
     let graphs: Vec<(&str, Graph)> = vec![
         ("petersen", petersen()),
@@ -322,8 +321,8 @@ pub fn e5_message_bound() -> Result<ExperimentResult, ExperimentError> {
     ];
     for (name, g, k) in cases {
         let e = *g.edges().first().expect("nonempty");
-        let run = detect_single(&g, k, e)
-            .map_err(ExperimentError::tag("e5", format!("{name} k={k}")))?;
+        let run =
+            detect_single(&g, k, e).map_err(ExperimentError::tag("e5", format!("{name} k={k}")))?;
         let bound = (2..=k / 2).map(|t| lemma3_bound(k, t)).max().unwrap_or(1);
         let wp = WireParams::for_graph(&g);
         let b = wp.congest_bandwidth(4);
@@ -343,10 +342,12 @@ pub fn e5_message_bound() -> Result<ExperimentResult, ExperimentError> {
     Ok(ExperimentResult {
         id: "e5",
         title: "message-size bound (Lemma 3)".into(),
-        claim: "≤ (k−t+1)^(t−1) sequences per message at round t ⟹ O_k(1) words of O(log n) bits".into(),
+        claim: "≤ (k−t+1)^(t−1) sequences per message at round t ⟹ O_k(1) words of O(log n) bits"
+            .into(),
         table,
         pass,
-        notes: "Normalized rounds charge ⌈link-bits / B⌉ per wall round (constant for fixed k).".into(),
+        notes: "Normalized rounds charge ⌈link-bits / B⌉ per wall round (constant for fixed k)."
+            .into(),
     })
 }
 
@@ -378,7 +379,9 @@ pub fn e6_packing() -> Result<ExperimentResult, ExperimentError> {
         claim: "ε-far from Ck-free ⟹ ≥ εm/k edge-disjoint Ck copies".into(),
         table,
         pass,
-        notes: "Greedy packing is a lower bound on the optimum, so clearing εm/k validates the lemma.".into(),
+        notes:
+            "Greedy packing is a lower bound on the optimum, so clearing εm/k validates the lemma."
+                .into(),
     })
 }
 
@@ -424,7 +427,12 @@ pub fn e8_figure1() -> Result<ExperimentResult, ExperimentError> {
     let e = Edge::new(0, 1);
     let mut table = Table::new(["detector", "policy", "verdict", "expected"]);
     let ours = detect_single(&g, 5, e).map_err(ExperimentError::tag("e8", "figure1 pruned"))?;
-    table.row(["Algorithm 1", "pruned (Lemma 2)", if ours.reject { "reject" } else { "accept" }, "reject"]);
+    table.row([
+        "Algorithm 1",
+        "pruned (Lemma 2)",
+        if ours.reject { "reject" } else { "accept" },
+        "reject",
+    ]);
     let keepall =
         naive_detect_through_edge(&g, 5, e, DropPolicy::KeepAll, &EngineConfig::default())
             .map_err(ExperimentError::tag("e8", "figure1 keep-all"))?;
@@ -437,7 +445,12 @@ pub fn e8_figure1() -> Result<ExperimentResult, ExperimentError> {
         &EngineConfig::default(),
     )
     .map_err(ExperimentError::tag("e8", "figure1 truncate"))?;
-    table.row(["naive", "truncate cap=1", if trunc.reject { "reject" } else { "accept" }, "accept (miss)"]);
+    table.row([
+        "naive",
+        "truncate cap=1",
+        if trunc.reject { "reject" } else { "accept" },
+        "accept (miss)",
+    ]);
     let seeds = 30u64;
     let mut hits = 0usize;
     for s in 0..seeds {
@@ -635,7 +648,8 @@ pub fn e11_congestion() -> Result<ExperimentResult, ExperimentError> {
 /// E12 — prior-work scope: the \[7\]/\[20\]-style testers work for k ∈ {3,4}
 /// and our tester covers k ≥ 5 where they have no analog.
 pub fn e12_prior_work() -> Result<ExperimentResult, ExperimentError> {
-    let mut table = Table::new(["tester", "target", "instance", "trials", "reject rate", "expected"]);
+    let mut table =
+        Table::new(["tester", "target", "instance", "trials", "reject rate", "expected"]);
     let mut pass = true;
     let trials = 10u64;
     // Seed-sweep helper over the fallible baseline testers.
@@ -652,28 +666,54 @@ pub fn e12_prior_work() -> Result<ExperimentResult, ExperimentError> {
     };
 
     let far3 = eps_far_instance(60, 3, 0.1, 0);
-    let r3 = sweep("triangle far", &|s| {
-        test_triangle_freeness(&far3.graph, 0.1, s, None).map(|r| r.0)
-    })?;
+    let r3 =
+        sweep("triangle far", &|s| test_triangle_freeness(&far3.graph, 0.1, s, None).map(|r| r.0))?;
     pass &= r3 * 3 >= trials as usize * 2;
-    table.row(["[7] triangle", "k=3", "ε-far (ε=0.1)", "10", &format!("{:.2}", r3 as f64 / 10.0), "≥ 2/3"]);
+    table.row([
+        "[7] triangle",
+        "k=3",
+        "ε-far (ε=0.1)",
+        "10",
+        &format!("{:.2}", r3 as f64 / 10.0),
+        "≥ 2/3",
+    ]);
 
     let p3 = sweep("triangle petersen", &|s| {
         test_triangle_freeness(&petersen(), 0.1, s, Some(50)).map(|r| r.0)
     })?;
     pass &= p3 == 0;
-    table.row(["[7] triangle", "k=3", "Petersen (free)", "10", &format!("{:.2}", p3 as f64 / 10.0), "0 (1-sided)"]);
+    table.row([
+        "[7] triangle",
+        "k=3",
+        "Petersen (free)",
+        "10",
+        &format!("{:.2}", p3 as f64 / 10.0),
+        "0 (1-sided)",
+    ]);
 
     let far4 = eps_far_instance(60, 4, 0.1, 0);
     let r4 = sweep("c4 far", &|s| test_c4_freeness(&far4.graph, 0.1, s, None).map(|r| r.0))?;
     pass &= r4 * 3 >= trials as usize * 2;
-    table.row(["[20] C4", "k=4", "ε-far (ε=0.1)", "10", &format!("{:.2}", r4 as f64 / 10.0), "≥ 2/3"]);
+    table.row([
+        "[20] C4",
+        "k=4",
+        "ε-far (ε=0.1)",
+        "10",
+        &format!("{:.2}", r4 as f64 / 10.0),
+        "≥ 2/3",
+    ]);
 
-    let p4 = sweep("c4 petersen", &|s| {
-        test_c4_freeness(&petersen(), 0.1, s, Some(50)).map(|r| r.0)
-    })?;
+    let p4 =
+        sweep("c4 petersen", &|s| test_c4_freeness(&petersen(), 0.1, s, Some(50)).map(|r| r.0))?;
     pass &= p4 == 0;
-    table.row(["[20] C4", "k=4", "Petersen (free)", "10", &format!("{:.2}", p4 as f64 / 10.0), "0 (1-sided)"]);
+    table.row([
+        "[20] C4",
+        "k=4",
+        "Petersen (free)",
+        "10",
+        &format!("{:.2}", p4 as f64 / 10.0),
+        "0 (1-sided)",
+    ]);
 
     let far5 = eps_far_instance(60, 5, 0.1, 0);
     let jobs: Vec<BatchJob> = (0..trials)
@@ -687,7 +727,14 @@ pub fn e12_prior_work() -> Result<ExperimentResult, ExperimentError> {
         .filter(|r| r.reject)
         .count();
     pass &= r5 * 3 >= trials as usize * 2;
-    table.row(["this paper", "k=5", "ε-far (ε=0.1)", "10", &format!("{:.2}", r5 as f64 / 10.0), "≥ 2/3"]);
+    table.row([
+        "this paper",
+        "k=5",
+        "ε-far (ε=0.1)",
+        "10",
+        &format!("{:.2}", r5 as f64 / 10.0),
+        "≥ 2/3",
+    ]);
 
     Ok(ExperimentResult {
         id: "e12",
@@ -814,9 +861,10 @@ pub fn e14_gap_region() -> Result<ExperimentResult, ExperimentError> {
 /// claim): 1-sidedness survives arbitrary loss, detection degrades
 /// gracefully with the per-message loss rate.
 pub fn e15_loss_resilience() -> Result<ExperimentResult, ExperimentError> {
-    use ck_core::robust::loss_detection_curve;
     use ck_congest::fault::FaultPlan;
-    let mut table = Table::new(["loss rate", "far instance reject rate", "free instance false rejects"]);
+    use ck_core::robust::loss_detection_curve;
+    let mut table =
+        Table::new(["loss rate", "far instance reject rate", "free instance false rejects"]);
     let k = 5usize;
     let eps = 0.08;
     let far = eps_far_instance(50, k, eps, 0);
@@ -884,8 +932,7 @@ pub fn run_experiment(id: &str) -> Option<Result<ExperimentResult, ExperimentErr
 
 /// All experiment ids, in order.
 pub const ALL_IDS: [&str; 15] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// Runs the full suite, stopping at the first failed experiment.
@@ -939,8 +986,7 @@ mod tests {
         let g = cycle(6);
         let jobs: Vec<BatchJob> = (0..2)
             .map(|s| {
-                let cfg =
-                    TesterConfig { repetitions: Some(1), ..TesterConfig::new(6, 0.1, s) };
+                let cfg = TesterConfig { repetitions: Some(1), ..TesterConfig::new(6, 0.1, s) };
                 BatchJob::labeled(&g, cfg, format!("e2 k=6 seed={s}"))
             })
             .collect();

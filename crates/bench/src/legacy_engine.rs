@@ -183,7 +183,12 @@ mod tests {
     impl Program for Echo {
         type Msg = u64;
         type Verdict = u64;
-        fn step(&mut self, round: u32, inbox: ck_congest::node::Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+        fn step(
+            &mut self,
+            round: u32,
+            inbox: ck_congest::node::Inbox<'_, u64>,
+            out: &mut Outbox<u64>,
+        ) -> Status {
             self.received += inbox.len() as u64;
             if round < self.rounds {
                 out.broadcast(u64::from(round));
@@ -209,8 +214,7 @@ mod tests {
                     faults,
                     ..EngineConfig::default()
                 };
-                let legacy =
-                    run_legacy(&g, &cfg, |_| Echo { rounds: 4, received: 0 }).unwrap();
+                let legacy = run_legacy(&g, &cfg, |_| Echo { rounds: 4, received: 0 }).unwrap();
                 let arena = run(&g, &cfg, |_| Echo { rounds: 4, received: 0 }).unwrap();
                 assert_eq!(legacy.verdicts, arena.verdicts, "seed {seed}");
                 assert_eq!(legacy.report.per_round, arena.report.per_round, "seed {seed}");
@@ -235,8 +239,10 @@ mod tests {
         // Same offending round and node; the reported port may differ in
         // tie-breaking (legacy scans ports in first-use order, the arena
         // engine reports the first lane to cross the budget).
-        let (EngineError::BandwidthExceeded { round: ra, node: na, .. },
-             EngineError::BandwidthExceeded { round: rb, node: nb, .. }) = (&a, &b);
+        let (
+            EngineError::BandwidthExceeded { round: ra, node: na, .. },
+            EngineError::BandwidthExceeded { round: rb, node: nb, .. },
+        ) = (&a, &b);
         assert_eq!(ra, rb);
         assert_eq!(na, nb);
     }

@@ -132,19 +132,14 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
             seed_arg(4, "eps-far")?,
         )
         .graph),
-        "free" => Ok(planted::matched_free_instance(
-            usize_arg(1, "free")?,
-            usize_arg(2, "free")?,
-        )),
-        "behrend" => Ok(behrend::behrend_ck_instance(
-            usize_arg(1, "behrend")?,
-            usize_arg(2, "behrend")?,
-        )
-        .graph),
+        "free" => Ok(planted::matched_free_instance(usize_arg(1, "free")?, usize_arg(2, "free")?)),
+        "behrend" => {
+            Ok(behrend::behrend_ck_instance(usize_arg(1, "behrend")?, usize_arg(2, "behrend")?)
+                .graph)
+        }
         "file" => {
             let path = parts.get(1).ok_or("file: missing path")?;
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             if text.trim_start().starts_with('c') || text.trim_start().starts_with('p') {
                 ck_graphgen::io::parse_dimacs(&text)
             } else {
@@ -263,9 +258,7 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             }
             "--shards" => {
                 shards = Some(
-                    value(args, i, "--shards")?
-                        .parse()
-                        .map_err(|e| format!("--shards: {e}"))?,
+                    value(args, i, "--shards")?.parse().map_err(|e| format!("--shards: {e}"))?,
                 );
                 i += 2;
             }
@@ -309,7 +302,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             return Err(format!("--batch supports the ck tester only, got {tester:?}"));
         }
         try_repetitions_for(eps).map_err(|e| format!("--eps: {e}"))?;
-        return Ok(Invocation::Batch(BatchRequest { path, k, eps, trials, seed, repetitions, shards }));
+        return Ok(Invocation::Batch(BatchRequest {
+            path,
+            k,
+            eps,
+            trials,
+            seed,
+            repetitions,
+            shards,
+        }));
     }
     if shards.is_some() {
         return Err("--shards requires --batch".into());
@@ -381,9 +382,14 @@ mod tests {
     /// seed-0 run (the old `.parse().ok().unwrap_or(0)` bug).
     #[test]
     fn malformed_seeds_error_instead_of_defaulting() {
-        for spec in
-            ["gnp:100:0.05:abc", "gnm:20:30:x", "tree:15:-3", "regular:12:3:1.5", "high-girth:30:5:200:?", "eps-far:40:4:0.05:abc"]
-        {
+        for spec in [
+            "gnp:100:0.05:abc",
+            "gnm:20:30:x",
+            "tree:15:-3",
+            "regular:12:3:1.5",
+            "high-girth:30:5:200:?",
+            "eps-far:40:4:0.05:abc",
+        ] {
             let err = parse_graph_spec(spec).unwrap_err();
             assert!(err.contains("bad seed argument"), "{spec}: {err}");
         }
@@ -430,8 +436,8 @@ mod tests {
 
     #[test]
     fn parses_batch_command_lines() {
-        let inv = parse_args(&argv("--batch specs.txt --k 4 --eps 0.2 --trials 3 --shards 2"))
-            .unwrap();
+        let inv =
+            parse_args(&argv("--batch specs.txt --k 4 --eps 0.2 --trials 3 --shards 2")).unwrap();
         let Invocation::Batch(b) = inv else { panic!("expected batch") };
         assert_eq!(b.path, "specs.txt");
         assert_eq!((b.k, b.trials, b.shards), (4, 3, Some(2)));

@@ -1,6 +1,8 @@
 //! `ckprobe` — run distributed cycle/pattern testers on any graph.
 
-use ck_cli::{batch_jobs, graph_spec_help, parse_args, parse_batch_file, BatchRequest, Invocation, Request};
+use ck_cli::{
+    batch_jobs, graph_spec_help, parse_args, parse_batch_file, BatchRequest, Invocation, Request,
+};
 use ck_congest::message::WireParams;
 use ck_core::batch::{run_tester_batch, BatchOptions};
 use ck_core::framework::amplify;

@@ -211,7 +211,8 @@ mod tests {
         assert_eq!(min[3], Some(1));
         let max = aggregate(&g, 0, AggregateOp::Max, &values, &EngineConfig::default()).unwrap();
         assert_eq!(max[6], Some(20));
-        let count = aggregate(&g, 0, AggregateOp::Count, &values, &EngineConfig::default()).unwrap();
+        let count =
+            aggregate(&g, 0, AggregateOp::Count, &values, &EngineConfig::default()).unwrap();
         assert!(count.iter().all(|&r| r == Some(7)));
     }
 
@@ -242,8 +243,7 @@ mod tests {
     fn counting_nodes_justifies_knowing_n() {
         // The "nodes know n" convention: one aggregation computes it.
         let g = sample();
-        let out =
-            aggregate(&g, 0, AggregateOp::Count, &[0; 7], &EngineConfig::default()).unwrap();
+        let out = aggregate(&g, 0, AggregateOp::Count, &[0; 7], &EngineConfig::default()).unwrap();
         assert!(out.iter().all(|&r| r == Some(g.n() as u64)));
     }
 }

@@ -16,9 +16,17 @@ use crate::node::Packet;
 /// round-crossing transport).
 ///
 /// Loads are *round-stamped* instead of reset: a load whose `stamp`
-/// differs from the current round is semantically zero, and the first
-/// write of a round re-stamps it. No pass over the table — at drain
-/// time, at swap time, or anywhere else — ever has to zero anything.
+/// differs from the current round's stamp is semantically zero, and
+/// the first write of a round re-stamps it. No pass over the table —
+/// at drain time, at swap time, or anywhere else — ever has to zero
+/// anything.
+///
+/// Stamps live in a 64-bit *offset* space, `table.base + round`: each
+/// run gets a fresh epoch (the base advances past every stamp the
+/// previous run could have written), so round numbers restarting at 0
+/// between batch jobs can never collide with a stale entry and even
+/// the between-jobs re-stale scan of the table is gone — workspace
+/// reset is O(1) for the loads.
 ///
 /// `bits`/`count` include faulted sends: the sender spent the
 /// bandwidth even though the message is never delivered.
@@ -26,13 +34,15 @@ use crate::node::Packet;
 pub(crate) struct LinkLoad {
     pub(crate) bits: u64,
     pub(crate) count: u64,
-    /// Round these counters belong to; `u32::MAX` = never written.
-    pub(crate) stamp: u32,
+    /// Offset-space stamp (`base + round`) these counters belong to;
+    /// `u64::MAX` = never written (unreachable as a real stamp for any
+    /// feasible number of runs — bases advance in `2^32` strides).
+    pub(crate) stamp: u64,
 }
 
 impl Default for LinkLoad {
     fn default() -> Self {
-        LinkLoad { bits: 0, count: 0, stamp: u32::MAX }
+        LinkLoad { bits: 0, count: 0, stamp: u64::MAX }
     }
 }
 
@@ -44,10 +54,11 @@ impl Default for LinkLoad {
 /// touch the same entry.
 pub(crate) struct LoadTable {
     cells: Vec<UnsafeCell<LinkLoad>>,
-    /// Extent the current (or last) run uses; `reset` only re-stales
-    /// this prefix, so a batch of shrinking graphs never rescans the
-    /// high-water mark.
-    used: usize,
+    /// Stamp-space base of the current run; every stamp this run
+    /// writes is `base + round`. Advanced by a full `2^32` (one more
+    /// than any `u32` round number) at each reset, so a stale entry's
+    /// stamp can never equal a fresh run's.
+    base: u64,
 }
 
 // SAFETY: entries are only reached through `LoadTable::row_ptr`, whose
@@ -60,23 +71,26 @@ impl LoadTable {
     pub(crate) fn new(len: usize) -> Self {
         LoadTable {
             cells: (0..len).map(|_| UnsafeCell::new(LinkLoad::default())).collect(),
-            used: len,
+            base: 0,
         }
     }
 
-    /// Prepares the table for a run over `len` loads: re-stales the
-    /// extent the previous run used (round numbers restart at 0 between
-    /// jobs, so a stale entry carrying an old run's stamp could collide
-    /// with a fresh round and leak its counters) and grows the backing
-    /// array only when the new graph does not fit.
+    /// Prepares the table for a run over `len` loads: advances the
+    /// stamp epoch — after which every retained entry is semantically
+    /// zero without touching it — and grows the backing array only when
+    /// the new graph does not fit. O(1) when the graph fits; the
+    /// between-jobs re-stale scan this replaces was the last per-job
+    /// O(m) cost of workspace reuse.
     pub(crate) fn reset(&mut self, len: usize) {
-        for cell in self.cells.iter_mut().take(self.used) {
-            *cell.get_mut() = LinkLoad::default();
-        }
+        self.base = self.base.wrapping_add(1 << 32);
         if self.cells.len() < len {
             self.cells.resize_with(len, || UnsafeCell::new(LinkLoad::default()));
         }
-        self.used = len;
+    }
+
+    /// The offset-space stamp of `round` in the current run's epoch.
+    pub(crate) fn stamp_for(&self, round: u32) -> u64 {
+        self.base.wrapping_add(u64::from(round))
     }
 
     /// Raw pointer to the load row starting at directed edge `de` — the
@@ -342,8 +356,10 @@ mod tests {
 
     #[test]
     fn merge_is_associative_and_keeps_leftmost_violation() {
-        let a = RoundAcc { messages: 1, bits: 10, violation: Some((3, 0, 9)), ..RoundAcc::default() };
-        let b = RoundAcc { messages: 2, bits: 5, violation: Some((7, 1, 4)), ..RoundAcc::default() };
+        let a =
+            RoundAcc { messages: 1, bits: 10, violation: Some((3, 0, 9)), ..RoundAcc::default() };
+        let b =
+            RoundAcc { messages: 2, bits: 5, violation: Some((7, 1, 4)), ..RoundAcc::default() };
         let c = RoundAcc { messages: 4, max_link_bits: 99, ..RoundAcc::default() };
         let left = RoundAcc::merge(RoundAcc::merge(a, b), c);
         let right = RoundAcc::merge(a, RoundAcc::merge(b, c));
@@ -371,8 +387,48 @@ mod tests {
         for de in 0..3 {
             // SAFETY: single-threaded test, no overlapping access.
             let load = unsafe { &*table.row_ptr(de) };
-            assert_eq!(load.stamp, u32::MAX, "fresh loads must be stale-stamped");
+            assert_eq!(load.stamp, u64::MAX, "fresh loads must be stale-stamped");
             assert_eq!((load.bits, load.count), (0, 0));
+            // The sentinel can never equal a real stamp of this epoch.
+            for round in [0u32, 1, u32::MAX] {
+                assert_ne!(load.stamp, table.stamp_for(round));
+            }
         }
+    }
+
+    /// Round-offset stamping: a reset must be O(1) — no pass over the
+    /// cells — yet leave every retained entry semantically zero, even
+    /// when the next run reuses the exact round numbers of the last.
+    #[test]
+    fn reset_advances_epoch_without_touching_cells() {
+        let mut table = LoadTable::new(2);
+        table.reset(2);
+        let job1_r5 = table.stamp_for(5);
+        // Job 1 writes round-5 traffic on both links.
+        for de in 0..2 {
+            // SAFETY: single-threaded test, no overlapping access.
+            let load = unsafe { &mut *table.row_ptr(de) };
+            *load = LinkLoad { bits: 77, count: 3, stamp: job1_r5 };
+        }
+        table.reset(2);
+        // Same round number, next job: the stamp spaces are disjoint,
+        // so the stale counters are semantically zero...
+        assert_ne!(table.stamp_for(5), job1_r5);
+        for de in 0..2 {
+            // SAFETY: as above.
+            let load = unsafe { &*table.row_ptr(de) };
+            // ...while the cells themselves were provably not scanned:
+            // the stale bytes are still there, just unreadable through
+            // any stamp the new epoch can produce.
+            assert_eq!((load.bits, load.count, load.stamp), (77, 3, job1_r5));
+            for round in [0u32, 5, u32::MAX] {
+                assert_ne!(load.stamp, table.stamp_for(round));
+            }
+        }
+        // Growth still works and new cells are stale.
+        table.reset(4);
+        // SAFETY: as above.
+        let grown = unsafe { &*table.row_ptr(3) };
+        assert_eq!(grown.stamp, u64::MAX);
     }
 }

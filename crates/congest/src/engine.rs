@@ -55,7 +55,9 @@ use crate::arena::{Arena, InboxArena, LoadTable, RoundAcc};
 use crate::graph::{Graph, NodeIndex};
 use crate::message::WireParams;
 use crate::metrics::{RoundStats, RunReport};
-use crate::node::{DirectSink, Inbox, NodeInit, Outbox, Packet, Program, SinkCtx, SinkMode, Status};
+use crate::node::{
+    DirectSink, Inbox, NodeInit, Outbox, Packet, Program, SinkCtx, SinkMode, Status,
+};
 
 /// How strictly the engine applies the `O(log n)`-bit CONGEST bound.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,22 +114,15 @@ impl Default for EngineConfig {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineError {
     /// A directed link exceeded the enforced per-round bit budget.
-    BandwidthExceeded {
-        round: u32,
-        node: NodeIndex,
-        port: u32,
-        bits: u64,
-        limit: u64,
-    },
+    BandwidthExceeded { round: u32, node: NodeIndex, port: u32, bits: u64, limit: u64 },
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::BandwidthExceeded { round, node, port, bits, limit } => write!(
-                f,
-                "round {round}: node {node} port {port} sent {bits} bits > limit {limit}"
-            ),
+            EngineError::BandwidthExceeded { round, node, port, bits, limit } => {
+                write!(f, "round {round}: node {node} port {port} sent {bits} bits > limit {limit}")
+            }
         }
     }
 }
@@ -277,7 +272,12 @@ struct RoundRefs<'a, M> {
     ctx: &'a SinkCtx,
 }
 
-fn round_step<P: Program>(v: usize, slot: &mut Slot<P>, rr: &RoundRefs<'_, P::Msg>, acc: &mut RoundAcc) {
+fn round_step<P: Program>(
+    v: usize,
+    slot: &mut Slot<P>,
+    rr: &RoundRefs<'_, P::Msg>,
+    acc: &mut RoundAcc,
+) {
     let &RoundRefs { graph, cur, next, loads, ctx } = rr;
     let v = v as NodeIndex;
     let lanes = graph.directed_edge_range(v);
@@ -405,6 +405,7 @@ fn run_rounds_seq_inbox<P: Program>(
             heavy,
             limit,
             round,
+            stamp: loads.stamp_for(round),
         };
         let mut acc = RoundAcc::default();
         for (v, slot) in slots.iter_mut().enumerate() {
@@ -612,6 +613,7 @@ where
                 heavy,
                 limit,
                 round,
+                stamp: loads.stamp_for(round),
             };
             let rr = RoundRefs { graph, cur: &*cur, next: &*next, loads, ctx: &ctx };
             let rr_ref = &rr;
@@ -690,10 +692,7 @@ mod tests {
     }
 
     fn path_graph(n: usize) -> Graph {
-        GraphBuilder::new(n)
-            .edges((0..n as u32 - 1).map(|i| (i, i + 1)))
-            .build()
-            .unwrap()
+        GraphBuilder::new(n).edges((0..n as u32 - 1).map(|i| (i, i + 1))).build().unwrap()
     }
 
     fn run_minflood(g: &Graph, exec: Executor) -> RunOutcome<u64> {
@@ -748,7 +747,12 @@ mod tests {
         impl Program for BigTalker {
             type Msg = Vec<u64>;
             type Verdict = ();
-            fn step(&mut self, _round: u32, _inbox: Inbox<'_, Vec<u64>>, out: &mut Outbox<Vec<u64>>) -> Status {
+            fn step(
+                &mut self,
+                _round: u32,
+                _inbox: Inbox<'_, Vec<u64>>,
+                out: &mut Outbox<Vec<u64>>,
+            ) -> Status {
                 out.broadcast(vec![1; 100]);
                 Status::Running
             }
@@ -815,7 +819,8 @@ mod tests {
             }
         }
         let g = path_graph(3);
-        let out = run(&g, &EngineConfig::default(), |init| MaybeQuit { quit_now: init.index == 0 }).unwrap();
+        let out = run(&g, &EngineConfig::default(), |init| MaybeQuit { quit_now: init.index == 0 })
+            .unwrap();
         assert!(out.report.all_halted);
         // Round 0: nodes 1 and 2 broadcast (degrees 2 and 1) = 3 msgs.
         assert_eq!(out.report.per_round[0].messages, 3);
@@ -969,13 +974,15 @@ mod tests {
             .with_ids((0..n).map(|i| (i as u64).wrapping_mul(2654435761) % 1_000_000).collect())
             .unwrap();
         let run_one = |exec, record_rounds, faults: crate::fault::FaultPlan| {
-            let cfg = EngineConfig { executor: exec, record_rounds, faults, ..EngineConfig::default() };
+            let cfg =
+                EngineConfig { executor: exec, record_rounds, faults, ..EngineConfig::default() };
             run(&g, &cfg, |init| MinFlood { best: init.id, ttl: 30, changed: false }).unwrap()
         };
         for record_rounds in [true, false] {
-            for faults in
-                [crate::fault::FaultPlan::none(), crate::fault::FaultPlan::none().random_loss(0.2, 5)]
-            {
+            for faults in [
+                crate::fault::FaultPlan::none(),
+                crate::fault::FaultPlan::none().random_loss(0.2, 5),
+            ] {
                 let seq = run_one(Executor::Sequential, record_rounds, faults.clone());
                 let par = run_one(Executor::Parallel, record_rounds, faults);
                 assert_eq!(seq.verdicts, par.verdicts, "record_rounds={record_rounds}");
@@ -1029,6 +1036,78 @@ mod tests {
         }
     }
 
+    /// The round-offset-stamped load table must keep per-link counters
+    /// correct across workspace-reused jobs whose round numbers restart
+    /// at 0: job B writes the very rows job A stamped, at the same
+    /// round numbers. A stale-stamp collision would make B's first
+    /// round *add to* A's heavy counters instead of starting from zero
+    /// — caught here by running B under an enforced budget with no
+    /// slack, and by comparing B's statistics against a fresh
+    /// workspace, on both executors.
+    #[test]
+    fn workspace_reuse_keeps_link_counters_correct_across_jobs() {
+        struct Talk {
+            payload: Vec<u64>,
+            ttl: u32,
+        }
+        impl Program for Talk {
+            type Msg = Vec<u64>;
+            type Verdict = ();
+            fn step(
+                &mut self,
+                round: u32,
+                _inbox: Inbox<'_, Vec<u64>>,
+                out: &mut Outbox<Vec<u64>>,
+            ) -> Status {
+                if round >= self.ttl {
+                    return Status::Halted;
+                }
+                out.broadcast(self.payload.clone());
+                Status::Running
+            }
+            fn verdict(&self) {}
+        }
+        let g = path_graph(4);
+        let params = WireParams::for_graph(&g);
+        let small_bits = vec![7u64].wire_bits(&params);
+        for exec in [Executor::Sequential, Executor::Parallel] {
+            let mut ws: EngineWorkspace<Vec<u64>> = EngineWorkspace::new();
+            // Job A: heavy broadcasts, measured only — stamps rounds
+            // 0..5 with large per-link bit counts.
+            let cfg_a = EngineConfig { executor: exec, ..EngineConfig::default() };
+            run_with_workspace(
+                &g,
+                &cfg_a,
+                &params,
+                &mut ws,
+                &mut |_| Talk { payload: vec![7; 100], ttl: 5 },
+                |_| {},
+            )
+            .unwrap();
+            // Job B: one small message per link per round, enforced at
+            // exactly that size — any leak of job A's counters trips it.
+            let cfg_b = EngineConfig {
+                executor: exec,
+                bandwidth: BandwidthPolicy::Enforce { bits: small_bits },
+                ..EngineConfig::default()
+            };
+            let reused = run_with_workspace(
+                &g,
+                &cfg_b,
+                &params,
+                &mut ws,
+                &mut |_| Talk { payload: vec![7], ttl: 5 },
+                |_| {},
+            )
+            .unwrap_or_else(|e| panic!("stale load counters leaked into job B ({exec:?}): {e}"));
+            let fresh = run(&g, &cfg_b, |_| Talk { payload: vec![7], ttl: 5 }).unwrap();
+            assert_eq!(reused.report.per_round, fresh.report.per_round, "{exec:?}");
+            for r in &reused.report.per_round {
+                assert!(r.max_link_bits <= small_bits, "{exec:?}: {r:?}");
+            }
+        }
+    }
+
     /// Lanes addressed to a halted node must be reset by their receiver:
     /// if the drop left counters behind, the sender's per-link load
     /// would accumulate across arena swaps and spuriously trip
@@ -1042,7 +1121,12 @@ mod tests {
         impl Program for TalkThenQuit {
             type Msg = u64;
             type Verdict = ();
-            fn step(&mut self, round: u32, _inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+            fn step(
+                &mut self,
+                round: u32,
+                _inbox: Inbox<'_, u64>,
+                out: &mut Outbox<u64>,
+            ) -> Status {
                 if round >= self.quit_round {
                     return Status::Halted;
                 }
@@ -1060,10 +1144,9 @@ mod tests {
         };
         // Node 0 halts immediately; node 1 keeps sending into node 0's
         // (now receiver-less) lane for 5 more rounds.
-        let out = run(&g, &cfg, |init| TalkThenQuit {
-            quit_round: if init.index == 0 { 0 } else { 5 },
-        })
-        .unwrap();
+        let out =
+            run(&g, &cfg, |init| TalkThenQuit { quit_round: if init.index == 0 { 0 } else { 5 } })
+                .unwrap();
         assert!(out.report.all_halted);
         for r in &out.report.per_round {
             assert!(r.max_link_bits <= msg_bits, "stale lane counters: {r:?}");
@@ -1082,7 +1165,12 @@ mod tests {
         impl Program for SlotProbe {
             type Msg = u64;
             type Verdict = Vec<Option<u64>>;
-            fn step(&mut self, round: u32, _inbox: Inbox<'_, u64>, out: &mut Outbox<u64>) -> Status {
+            fn step(
+                &mut self,
+                round: u32,
+                _inbox: Inbox<'_, u64>,
+                out: &mut Outbox<u64>,
+            ) -> Status {
                 if round >= self.ttl {
                     return Status::Halted;
                 }
@@ -1099,9 +1187,8 @@ mod tests {
                 let cfg = EngineConfig { executor: exec, record_rounds, ..EngineConfig::default() };
                 let out = run(&g, &cfg, |_| SlotProbe { ttl: 6, evictions: Vec::new() }).unwrap();
                 for ev in &out.verdicts {
-                    let expect: Vec<Option<u64>> = (0u64..6)
-                        .map(|r| if r < 2 { None } else { Some(r - 2 + 1000) })
-                        .collect();
+                    let expect: Vec<Option<u64>> =
+                        (0u64..6).map(|r| if r < 2 { None } else { Some(r - 2 + 1000) }).collect();
                     assert_eq!(ev, &expect, "{exec:?} record_rounds={record_rounds}");
                 }
             }
@@ -1166,7 +1253,12 @@ mod tests {
         impl Program for WideTalker {
             type Msg = Vec<u64>;
             type Verdict = ();
-            fn step(&mut self, round: u32, _inbox: Inbox<'_, Vec<u64>>, out: &mut Outbox<Vec<u64>>) -> Status {
+            fn step(
+                &mut self,
+                round: u32,
+                _inbox: Inbox<'_, Vec<u64>>,
+                out: &mut Outbox<Vec<u64>>,
+            ) -> Status {
                 if round == 0 {
                     out.broadcast(vec![7; 5]);
                     Status::Running
@@ -1176,10 +1268,7 @@ mod tests {
             }
             fn verdict(&self) {}
         }
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (0, 2), (0, 3)])
-            .build()
-            .unwrap();
+        let g = GraphBuilder::new(4).edges([(0, 1), (0, 2), (0, 3)]).build().unwrap();
         let params = WireParams::for_graph(&g);
         let one = vec![7u64; 5].wire_bits(&params);
         for exec in [Executor::Sequential, Executor::Parallel] {

@@ -55,10 +55,7 @@ impl FaultPlan {
     /// port) coordinate — replayable across runs and executors.
     pub fn random_loss(mut self, p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "loss probability in [0,1]");
-        self.random = Some(RandomLoss {
-            seed,
-            threshold: (p * f64::from(u32::MAX)) as u32,
-        });
+        self.random = Some(RandomLoss { seed, threshold: (p * f64::from(u32::MAX)) as u32 });
         self
     }
 

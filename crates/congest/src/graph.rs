@@ -103,11 +103,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder {
-            n,
-            edges: Vec::new(),
-            ids: None,
-        }
+        GraphBuilder { n, edges: Vec::new(), ids: None }
     }
 
     /// Number of declared nodes.
@@ -185,11 +181,8 @@ impl GraphBuilder {
         // carry the edge-of-slot payload along).
         for v in 0..n {
             let (s, t) = (offsets[v] as usize, offsets[v + 1] as usize);
-            let mut row: Vec<(NodeIndex, u32)> = neighbors[s..t]
-                .iter()
-                .copied()
-                .zip(edge_of_slot[s..t].iter().copied())
-                .collect();
+            let mut row: Vec<(NodeIndex, u32)> =
+                neighbors[s..t].iter().copied().zip(edge_of_slot[s..t].iter().copied()).collect();
             row.sort_unstable();
             for (i, (nb, ei)) in row.into_iter().enumerate() {
                 neighbors[s + i] = nb;
@@ -217,10 +210,7 @@ impl GraphBuilder {
         let ids = match &self.ids {
             Some(ids) => {
                 if ids.len() != n {
-                    return Err(GraphError::IdTableLength {
-                        expected: n,
-                        got: ids.len(),
-                    });
+                    return Err(GraphError::IdTableLength { expected: n, got: ids.len() });
                 }
                 let mut seen = HashMap::with_capacity(n);
                 for (i, &id) in ids.iter().enumerate() {
@@ -237,8 +227,7 @@ impl GraphBuilder {
             index_of_id.insert(id, i as NodeIndex);
         }
 
-        let (neighbor_ids_flat, ports_by_id) =
-            build_id_views(n, &offsets, &neighbors, &ids);
+        let (neighbor_ids_flat, ports_by_id) = build_id_views(n, &offsets, &neighbors, &ids);
 
         Ok(Graph {
             n,
@@ -590,16 +579,8 @@ impl Graph {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
         let header = lines.next().ok_or("missing header")?;
         let mut hp = header.split_whitespace();
-        let n: usize = hp
-            .next()
-            .ok_or("missing n")?
-            .parse()
-            .map_err(|e| format!("bad n: {e}"))?;
-        let m: usize = hp
-            .next()
-            .ok_or("missing m")?
-            .parse()
-            .map_err(|e| format!("bad m: {e}"))?;
+        let n: usize = hp.next().ok_or("missing n")?.parse().map_err(|e| format!("bad n: {e}"))?;
+        let m: usize = hp.next().ok_or("missing m")?.parse().map_err(|e| format!("bad m: {e}"))?;
         let mut b = GraphBuilder::new(n);
         let mut count = 0;
         let mut ids = None;
@@ -673,11 +654,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_ids() {
-        let err = GraphBuilder::new(2)
-            .edges([(0, 1)])
-            .ids(vec![7, 7])
-            .build()
-            .unwrap_err();
+        let err = GraphBuilder::new(2).edges([(0, 1)]).ids(vec![7, 7]).build().unwrap_err();
         assert_eq!(err, GraphError::DuplicateId(7));
     }
 

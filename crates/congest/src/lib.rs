@@ -69,8 +69,8 @@ pub mod trace;
 
 pub use batch::{effective_shards, run_sharded};
 pub use engine::{
-    run, run_with_workspace, BandwidthPolicy, EngineConfig, EngineError, EngineWorkspace,
-    Executor, RunOutcome,
+    run, run_with_workspace, BandwidthPolicy, EngineConfig, EngineError, EngineWorkspace, Executor,
+    RunOutcome,
 };
 pub use graph::{Edge, Graph, GraphBuilder, GraphError, NodeId, NodeIndex};
 pub use message::{bits_for, WireMessage, WireParams};

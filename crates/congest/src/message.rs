@@ -108,10 +108,7 @@ mod tests {
 
     #[test]
     fn congest_bandwidth_scales_with_log_n() {
-        let g = GraphBuilder::new(1024)
-            .edges((0..1023u32).map(|i| (i, i + 1)))
-            .build()
-            .unwrap();
+        let g = GraphBuilder::new(1024).edges((0..1023u32).map(|i| (i, i + 1))).build().unwrap();
         let wp = WireParams::for_graph(&g);
         assert_eq!(wp.congest_bandwidth(1), 10);
         assert_eq!(wp.congest_bandwidth(4), 40);

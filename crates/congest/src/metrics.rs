@@ -132,9 +132,33 @@ mod tests {
             executor: "sequential",
             threads: 1,
             per_round: vec![
-                RoundStats { round: 0, active_nodes: 4, messages: 4, bits: 40, max_message_bits: 10, max_link_bits: 10, max_link_messages: 1 },
-                RoundStats { round: 1, active_nodes: 4, messages: 8, bits: 200, max_message_bits: 50, max_link_bits: 70, max_link_messages: 2 },
-                RoundStats { round: 2, active_nodes: 4, messages: 0, bits: 0, max_message_bits: 0, max_link_bits: 0, max_link_messages: 0 },
+                RoundStats {
+                    round: 0,
+                    active_nodes: 4,
+                    messages: 4,
+                    bits: 40,
+                    max_message_bits: 10,
+                    max_link_bits: 10,
+                    max_link_messages: 1,
+                },
+                RoundStats {
+                    round: 1,
+                    active_nodes: 4,
+                    messages: 8,
+                    bits: 200,
+                    max_message_bits: 50,
+                    max_link_bits: 70,
+                    max_link_messages: 2,
+                },
+                RoundStats {
+                    round: 2,
+                    active_nodes: 4,
+                    messages: 0,
+                    bits: 0,
+                    max_message_bits: 0,
+                    max_link_bits: 0,
+                    max_link_messages: 0,
+                },
             ],
         }
     }

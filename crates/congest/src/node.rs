@@ -325,6 +325,10 @@ pub(crate) struct SinkCtx {
     /// Enforced per-link bit budget; `u64::MAX` under `Measure`.
     pub(crate) limit: u64,
     pub(crate) round: u32,
+    /// The round's offset-space load stamp (`LoadTable::stamp_for`):
+    /// per-run epochs keep stale entries from colliding with restarted
+    /// round numbers, so workspaces never scan the table to reset it.
+    pub(crate) stamp: u64,
 }
 
 // SAFETY: the context is shared by reference across worker threads; its
@@ -697,13 +701,15 @@ unsafe fn charge_send_bits(d: &mut DirectSink, port: u32, b: u64) -> bool {
     let ctx = &*d.ctx;
     if ctx.account {
         let load = &mut *d.loads.add(port as usize);
-        if load.stamp != ctx.round {
-            // First traffic on this link this round: the stale counters
-            // are semantically zero, re-stamp instead of ever scanning
-            // to reset.
+        if load.stamp != ctx.stamp {
+            // First traffic on this link this round (or an entry stale
+            // from an earlier round *or an earlier run* — the epoch
+            // offset makes both unmistakable): the counters are
+            // semantically zero, re-stamp instead of ever scanning to
+            // reset.
             load.bits = 0;
             load.count = 0;
-            load.stamp = ctx.round;
+            load.stamp = ctx.stamp;
         }
         load.count += 1;
         let acc = &mut *d.acc;
@@ -838,7 +844,12 @@ pub trait Program: Send {
     type Verdict: Send + Clone + 'static;
 
     /// Executes one synchronous round.
-    fn step(&mut self, round: u32, inbox: Inbox<'_, Self::Msg>, out: &mut Outbox<Self::Msg>) -> Status;
+    fn step(
+        &mut self,
+        round: u32,
+        inbox: Inbox<'_, Self::Msg>,
+        out: &mut Outbox<Self::Msg>,
+    ) -> Status;
 
     /// The node's output; meaningful once the node has halted, but callable
     /// at any time (the engine collects verdicts at run end).

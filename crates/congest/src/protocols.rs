@@ -53,7 +53,10 @@ impl Program for MinIdFlood {
 
 /// Elects the minimum ID (requires a connected graph); returns the
 /// elected ID and the run report.
-pub fn elect_min_id(g: &Graph, config: &EngineConfig) -> Result<(NodeId, RunOutcome<NodeId>), EngineError> {
+pub fn elect_min_id(
+    g: &Graph,
+    config: &EngineConfig,
+) -> Result<(NodeId, RunOutcome<NodeId>), EngineError> {
     let ttl = g.n() as u32; // ≥ diameter
     let outcome = run(g, config, |init| MinIdFlood::new(init.id, ttl))?;
     let leader = outcome.verdicts[0];

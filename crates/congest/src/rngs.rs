@@ -79,9 +79,8 @@ mod tests {
     fn streams_look_independent() {
         // Crude decorrelation check: first draws of adjacent node streams
         // should not be identical or trivially shifted.
-        let firsts: Vec<u64> = (0..64)
-            .map(|v| derived_rng(1, labels::CK_RANKS, v, 0).random())
-            .collect();
+        let firsts: Vec<u64> =
+            (0..64).map(|v| derived_rng(1, labels::CK_RANKS, v, 0).random()).collect();
         let mut sorted = firsts.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -103,7 +103,12 @@ where
     type Msg = P::Msg;
     type Verdict = P::Verdict;
 
-    fn step(&mut self, round: u32, inbox: Inbox<'_, Self::Msg>, out: &mut Outbox<Self::Msg>) -> Status {
+    fn step(
+        &mut self,
+        round: u32,
+        inbox: Inbox<'_, Self::Msg>,
+        out: &mut Outbox<Self::Msg>,
+    ) -> Status {
         for inc in inbox.iter() {
             self.log.push(TraceEvent::Recv {
                 round,
@@ -146,11 +151,7 @@ mod tests {
     use crate::protocols::MinIdFlood;
 
     fn traced_run(exec: Executor) -> TraceLog {
-        let g = GraphBuilder::new(3)
-            .edges([(0, 1), (1, 2)])
-            .ids(vec![30, 10, 20])
-            .build()
-            .unwrap();
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).ids(vec![30, 10, 20]).build().unwrap();
         let log = TraceLog::new();
         let cfg = EngineConfig { executor: exec, ..EngineConfig::default() };
         let log2 = log.clone();

@@ -55,7 +55,12 @@ impl Program for HeavyGossip {
     type Msg = Vec<u64>;
     type Verdict = (u64, u64);
 
-    fn step(&mut self, round: u32, inbox: Inbox<'_, Vec<u64>>, out: &mut Outbox<Vec<u64>>) -> Status {
+    fn step(
+        &mut self,
+        round: u32,
+        inbox: Inbox<'_, Vec<u64>>,
+        out: &mut Outbox<Vec<u64>>,
+    ) -> Status {
         for inc in inbox.iter() {
             self.digest = self
                 .digest

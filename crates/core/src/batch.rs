@@ -133,7 +133,8 @@ mod tests {
         let far = eps_far_instance(36, 5, 0.05, 1);
         let free = matched_free_instance(30, 5);
         let c5 = cycle(5);
-        let graphs: Vec<(&Graph, usize)> = vec![(&far.graph, 5), (&free, 5), (&c5, 5), (&far.graph, 4)];
+        let graphs: Vec<(&Graph, usize)> =
+            vec![(&far.graph, 5), (&free, 5), (&c5, 5), (&far.graph, 4)];
         let jobs: Vec<BatchJob> = graphs
             .iter()
             .enumerate()
@@ -146,10 +147,8 @@ mod tests {
             })
             .collect();
         let engine = EngineConfig { executor: Executor::Sequential, ..EngineConfig::default() };
-        let loop_runs: Vec<TesterRun> = jobs
-            .iter()
-            .map(|j| run_tester(j.graph, &j.cfg, &engine).unwrap())
-            .collect();
+        let loop_runs: Vec<TesterRun> =
+            jobs.iter().map(|j| run_tester(j.graph, &j.cfg, &engine).unwrap()).collect();
         for shards in [1usize, 2, 4] {
             let batch = run_tester_batch(
                 &jobs,

@@ -93,10 +93,7 @@ mod tests {
             let cfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(k, 0.1, 3) };
             let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
             let measured = run.outcome.report.max_message_bits();
-            assert!(
-                measured <= bound,
-                "k={k}: measured {measured} bits exceeds bound {bound}"
-            );
+            assert!(measured <= bound, "k={k}: measured {measured} bits exceeds bound {bound}");
         }
     }
 

@@ -72,7 +72,12 @@ impl AmplifiedOutcome {
 /// for a 1-sided tester with per-run detection probability `p`, the
 /// amplified failure probability is `(1−p)^trials` while soundness is
 /// preserved exactly.
-pub fn amplify(tester: &dyn DistributedTester, g: &Graph, base_seed: u64, trials: u32) -> AmplifiedOutcome {
+pub fn amplify(
+    tester: &dyn DistributedTester,
+    g: &Graph,
+    base_seed: u64,
+    trials: u32,
+) -> AmplifiedOutcome {
     let trials: Vec<ProbeOutcome> = (0..trials)
         .map(|t| tester.probe(g, base_seed.wrapping_add(u64::from(t).wrapping_mul(0x9E37_79B9))))
         .collect();

@@ -81,13 +81,8 @@ mod tests {
 
     #[test]
     fn girth_matches_bfs_oracle() {
-        let cases: Vec<Graph> = vec![
-            petersen(),
-            heawood(),
-            grid(3, 4),
-            cycle_cactus(3, 5),
-            complete_bipartite(3, 3),
-        ];
+        let cases: Vec<Graph> =
+            vec![petersen(), heawood(), grid(3, 4), cycle_cactus(3, 5), complete_bipartite(3, 3)];
         for g in &cases {
             let expected = g.girth().map(|x| x as usize);
             let got = girth_via_detectors(g, 8);

@@ -15,6 +15,10 @@
 //! * [`single`] — `DetectCk(u, v)`: Phase 2 for one designated edge,
 //!   deterministic, rejects **iff** a `Ck` passes through the edge
 //!   (Lemma 2);
+//! * [`scan`] — the collision-scan kernels: Phase-2 rejection and
+//!   pruning as branchless batch sweeps over a lane-major sequence
+//!   block (optionally `core::arch` SIMD via the `simd` feature), with
+//!   the scalar paths preserved as the reference;
 //! * [`rank`] — Phase 1: edge ranks, arbitration keys, repetition
 //!   schedule (Lemmas 4 and 5);
 //! * [`tester`] — the full tester: concurrent rank-arbitrated checks,
@@ -50,6 +54,7 @@ pub mod msg;
 pub mod prune;
 pub mod rank;
 pub mod robust;
+pub mod scan;
 pub mod seq;
 pub mod single;
 pub mod tester;
@@ -57,8 +62,14 @@ pub mod tester;
 pub use batch::{run_tester_batch, BatchError, BatchJob, BatchOptions};
 pub use decide::{decide_reject, RejectWitness};
 pub use msg::{CkMsg, EdgeTag, SeqBundle, SeqPool};
-pub use prune::{build_send_set, build_send_set_into, lemma3_bound, prune, PrunerKind, SendSetScratch};
+pub use prune::{
+    build_send_set, build_send_set_into, build_send_set_scanned, lemma3_bound, prune, PrunerKind,
+    SendSetScratch,
+};
 pub use rank::{repetitions_for, rounds_per_repetition, total_rounds, try_repetitions_for};
+pub use scan::{
+    decide_all_rejects_scanned, decide_reject_scanned, ScanBackend, ScanScratch, SeqBlock,
+};
 pub use seq::{IdSeq, MAX_K, MAX_SEQ_LEN};
 pub use single::{detect_ck_through_edge, DetectSingle, SingleRun, SingleVerdict};
 pub use tester::{

@@ -134,11 +134,7 @@ mod tests {
 
     #[test]
     fn listing_covers_at_least_the_packing() {
-        let graphs: Vec<(Graph, usize)> = vec![
-            (petersen(), 5),
-            (fan(3), 5),
-            (book(4, 4), 4),
-        ];
+        let graphs: Vec<(Graph, usize)> = vec![(petersen(), 5), (fan(3), 5), (book(4, 4), 4)];
         for (g, k) in graphs {
             let packing = greedy_ck_packing(&g, k).len();
             let listed = list_ck(&g, k).cycles.len();

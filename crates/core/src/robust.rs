@@ -123,10 +123,7 @@ mod tests {
         let g = cycle(6);
         let curve = loss_detection_curve(&g, 6, 0.2, &[0.0, 0.9], 6, 3);
         assert_eq!(curve[0].rate(), 1.0, "lossless detection on a lone cycle is certain");
-        assert!(
-            curve[1].rate() <= curve[0].rate(),
-            "90% loss cannot beat lossless detection"
-        );
+        assert!(curve[1].rate() <= curve[0].rate(), "90% loss cannot beat lossless detection");
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! minimal key; Lemma 5 only enters the analysis to make that edge
 //! *uniformly distributed*, which is what the ε-far detection bound needs.
 
-use crate::decide::{decide_reject, RejectWitness};
+use crate::decide::RejectWitness;
 use crate::msg::{CkMsg, EdgeTag, SeqPool};
-use crate::prune::{build_send_set_into, PrunerKind, SendSetScratch};
+use crate::prune::{build_send_set_scanned, PrunerKind, SendSetScratch};
 use crate::rank::{draw_rank, rank_rng, repetitions_for, rounds_per_repetition, total_rounds};
+use crate::scan::{decide_reject_scanned, ScanBackend, ScanScratch};
 use crate::seq::{IdSeq, MAX_K};
 use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
@@ -39,6 +40,10 @@ pub struct TesterConfig {
     pub repetitions: Option<u32>,
     /// Pruning implementation (identical semantics; see `prune`).
     pub pruner: PrunerKind,
+    /// Collision-scan backend for the Phase-2 hot paths (identical
+    /// results on every backend; see `scan`). Defaults to the best the
+    /// build provides.
+    pub scan: ScanBackend,
     /// Early-abort extension (off by default, matching the paper): a
     /// rejecting node floods a 1-bit abort flag; every node halts within
     /// diameter+1 rounds of the first rejection instead of finishing the
@@ -56,6 +61,7 @@ impl TesterConfig {
             seed,
             repetitions: None,
             pruner: PrunerKind::Representative,
+            scan: ScanBackend::auto(),
             early_abort: false,
         }
     }
@@ -115,6 +121,7 @@ pub struct NodeScratch {
     tag_scan: Vec<(EdgeTag, BundleLoc)>,
     send_buf: Vec<IdSeq>,
     prune: SendSetScratch,
+    scan: ScanScratch,
     pool: SeqPool,
 }
 
@@ -169,6 +176,9 @@ pub struct CkTester<'g> {
     m: usize,
     seed: u64,
     pruner: PrunerKind,
+    /// Resolved collision-scan backend (never `Simd` without the
+    /// intrinsics compiled).
+    scan_backend: ScanBackend,
     early_abort: bool,
     /// Early-abort: an abort flag was seen or originated.
     aborting: bool,
@@ -189,10 +199,13 @@ pub struct CkTester<'g> {
     /// produced and consumed inside one `absorb` call — never stored
     /// across rounds, only the buffer's capacity is.
     tag_scan: Vec<(EdgeTag, BundleLoc)>,
-    /// The send set under construction (build_send_set_into output).
+    /// The send set under construction (build_send_set_scanned output).
     send_buf: Vec<IdSeq>,
     /// Pruner workspace.
     scratch: SendSetScratch,
+    /// Collision-scan workspace: the packed sequence block plus the
+    /// kernel rows of the scanned prune/decide paths.
+    scan: ScanScratch,
     /// Recycling pool for outgoing bundle backings; refilled by the
     /// payloads the engine's broadcast slot evicts.
     pool: SeqPool,
@@ -228,6 +241,7 @@ impl<'g> CkTester<'g> {
             m: init.m,
             seed: cfg.seed,
             pruner: cfg.pruner,
+            scan_backend: cfg.scan.resolve(),
             early_abort: cfg.early_abort,
             aborting: false,
             abort_forwarded: false,
@@ -240,6 +254,7 @@ impl<'g> CkTester<'g> {
             tag_scan: scratch.tag_scan,
             send_buf: scratch.send_buf,
             scratch: scratch.prune,
+            scan: scratch.scan,
             pool: scratch.pool,
         }
     }
@@ -255,6 +270,7 @@ impl<'g> CkTester<'g> {
             tag_scan: self.tag_scan,
             send_buf: self.send_buf,
             prune: self.scratch,
+            scan: self.scan,
             pool: self.pool,
         }
     }
@@ -387,13 +403,15 @@ impl Program for CkTester<'_> {
             // Paper round t = local: prioritized prune-and-forward,
             // entirely within recycled buffers.
             self.absorb(inbox);
-            build_send_set_into(
+            build_send_set_scanned(
                 self.pruner,
+                self.scan_backend,
                 &self.recv,
                 self.myid,
                 self.k,
                 local as usize,
                 &mut self.scratch,
+                &mut self.scan,
                 &mut self.send_buf,
             );
             if !self.send_buf.is_empty() {
@@ -419,7 +437,14 @@ impl Program for CkTester<'_> {
         let own: &[IdSeq] =
             if self.own_sent_tag == self.cur && self.cur.is_some() { &self.own_sent } else { &[] };
         if !self.verdict.rejected {
-            if let Some(w) = decide_reject(self.k, self.myid, own, &self.recv) {
+            if let Some(w) = decide_reject_scanned(
+                self.scan_backend,
+                self.k,
+                self.myid,
+                own,
+                &self.recv,
+                &mut self.scan,
+            ) {
                 self.verdict.rejected = true;
                 self.verdict.first_rejection = Some(Box::new(Rejection {
                     repetition: rep,
@@ -466,11 +491,7 @@ pub struct TesterRun {
 impl TesterRun {
     /// All recorded rejections, ordered by node index.
     pub fn rejections(&self) -> Vec<&Rejection> {
-        self.outcome
-            .verdicts
-            .iter()
-            .filter_map(|v| v.first_rejection.as_deref())
-            .collect()
+        self.outcome.verdicts.iter().filter_map(|v| v.first_rejection.as_deref()).collect()
     }
 
     /// Largest per-message sequence count over all nodes and rounds.
@@ -480,7 +501,11 @@ impl TesterRun {
 }
 
 /// Runs the full tester on `g`.
-pub fn run_tester(g: &Graph, cfg: &TesterConfig, engine: &EngineConfig) -> Result<TesterRun, EngineError> {
+pub fn run_tester(
+    g: &Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+) -> Result<TesterRun, EngineError> {
     let reps = cfg.effective_repetitions();
     let mut ecfg = engine.clone();
     ecfg.max_rounds = total_rounds(cfg.k, reps);
@@ -687,12 +712,8 @@ mod tests {
         let run = run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap();
         assert!(run.reject);
         for r in run.rejections() {
-            let idx: Vec<_> = r
-                .witness
-                .cycle_ids()
-                .iter()
-                .map(|&id| inst.graph.index_of(id).unwrap())
-                .collect();
+            let idx: Vec<_> =
+                r.witness.cycle_ids().iter().map(|&id| inst.graph.index_of(id).unwrap()).collect();
             assert!(is_valid_ck(&inst.graph, 4, &idx));
         }
     }
@@ -745,12 +766,46 @@ mod tests {
                 r.outcome
                     .verdicts
                     .iter()
-                    .map(|v| (v.rejected, v.max_sent_seqs, v.first_rejection.as_ref().map(|x| x.tag)))
+                    .map(|v| {
+                        (v.rejected, v.max_sent_seqs, v.first_rejection.as_ref().map(|x| x.tag))
+                    })
                     .collect::<Vec<_>>()
             };
             assert_eq!(digest(&a), digest(&b));
             assert_eq!(a.outcome.report.per_round, b.outcome.report.per_round);
             assert_eq!(a.outcome.report.rounds, b.outcome.report.rounds);
+        }
+    }
+
+    /// Every collision-scan backend must produce bit-identical full
+    /// runs — verdicts, witnesses, and wire statistics — on odd and
+    /// even k (the two decision shapes), the `Simd` request resolving
+    /// to the portable kernels when not compiled.
+    #[test]
+    fn scan_backends_agree_on_full_tester() {
+        for k in [4usize, 5] {
+            let inst = eps_far_instance(48, k, 0.05, 2);
+            let digest = |r: &TesterRun| {
+                (
+                    r.reject,
+                    r.outcome.verdicts.clone(),
+                    r.outcome.report.per_round.clone(),
+                    r.outcome.report.rounds,
+                )
+            };
+            let mut runs = Vec::new();
+            for scan in
+                [ScanBackend::Scalar, ScanBackend::Lanes, ScanBackend::Simd, ScanBackend::Hybrid]
+            {
+                let cfg =
+                    TesterConfig { repetitions: Some(2), scan, ..TesterConfig::new(k, 0.05, 7) };
+                let run = run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap();
+                assert!(run.reject, "planted instance must reject (k={k}, {scan:?})");
+                runs.push((scan, digest(&run)));
+            }
+            for (scan, d) in &runs[1..] {
+                assert_eq!(d, &runs[0].1, "backend {scan:?} diverges from scalar (k={k})");
+            }
         }
     }
 

@@ -52,7 +52,8 @@ pub fn behrend_ap_free_set(n_bound: u64) -> Vec<u64> {
         }
         let base = 2 * d - 1;
         // Enumerate digit vectors with entries < d, bucket by norm.
-        let mut buckets: std::collections::HashMap<u64, Vec<u64>> = std::collections::HashMap::new();
+        let mut buckets: std::collections::HashMap<u64, Vec<u64>> =
+            std::collections::HashMap::new();
         let mut digit_vec = vec![0u64; digits];
         loop {
             let norm: u64 = digit_vec.iter().map(|&x| x * x).sum();
@@ -145,13 +146,13 @@ pub fn layered_ck(k: usize, width: usize, strides: &[u64]) -> LayeredInstance {
         .filter(|&s| seen_close.insert((k as u64 - 1) * s % width as u64))
         .collect();
     assert!(!strides.is_empty(), "need at least one stride");
-    let node = |layer: usize, x: u64| (layer * width) as NodeIndex + (x % width as u64) as NodeIndex;
+    let node =
+        |layer: usize, x: u64| (layer * width) as NodeIndex + (x % width as u64) as NodeIndex;
     let mut b = GraphBuilder::new(k * width);
     let mut planted = Vec::with_capacity(width * strides.len());
     for x in 0..width as u64 {
         for &s in &strides {
-            let copy: Vec<NodeIndex> =
-                (0..k).map(|i| node(i, x + i as u64 * s)).collect();
+            let copy: Vec<NodeIndex> = (0..k).map(|i| node(i, x + i as u64 * s)).collect();
             for i in 0..k {
                 b.edge(copy[i], copy[(i + 1) % k]);
             }

@@ -140,10 +140,8 @@ pub fn find_path_exact(
 /// cycle's vertex sequence starting at `e.a` and ending at `e.b`.
 pub fn find_ck_through_edge(g: &Graph, k: usize, e: Edge) -> Option<Vec<NodeIndex>> {
     assert!(k >= 3);
-    let eidx = g
-        .edges()
-        .binary_search(&e)
-        .unwrap_or_else(|_| panic!("edge {e:?} not in graph")) as u32;
+    let eidx =
+        g.edges().binary_search(&e).unwrap_or_else(|_| panic!("edge {e:?} not in graph")) as u32;
     find_path_exact(g, e.a, e.b, k - 1, &|_| true, Some(eidx))
 }
 
@@ -159,7 +157,11 @@ pub fn edges_on_ck(g: &Graph, k: usize) -> Vec<bool> {
 
 /// Finds some `Ck` in the graph restricted to `alive` edges, as a vertex
 /// sequence of length `k` (closing edge implied).
-pub fn find_ck_filtered(g: &Graph, k: usize, alive: &dyn Fn(u32) -> bool) -> Option<Vec<NodeIndex>> {
+pub fn find_ck_filtered(
+    g: &Graph,
+    k: usize,
+    alive: &dyn Fn(u32) -> bool,
+) -> Option<Vec<NodeIndex>> {
     assert!(k >= 3);
     // A Ck through the lexicographically smallest of its edges: try every
     // alive edge as the anchor, searching for the completing path among
@@ -279,11 +281,7 @@ pub fn greedy_ck_packing(g: &Graph, k: usize) -> Vec<Vec<NodeIndex>> {
 pub fn certify_eps_far(g: &Graph, k: usize, eps: f64) -> FarnessCertificate {
     let packing = greedy_ck_packing(g, k).len();
     let budget = (eps * g.m() as f64).floor() as usize;
-    FarnessCertificate {
-        packing,
-        budget,
-        certified: packing as f64 > eps * g.m() as f64,
-    }
+    FarnessCertificate { packing, budget, certified: packing as f64 > eps * g.m() as f64 }
 }
 
 /// True if the cycle (given as its vertex sequence) has a *chord*: an
@@ -374,7 +372,10 @@ pub fn is_valid_ck(g: &Graph, k: usize, cycle: &[NodeIndex]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::basic::{book, complete, complete_bipartite, cycle, cycle_cactus, figure1, grid, hypercube, path, petersen, theta};
+    use crate::basic::{
+        book, complete, complete_bipartite, cycle, cycle_cactus, figure1, grid, hypercube, path,
+        petersen, theta,
+    };
 
     #[test]
     fn cycle_contains_only_its_own_length() {
@@ -528,8 +529,7 @@ mod tests {
     }
 
     #[test]
-    fn lemma4_bound_on_certified_instances()
- {
+    fn lemma4_bound_on_certified_instances() {
         // On instances certified ε-far, the packing must be ≥ εm/k
         // (Lemma 4 gives this for *any* ε-far graph; certification implies
         // farness, so the bound must hold — a consistency check between

@@ -61,10 +61,8 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
         degree[p] += 1;
     }
     let mut b = GraphBuilder::new(n);
-    let mut leaf_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-        .filter(|&v| degree[v] == 1)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut leaf_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&v| degree[v] == 1).map(std::cmp::Reverse).collect();
     for &p in &prufer {
         let std::cmp::Reverse(leaf) = leaf_heap.pop().expect("tree always has a leaf");
         b.edge(leaf as NodeIndex, p as NodeIndex);
@@ -111,9 +109,8 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(d < n, "degree must be below n");
     'attempt: for attempt in 0..10_000u64 {
         let mut rng = derived_rng(seed, labels::GRAPH_TOPOLOGY, 4, attempt);
-        let mut stubs: Vec<NodeIndex> = (0..n as NodeIndex)
-            .flat_map(|v| std::iter::repeat_n(v, d))
-            .collect();
+        let mut stubs: Vec<NodeIndex> =
+            (0..n as NodeIndex).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         // Fisher–Yates shuffle.
         for i in (1..stubs.len()).rev() {
             let j = rng.random_range(0..=i);

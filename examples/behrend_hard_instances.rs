@@ -40,9 +40,14 @@ fn main() {
         let probes = inst.planted.len().min(10);
         for copy in inst.planted.iter().take(probes) {
             let e = Edge::new(copy[k - 1], copy[0]);
-            let run =
-                detect_ck_through_edge(g, k, e, PrunerKind::Representative, &EngineConfig::default())
-                    .unwrap();
+            let run = detect_ck_through_edge(
+                g,
+                k,
+                e,
+                PrunerKind::Representative,
+                &EngineConfig::default(),
+            )
+            .unwrap();
             if run.reject {
                 exact += 1;
             }

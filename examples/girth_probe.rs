@@ -29,13 +29,8 @@ fn main() {
         let bfs = g.girth();
         let probe = girth_via_detectors(g, 8);
         let profile = exact_freeness_profile(g, 8);
-        let lengths: Vec<usize> = profile
-            .detected
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d)
-            .map(|(i, _)| i + 3)
-            .collect();
+        let lengths: Vec<usize> =
+            profile.detected.iter().enumerate().filter(|(_, &d)| d).map(|(i, _)| i + 3).collect();
         println!(
             "{name:18} | {:11} | {:22} | {lengths:?}",
             bfs.map_or("∞ (forest)".into(), |x| x.to_string()),

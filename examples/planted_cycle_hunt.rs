@@ -30,8 +30,7 @@ fn main() {
             if run.reject {
                 rejects += 1;
                 if sample_witness.is_none() {
-                    sample_witness =
-                        run.rejections().first().map(|r| r.witness.cycle_ids());
+                    sample_witness = run.rejections().first().map(|r| r.witness.cycle_ids());
                 }
             }
         }
@@ -43,8 +42,7 @@ fn main() {
             cert.packing,
         );
         if let Some(ids) = sample_witness {
-            let idx: Vec<_> =
-                ids.iter().map(|&id| inst.graph.index_of(id).unwrap()).collect();
+            let idx: Vec<_> = ids.iter().map(|&id| inst.graph.index_of(id).unwrap()).collect();
             assert!(is_valid_ck(&inst.graph, k, &idx), "witness must be a real C{k}");
             println!("    sample witness C{k}: {ids:?} (validated against oracle)");
         }

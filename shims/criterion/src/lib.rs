@@ -144,11 +144,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
         return;
     }
     let per_iter = b.total.as_nanos() / u128::from(b.iters);
-    println!(
-        "{name:<60} time: {} ({} iterations)",
-        format_ns(per_iter),
-        b.iters
-    );
+    println!("{name:<60} time: {} ({} iterations)", format_ns(per_iter), b.iters);
 }
 
 fn format_ns(ns: u128) -> String {

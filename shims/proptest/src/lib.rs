@@ -333,7 +333,11 @@ macro_rules! prop_assert_ne {
         if *a == *b {
             return Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: {} != {} (both: {:?}) at {}:{}",
-                stringify!($a), stringify!($b), a, file!(), line!()
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
             )));
         }
     }};

@@ -58,12 +58,7 @@ impl SeedableRng for rngs::StdRng {
         // xoshiro's all-zero state is degenerate; splitmix64 never yields
         // four consecutive zeros from any seed, so this is safe.
         rngs::StdRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 }

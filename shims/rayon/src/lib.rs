@@ -258,10 +258,7 @@ impl<'a, T: Send, F> EnumerateMapMut<'a, T, F> {
     {
         let f = self.f;
         let parts = run_mut_chunks(self.data, false, |base, ch| {
-            ch.iter_mut()
-                .enumerate()
-                .map(|(i, t)| f((base + i, t)))
-                .fold(identity(), &op)
+            ch.iter_mut().enumerate().map(|(i, t)| f((base + i, t))).fold(identity(), &op)
         });
         parts.into_iter().fold(identity(), &op)
     }
@@ -359,11 +356,8 @@ impl<'a, T: Sync> ParIter<'a, T> {
         let chunk = n.div_ceil(workers);
         std::thread::scope(|s| {
             let f = &f;
-            let handles: Vec<_> = self
-                .data
-                .chunks(chunk)
-                .map(|ch| s.spawn(move || ch.iter().for_each(f)))
-                .collect();
+            let handles: Vec<_> =
+                self.data.chunks(chunk).map(|ch| s.spawn(move || ch.iter().for_each(f))).collect();
             for h in handles {
                 h.join().expect("worker panicked");
             }
@@ -511,9 +505,7 @@ impl<T: Send> ParallelSliceMut<T> for Vec<T> {
 
 /// The drop-in prelude, mirroring `rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{
-        FromParallelVec, IntoParallelIterator, ParallelSlice, ParallelSliceMut,
-    };
+    pub use crate::{FromParallelVec, IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]

@@ -18,9 +18,9 @@ fn single_edge_exactness_under_hostile_ids() {
     let base = theta(3, 2);
     let n = base.n();
     let layouts: Vec<Vec<u64>> = vec![
-        (0..n as u64).rev().collect(),                              // descending
-        (0..n as u64).map(|i| u64::MAX - 1000 + i).collect(),       // huge
-        (0..n as u64).map(|i| i * 1_000_003).collect(),             // spread
+        (0..n as u64).rev().collect(),                        // descending
+        (0..n as u64).map(|i| u64::MAX - 1000 + i).collect(), // huge
+        (0..n as u64).map(|i| i * 1_000_003).collect(),       // spread
         (0..n as u64).map(|i| if i % 2 == 0 { i } else { 1_000_000 + i }).collect(), // zigzag
     ];
     for ids in layouts {
@@ -65,10 +65,8 @@ fn tie_breaking_never_breaks_detection() {
 fn no_false_rejects_under_hostile_ids() {
     let base = matched_free_instance(36, 5);
     let n = base.n();
-    let layouts: Vec<Vec<u64>> = vec![
-        (0..n as u64).rev().collect(),
-        (0..n as u64).map(|i| (i * 7919) % 100_000).collect(),
-    ];
+    let layouts: Vec<Vec<u64>> =
+        vec![(0..n as u64).rev().collect(), (0..n as u64).map(|i| (i * 7919) % 100_000).collect()];
     for ids in layouts {
         let g: Graph = base.with_ids(ids).unwrap();
         for seed in 0..5u64 {
@@ -84,12 +82,26 @@ fn no_false_rejects_under_hostile_ids() {
 fn boundary_parameters() {
     // k = 3 on a triangle with extreme IDs.
     let tri = cycle(3).with_ids(vec![0, u64::MAX / 2, u64::MAX - 1]).unwrap();
-    let run = detect_ck_through_edge(&tri, 3, Edge::new(0, 1), PrunerKind::Representative, &EngineConfig::default()).unwrap();
+    let run = detect_ck_through_edge(
+        &tri,
+        3,
+        Edge::new(0, 1),
+        PrunerKind::Representative,
+        &EngineConfig::default(),
+    )
+    .unwrap();
     assert!(run.reject);
 
     // Large k (k = 15 needs sequences of length 7 — well within IdSeq).
     let long = cycle(15);
-    let run = detect_ck_through_edge(&long, 15, Edge::new(0, 14), PrunerKind::Representative, &EngineConfig::default()).unwrap();
+    let run = detect_ck_through_edge(
+        &long,
+        15,
+        Edge::new(0, 14),
+        PrunerKind::Representative,
+        &EngineConfig::default(),
+    )
+    .unwrap();
     assert!(run.reject);
     assert!(!contains_ck(&long, 14));
 
@@ -110,7 +122,14 @@ fn witnesses_sound_under_hostile_ids() {
     let g = base.with_ids((0..n as u64).map(|i| (n as u64 - i) * 17).collect()).unwrap();
     for k in [3usize, 5] {
         for &e in g.edges() {
-            let run = detect_ck_through_edge(&g, k, e, PrunerKind::Representative, &EngineConfig::default()).unwrap();
+            let run = detect_ck_through_edge(
+                &g,
+                k,
+                e,
+                PrunerKind::Representative,
+                &EngineConfig::default(),
+            )
+            .unwrap();
             for v in &run.outcome.verdicts {
                 for w in &v.all_witnesses {
                     let idx: Vec<_> = w
@@ -133,11 +152,18 @@ fn k_range_contract() {
     let g = cycle(5);
     let e = Edge::new(0, 1);
     let bad_low = std::panic::catch_unwind(|| {
-        let _ = detect_ck_through_edge(&g, 2, e, PrunerKind::Representative, &EngineConfig::default());
+        let _ =
+            detect_ck_through_edge(&g, 2, e, PrunerKind::Representative, &EngineConfig::default());
     });
     assert!(bad_low.is_err(), "k = 2 must be rejected");
     let bad_high = std::panic::catch_unwind(|| {
-        let _ = detect_ck_through_edge(&g, MAX_K + 1, e, PrunerKind::Representative, &EngineConfig::default());
+        let _ = detect_ck_through_edge(
+            &g,
+            MAX_K + 1,
+            e,
+            PrunerKind::Representative,
+            &EngineConfig::default(),
+        );
     });
     assert!(bad_high.is_err(), "k beyond MAX_K must be rejected");
 }

@@ -27,7 +27,10 @@ fn build_graph(kind: u8, n: usize, k: usize, seed: u64) -> Graph {
 /// rejection witnesses), round count, and the complete per-round wire
 /// statistics (messages, bits, link maxima).
 #[allow(clippy::type_complexity)]
-fn digest(r: &TesterRun) -> (bool, u32, Vec<ck_core::tester::NodeVerdict>, u32, bool, Vec<ck_congest::metrics::RoundStats>) {
+fn digest(
+    r: &TesterRun,
+) -> (bool, u32, Vec<ck_core::tester::NodeVerdict>, u32, bool, Vec<ck_congest::metrics::RoundStats>)
+{
     (
         r.reject,
         r.repetitions,

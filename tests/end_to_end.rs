@@ -52,13 +52,9 @@ fn certified_far_instances_are_detected() {
         let eps = 0.05;
         let inst = eps_far_instance(64, k, eps, 1);
         let trials = 9u64;
-        let rejects = (0..trials)
-            .filter(|&s| test_ck_freeness(&inst.graph, k, eps, s).reject)
-            .count();
-        assert!(
-            rejects * 3 >= trials as usize * 2,
-            "k={k}: {rejects}/{trials} below 2/3"
-        );
+        let rejects =
+            (0..trials).filter(|&s| test_ck_freeness(&inst.graph, k, eps, s).reject).count();
+        assert!(rejects * 3 >= trials as usize * 2, "k={k}: {rejects}/{trials} below 2/3");
     }
 }
 
@@ -67,11 +63,8 @@ fn certified_far_instances_are_detected() {
 #[test]
 fn free_graphs_are_never_rejected() {
     for k in 3..=8usize {
-        let frees: Vec<ck_congest::graph::Graph> = vec![
-            matched_free_instance(50, k),
-            random_tree(50, 3),
-            high_girth(50, k, 500, 9),
-        ];
+        let frees: Vec<ck_congest::graph::Graph> =
+            vec![matched_free_instance(50, k), random_tree(50, 3), high_girth(50, k, 500, 9)];
         for g in &frees {
             for seed in 0..3u64 {
                 let g = randomize_ids(g, seed + 100);

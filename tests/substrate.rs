@@ -46,12 +46,8 @@ fn bridges_are_invisible_to_cycle_detectors() {
 /// forest test agrees with `m ≥ n` on connectivity components.
 #[test]
 fn bipartite_families_reject_no_odd_k() {
-    let graphs: Vec<Graph> = vec![
-        mobius_kantor(),
-        pappus(),
-        random_bipartite(7, 9, 0.35, 2),
-        grid(4, 4),
-    ];
+    let graphs: Vec<Graph> =
+        vec![mobius_kantor(), pappus(), random_bipartite(7, 9, 0.35, 2), grid(4, 4)];
     for g in &graphs {
         assert!(is_bipartite(g));
         let coloring = bipartition(g).unwrap();
@@ -78,13 +74,8 @@ fn bipartite_families_reject_no_odd_k() {
 /// every structured family.
 #[test]
 fn detector_girth_matches_structural_girth() {
-    let graphs: Vec<Graph> = vec![
-        mobius_kantor(),
-        pappus(),
-        circulant(11, &[1, 2]),
-        petersen(),
-        gnp(18, 0.2, 4),
-    ];
+    let graphs: Vec<Graph> =
+        vec![mobius_kantor(), pappus(), circulant(11, &[1, 2]), petersen(), gnp(18, 0.2, 4)];
     for g in &graphs {
         let expected = g.girth().filter(|&x| x <= 8).map(|x| x as usize);
         assert_eq!(girth_via_detectors(g, 8), expected);
@@ -133,9 +124,14 @@ fn low_core_nodes_never_appear_in_witnesses() {
     let core = core_numbers(&g);
     for k in 3..=6usize {
         for &e in g.edges() {
-            let run =
-                detect_ck_through_edge(&g, k, e, PrunerKind::Representative, &EngineConfig::default())
-                    .unwrap();
+            let run = detect_ck_through_edge(
+                &g,
+                k,
+                e,
+                PrunerKind::Representative,
+                &EngineConfig::default(),
+            )
+            .unwrap();
             for v in &run.outcome.verdicts {
                 for w in &v.all_witnesses {
                     for id in w.cycle_ids() {
@@ -155,11 +151,23 @@ fn dimacs_round_trip_preserves_verdicts() {
     let h = parse_dimacs(&to_dimacs(&g)).unwrap();
     for k in [5usize, 6] {
         for (i, &e) in g.edges().iter().enumerate() {
-            let a = detect_ck_through_edge(&g, k, e, PrunerKind::Representative, &EngineConfig::default())
-                .unwrap();
+            let a = detect_ck_through_edge(
+                &g,
+                k,
+                e,
+                PrunerKind::Representative,
+                &EngineConfig::default(),
+            )
+            .unwrap();
             let eh = h.edges()[i];
-            let b = detect_ck_through_edge(&h, k, eh, PrunerKind::Representative, &EngineConfig::default())
-                .unwrap();
+            let b = detect_ck_through_edge(
+                &h,
+                k,
+                eh,
+                PrunerKind::Representative,
+                &EngineConfig::default(),
+            )
+            .unwrap();
             assert_eq!(a.reject, b.reject);
         }
     }
