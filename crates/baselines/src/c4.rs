@@ -11,10 +11,11 @@
 //! for 4-node patterns that the paper generalizes past; \[20\] proved this
 //! sampling style cannot give constant-round testers for `Ck`, `k ≥ 5`.
 
-use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::engine::{EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
 use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 use ck_congest::rngs::{derived_rng, labels};
+use ck_congest::session::Session;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -112,7 +113,8 @@ pub fn test_c4_freeness(
 ) -> Result<(bool, RunOutcome<C4Verdict>), EngineError> {
     let reps = reps_override.unwrap_or_else(|| c4_repetitions(eps));
     let cfg = EngineConfig { max_rounds: reps * 2, ..EngineConfig::default() };
-    let outcome = run(g, &cfg, |init| C4Tester::new(&init, reps, seed))?;
+    let outcome =
+        Session::builder(g).config(cfg).build().run(|init| C4Tester::new(&init, reps, seed))?;
     let reject = outcome.verdicts.iter().any(|v| v.reject);
     Ok((reject, outcome))
 }

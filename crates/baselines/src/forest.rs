@@ -13,9 +13,10 @@
 //! cycle but says nothing about its length, which is exactly why
 //! Algorithm 1 needs the sequence machinery.
 
-use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::engine::{EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
 use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
+use ck_congest::session::Session;
 
 /// Per-node verdict of the forest test.
 #[derive(Clone, Debug, Default)]
@@ -135,7 +136,8 @@ pub fn test_cycle_freeness(
     let rounds_total = g.n() as u32 + 3; // flood to quiescence + 2
     let mut cfg = config.clone();
     cfg.max_rounds = rounds_total;
-    let outcome = run(g, &cfg, |init| ForestTest::new(&init, rounds_total))?;
+    let outcome =
+        Session::builder(g).config(cfg).build().run(|init| ForestTest::new(&init, rounds_total))?;
     let cyclic = outcome.verdicts.iter().any(|v| v.cycle_found);
     Ok((cyclic, outcome))
 }

@@ -19,10 +19,11 @@
 //!   "random sampling" flavor of prior-technique generalizations that
 //!   provably cannot reach constant rounds for `k ≥ 5`).
 
-use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::engine::{EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Edge, Graph, NodeId};
 use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 use ck_congest::rngs::{derived_rng, labels};
+use ck_congest::session::Session;
 use ck_core::decide::decide_reject;
 use ck_core::msg::SeqBundle;
 use ck_core::seq::{IdSeq, MAX_K};
@@ -182,7 +183,10 @@ pub fn naive_detect_through_edge(
     let ids = (g.id(e.a), g.id(e.b));
     let mut cfg = config.clone();
     cfg.max_rounds = (k / 2) as u32 + 1;
-    let outcome = run(g, &cfg, |init| NaiveSingle::new(k, &init, ids, policy))?;
+    let outcome = Session::builder(g)
+        .config(cfg)
+        .build()
+        .run(|init| NaiveSingle::new(k, &init, ids, policy))?;
     let reject = outcome.verdicts.iter().any(|v| v.reject);
     let max_offered = outcome.verdicts.iter().map(|v| v.max_offered).max().unwrap_or(0);
     Ok(NaiveRun { reject, max_offered, outcome })

@@ -12,10 +12,11 @@
 //! is the technique the paper's introduction credits for `k = 3` and
 //! that provably does not generalize to `k ≥ 5`.
 
-use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::engine::{EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
 use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
 use ck_congest::rngs::{derived_rng, labels};
+use ck_congest::session::Session;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -102,7 +103,10 @@ pub fn test_triangle_freeness(
 ) -> Result<(bool, RunOutcome<TriangleVerdict>), EngineError> {
     let reps = reps_override.unwrap_or_else(|| triangle_repetitions(eps));
     let cfg = EngineConfig { max_rounds: reps * 2, ..EngineConfig::default() };
-    let outcome = run(g, &cfg, |init| TriangleTester::new(&init, reps, seed))?;
+    let outcome = Session::builder(g)
+        .config(cfg)
+        .build()
+        .run(|init| TriangleTester::new(&init, reps, seed))?;
     let reject = outcome.verdicts.iter().any(|v| v.reject);
     Ok((reject, outcome))
 }

@@ -7,7 +7,9 @@
 
 use ck_bench::legacy_engine::run_legacy;
 use ck_bench::workloads::MinFlood;
-use ck_congest::engine::{run, EngineConfig, Executor};
+use ck_congest::engine::{EngineConfig, Executor};
+use ck_congest::node::Program;
+use ck_congest::session::Session;
 use ck_core::rank::total_rounds;
 use ck_core::tester::{CkTester, TesterConfig};
 use ck_graphgen::basic::cycle;
@@ -15,6 +17,20 @@ use ck_graphgen::planted::plant_on_host;
 use ck_graphgen::random::{gnp, random_tree};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+/// Cold-start session per run — the session-API form of the old `run`
+/// free function, keeping the timed unit comparable across schemas.
+fn run<'g, P, F>(
+    graph: &'g ck_congest::graph::Graph,
+    config: &EngineConfig,
+    factory: F,
+) -> Result<ck_congest::engine::RunOutcome<P::Verdict>, ck_congest::engine::EngineError>
+where
+    P: Program,
+    F: FnMut(ck_congest::node::NodeInit<'g>) -> P,
+{
+    Session::builder(graph).config(config.clone()).build().run(factory)
+}
 
 fn cfg() -> EngineConfig {
     EngineConfig { executor: Executor::Sequential, record_rounds: false, ..EngineConfig::default() }

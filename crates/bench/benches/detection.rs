@@ -2,10 +2,21 @@
 //! instances and on matched Ck-free controls (the accept path).
 
 use ck_congest::engine::EngineConfig;
-use ck_core::tester::{run_tester, TesterConfig};
+use ck_core::session::TesterSession;
+use ck_core::tester::TesterConfig;
 use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+/// Cold-start session per run — the session-API form of the old
+/// `run_tester` free function.
+fn run_tester(
+    g: &ck_congest::graph::Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+) -> Result<ck_core::tester::TesterRun, ck_congest::engine::EngineError> {
+    TesterSession::from_config(*cfg, engine.clone()).expect("valid config").test(g)
+}
 
 fn bench_far_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("tester/eps-far");

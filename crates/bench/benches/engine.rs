@@ -1,12 +1,27 @@
 //! Raw simulator throughput: node-steps per second on structured and
 //! random topologies, sequential vs rayon-parallel executors.
 
-use ck_congest::engine::{run, EngineConfig, Executor};
+use ck_congest::engine::{EngineConfig, Executor};
 use ck_congest::node::{Inbox, Outbox, Program, Status};
+use ck_congest::session::Session;
 use ck_graphgen::basic::torus;
 use ck_graphgen::random::gnp;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+
+/// Cold-start session per run — the session-API form of the old `run`
+/// free function, keeping the timed unit comparable across schemas.
+fn run<'g, P, F>(
+    graph: &'g ck_congest::graph::Graph,
+    config: &EngineConfig,
+    factory: F,
+) -> Result<ck_congest::engine::RunOutcome<P::Verdict>, ck_congest::engine::EngineError>
+where
+    P: Program,
+    F: FnMut(ck_congest::node::NodeInit<'g>) -> P,
+{
+    Session::builder(graph).config(config.clone()).build().run(factory)
+}
 
 /// Flood-min protocol: the standard engine stress (every node broadcasts
 /// on improvement for `ttl` rounds).

@@ -39,14 +39,16 @@
 use ck_bench::legacy_engine::run_legacy;
 use ck_bench::workloads::MinFlood;
 use ck_congest::batch::effective_shards;
-use ck_congest::engine::{run, EngineConfig, Executor, RunOutcome};
+use ck_congest::engine::{EngineConfig, Executor, RunOutcome};
 use ck_congest::graph::Graph;
-use ck_core::batch::{run_tester_batch, BatchJob, BatchOptions};
+use ck_congest::session::Session;
+use ck_core::batch::BatchJob;
 use ck_core::decide::decide_all_rejects;
 use ck_core::rank::total_rounds;
 use ck_core::scan::{decide_all_rejects_scanned, ScanBackend, ScanScratch};
 use ck_core::seq::IdSeq;
-use ck_core::tester::{run_tester, CkTester, NodeVerdict, TesterConfig, TesterRun};
+use ck_core::session::TesterSession;
+use ck_core::tester::{CkTester, NodeVerdict, TesterConfig, TesterRun};
 use ck_graphgen::basic::cycle;
 use ck_graphgen::behrend::{behrend_ap_free_set, layered_ck};
 use ck_graphgen::planted::plant_on_host;
@@ -157,7 +159,13 @@ fn minflood_outcome(g: &Graph, engine: Engine, cfg: &EngineConfig) -> RunOutcome
     let mk = |init: ck_congest::node::NodeInit| MinFlood::new(&init, FLOOD_TTL);
     match engine {
         Engine::Legacy => run_legacy(g, cfg, mk).expect("measure policy cannot fail"),
-        Engine::Arena => run(g, cfg, mk).expect("measure policy cannot fail"),
+        // A fresh session per run: the timed unit stays cold-start,
+        // comparable with every earlier schema's arena rows.
+        Engine::Arena => Session::builder(g)
+            .config(cfg.clone())
+            .build()
+            .run(mk)
+            .expect("measure policy cannot fail"),
     }
 }
 
@@ -170,7 +178,11 @@ fn tester_outcome(
     let mk = |init| CkTester::new(tcfg, &init);
     match engine {
         Engine::Legacy => run_legacy(g, cfg, mk).expect("measure policy cannot fail"),
-        Engine::Arena => run(g, cfg, mk).expect("measure policy cannot fail"),
+        Engine::Arena => Session::builder(g)
+            .config(cfg.clone())
+            .build()
+            .run(mk)
+            .expect("measure policy cannot fail"),
     }
 }
 
@@ -302,23 +314,31 @@ fn batch_sweep(n: usize, count: usize, budget: &Budget) -> (Vec<BatchRow>, Vec<(
             record_rounds: record,
             ..EngineConfig::default()
         };
+        // The loop baseline pays full session setup per job (the cost
+        // the batch runner amortizes); the batch rows go through one
+        // session's sharded runner.
         let run_loop = || -> Vec<TesterRun> {
             jobs.iter()
-                .map(|j| run_tester(j.graph, &j.cfg, &engine).expect("measure policy cannot fail"))
+                .map(|j| {
+                    TesterSession::from_config(j.cfg, engine.clone())
+                        .expect("valid config")
+                        .test(j.graph)
+                        .expect("measure policy cannot fail")
+                })
                 .collect()
         };
-        let opts_seq = BatchOptions { engine: engine.clone(), shards: Some(1) };
-        let opts_sharded = BatchOptions { engine: engine.clone(), shards: None };
+        let batch_session =
+            TesterSession::builder(5, 0.1).engine(engine.clone()).build().expect("valid config");
         let sharded_width = effective_shards(None, jobs.len());
-        let run_batch = |opts: &BatchOptions| -> Vec<TesterRun> {
-            run_tester_batch(&jobs, opts).expect("measure policy cannot fail")
+        let run_batch = |shards: Option<usize>| -> Vec<TesterRun> {
+            batch_session.test_batch(&jobs, shards).expect("measure policy cannot fail")
         };
 
         // Bit-identity across all three strategies, before any timing.
         let reference = run_loop();
         assert!(reference.iter().all(|r| r.reject), "planted sweep instance not rejected [{mode}]");
         for (variant, runs) in
-            [("batch-seq", run_batch(&opts_seq)), ("batch-sharded", run_batch(&opts_sharded))]
+            [("batch-seq", run_batch(Some(1))), ("batch-sharded", run_batch(None))]
         {
             assert_eq!(digest(&reference), digest(&runs), "{variant} diverges from loop [{mode}]");
             if record {
@@ -352,8 +372,8 @@ fn batch_sweep(n: usize, count: usize, budget: &Budget) -> (Vec<BatchRow>, Vec<(
             };
             let (runs, secs) = match variant {
                 "loop" => time_sweep(&run_loop),
-                "batch-seq" => time_sweep(&|| run_batch(&opts_seq)),
-                _ => time_sweep(&|| run_batch(&opts_sharded)),
+                "batch-seq" => time_sweep(&|| run_batch(Some(1))),
+                _ => time_sweep(&|| run_batch(None)),
             };
             let rate = jobs.len() as f64 / secs;
             eprintln!(

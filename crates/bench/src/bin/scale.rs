@@ -7,7 +7,8 @@
 //! ```
 
 use ck_congest::engine::{EngineConfig, Executor};
-use ck_core::tester::{run_tester, TesterConfig};
+use ck_core::session::TesterSession;
+use ck_core::tester::TesterConfig;
 use ck_graphgen::planted::cycle_chain;
 use std::time::Instant;
 
@@ -24,8 +25,9 @@ fn main() {
         for exec in [Executor::Sequential, Executor::Parallel] {
             let engine = EngineConfig { executor: exec, ..EngineConfig::default() };
             let cfg = TesterConfig { repetitions: Some(reps), ..TesterConfig::new(k, 0.1, 42) };
+            let mut session = TesterSession::from_config(cfg, engine).expect("valid config");
             let start = Instant::now();
-            let run = run_tester(&inst.graph, &cfg, &engine).expect("engine run");
+            let run = session.test(&inst.graph).expect("engine run");
             let wall = start.elapsed();
             let steps = inst.graph.n() as u64 * u64::from(run.outcome.report.rounds);
             let rate = steps as f64 / wall.as_secs_f64();

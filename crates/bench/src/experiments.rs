@@ -11,12 +11,13 @@ use ck_baselines::{test_c4_freeness, test_triangle_freeness};
 use ck_congest::engine::{EngineConfig, EngineError};
 use ck_congest::graph::{Edge, Graph};
 use ck_congest::message::WireParams;
-use ck_core::batch::{run_tester_batch, BatchError, BatchJob, BatchOptions};
+use ck_core::batch::{BatchError, BatchFailure, BatchJob};
 use ck_core::prune::{build_send_set, lemma3_bound, PrunerKind};
 use ck_core::rank::{draw_rank, minimum_is_unique, rank_rng, E_SQUARED};
 use ck_core::seq::IdSeq;
+use ck_core::session::TesterSession;
 use ck_core::single::detect_ck_through_edge;
-use ck_core::tester::{run_tester, TesterConfig};
+use ck_core::tester::{TesterConfig, TesterRun};
 use ck_graphgen::basic::{complete_bipartite, fan, figure1, grid, petersen, spindle, theta};
 use ck_graphgen::behrend::behrend_ck_instance;
 use ck_graphgen::farness::{greedy_ck_packing, has_ck_through_edge};
@@ -51,8 +52,8 @@ pub struct ExperimentError {
     pub experiment: &'static str,
     /// Which instance/seed failed (graph description, seed, cell).
     pub context: String,
-    /// The underlying engine failure.
-    pub error: EngineError,
+    /// The underlying failure (engine error or out-of-range config).
+    pub error: BatchFailure,
 }
 
 impl ExperimentError {
@@ -72,8 +73,42 @@ impl ExperimentError {
         context: impl Into<String>,
     ) -> impl FnOnce(EngineError) -> ExperimentError {
         let context = context.into();
-        move |error| ExperimentError { experiment, context, error }
+        move |error| ExperimentError { experiment, context, error: BatchFailure::Engine(error) }
     }
+}
+
+/// The experiments' batch driver: one throwaway session per job family.
+/// Batches are heterogeneous (cells sweep `k`/`ε`/seeds), so each job
+/// is governed by its own config — the session contributes only the
+/// engine template, and its `(k, ε)` literals below are inert.
+fn session_batch(
+    experiment: &'static str,
+    jobs: &[BatchJob<'_>],
+    engine: EngineConfig,
+) -> Result<Vec<TesterRun>, ExperimentError> {
+    TesterSession::builder(3, 0.5)
+        .engine(engine)
+        .build()
+        .expect("literal session parameters are valid")
+        .test_batch(jobs, None)
+        .map_err(|e| ExperimentError::from_batch(experiment, e))
+}
+
+/// One-shot tester run through a fresh session, tagged with the
+/// experiment context on failure.
+fn session_test(
+    experiment: &'static str,
+    context: String,
+    g: &Graph,
+    cfg: TesterConfig,
+    engine: EngineConfig,
+) -> Result<TesterRun, ExperimentError> {
+    let mut session = TesterSession::from_config(cfg, engine).map_err(|e| ExperimentError {
+        experiment,
+        context: context.clone(),
+        error: BatchFailure::Config(e),
+    })?;
+    session.test(g).map_err(ExperimentError::tag(experiment, context))
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -139,8 +174,7 @@ pub fn e1_soundness() -> Result<ExperimentResult, ExperimentError> {
                     BatchJob::labeled(vg, cfg, format!("e1 {name} k={k} seed={s}"))
                 })
                 .collect();
-            let runs = run_tester_batch(&jobs, &BatchOptions::default())
-                .map_err(|e| ExperimentError::from_batch("e1", e))?;
+            let runs = session_batch("e1", &jobs, EngineConfig::default())?;
             let rejects = runs.iter().filter(|r| r.reject).count();
             pass &= rejects == 0;
             table.row([
@@ -182,8 +216,7 @@ pub fn e2_detection() -> Result<ExperimentResult, ExperimentError> {
                     )
                 })
                 .collect();
-            let runs = run_tester_batch(&jobs, &BatchOptions::default())
-                .map_err(|e| ExperimentError::from_batch("e2", e))?;
+            let runs = session_batch("e2", &jobs, EngineConfig::default())?;
             let rejects = runs.iter().filter(|r| r.reject).count();
             let reps = runs.first().map(|r| r.repetitions).unwrap_or(0);
             let rate = rejects as f64 / trials as f64;
@@ -219,8 +252,13 @@ pub fn e3_round_complexity() -> Result<ExperimentResult, ExperimentError> {
     let g = matched_free_instance(40, k);
     for &eps in &[0.20f64, 0.10, 0.05, 0.025] {
         let cfg = TesterConfig::new(k, eps, 1);
-        let run = run_tester(&g, &cfg, &EngineConfig::default())
-            .map_err(ExperimentError::tag("e3", format!("matched-free n=40 k={k} eps={eps}")))?;
+        let run = session_test(
+            "e3",
+            format!("matched-free n=40 k={k} eps={eps}"),
+            &g,
+            cfg,
+            EngineConfig::default(),
+        )?;
         let rounds = run.outcome.report.rounds;
         products.push(f64::from(rounds) * eps);
         table.row([
@@ -574,8 +612,7 @@ pub fn e10_behrend() -> Result<ExperimentResult, ExperimentError> {
                 )
             })
             .collect();
-        let full_hits = run_tester_batch(&jobs, &BatchOptions::default())
-            .map_err(|e| ExperimentError::from_batch("e10", e))?
+        let full_hits = session_batch("e10", &jobs, EngineConfig::default())?
             .iter()
             .filter(|r| r.reject)
             .count();
@@ -721,11 +758,8 @@ pub fn e12_prior_work() -> Result<ExperimentResult, ExperimentError> {
             BatchJob::labeled(&far5.graph, TesterConfig::new(5, 0.1, s), format!("e12 ck seed={s}"))
         })
         .collect();
-    let r5 = run_tester_batch(&jobs, &BatchOptions::default())
-        .map_err(|e| ExperimentError::from_batch("e12", e))?
-        .iter()
-        .filter(|r| r.reject)
-        .count();
+    let r5 =
+        session_batch("e12", &jobs, EngineConfig::default())?.iter().filter(|r| r.reject).count();
     pass &= r5 * 3 >= trials as usize * 2;
     table.row([
         "this paper",
@@ -827,8 +861,7 @@ pub fn e14_gap_region() -> Result<ExperimentResult, ExperimentError> {
                 )
             })
             .collect();
-        let rejects = run_tester_batch(&jobs, &BatchOptions::default())
-            .map_err(|e| ExperimentError::from_batch("e14", e))?
+        let rejects = session_batch("e14", &jobs, EngineConfig::default())?
             .iter()
             .filter(|r| r.reject)
             .count();
@@ -881,10 +914,13 @@ pub fn e15_loss_resilience() -> Result<ExperimentResult, ExperimentError> {
                 ..EngineConfig::default()
             };
             let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, eps, t) };
-            let run = run_tester(&free, &cfg, &engine).map_err(ExperimentError::tag(
+            let run = session_test(
                 "e15",
                 format!("free n=50 loss={} seed={t}", point.loss),
-            ))?;
+                &free,
+                cfg,
+                engine,
+            )?;
             if run.reject {
                 false_rejects += 1;
             }
@@ -990,16 +1026,11 @@ mod tests {
                 BatchJob::labeled(&g, cfg, format!("e2 k=6 seed={s}"))
             })
             .collect();
-        let opts = BatchOptions {
-            engine: EngineConfig {
-                bandwidth: BandwidthPolicy::Enforce { bits: 1 },
-                ..EngineConfig::default()
-            },
-            shards: Some(1),
+        let engine = EngineConfig {
+            bandwidth: BandwidthPolicy::Enforce { bits: 1 },
+            ..EngineConfig::default()
         };
-        let err = run_tester_batch(&jobs, &opts)
-            .map_err(|e| ExperimentError::from_batch("e2", e))
-            .unwrap_err();
+        let err = session_batch("e2", &jobs, engine).unwrap_err();
         assert_eq!(err.experiment, "e2");
         let msg = err.to_string();
         assert!(msg.contains("e2 k=6 seed=0") && msg.contains("seed 0"), "{msg}");

@@ -170,8 +170,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ck_congest::engine::run;
     use ck_congest::fault::FaultPlan;
+    use ck_congest::session::Session;
     use ck_graphgen::random::gnp;
 
     /// Broadcast a round counter for `rounds` rounds; count receipts.
@@ -215,7 +215,11 @@ mod tests {
                     ..EngineConfig::default()
                 };
                 let legacy = run_legacy(&g, &cfg, |_| Echo { rounds: 4, received: 0 }).unwrap();
-                let arena = run(&g, &cfg, |_| Echo { rounds: 4, received: 0 }).unwrap();
+                let arena = Session::builder(&g)
+                    .config(cfg.clone())
+                    .build()
+                    .run(|_| Echo { rounds: 4, received: 0 })
+                    .unwrap();
                 assert_eq!(legacy.verdicts, arena.verdicts, "seed {seed}");
                 assert_eq!(legacy.report.per_round, arena.report.per_round, "seed {seed}");
                 assert_eq!(legacy.report.rounds, arena.report.rounds);
@@ -235,7 +239,11 @@ mod tests {
             ..EngineConfig::default()
         };
         let a = run_legacy(&g, &cfg, |_| Echo { rounds: 2, received: 0 }).unwrap_err();
-        let b = run(&g, &cfg, |_| Echo { rounds: 2, received: 0 }).unwrap_err();
+        let b = Session::builder(&g)
+            .config(cfg.clone())
+            .build()
+            .run(|_| Echo { rounds: 2, received: 0 })
+            .unwrap_err();
         // Same offending round and node; the reported port may differ in
         // tie-breaking (legacy scans ports in first-use order, the arena
         // engine reports the first lane to cross the budget).

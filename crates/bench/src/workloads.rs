@@ -50,13 +50,13 @@ impl Program for MinFlood {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ck_congest::engine::{run, EngineConfig};
+    use ck_congest::session::Session;
     use ck_graphgen::basic::cycle;
 
     #[test]
     fn floods_the_minimum_within_ttl() {
         let g = cycle(16);
-        let out = run(&g, &EngineConfig::default(), |i| MinFlood::new(&i, 16)).unwrap();
+        let out = Session::new(&g).run(|i| MinFlood::new(&i, 16)).unwrap();
         assert!(out.verdicts.iter().all(|&v| v == 0));
         assert!(out.report.all_halted);
     }

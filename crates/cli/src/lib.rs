@@ -152,21 +152,33 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
 
 /// Builds a tester from CLI fields.
 ///
-/// ε is validated here for every tester that consumes it: the paper's
-/// repetition schedule (`try_repetitions_for`) is only defined for
-/// ε ∈ (0,1), and `ckprobe --eps 1.5` must produce a usage error, not
-/// an assertion backtrace from deep inside the run.
+/// Parameters are validated here with the same [`ConfigError`]s the
+/// session builders surface: the paper's repetition schedule
+/// (`try_repetitions_for`) is only defined for ε ∈ (0,1), the `ck`
+/// tester for `k ∈ 3..=33` — `ckprobe --eps 1.5` or `--k 99` must
+/// produce a usage error, not an assertion backtrace from deep inside
+/// the run.
+///
+/// [`ConfigError`]: ck_core::tester::ConfigError
 pub fn parse_tester(
     name: &str,
     k: usize,
     eps: f64,
     repetitions: Option<u32>,
 ) -> Result<Box<dyn DistributedTester>, String> {
-    if name != "forest" {
+    // The baselines only consume ε; the ck tester validates (k, ε)
+    // together through the same check the session builders run.
+    if name == "triangle" || name == "c4" {
         try_repetitions_for(eps).map_err(|e| format!("--eps: {e}"))?;
     }
     match name {
-        "ck" => Ok(Box::new(CkFreenessTester { k, eps, repetitions })),
+        "ck" => {
+            ck_core::tester::TesterConfig::new(k, eps, 0).validate().map_err(|e| match e {
+                ck_core::tester::ConfigError::KOutOfRange { .. } => format!("--k: {e}"),
+                ck_core::tester::ConfigError::EpsOutOfRange { .. } => format!("--eps: {e}"),
+            })?;
+            Ok(Box::new(CkFreenessTester { k, eps, repetitions }))
+        }
         "triangle" => Ok(Box::new(TriangleBaseline { eps, repetitions })),
         "c4" => Ok(Box::new(C4Baseline { eps, repetitions })),
         "forest" => Ok(Box::new(ForestBaseline)),
@@ -301,7 +313,11 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         if tester != "ck" {
             return Err(format!("--batch supports the ck tester only, got {tester:?}"));
         }
-        try_repetitions_for(eps).map_err(|e| format!("--eps: {e}"))?;
+        // Same session-grade validation as the single-graph path.
+        ck_core::tester::TesterConfig::new(k, eps, 0).validate().map_err(|e| match e {
+            ck_core::tester::ConfigError::KOutOfRange { .. } => format!("--k: {e}"),
+            ck_core::tester::ConfigError::EpsOutOfRange { .. } => format!("--eps: {e}"),
+        })?;
         return Ok(Invocation::Batch(BatchRequest {
             path,
             k,
@@ -468,12 +484,11 @@ mod tests {
         assert!(amp.reject, "C5 must be rejected");
     }
 
-    /// The batch path end to end: specs × trials through the batch
-    /// runner match one-by-one `run_tester` calls bit for bit.
+    /// The batch path end to end: specs × trials through the session's
+    /// batch runner match one-by-one session tests bit for bit.
     #[test]
     fn end_to_end_batch_matches_loop() {
-        use ck_core::batch::{run_tester_batch, BatchOptions};
-        use ck_core::tester::run_tester;
+        use ck_core::session::TesterSession;
         let specs = parse_batch_file("cycle:5\nfree:30:5\neps-far:36:5:0.1:1\n").unwrap();
         let trials = 2u32;
         let req = BatchRequest {
@@ -486,16 +501,32 @@ mod tests {
             shards: Some(2),
         };
         let jobs = batch_jobs(&specs, &req);
-        let opts = BatchOptions { shards: Some(2), ..BatchOptions::default() };
-        let runs = run_tester_batch(&jobs, &opts).unwrap();
+        let session = TesterSession::builder(req.k, req.eps).build().unwrap();
+        let runs = session.test_batch(&jobs, Some(2)).unwrap();
         assert_eq!(runs.len(), specs.len() * trials as usize);
         for (job, run) in jobs.iter().zip(&runs) {
-            let one = run_tester(job.graph, &job.cfg, &opts.engine).unwrap();
+            let one = TesterSession::from_config(job.cfg, session.engine().clone())
+                .unwrap()
+                .test(job.graph)
+                .unwrap();
             assert_eq!(one.reject, run.reject, "{}", job.label);
             assert_eq!(one.outcome.verdicts, run.outcome.verdicts, "{}", job.label);
         }
         // cycle:5 is rejected on every trial; free:30:5 never is.
         assert!(runs[..trials as usize].iter().all(|r| r.reject));
         assert!(runs[trials as usize..2 * trials as usize].iter().all(|r| !r.reject));
+    }
+
+    /// `--k` outside the supported range is a usage error on both the
+    /// single and the batch path, never a mid-run panic.
+    #[test]
+    fn bad_k_is_a_usage_error_not_a_panic() {
+        for args in ["--graph cycle:5 --tester ck --k 99", "--batch f --k 2"] {
+            let err =
+                parse_args(&argv(args)).err().unwrap_or_else(|| panic!("{args} must be rejected"));
+            assert!(err.contains("outside supported range"), "{args}: {err}");
+        }
+        // The baselines ignore k entirely.
+        assert!(parse_args(&argv("--graph petersen --tester triangle --k 99")).is_ok());
     }
 }

@@ -4,8 +4,8 @@ use ck_cli::{
     batch_jobs, graph_spec_help, parse_args, parse_batch_file, BatchRequest, Invocation, Request,
 };
 use ck_congest::message::WireParams;
-use ck_core::batch::{run_tester_batch, BatchOptions};
 use ck_core::framework::amplify;
+use ck_core::session::TesterSession;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,7 +76,15 @@ fn run_batch(req: &BatchRequest) {
         }
     };
     let jobs = batch_jobs(&specs, req);
-    let opts = BatchOptions { shards: req.shards, ..BatchOptions::default() };
+    // The session validates (k, ε) at build time — a bad cell is a
+    // usage error here, never a panic mid-sweep.
+    let session = match TesterSession::builder(req.k, req.eps).build() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
         "batch {}: {} graph(s) × {} trial(s) = {} job(s), tester ck (k = {}, ε = {})",
         req.path,
@@ -86,7 +94,7 @@ fn run_batch(req: &BatchRequest) {
         req.k,
         req.eps,
     );
-    let runs = match run_tester_batch(&jobs, &opts) {
+    let runs = match session.test_batch(&jobs, req.shards) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");

@@ -7,10 +7,11 @@
 //! to justify the "nodes know n and m" convention of the node context
 //! (both are one aggregation away).
 
-use crate::engine::{run, EngineConfig, EngineError};
+use crate::engine::{EngineConfig, EngineError};
 use crate::graph::{Graph, NodeIndex};
 use crate::node::{Inbox, Outbox, Program, Status};
 use crate::protocols::build_bfs_tree;
+use crate::session::Session;
 
 /// Associative-commutative aggregations supported by the convergecast.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,7 +157,7 @@ pub fn aggregate(
     let mut cfg = config.clone();
     cfg.max_rounds = cap;
     let reached: Vec<bool> = tree.iter().map(|t| t.dist != u32::MAX).collect();
-    let outcome = run(g, &cfg, |init| {
+    let outcome = Session::builder(g).config(cfg).build().run(|init| {
         let v = init.index as usize;
         Convergecast {
             op,

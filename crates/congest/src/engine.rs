@@ -158,6 +158,7 @@ pub struct EngineWorkspace<M> {
     inbox_cur: InboxArena<M>,
     inbox_next: InboxArena<M>,
     loads: LoadTable,
+    slots: SlotStore,
 }
 
 impl<M> Default for EngineWorkspace<M> {
@@ -168,6 +169,7 @@ impl<M> Default for EngineWorkspace<M> {
             inbox_cur: InboxArena::new(0),
             inbox_next: InboxArena::new(0),
             loads: LoadTable::new(0),
+            slots: SlotStore::default(),
         }
     }
 }
@@ -176,6 +178,137 @@ impl<M> EngineWorkspace<M> {
     /// An empty workspace (allocates nothing until its first run).
     pub fn new() -> Self {
         EngineWorkspace::default()
+    }
+
+    /// Reuse counters of the per-run slot (program) array — how often a
+    /// run through this workspace was served the previous run's storage
+    /// versus having to allocate. After the first run of a given
+    /// program type, `misses` stays put while `takes` counts the runs.
+    pub fn slot_stats(&self) -> SlotStats {
+        SlotStats { takes: self.slots.takes, misses: self.slots.misses }
+    }
+
+    /// Runs `factory`-instantiated programs on `graph` through this
+    /// workspace — the advanced entry the session layers are built
+    /// from, for callers whose workspace must outlive any single graph
+    /// borrow (cross-graph batch reuse). Most callers want
+    /// [`crate::session::Session`], which owns its workspace and pins
+    /// one graph.
+    ///
+    /// `reclaim` receives every node program after its verdict has been
+    /// collected, in node-index order; pass `|_| {}` when there is
+    /// nothing to recover.
+    pub fn run_on<'g, P, F, R>(
+        &mut self,
+        graph: &'g Graph,
+        config: &EngineConfig,
+        params: &WireParams,
+        mut factory: F,
+        reclaim: R,
+    ) -> Result<RunOutcome<P::Verdict>, EngineError>
+    where
+        P: Program<Msg = M>,
+        F: FnMut(NodeInit<'g>) -> P,
+        R: FnMut(P),
+    {
+        exec_with_workspace(graph, config, params, self, &mut factory, reclaim)
+    }
+}
+
+/// Reuse counters of a workspace's slot-array store (see
+/// [`EngineWorkspace::slot_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Slot arrays requested (one per run through the workspace).
+    pub takes: u64,
+    /// Requests the store could not serve warm: the first run ever, or
+    /// a run whose program type has a different memory layout than the
+    /// parked array's.
+    pub misses: u64,
+}
+
+/// Type-erased recycler for the per-run `Slot` program array.
+///
+/// The slot array's element type depends on the program `P`, which the
+/// `M`-keyed workspace cannot name — but across the runs of a batch the
+/// program type (and hence its layout) is fixed, so the raw allocation
+/// can be parked between runs and re-typed on the way out. The store
+/// keeps at most one buffer: the previous run's, parked *empty* (every
+/// program was drained for the reclaim hook or dropped), so the memory
+/// holds no live values and reuse is purely a question of layout
+/// equality — `Vec<T>` with capacity `cap` owns a `Layout::array::<T>(cap)`
+/// allocation, identical for any `T` of equal size and alignment.
+#[derive(Default)]
+pub(crate) struct SlotStore {
+    buf: Option<RawSlotBuf>,
+    takes: u64,
+    misses: u64,
+}
+
+struct RawSlotBuf {
+    ptr: std::ptr::NonNull<u8>,
+    /// Capacity in elements of the parked `Vec`.
+    cap: usize,
+    /// Layout of one element; reuse requires an exact match.
+    elem: std::alloc::Layout,
+}
+
+impl RawSlotBuf {
+    fn alloc_layout(&self) -> std::alloc::Layout {
+        // size_of is always a multiple of align, so the array layout is
+        // exactly (elem.size() * cap, elem.align()).
+        std::alloc::Layout::from_size_align(self.elem.size() * self.cap, self.elem.align())
+            .expect("layout was valid when the Vec allocated it")
+    }
+}
+
+impl Drop for RawSlotBuf {
+    fn drop(&mut self) {
+        // SAFETY: `ptr` came out of a `Vec` with exactly this layout
+        // (see `SlotStore::put`), and the parked buffer is always empty
+        // — nothing needs dropping, only freeing.
+        unsafe { std::alloc::dealloc(self.ptr.as_ptr(), self.alloc_layout()) }
+    }
+}
+
+// SAFETY: the parked buffer holds no initialized elements (length 0 by
+// construction) — it is inert memory owned uniquely by the store, so
+// moving or sharing the store across threads moves nothing that cares.
+unsafe impl Send for SlotStore {}
+unsafe impl Sync for SlotStore {}
+
+impl SlotStore {
+    /// Takes an empty `Vec<T>`, warm (previous run's capacity) when the
+    /// parked buffer's element layout matches `T`'s.
+    fn take<T>(&mut self) -> Vec<T> {
+        self.takes += 1;
+        if let Some(raw) = self.buf.take() {
+            if raw.elem == std::alloc::Layout::new::<T>() && raw.cap > 0 {
+                let (ptr, cap) = (raw.ptr.as_ptr() as *mut T, raw.cap);
+                std::mem::forget(raw);
+                // SAFETY: the allocation came from a `Vec` whose element
+                // layout equals `T`'s, so it is exactly
+                // `Layout::array::<T>(cap)`; length 0 asserts no values.
+                return unsafe { Vec::from_raw_parts(ptr, 0, cap) };
+            }
+            // Layout changed (different program type): the old buffer
+            // cannot be re-typed — dropping `raw` frees it.
+        }
+        self.misses += 1;
+        Vec::new()
+    }
+
+    /// Parks a drained slot array for the next run.
+    fn put<T>(&mut self, v: Vec<T>) {
+        debug_assert!(v.is_empty(), "slot storage must be parked empty");
+        if v.capacity() == 0 || std::mem::size_of::<T>() == 0 {
+            return;
+        }
+        let mut v = std::mem::ManuallyDrop::new(v);
+        let ptr = std::ptr::NonNull::new(v.as_mut_ptr() as *mut u8)
+            .expect("a Vec with capacity has a real pointer");
+        self.buf =
+            Some(RawSlotBuf { ptr, cap: v.capacity(), elem: std::alloc::Layout::new::<T>() });
     }
 }
 
@@ -473,126 +606,25 @@ fn run_rounds_seq_inbox<P: Program>(
     Ok((round, active))
 }
 
-/// Runs `factory`-instantiated programs on `graph` until every node halts
-/// or `config.max_rounds` is reached.
-pub fn run<'g, P, F>(
-    graph: &'g Graph,
-    config: &EngineConfig,
-    mut factory: F,
-) -> Result<RunOutcome<P::Verdict>, EngineError>
-where
-    P: Program,
-    F: FnMut(NodeInit<'g>) -> P,
-{
-    let params = WireParams::for_graph(graph);
-    run_with_params(graph, config, &params, &mut factory)
-}
-
-/// As [`run`], with explicit wire parameters (used when a harness wants to
-/// pin `id_bits`/`rank_bits` across differently-labeled graphs).
-pub fn run_with_params<'g, P, F>(
-    graph: &'g Graph,
+/// The parallel executor's round loop: the double-buffered lane arenas.
+/// Invariant at the top of every round: `next` is entirely empty/zeroed,
+/// `cur` holds exactly the undelivered traffic of the previous round.
+/// Returns `(rounds_executed, active)`.
+#[allow(clippy::too_many_arguments)]
+fn run_rounds_par_lanes<P: Program>(
+    graph: &Graph,
     config: &EngineConfig,
     params: &WireParams,
-    factory: &mut F,
-) -> Result<RunOutcome<P::Verdict>, EngineError>
-where
-    P: Program,
-    F: FnMut(NodeInit<'g>) -> P,
-{
-    let mut ws = EngineWorkspace::new();
-    run_with_workspace(graph, config, params, &mut ws, factory, |_| {})
-}
-
-/// As [`run_with_params`], executing through a caller-owned
-/// [`EngineWorkspace`] — the batch hot path. The workspace is reset
-/// (never reallocated when the graph fits) before the run; outputs are
-/// bit-identical to a fresh-workspace run by construction, since a
-/// reset workspace is observationally indistinguishable from a new one.
-///
-/// `reclaim` receives every node program after its verdict has been
-/// collected, in node-index order — protocols with recyclable per-node
-/// scratch (pools, buffers) harvest it here so the next job in a batch
-/// starts warm. Pass `|_| {}` when there is nothing to recover.
-pub fn run_with_workspace<'g, P, F, R>(
-    graph: &'g Graph,
-    config: &EngineConfig,
-    params: &WireParams,
-    ws: &mut EngineWorkspace<P::Msg>,
-    factory: &mut F,
-    mut reclaim: R,
-) -> Result<RunOutcome<P::Verdict>, EngineError>
-where
-    P: Program,
-    F: FnMut(NodeInit<'g>) -> P,
-    R: FnMut(P),
-{
-    let n = graph.n();
-    let m = graph.m();
-    let mut slots: Vec<Slot<P>> = (0..n)
-        .map(|v| {
-            let v = v as NodeIndex;
-            let init = NodeInit {
-                index: v,
-                id: graph.id(v),
-                neighbor_ids: graph.neighbor_ids(v),
-                ports_by_id: graph.ports_sorted_by_id(v),
-                n,
-                m,
-            };
-            Slot { prog: factory(init), status: Status::Running, inbox: Vec::new() }
-        })
-        .collect();
-
-    let mut report = RunReport::default();
-    let mut round = 0u32;
-    // Maintained count of running nodes (monotone: Running → Halted).
-    let mut active = n;
-    let wf = WireFlags::for_config(config);
+    wf: WireFlags,
+    slots: &mut [Slot<P>],
+    mut active: usize,
+    report: &mut RunReport,
+    cur: &mut Arena<P::Msg>,
+    next: &mut Arena<P::Msg>,
+    loads: &LoadTable,
+) -> Result<(u32, usize), EngineError> {
     let WireFlags { check_faults, limit, account, heavy } = wf;
-
-    // Flat per-directed-edge wire loads (round-stamped, sender-owned
-    // rows; see `LinkLoad`). Empty when nothing can observe them —
-    // nothing then reads the row pointers either.
-    let directed = graph.num_directed_edges();
-    ws.loads.reset(if account { directed } else { 0 });
-
-    // The sequential executor never needs lanes: single-threaded sends
-    // can push straight into per-receiver double-buffered inboxes (same
-    // canonical order — ascending sender, then queueing order), with the
-    // same fused accounting against the flat load table when observable.
-    if config.executor == Executor::Sequential {
-        ws.inbox_cur.reset(n);
-        ws.inbox_next.reset(n);
-        (round, active) = run_rounds_seq_inbox(
-            graph,
-            config,
-            params,
-            wf,
-            &mut slots,
-            active,
-            &mut report,
-            &mut ws.inbox_cur,
-            &mut ws.inbox_next,
-            &ws.loads,
-        )?;
-        report.rounds = round;
-        report.all_halted = active == 0;
-        report.executor = "sequential";
-        report.threads = 1;
-        let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
-        slots.into_iter().for_each(|s| reclaim(s.prog));
-        return Ok(RunOutcome { report, verdicts });
-    }
-
-    // Double-buffered arenas. Invariant at the top of every round: `next`
-    // is entirely empty/zeroed, `cur` holds exactly the undelivered
-    // traffic of the previous round.
-    ws.lane_cur.reset(directed, n);
-    ws.lane_next.reset(directed, n);
-    let EngineWorkspace { lane_cur: cur, lane_next: next, loads, .. } = ws;
-    let loads = &*loads;
-
+    let mut round = 0u32;
     while round < config.max_rounds {
         if active == 0 {
             break;
@@ -640,15 +672,192 @@ where
         std::mem::swap(cur, next);
         round += 1;
     }
+    Ok((round, active))
+}
+
+/// The engine proper: executes `factory`-instantiated programs on
+/// `graph` through a caller-owned workspace until every node halts or
+/// `config.max_rounds` is reached. This is the single implementation
+/// behind [`crate::session::Session`] and every legacy entry point.
+///
+/// The workspace is reset (never reallocated when the graph fits)
+/// before the run; outputs are bit-identical to a fresh-workspace run
+/// by construction, since a reset workspace is observationally
+/// indistinguishable from a new one. The per-run slot (program) array
+/// is recycled through the workspace's [`SlotStore`] — a
+/// workspace-reused run of the same program type performs no per-run
+/// slot allocation.
+///
+/// `reclaim` receives every node program after its verdict has been
+/// collected, in node-index order — protocols with recyclable per-node
+/// scratch (pools, buffers) harvest it here so the next job in a batch
+/// starts warm. On error the programs are dropped without the hook,
+/// but the slot array's storage is still parked for the next run.
+pub(crate) fn exec_with_workspace<'g, P, F, R>(
+    graph: &'g Graph,
+    config: &EngineConfig,
+    params: &WireParams,
+    ws: &mut EngineWorkspace<P::Msg>,
+    factory: &mut F,
+    mut reclaim: R,
+) -> Result<RunOutcome<P::Verdict>, EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit<'g>) -> P,
+    R: FnMut(P),
+{
+    let n = graph.n();
+    let m = graph.m();
+    let mut slots: Vec<Slot<P>> = ws.slots.take();
+    slots.extend((0..n).map(|v| {
+        let v = v as NodeIndex;
+        let init = NodeInit {
+            index: v,
+            id: graph.id(v),
+            neighbor_ids: graph.neighbor_ids(v),
+            ports_by_id: graph.ports_sorted_by_id(v),
+            n,
+            m,
+        };
+        Slot { prog: factory(init), status: Status::Running, inbox: Vec::new() }
+    }));
+
+    let mut report = RunReport::default();
+    let wf = WireFlags::for_config(config);
+
+    // Flat per-directed-edge wire loads (round-stamped, sender-owned
+    // rows; see `LinkLoad`). Empty when nothing can observe them —
+    // nothing then reads the row pointers either.
+    let directed = graph.num_directed_edges();
+    ws.loads.reset(if wf.account { directed } else { 0 });
+
+    // The sequential executor never needs lanes: single-threaded sends
+    // can push straight into per-receiver double-buffered inboxes (same
+    // canonical order — ascending sender, then queueing order), with the
+    // same fused accounting against the flat load table when observable.
+    let rounds_result = if config.executor == Executor::Sequential {
+        ws.inbox_cur.reset(n);
+        ws.inbox_next.reset(n);
+        run_rounds_seq_inbox(
+            graph,
+            config,
+            params,
+            wf,
+            &mut slots,
+            n,
+            &mut report,
+            &mut ws.inbox_cur,
+            &mut ws.inbox_next,
+            &ws.loads,
+        )
+    } else {
+        ws.lane_cur.reset(directed, n);
+        ws.lane_next.reset(directed, n);
+        run_rounds_par_lanes(
+            graph,
+            config,
+            params,
+            wf,
+            &mut slots,
+            n,
+            &mut report,
+            &mut ws.lane_cur,
+            &mut ws.lane_next,
+            &ws.loads,
+        )
+    };
+    let (round, active) = match rounds_result {
+        Ok(ra) => ra,
+        Err(e) => {
+            // Programs die without the reclaim hook on a failed run;
+            // the slot array itself still parks for the next job.
+            slots.clear();
+            ws.slots.put(slots);
+            return Err(e);
+        }
+    };
 
     report.rounds = round;
     report.all_halted = active == 0;
-    report.executor = "parallel";
-    report.threads = rayon::current_num_threads();
+    (report.executor, report.threads) = match config.executor {
+        Executor::Sequential => ("sequential", 1),
+        Executor::Parallel => ("parallel", rayon::current_num_threads()),
+    };
 
     let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
-    slots.into_iter().for_each(|s| reclaim(s.prog));
+    for Slot { prog, .. } in slots.drain(..) {
+        reclaim(prog);
+    }
+    ws.slots.put(slots);
     Ok(RunOutcome { report, verdicts })
+}
+
+/// Runs `factory`-instantiated programs on `graph` until every node halts
+/// or `config.max_rounds` is reached.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `ck_congest::session::Session` — one composable entry point with \
+            workspace reuse by default"
+)]
+pub fn run<'g, P, F>(
+    graph: &'g Graph,
+    config: &EngineConfig,
+    factory: F,
+) -> Result<RunOutcome<P::Verdict>, EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit<'g>) -> P,
+{
+    crate::session::Session::builder(graph).config(config.clone()).build().run(factory)
+}
+
+/// As [`run`], with explicit wire parameters (used when a harness wants to
+/// pin `id_bits`/`rank_bits` across differently-labeled graphs).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `ck_congest::session::Session` and pin the params with \
+            `SessionBuilder::wire_params`"
+)]
+pub fn run_with_params<'g, P, F>(
+    graph: &'g Graph,
+    config: &EngineConfig,
+    params: &WireParams,
+    factory: &mut F,
+) -> Result<RunOutcome<P::Verdict>, EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit<'g>) -> P,
+{
+    crate::session::Session::builder(graph)
+        .config(config.clone())
+        .wire_params(*params)
+        .build()
+        .run(&mut *factory)
+}
+
+/// As [`run_with_params`], executing through a caller-owned
+/// [`EngineWorkspace`] — the pre-session batch hot path. A
+/// [`crate::session::Session`] owns its workspace and recycles it on
+/// every `run`, making this explicit threading unnecessary.
+#[deprecated(
+    since = "0.2.0",
+    note = "a `ck_congest::session::Session` owns and recycles its workspace; use \
+            `Session::run_reclaiming`"
+)]
+pub fn run_with_workspace<'g, P, F, R>(
+    graph: &'g Graph,
+    config: &EngineConfig,
+    params: &WireParams,
+    ws: &mut EngineWorkspace<P::Msg>,
+    factory: &mut F,
+    reclaim: R,
+) -> Result<RunOutcome<P::Verdict>, EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit<'g>) -> P,
+    R: FnMut(P),
+{
+    ws.run_on(graph, config, params, &mut *factory, reclaim)
 }
 
 #[cfg(test)]
@@ -656,6 +865,21 @@ mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
     use crate::message::WireMessage;
+    use crate::session::Session;
+
+    /// The tests' single-run entry: the session path (shadows the
+    /// deprecated free function the glob import would otherwise bind).
+    fn run<'g, P, F>(
+        graph: &'g Graph,
+        config: &EngineConfig,
+        factory: F,
+    ) -> Result<RunOutcome<P::Verdict>, EngineError>
+    where
+        P: Program,
+        F: FnMut(NodeInit<'g>) -> P,
+    {
+        Session::builder(graph).config(config.clone()).build().run(factory)
+    }
 
     /// Flood the smallest ID seen so far; halt after `ttl` rounds. The
     /// classical leader-election-by-flooding warm-up protocol.
@@ -1019,7 +1243,7 @@ mod tests {
                         run(g, &cfg, |init| MinFlood { best: init.id, ttl, changed: false })
                             .unwrap();
                     let params = WireParams::for_graph(g);
-                    let reused = run_with_workspace(
+                    let reused = exec_with_workspace(
                         g,
                         &cfg,
                         &params,
@@ -1075,7 +1299,7 @@ mod tests {
             // Job A: heavy broadcasts, measured only — stamps rounds
             // 0..5 with large per-link bit counts.
             let cfg_a = EngineConfig { executor: exec, ..EngineConfig::default() };
-            run_with_workspace(
+            exec_with_workspace(
                 &g,
                 &cfg_a,
                 &params,
@@ -1091,7 +1315,7 @@ mod tests {
                 bandwidth: BandwidthPolicy::Enforce { bits: small_bits },
                 ..EngineConfig::default()
             };
-            let reused = run_with_workspace(
+            let reused = exec_with_workspace(
                 &g,
                 &cfg_b,
                 &params,

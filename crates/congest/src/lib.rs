@@ -12,11 +12,15 @@
 //! * [`graph`] — immutable CSR graphs with node identities, reverse-port
 //!   tables, and structural queries (connectivity, girth, diameter);
 //! * [`node`] — the per-node programming model ([`node::Program`]);
+//! * [`session`] — the composable entry point: a [`session::Session`]
+//!   bundles graph + config + wire parameters and recycles its engine
+//!   workspace across runs;
 //! * [`engine`] — the synchronous executor (sequential reference and
 //!   rayon-parallel implementations with identical semantics), bandwidth
 //!   enforcement, and verdict collection;
 //! * [`message`] — wire-size accounting (`O(log n)`-bit budgeting and
-//!   CONGEST-normalized round costs);
+//!   CONGEST-normalized round costs) and the pluggable
+//!   [`message::WireCodec`] byte encoding backing it;
 //! * [`metrics`] — per-round and per-run measurement reports;
 //! * [`rngs`] — deterministic seed derivation so every run replays.
 //!
@@ -24,7 +28,7 @@
 //!
 //! ```
 //! use ck_congest::graph::GraphBuilder;
-//! use ck_congest::engine::{run, EngineConfig};
+//! use ck_congest::session::Session;
 //! use ck_congest::node::{Inbox, Outbox, Program, Status};
 //!
 //! /// Each node learns the maximum identity among itself and neighbors.
@@ -47,7 +51,7 @@
 //! }
 //!
 //! let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).build().unwrap();
-//! let out = run(&g, &EngineConfig::default(), |init| {
+//! let out = Session::new(&g).run(|init| {
 //!     MaxOfNeighborhood { best: init.id, sent: false }
 //! }).unwrap();
 //! assert_eq!(out.verdicts, vec![1, 2, 2]);
@@ -64,15 +68,20 @@ pub mod metrics;
 pub mod node;
 pub mod protocols;
 pub mod rngs;
+pub mod session;
 pub mod topology;
 pub mod trace;
 
 pub use batch::{effective_shards, run_sharded};
 pub use engine::{
-    run, run_with_workspace, BandwidthPolicy, EngineConfig, EngineError, EngineWorkspace, Executor,
-    RunOutcome,
+    BandwidthPolicy, EngineConfig, EngineError, EngineWorkspace, Executor, RunOutcome, SlotStats,
 };
+// The legacy free-function entry points, kept importable at the crate
+// root for out-of-tree callers mid-migration.
+#[allow(deprecated)]
+pub use engine::{run, run_with_workspace};
 pub use graph::{Edge, Graph, GraphBuilder, GraphError, NodeId, NodeIndex};
-pub use message::{bits_for, WireMessage, WireParams};
+pub use message::{bits_for, BitReader, BitWriter, CodecError, WireCodec, WireMessage, WireParams};
 pub use metrics::{RoundStats, RunReport};
 pub use node::{Inbox, InboxBuf, Incoming, NodeInit, Outbox, Program, Status};
+pub use session::{Session, SessionBuilder};

@@ -6,9 +6,10 @@
 //! engine benchmarks and as executable documentation of the programming
 //! model.
 
-use crate::engine::{run, EngineConfig, EngineError, RunOutcome};
+use crate::engine::{EngineConfig, EngineError, RunOutcome};
 use crate::graph::{Graph, NodeId, NodeIndex};
 use crate::node::{Inbox, Outbox, Program, Status};
+use crate::session::Session;
 
 /// Leader election by min-ID flooding: after `ttl` rounds every node
 /// outputs the smallest ID within distance `ttl`; with `ttl ≥ diameter`,
@@ -58,7 +59,10 @@ pub fn elect_min_id(
     config: &EngineConfig,
 ) -> Result<(NodeId, RunOutcome<NodeId>), EngineError> {
     let ttl = g.n() as u32; // ≥ diameter
-    let outcome = run(g, config, |init| MinIdFlood::new(init.id, ttl))?;
+    let outcome = Session::builder(g)
+        .config(config.clone())
+        .build()
+        .run(|init| MinIdFlood::new(init.id, ttl))?;
     let leader = outcome.verdicts[0];
     Ok((leader, outcome))
 }
@@ -138,7 +142,10 @@ pub fn build_bfs_tree(
     let root_id = g.id(root);
     let mut cfg = config.clone();
     cfg.max_rounds = g.n() as u32 + 1;
-    let outcome = run(g, &cfg, |init| BfsTree::new(init.id, root_id, g.n() as u32))?;
+    let outcome = Session::builder(g)
+        .config(cfg)
+        .build()
+        .run(|init| BfsTree::new(init.id, root_id, g.n() as u32))?;
     // Resolve the stored parent *port* into the neighbor's ID.
     let resolved = outcome
         .verdicts
@@ -238,7 +245,7 @@ mod tests {
     #[test]
     fn neighborhood_collection_is_exact() {
         let g = ring(6).with_ids(vec![60, 10, 20, 30, 40, 50]).unwrap();
-        let out = run(&g, &EngineConfig::default(), |init| CollectNeighbors::new(init.id)).unwrap();
+        let out = Session::new(&g).run(|init| CollectNeighbors::new(init.id)).unwrap();
         for v in 0..6u32 {
             let mut expect: Vec<u64> = g.neighbors(v).iter().map(|&w| g.id(w)).collect();
             expect.sort_unstable();

@@ -146,19 +146,21 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{run, EngineConfig, Executor};
+    use crate::engine::{EngineConfig, Executor};
     use crate::graph::GraphBuilder;
     use crate::protocols::MinIdFlood;
+    use crate::session::Session;
 
     fn traced_run(exec: Executor) -> TraceLog {
         let g = GraphBuilder::new(3).edges([(0, 1), (1, 2)]).ids(vec![30, 10, 20]).build().unwrap();
         let log = TraceLog::new();
         let cfg = EngineConfig { executor: exec, ..EngineConfig::default() };
         let log2 = log.clone();
-        run(&g, &cfg, move |init| {
-            Traced::new(MinIdFlood::new(init.id, 3), init.index, log2.clone())
-        })
-        .unwrap();
+        Session::builder(&g)
+            .config(cfg)
+            .build()
+            .run(move |init| Traced::new(MinIdFlood::new(init.id, 3), init.index, log2.clone()))
+            .unwrap();
         log
     }
 

@@ -1,12 +1,26 @@
 //! Engine-level property tests: conservation, determinism, accounting,
 //! and fault-plan semantics over random topologies and protocols.
 
-use ck_congest::engine::{run, BandwidthPolicy, EngineConfig, Executor};
+use ck_congest::engine::{BandwidthPolicy, EngineConfig, EngineError, Executor, RunOutcome};
 use ck_congest::fault::FaultPlan;
 use ck_congest::graph::{Graph, GraphBuilder, NodeIndex};
 use ck_congest::message::{WireMessage, WireParams};
-use ck_congest::node::{Inbox, Outbox, Program, Status};
+use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
+use ck_congest::session::Session;
 use proptest::prelude::*;
+
+/// Every run in this suite goes through the session entry point.
+fn run<'g, P, F>(
+    graph: &'g Graph,
+    config: &EngineConfig,
+    factory: F,
+) -> Result<RunOutcome<P::Verdict>, EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit<'g>) -> P,
+{
+    Session::builder(graph).config(config.clone()).build().run(factory)
+}
 
 /// A protocol that, for `rounds` rounds, sends on each port a counter
 /// and records everything received. Message count bookkeeping is exact:

@@ -11,7 +11,7 @@
 //! jobs through one [`EngineWorkspace`] + [`TesterScratch`] pair that
 //! is cleared and re-sized between jobs (never reallocated when the
 //! next graph fits), and the per-job [`TesterRun`]s come back in input
-//! order, **bit-identical** to one-by-one [`run_tester`] calls under
+//! order, **bit-identical** to one-by-one single-shot runs under
 //! the sequential executor.
 //!
 //! Within a shard, jobs execute under `Executor::Sequential` regardless
@@ -22,7 +22,7 @@
 //! changes no observable output except the report's executor label.
 
 use crate::msg::CkMsg;
-use crate::tester::{run_tester_reusing, TesterConfig, TesterRun, TesterScratch};
+use crate::tester::{tester_exec, ConfigError, TesterConfig, TesterRun, TesterScratch};
 use ck_congest::batch::{effective_shards, run_sharded};
 use ck_congest::engine::{EngineConfig, EngineError, EngineWorkspace, Executor};
 use ck_congest::graph::Graph;
@@ -49,9 +49,38 @@ impl<'a> BatchJob<'a> {
     }
 }
 
+/// Why a batch job failed: a parameter outside the tester's domain
+/// (caught by validation before anything runs) or a genuine engine
+/// failure mid-run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchFailure {
+    /// The job's [`TesterConfig`] is out of range.
+    Config(ConfigError),
+    /// The engine rejected the run (e.g. bandwidth enforcement).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for BatchFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchFailure::Config(e) => e.fmt(f),
+            BatchFailure::Engine(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BatchFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BatchFailure::Config(e) => Some(e),
+            BatchFailure::Engine(e) => Some(e),
+        }
+    }
+}
+
 /// A failed batch job, carrying enough context to name the instance —
 /// one bad graph reports itself instead of panicking mid-sweep.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BatchError {
     /// Index of the failed job in the input slice.
     pub job: usize,
@@ -59,8 +88,8 @@ pub struct BatchError {
     pub label: String,
     /// The job's Phase-1 seed.
     pub seed: u64,
-    /// The underlying engine failure.
-    pub error: EngineError,
+    /// The underlying failure.
+    pub error: BatchFailure,
 }
 
 impl std::fmt::Display for BatchError {
@@ -91,23 +120,37 @@ pub struct BatchOptions {
     pub shards: Option<usize>,
 }
 
-/// Runs every job and returns the per-job [`TesterRun`]s in input
-/// order, or the first (lowest-index) failure. See the module docs for
-/// the sharding/reuse contract.
-pub fn run_tester_batch(
+/// The batch engine proper — the implementation behind
+/// [`crate::session::TesterSession::test_batch`] and the deprecated
+/// [`run_tester_batch`]. Every job's [`TesterConfig`] is validated
+/// before anything runs, so a bad cell is a [`BatchFailure::Config`]
+/// naming the job, never a panic mid-sweep.
+pub(crate) fn batch_exec(
     jobs: &[BatchJob<'_>],
-    opts: &BatchOptions,
+    engine_template: &EngineConfig,
+    shards: Option<usize>,
 ) -> Result<Vec<TesterRun>, BatchError> {
-    let shards = effective_shards(opts.shards, jobs.len());
-    let mut engine = opts.engine.clone();
+    for (idx, job) in jobs.iter().enumerate() {
+        job.cfg.validate().map_err(|e| BatchError {
+            job: idx,
+            label: job.label.clone(),
+            seed: job.cfg.seed,
+            error: BatchFailure::Config(e),
+        })?;
+    }
+    let shards = effective_shards(shards, jobs.len());
+    let mut engine = engine_template.clone();
     engine.executor = Executor::Sequential;
     let results = run_sharded(
         jobs,
         shards,
         || (EngineWorkspace::<CkMsg>::new(), TesterScratch::new()),
         |(ws, scratch), idx, job| {
-            run_tester_reusing(job.graph, &job.cfg, &engine, ws, scratch).map_err(|error| {
-                BatchError { job: idx, label: job.label.clone(), seed: job.cfg.seed, error }
+            tester_exec(job.graph, &job.cfg, &engine, ws, scratch).map_err(|error| BatchError {
+                job: idx,
+                label: job.label.clone(),
+                seed: job.cfg.seed,
+                error: BatchFailure::Engine(error),
             })
         },
     );
@@ -116,10 +159,28 @@ pub fn run_tester_batch(
     results.into_iter().collect()
 }
 
+/// Runs every job and returns the per-job [`TesterRun`]s in input
+/// order. Configurations are validated up front: the first
+/// (lowest-index) out-of-range job is reported as a
+/// [`BatchFailure::Config`] before anything runs; otherwise the first
+/// (lowest-index) run failure is returned. See the module docs for the
+/// sharding/reuse contract.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ck_core::session::TesterSession::test_batch` — same sharded runner, \
+            validated configs"
+)]
+pub fn run_tester_batch(
+    jobs: &[BatchJob<'_>],
+    opts: &BatchOptions,
+) -> Result<Vec<TesterRun>, BatchError> {
+    batch_exec(jobs, &opts.engine, opts.shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tester::run_tester;
+    use crate::session::TesterSession;
     use ck_congest::engine::BandwidthPolicy;
     use ck_graphgen::basic::cycle;
     use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
@@ -147,14 +208,15 @@ mod tests {
             })
             .collect();
         let engine = EngineConfig { executor: Executor::Sequential, ..EngineConfig::default() };
-        let loop_runs: Vec<TesterRun> =
-            jobs.iter().map(|j| run_tester(j.graph, &j.cfg, &engine).unwrap()).collect();
+        let loop_runs: Vec<TesterRun> = jobs
+            .iter()
+            .map(|j| {
+                TesterSession::from_config(j.cfg, engine.clone()).unwrap().test(j.graph).unwrap()
+            })
+            .collect();
+        let session = TesterSession::builder(5, 0.1).build().unwrap();
         for shards in [1usize, 2, 4] {
-            let batch = run_tester_batch(
-                &jobs,
-                &BatchOptions { shards: Some(shards), ..BatchOptions::default() },
-            )
-            .unwrap();
+            let batch = session.test_batch(&jobs, Some(shards)).unwrap();
             assert_eq!(batch.len(), jobs.len());
             for (a, b) in loop_runs.iter().zip(&batch) {
                 assert_eq!(digest(a), digest(b), "shards={shards}");
@@ -175,24 +237,26 @@ mod tests {
                 BatchJob::labeled(&g, cfg, format!("cell-{i}"))
             })
             .collect();
-        let opts = BatchOptions {
-            engine: EngineConfig {
+        let session = TesterSession::builder(6, 0.1)
+            .engine(EngineConfig {
                 bandwidth: BandwidthPolicy::Enforce { bits: 1 },
                 ..EngineConfig::default()
-            },
-            shards: Some(2),
-        };
-        let err = run_tester_batch(&jobs, &opts).unwrap_err();
+            })
+            .build()
+            .unwrap();
+        let err = session.test_batch(&jobs, Some(2)).unwrap_err();
         assert_eq!(err.job, 0);
         assert_eq!(err.label, "cell-0");
         assert_eq!(err.seed, 0);
+        assert!(matches!(err.error, BatchFailure::Engine(_)));
         let msg = err.to_string();
         assert!(msg.contains("cell-0") && msg.contains("failed"), "{msg}");
     }
 
     #[test]
     fn empty_batch_is_fine() {
-        let out = run_tester_batch(&[], &BatchOptions::default()).unwrap();
+        let session = TesterSession::builder(5, 0.1).build().unwrap();
+        let out = session.test_batch(&[], None).unwrap();
         assert!(out.is_empty());
     }
 }

@@ -55,7 +55,18 @@ pub fn seed_messages_per_repetition(m: usize) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tester::{run_tester, TesterConfig};
+    use crate::tester::TesterConfig;
+
+    /// The tests' single-run entry: a fresh session per call (shadows
+    /// the deprecated free function).
+    fn run_tester(
+        g: &ck_congest::graph::Graph,
+        cfg: &TesterConfig,
+        engine: &EngineConfig,
+    ) -> Result<crate::tester::TesterRun, ck_congest::engine::EngineError> {
+        crate::session::TesterSession::from_config(*cfg, engine.clone()).unwrap().test(g)
+    }
+
     use ck_congest::engine::EngineConfig;
     use ck_graphgen::basic::{cycle, spindle};
     use ck_graphgen::random::connected_gnm;

@@ -107,8 +107,13 @@ impl DistributedTester for CkFreenessTester {
             repetitions: self.repetitions,
             ..crate::tester::TesterConfig::new(self.k, self.eps, seed)
         };
-        let run = crate::tester::run_tester(g, &cfg, &ck_congest::engine::EngineConfig::default())
-            .expect("engine run");
+        let run = crate::session::TesterSession::from_config(
+            cfg,
+            ck_congest::engine::EngineConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+        .test(g)
+        .expect("engine run");
         ProbeOutcome {
             reject: run.reject,
             rounds: run.outcome.report.rounds,

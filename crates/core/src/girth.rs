@@ -11,8 +11,9 @@
 //! experiment for the paper's machinery.
 
 use crate::prune::PrunerKind;
+use crate::session::TesterSession;
 use crate::single::detect_ck_through_edge;
-use crate::tester::{run_tester, TesterConfig};
+use crate::tester::TesterConfig;
 use ck_congest::engine::EngineConfig;
 use ck_congest::graph::Graph;
 
@@ -67,7 +68,11 @@ pub fn sampled_freeness_profile(g: &Graph, k_max: usize, eps: f64, seed: u64) ->
     let detected = (3..=k_max)
         .map(|k| {
             let cfg = TesterConfig::new(k, eps, seed.wrapping_add(k as u64));
-            run_tester(g, &cfg, &EngineConfig::default()).expect("engine run").reject
+            TesterSession::from_config(cfg, EngineConfig::default())
+                .unwrap_or_else(|e| panic!("{e}"))
+                .test(g)
+                .expect("engine run")
+                .reject
         })
         .collect();
     FreenessProfile { k_min: 3, detected }

@@ -23,6 +23,10 @@
 //!   schedule (Lemmas 4 and 5);
 //! * [`tester`] — the full tester: concurrent rank-arbitrated checks,
 //!   `⌈(e²/ε)·ln 3⌉` repetitions (Theorem 1);
+//! * [`session`] — the composable entry point: a
+//!   [`session::TesterSession`] validates its configuration at build
+//!   time and recycles engine workspace + per-node scratch across its
+//!   `test` runs (batches recycle per-shard state internally);
 //! * [`batch`] — the sharded multi-graph batch runner: whole instance
 //!   families through reusable per-shard engine workspaces, bit-identical
 //!   to one-by-one runs.
@@ -30,17 +34,19 @@
 //! ## Quick start
 //!
 //! ```
-//! use ck_core::tester::test_ck_freeness;
+//! use ck_core::session::TesterSession;
 //! use ck_graphgen::basic::cycle;
 //! use ck_graphgen::planted::matched_free_instance;
 //!
+//! let mut session = TesterSession::builder(5, 0.1).seed(42).build().unwrap();
+//!
 //! // A graph that IS C5-free is accepted with probability 1 …
 //! let free = matched_free_instance(30, 5);
-//! assert!(!test_ck_freeness(&free, 5, 0.1, 42).reject);
+//! assert!(!session.test(&free).unwrap().reject);
 //!
 //! // … while a 5-cycle is rejected.
 //! let c5 = cycle(5);
-//! assert!(test_ck_freeness(&c5, 5, 0.1, 42).reject);
+//! assert!(session.test(&c5).unwrap().reject);
 //! ```
 
 pub mod ablation;
@@ -56,12 +62,17 @@ pub mod rank;
 pub mod robust;
 pub mod scan;
 pub mod seq;
+pub mod session;
 pub mod single;
 pub mod tester;
 
-pub use batch::{run_tester_batch, BatchError, BatchJob, BatchOptions};
+pub use batch::{BatchError, BatchFailure, BatchJob, BatchOptions};
+// The legacy free-function entry points, kept importable at the crate
+// root for out-of-tree callers mid-migration.
+#[allow(deprecated)]
+pub use batch::run_tester_batch;
 pub use decide::{decide_reject, RejectWitness};
-pub use msg::{CkMsg, EdgeTag, SeqBundle, SeqPool};
+pub use msg::{CkCodec, CkMsg, EdgeTag, SeqBundle, SeqPool};
 pub use prune::{
     build_send_set, build_send_set_into, build_send_set_scanned, lemma3_bound, prune, PrunerKind,
     SendSetScratch,
@@ -71,8 +82,11 @@ pub use scan::{
     decide_all_rejects_scanned, decide_reject_scanned, ScanBackend, ScanScratch, SeqBlock,
 };
 pub use seq::{IdSeq, MAX_K, MAX_SEQ_LEN};
+pub use session::{TesterSession, TesterSessionBuilder};
 pub use single::{detect_ck_through_edge, DetectSingle, SingleRun, SingleVerdict};
+#[allow(deprecated)]
+pub use tester::{run_tester, run_tester_reusing};
 pub use tester::{
-    run_tester, run_tester_reusing, test_ck_freeness, CkTester, NodeScratch, NodeVerdict,
-    TesterConfig, TesterRun, TesterScratch,
+    test_ck_freeness, CkTester, ConfigError, NodeScratch, NodeVerdict, TesterConfig, TesterRun,
+    TesterScratch,
 };

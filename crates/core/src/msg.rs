@@ -2,9 +2,11 @@
 //! plus the recycling pool that makes heavy Phase-2 payloads
 //! allocation-free in steady state.
 
-use crate::seq::IdSeq;
+use crate::seq::{IdSeq, MAX_SEQ_LEN};
 use ck_congest::graph::NodeId;
-use ck_congest::message::{bits_for, WireMessage, WireParams};
+use ck_congest::message::{
+    bits_for, BitReader, BitWriter, CodecError, WireCodec, WireMessage, WireParams,
+};
 
 /// Identity of a Phase-2 check: the edge under test and its Phase-1 rank.
 /// Total order = (rank, endpoints): the arbitration key of Phase 1
@@ -183,6 +185,179 @@ impl WireMessage for CkMsg {
     }
 }
 
+/// The canonical byte codec for [`CkMsg`] — the [`WireCodec`] instance
+/// backing [`CkMsg::wire_bits`] with real bits: for every message,
+/// `encode` writes exactly `wire_bits` bits and `decode` inverts it.
+///
+/// Layout (all fields MSB-first):
+///
+/// | variant | bits |
+/// |---|---|
+/// | `Rank(r)` | `0`, then `r` in `rank_bits` |
+/// | `Abort` | `1`, then `1` |
+/// | `Seqs`  | `1`, then `tag.rank` (`rank_bits`), `tag.lo`, `tag.hi` (`id_bits` each), the sequence count `c` in `bits_for(max(c,1))` bits, then `c · seq_len` IDs (`id_bits` each) |
+///
+/// The first bit separates `Rank` from the rest; `Abort` and `Seqs`
+/// separate by frame length (an `Abort` frame has exactly one bit after
+/// the discriminant, a `Seqs` frame always more). Exactly like the
+/// accounting in [`seqs_wire_bits`], the encoding carries **no
+/// per-sequence length fields**: the CONGEST receiver knows every
+/// sequence's length from the round number ("the receiver learns
+/// lengths from the round number"), so that context — [`CkCodec::seq_len`]
+/// — is codec state, set per round by a network executor, not payload
+/// bits. Within that context the count prefix is self-delimiting:
+/// `bits_for(max(c,1)) + c·seq_len·id_bits` is strictly increasing in
+/// `c`, so the frame length determines `c` uniquely and the prefix
+/// value is verified against it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CkCodec {
+    /// Length of every sequence in a `Seqs` bundle under this round's
+    /// context (`1..=MAX_SEQ_LEN`; irrelevant for `Rank`/`Abort`).
+    pub seq_len: usize,
+}
+
+impl CkCodec {
+    /// A codec for bundles of `seq_len`-ID sequences.
+    ///
+    /// # Panics
+    /// Panics when `seq_len` exceeds [`MAX_SEQ_LEN`] (no protocol round
+    /// ships longer sequences).
+    pub fn new(seq_len: usize) -> Self {
+        assert!(seq_len <= MAX_SEQ_LEN, "seq_len {seq_len} exceeds MAX_SEQ_LEN");
+        CkCodec { seq_len }
+    }
+}
+
+impl WireCodec for CkCodec {
+    type Msg = CkMsg;
+
+    fn encode(
+        &self,
+        msg: &CkMsg,
+        params: &WireParams,
+        out: &mut BitWriter,
+    ) -> Result<u64, CodecError> {
+        // Validate everything *before* the first bit lands: an error
+        // must leave `out` untouched, so callers packing several
+        // messages into one frame never end up mis-framed.
+        let fits = |value: u64, width: u32| -> Result<(), CodecError> {
+            if width < 64 && value >> width != 0 {
+                return Err(CodecError::Overflow { value, width });
+            }
+            Ok(())
+        };
+        match msg {
+            CkMsg::Rank(r) => fits(*r, params.rank_bits)?,
+            CkMsg::Abort => {}
+            CkMsg::Seqs { tag, seqs } => {
+                fits(tag.rank, params.rank_bits)?;
+                fits(tag.lo, params.id_bits)?;
+                fits(tag.hi, params.id_bits)?;
+                if !seqs.is_empty() && self.seq_len == 0 {
+                    return Err(CodecError::Invalid("a bundle of empty sequences is not framable"));
+                }
+                for s in seqs.as_slice() {
+                    if s.len() != self.seq_len {
+                        return Err(CodecError::Invalid(
+                            "sequence length differs from the codec's round context",
+                        ));
+                    }
+                    for id in s.iter() {
+                        fits(id, params.id_bits)?;
+                    }
+                }
+            }
+        }
+
+        let start = out.len_bits();
+        match msg {
+            CkMsg::Rank(r) => {
+                out.push_bits(0, 1)?;
+                out.push_bits(*r, params.rank_bits)?;
+            }
+            CkMsg::Abort => {
+                out.push_bits(1, 1)?;
+                out.push_bits(1, 1)?;
+            }
+            CkMsg::Seqs { tag, seqs } => {
+                out.push_bits(1, 1)?;
+                out.push_bits(tag.rank, params.rank_bits)?;
+                out.push_bits(tag.lo, params.id_bits)?;
+                out.push_bits(tag.hi, params.id_bits)?;
+                let c = seqs.len();
+                out.push_bits(c as u64, bits_for(c.max(1) as u64))?;
+                for s in seqs.as_slice() {
+                    for id in s.iter() {
+                        out.push_bits(id, params.id_bits)?;
+                    }
+                }
+            }
+        }
+        let bits = out.len_bits() - start;
+        debug_assert_eq!(bits, msg.wire_bits(params), "encoded bits must equal wire_bits");
+        Ok(bits)
+    }
+
+    fn decode(&self, params: &WireParams, r: &mut BitReader<'_>) -> Result<CkMsg, CodecError> {
+        if r.read_bits(1)? == 0 {
+            let rank = r.read_bits(params.rank_bits)?;
+            if r.remaining_bits() != 0 {
+                return Err(CodecError::TrailingBits { remaining: r.remaining_bits() });
+            }
+            return Ok(CkMsg::Rank(rank));
+        }
+        if r.remaining_bits() == 1 {
+            if r.read_bits(1)? != 1 {
+                return Err(CodecError::Invalid("abort flag bit must be set"));
+            }
+            return Ok(CkMsg::Abort);
+        }
+        let rank = r.read_bits(params.rank_bits)?;
+        let lo = r.read_bits(params.id_bits)?;
+        let hi = r.read_bits(params.id_bits)?;
+        if lo >= hi {
+            return Err(CodecError::Invalid("edge tag endpoints must satisfy lo < hi"));
+        }
+        let rem = r.remaining_bits();
+        let per_seq = self.seq_len as u64 * u64::from(params.id_bits);
+        // Solve `rem = bits_for(max(c,1)) + c·per_seq` for the unique c
+        // (strictly increasing once per_seq ≥ 1; c = 0 is the rem = 1
+        // case).
+        let count = if rem == 1 {
+            0u64
+        } else {
+            if per_seq == 0 {
+                return Err(CodecError::Invalid("a bundle of empty sequences is not framable"));
+            }
+            let mut c = 1u64;
+            loop {
+                let need = u64::from(bits_for(c)) + c * per_seq;
+                if need == rem {
+                    break c;
+                }
+                if need > rem {
+                    return Err(CodecError::Invalid("frame length matches no sequence count"));
+                }
+                c += 1;
+            }
+        };
+        let prefix = r.read_bits(bits_for(count.max(1)))?;
+        if prefix != count {
+            return Err(CodecError::Invalid("non-canonical bundle count prefix"));
+        }
+        let mut ids = [0 as NodeId; MAX_SEQ_LEN];
+        let mut seqs = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            for slot in ids.iter_mut().take(self.seq_len) {
+                *slot = r.read_bits(params.id_bits)?;
+            }
+            seqs.push(IdSeq::from_slice(&ids[..self.seq_len]));
+        }
+        debug_assert_eq!(r.remaining_bits(), 0, "count inference consumes the frame exactly");
+        Ok(CkMsg::Seqs { tag: EdgeTag { rank, lo, hi }, seqs: SeqBundle(seqs) })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +400,66 @@ mod tests {
             seqs: SeqBundle(vec![IdSeq::from_slice(&[1, 2])]),
         };
         assert_eq!(m.wire_bits(&p), 1 + 14 + 24 + (1 + 24));
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant_at_wire_bits() {
+        let p = params();
+        let codec = CkCodec::new(2);
+        let msgs = [
+            CkMsg::Rank(7),
+            CkMsg::Rank((1 << 14) - 1),
+            CkMsg::Abort,
+            CkMsg::Seqs { tag: EdgeTag::new(7, 1, 2), seqs: SeqBundle(vec![]) },
+            CkMsg::Seqs {
+                tag: EdgeTag::new(200, 40, 3),
+                seqs: SeqBundle(vec![IdSeq::from_slice(&[1, 2]), IdSeq::from_slice(&[9, 4])]),
+            },
+        ];
+        for msg in &msgs {
+            let buf = codec.encode_to_buf(msg, &p).unwrap();
+            assert_eq!(buf.len_bits(), msg.wire_bits(&p), "{msg:?}");
+            let back = codec.decode(&p, &mut buf.reader()).unwrap();
+            assert_eq!(&back, msg);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_unframable_and_malformed_messages() {
+        let p = params();
+        let codec = CkCodec::new(2);
+        // A sequence whose length disagrees with the round context.
+        let mixed = CkMsg::Seqs {
+            tag: EdgeTag::new(1, 1, 2),
+            seqs: SeqBundle(vec![IdSeq::from_slice(&[1, 2, 3])]),
+        };
+        assert!(matches!(codec.encode_to_buf(&mixed, &p), Err(CodecError::Invalid(_))));
+        // An ID wider than id_bits cannot be framed.
+        let fat = CkMsg::Seqs {
+            tag: EdgeTag::new(1, 1, 1 << 12),
+            seqs: SeqBundle(vec![IdSeq::from_slice(&[1, 2])]),
+        };
+        assert!(matches!(codec.encode_to_buf(&fat, &p), Err(CodecError::Overflow { .. })));
+        // A failed encode leaves the writer untouched (multi-message
+        // frames must never be mis-framed by a rejected append).
+        let mut frame = codec.encode_to_buf(&CkMsg::Rank(3), &p).unwrap();
+        let before = frame.clone();
+        assert!(codec.encode(&mixed, &p, &mut frame).is_err());
+        assert!(codec.encode(&fat, &p, &mut frame).is_err());
+        assert_eq!(frame, before, "rejected appends must not write partial bits");
+        // Truncated frame.
+        let ok = CkMsg::Seqs {
+            tag: EdgeTag::new(1, 1, 2),
+            seqs: SeqBundle(vec![IdSeq::from_slice(&[1, 2])]),
+        };
+        let buf = codec.encode_to_buf(&ok, &p).unwrap();
+        let mut short = BitReader::new(buf.as_bytes(), buf.len_bits() - 3);
+        assert!(codec.decode(&p, &mut short).is_err());
+        // Decoding under the wrong round context trips the frame-length
+        // or canonical-prefix check (context is part of the frame's
+        // addressing, like any schema'd wire format).
+        let wrong = CkCodec::new(3).decode(&p, &mut buf.reader());
+        assert!(wrong.is_err(), "{wrong:?}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! Phase-2 run with probability ≥ ε/e² per repetition; `⌈(e²/ε)·ln 3⌉`
 //! repetitions push the detection probability to ≥ 2/3.
 
+use crate::tester::ConfigError;
 use ck_congest::graph::NodeId;
 use ck_congest::rngs::{derived_rng, labels};
 use rand::rngs::StdRng;
@@ -29,11 +30,13 @@ pub fn repetitions_for(eps: f64) -> u32 {
     try_repetitions_for(eps).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Checked form of [`repetitions_for`]: returns a descriptive error for
-/// `eps` outside `(0, 1)` (including NaN) instead of aborting.
-pub fn try_repetitions_for(eps: f64) -> Result<u32, String> {
+/// Checked form of [`repetitions_for`]: returns a [`ConfigError`] for
+/// `eps` outside `(0, 1)` (including NaN) instead of aborting — the
+/// same error type the session builders surface, so every unvalidated
+/// input path (CLI flags, spec strings, batch jobs) reports uniformly.
+pub fn try_repetitions_for(eps: f64) -> Result<u32, ConfigError> {
     if !(eps > 0.0 && eps < 1.0) {
-        return Err(format!("ε must lie in (0,1), got {eps}"));
+        return Err(ConfigError::EpsOutOfRange { eps });
     }
     Ok(((E_SQUARED / eps) * 3f64.ln()).ceil() as u32)
 }
@@ -99,7 +102,8 @@ mod tests {
         assert_eq!(try_repetitions_for(0.1), Ok(repetitions_for(0.1)));
         for bad in [0.0, -0.2, 1.0, 1.5, f64::NAN, f64::INFINITY] {
             let err = try_repetitions_for(bad).unwrap_err();
-            assert!(err.contains("must lie in (0,1)"), "{bad}: {err}");
+            assert!(matches!(err, ConfigError::EpsOutOfRange { .. }), "{bad}: {err}");
+            assert!(err.to_string().contains("must lie in (0,1)"), "{bad}: {err}");
         }
     }
 

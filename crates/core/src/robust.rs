@@ -18,7 +18,8 @@
 //! [`loss_detection_curve`] measures the detection rate as a function of
 //! the loss rate; the experiment harness and tests consume it.
 
-use crate::tester::{run_tester, TesterConfig};
+use crate::session::TesterSession;
+use crate::tester::TesterConfig;
 use ck_congest::engine::EngineConfig;
 use ck_congest::fault::FaultPlan;
 use ck_congest::graph::Graph;
@@ -51,17 +52,21 @@ pub fn loss_detection_curve(
     trials: u32,
     seed: u64,
 ) -> Vec<LossPoint> {
+    // One session for the whole sweep: seeds and fault plans vary per
+    // trial through the unvalidated setters, so every trial after the
+    // first runs on warm arenas and scratch.
+    let mut session =
+        TesterSession::from_config(TesterConfig::new(k, eps, seed), EngineConfig::default())
+            .unwrap_or_else(|e| panic!("{e}"));
     losses
         .iter()
         .map(|&loss| {
             let mut rejects = 0;
             for t in 0..trials {
-                let engine = EngineConfig {
-                    faults: FaultPlan::none().random_loss(loss, seed ^ (u64::from(t) << 17)),
-                    ..EngineConfig::default()
-                };
-                let cfg = TesterConfig::new(k, eps, seed.wrapping_add(u64::from(t)));
-                if run_tester(g, &cfg, &engine).expect("engine run").reject {
+                session.engine_mut().faults =
+                    FaultPlan::none().random_loss(loss, seed ^ (u64::from(t) << 17));
+                session.set_seed(seed.wrapping_add(u64::from(t)));
+                if session.test(g).expect("engine run").reject {
                     rejects += 1;
                 }
             }
@@ -73,6 +78,17 @@ pub fn loss_detection_curve(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The tests' single-run entry: a fresh session per call (shadows
+    /// the deprecated free function).
+    fn run_tester(
+        g: &ck_congest::graph::Graph,
+        cfg: &TesterConfig,
+        engine: &EngineConfig,
+    ) -> Result<crate::tester::TesterRun, ck_congest::engine::EngineError> {
+        crate::session::TesterSession::from_config(*cfg, engine.clone()).unwrap().test(g)
+    }
+
     use ck_graphgen::basic::cycle;
     use ck_graphgen::farness::{contains_ck, is_valid_ck};
     use ck_graphgen::planted::{eps_far_instance, matched_free_instance};

@@ -9,7 +9,7 @@
 //! those per-pair calls with *batch* scans:
 //!
 //! * [`SeqBlock`] packs a node's candidate sequence set into a
-//!   lane-major structure-of-arrays view — [`MAX_SEQ_LEN`] ID lanes ×
+//!   lane-major structure-of-arrays view — [`crate::seq::MAX_SEQ_LEN`] ID lanes ×
 //!   sequences, plus a length row and a validity row — so "does ID `x`
 //!   occur in sequence `s`" becomes one equality sweep along a
 //!   contiguous lane for **every** `s` at once;
@@ -238,7 +238,7 @@ mod x86 {
 /// padding) keeps the sweeps branchless — a padded slot can never
 /// contribute a match, whatever its residual ID value.
 ///
-/// The backing storage is grow-only and recycled across [`load`]s
+/// The backing storage is grow-only and recycled across [`SeqBlock::load`]s
 /// (`SeqBlock::load`): the tester carries one block per node in its
 /// scratch, so steady-state rounds repack without allocating.
 #[derive(Debug, Default)]

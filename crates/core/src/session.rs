@@ -1,0 +1,312 @@
+//! The composable entry point over the full `Ck` tester: build a
+//! [`TesterSession`] once — parameters validated at build time — and
+//! test graphs through it repeatedly.
+//!
+//! Four PRs of tester work grew three free-function entry points
+//! (`run_tester`, `run_tester_reusing`, `run_tester_batch`) whose
+//! signatures widened with every capability — caller-threaded
+//! [`ck_congest::engine::EngineWorkspace`]s,
+//! [`TesterScratch`] pools, batch option structs. A `TesterSession`
+//! folds them into one builder over [`TesterConfig`] with validated
+//! setters (`k ∈ 3..=MAX_K`, `ε ∈ (0, 1)` via
+//! [`crate::rank::try_repetitions_for`]), owning the engine workspace
+//! and scratch pool so the fast path — arena, slot-array, and per-node
+//! buffer reuse across runs — is the default rather than an expert
+//! opt-in.
+//!
+//! Outputs are bit-identical to the legacy entry points by the
+//! engine's reuse contracts — property-tested in
+//! `tests/session_parity.rs`.
+
+use crate::batch::{batch_exec, BatchError, BatchJob};
+use crate::msg::CkMsg;
+use crate::prune::PrunerKind;
+use crate::scan::ScanBackend;
+use crate::tester::{tester_exec, ConfigError, TesterConfig, TesterRun, TesterScratch};
+use ck_congest::engine::{EngineConfig, EngineError, EngineWorkspace, Executor, SlotStats};
+use ck_congest::graph::Graph;
+
+/// Builder for a [`TesterSession`]; every setter records, [`build`]
+/// validates.
+///
+/// [`build`]: TesterSessionBuilder::build
+pub struct TesterSessionBuilder {
+    cfg: TesterConfig,
+    engine: EngineConfig,
+}
+
+impl TesterSessionBuilder {
+    fn new(k: usize, eps: f64) -> Self {
+        TesterSessionBuilder { cfg: TesterConfig::new(k, eps, 0), engine: EngineConfig::default() }
+    }
+
+    /// Master seed for all Phase-1 randomness (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Overrides the paper's `⌈(e²/ε)·ln 3⌉` repetition schedule.
+    pub fn repetitions(mut self, repetitions: u32) -> Self {
+        self.cfg.repetitions = Some(repetitions);
+        self
+    }
+
+    /// Pruning implementation (identical semantics across kinds).
+    pub fn pruner(mut self, pruner: PrunerKind) -> Self {
+        self.cfg.pruner = pruner;
+        self
+    }
+
+    /// Collision-scan backend for the Phase-2 hot paths.
+    pub fn scan(mut self, scan: ScanBackend) -> Self {
+        self.cfg.scan = scan;
+        self
+    }
+
+    /// Enables the early-abort extension (1-bit abort flood on the
+    /// first rejection).
+    pub fn early_abort(mut self, early_abort: bool) -> Self {
+        self.cfg.early_abort = early_abort;
+        self
+    }
+
+    /// Replaces the engine template every run executes under.
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the executor without replacing the whole engine template.
+    pub fn executor(mut self, executor: Executor) -> Self {
+        self.engine.executor = executor;
+        self
+    }
+
+    /// Validates the configuration (`k ∈ 3..=MAX_K`, `ε ∈ (0, 1)`) and
+    /// builds the session.
+    pub fn build(self) -> Result<TesterSession, ConfigError> {
+        TesterSession::from_config(self.cfg, self.engine)
+    }
+}
+
+/// A reusable execution context for the full `Ck`-freeness tester:
+/// validated [`TesterConfig`], engine template, and internally owned
+/// engine workspace + [`TesterScratch`] pool, all recycled on every
+/// [`test`](TesterSession::test).
+///
+/// # Examples
+///
+/// ```
+/// use ck_core::session::TesterSession;
+/// use ck_graphgen::basic::cycle;
+/// use ck_graphgen::planted::matched_free_instance;
+///
+/// let mut session = TesterSession::builder(5, 0.1)
+///     .seed(42)
+///     .repetitions(2)
+///     .build()
+///     .unwrap();
+///
+/// // A C5-free graph is accepted with probability 1 …
+/// let free = matched_free_instance(30, 5);
+/// assert!(!session.test(&free).unwrap().reject);
+///
+/// // … while a 5-cycle is rejected; the second run reuses the
+/// // session's arenas and per-node scratch.
+/// let c5 = cycle(5);
+/// assert!(session.test(&c5).unwrap().reject);
+///
+/// // Out-of-range parameters fail at build time, not mid-run.
+/// assert!(TesterSession::builder(2, 0.1).build().is_err());
+/// assert!(TesterSession::builder(5, 1.5).build().is_err());
+/// ```
+pub struct TesterSession {
+    cfg: TesterConfig,
+    engine: EngineConfig,
+    ws: EngineWorkspace<CkMsg>,
+    scratch: TesterScratch,
+}
+
+impl std::fmt::Debug for TesterSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The workspace and scratch are opaque recycled storage; the
+        // configs are the session's identity.
+        f.debug_struct("TesterSession")
+            .field("cfg", &self.cfg)
+            .field("engine", &self.engine)
+            .field("slot_stats", &self.ws.slot_stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TesterSession {
+    /// Starts a builder for cycle length `k` at property-testing
+    /// parameter `eps`.
+    pub fn builder(k: usize, eps: f64) -> TesterSessionBuilder {
+        TesterSessionBuilder::new(k, eps)
+    }
+
+    /// Builds a session from an already-assembled configuration pair,
+    /// validating it.
+    pub fn from_config(cfg: TesterConfig, engine: EngineConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(TesterSession { cfg, engine, ws: EngineWorkspace::new(), scratch: TesterScratch::new() })
+    }
+
+    /// The validated tester configuration.
+    pub fn config(&self) -> &TesterConfig {
+        &self.cfg
+    }
+
+    /// The engine template every run executes under.
+    pub fn engine(&self) -> &EngineConfig {
+        &self.engine
+    }
+
+    /// Changes the Phase-1 master seed for subsequent tests. Seeds are
+    /// not part of validation, so sweeping seeds through one session
+    /// keeps the workspace and scratch warm instead of rebuilding a
+    /// session per trial.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.cfg.seed = seed;
+    }
+
+    /// Mutable access to the engine template (faults, bandwidth policy,
+    /// executor — none of it validated state); takes effect on the next
+    /// test. Lets loss/robustness sweeps vary the fault plan per trial
+    /// without giving up session reuse.
+    pub fn engine_mut(&mut self) -> &mut EngineConfig {
+        &mut self.engine
+    }
+
+    /// Slot-array reuse counters of the owned workspace (after the
+    /// first test, further tests allocate no per-run slot array).
+    pub fn slot_stats(&self) -> SlotStats {
+        self.ws.slot_stats()
+    }
+
+    /// Runs the full tester on `g`, recycling the session's workspace
+    /// and scratch pool. Output is bit-identical to a fresh-state run.
+    pub fn test(&mut self, g: &Graph) -> Result<TesterRun, EngineError> {
+        tester_exec(g, &self.cfg, &self.engine, &mut self.ws, &mut self.scratch)
+    }
+
+    /// Runs a family of jobs through the sharded batch runner (one
+    /// engine workspace + scratch pool per shard; results in input
+    /// order, bit-identical to one-by-one [`test`](TesterSession::test)
+    /// calls under the sequential executor). `shards = None` uses the
+    /// thread pool's width.
+    ///
+    /// Batches are heterogeneous by design (sweeps mix `k`/`ε`/seeds
+    /// per cell): each job carries and is governed by its **own**
+    /// [`TesterConfig`] — the session contributes the engine template
+    /// and nothing else; its `(k, ε)` govern only
+    /// [`test`](TesterSession::test) and [`job`](TesterSession::job).
+    /// Every job's configuration is validated up front, so the first
+    /// (lowest-index) out-of-range job is a
+    /// [`BatchFailure`](crate::batch::BatchFailure)`::Config` before
+    /// anything runs.
+    pub fn test_batch(
+        &self,
+        jobs: &[BatchJob<'_>],
+        shards: Option<usize>,
+    ) -> Result<Vec<TesterRun>, BatchError> {
+        batch_exec(jobs, &self.engine, shards)
+    }
+
+    /// A batch job running this session's configuration on `graph` with
+    /// a different Phase-1 seed — the trials-fan-out building block.
+    pub fn job<'a>(&self, graph: &'a Graph, seed: u64) -> BatchJob<'a> {
+        BatchJob::new(graph, TesterConfig { seed, ..self.cfg })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchFailure;
+    use ck_graphgen::basic::cycle;
+    use ck_graphgen::planted::eps_far_instance;
+
+    #[test]
+    fn builder_validates_k_and_eps() {
+        for k in [0usize, 1, 2, crate::seq::MAX_K + 1, 100] {
+            let err = TesterSession::builder(k, 0.1).build().unwrap_err();
+            assert_eq!(err, ConfigError::KOutOfRange { k }, "{k}");
+            assert!(err.to_string().contains("outside supported range"), "{err}");
+        }
+        for eps in [0.0, -0.5, 1.0, 2.0, f64::NAN] {
+            let err = TesterSession::builder(5, eps).build().unwrap_err();
+            assert!(matches!(err, ConfigError::EpsOutOfRange { .. }), "{eps}");
+            assert!(err.to_string().contains("must lie in (0,1)"), "{err}");
+        }
+        assert!(TesterSession::builder(3, 0.99).build().is_ok());
+        assert!(TesterSession::builder(crate::seq::MAX_K, 0.01).build().is_ok());
+    }
+
+    #[test]
+    fn builder_setters_land_in_the_config() {
+        let mut session = TesterSession::builder(7, 0.2)
+            .seed(9)
+            .repetitions(4)
+            .pruner(PrunerKind::Literal)
+            .scan(ScanBackend::Scalar)
+            .early_abort(true)
+            .executor(Executor::Sequential)
+            .build()
+            .unwrap();
+        let cfg = session.config();
+        assert_eq!((cfg.k, cfg.seed, cfg.repetitions), (7, 9, Some(4)));
+        assert_eq!(cfg.pruner, PrunerKind::Literal);
+        assert_eq!(cfg.scan, ScanBackend::Scalar);
+        assert!(cfg.early_abort);
+        assert_eq!(session.engine().executor, Executor::Sequential);
+        // Per-run knobs (unvalidated state) mutate in place.
+        session.set_seed(77);
+        session.engine_mut().record_rounds = false;
+        assert_eq!(session.config().seed, 77);
+        assert!(!session.engine().record_rounds);
+    }
+
+    #[test]
+    fn session_reuse_is_warm_and_deterministic() {
+        let inst = eps_far_instance(36, 5, 0.1, 1);
+        let mut session = TesterSession::builder(5, 0.1).seed(3).repetitions(2).build().unwrap();
+        let first = session.test(&inst.graph).unwrap();
+        assert!(first.reject);
+        for _ in 0..3 {
+            let again = session.test(&inst.graph).unwrap();
+            assert_eq!(first.outcome.verdicts, again.outcome.verdicts);
+            assert_eq!(first.outcome.report.per_round, again.outcome.report.per_round);
+        }
+        let stats = session.slot_stats();
+        assert_eq!(stats.takes, 4);
+        assert_eq!(stats.misses, 1, "reused tests must not reallocate the slot array");
+    }
+
+    #[test]
+    fn batch_surfaces_config_errors_before_running() {
+        let g = cycle(5);
+        let good = TesterConfig { repetitions: Some(1), ..TesterConfig::new(5, 0.1, 0) };
+        let bad = TesterConfig { repetitions: Some(1), ..TesterConfig::new(99, 0.1, 0) };
+        let session = TesterSession::builder(5, 0.1).build().unwrap();
+        let jobs = vec![BatchJob::labeled(&g, good, "good"), BatchJob::labeled(&g, bad, "bad")];
+        let err = session.test_batch(&jobs, None).unwrap_err();
+        assert_eq!(err.job, 1);
+        assert_eq!(err.label, "bad");
+        assert_eq!(err.error, BatchFailure::Config(ConfigError::KOutOfRange { k: 99 }));
+        assert!(err.to_string().contains("outside supported range"), "{err}");
+    }
+
+    #[test]
+    fn session_jobs_fan_out_seeds() {
+        let g = cycle(5);
+        let session = TesterSession::builder(5, 0.1).repetitions(1).build().unwrap();
+        let jobs: Vec<BatchJob> = (0..3).map(|t| session.job(&g, 100 + t)).collect();
+        assert_eq!(jobs[2].cfg.seed, 102);
+        assert_eq!(jobs[0].cfg.k, 5);
+        let runs = session.test_batch(&jobs, Some(2)).unwrap();
+        assert!(runs.iter().all(|r| r.reject), "C5 rejects for every seed");
+    }
+}

@@ -17,9 +17,10 @@ use crate::msg::{SeqBundle, SeqPool};
 use crate::prune::{build_send_set_scanned, PrunerKind, SendSetScratch};
 use crate::scan::{decide_all_rejects_scanned, ScanBackend, ScanScratch};
 use crate::seq::{IdSeq, MAX_K};
-use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::engine::{EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Edge, Graph, NodeId};
 use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
+use ck_congest::session::Session;
 
 /// Per-node outcome of the single-edge detector.
 #[derive(Clone, Debug, Default)]
@@ -228,7 +229,10 @@ pub fn detect_ck_through_edge(
     let ids = (g.id(e.a), g.id(e.b));
     let mut cfg = config.clone();
     cfg.max_rounds = (k / 2) as u32 + 1;
-    let outcome = run(g, &cfg, |init| DetectSingle::new(k, &init, ids, pruner))?;
+    let outcome = Session::builder(g)
+        .config(cfg)
+        .build()
+        .run(|init| DetectSingle::new(k, &init, ids, pruner))?;
     let reject = outcome.verdicts.iter().any(|v| v.reject);
     Ok(SingleRun { reject, outcome })
 }
@@ -371,7 +375,6 @@ mod tests {
     #[test]
     fn scan_backends_agree_on_single_edge() {
         use crate::scan::ScanBackend;
-        use ck_congest::engine::run;
         let g = petersen();
         for k in [5usize, 6] {
             for &e in &g.edges()[..6] {
@@ -396,10 +399,13 @@ mod tests {
                 ] {
                     let cfg =
                         EngineConfig { max_rounds: (k / 2) as u32 + 1, ..EngineConfig::default() };
-                    let outcome = run(&g, &cfg, |init| {
-                        DetectSingle::with_scan(k, &init, ids, PrunerKind::Representative, scan)
-                    })
-                    .unwrap();
+                    let outcome = Session::builder(&g)
+                        .config(cfg)
+                        .build()
+                        .run(|init| {
+                            DetectSingle::with_scan(k, &init, ids, PrunerKind::Representative, scan)
+                        })
+                        .unwrap();
                     let reject = outcome.verdicts.iter().any(|v| v.reject);
                     outs.push((scan, digest(&SingleRun { reject, outcome })));
                 }

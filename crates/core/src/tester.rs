@@ -23,9 +23,41 @@ use crate::prune::{build_send_set_scanned, PrunerKind, SendSetScratch};
 use crate::rank::{draw_rank, rank_rng, repetitions_for, rounds_per_repetition, total_rounds};
 use crate::scan::{decide_reject_scanned, ScanBackend, ScanScratch};
 use crate::seq::{IdSeq, MAX_K};
-use ck_congest::engine::{run, EngineConfig, EngineError, RunOutcome};
+use ck_congest::engine::{EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
 use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
+
+/// A [`TesterConfig`] whose parameters lie outside the algorithm's
+/// domain. Historically `TesterConfig::new` accepted anything and the
+/// run panicked later (deep inside the repetition schedule or the
+/// per-node assert); the session builders and
+/// [`crate::rank::try_repetitions_for`] surface this error instead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `k` outside the supported `3..=MAX_K` range.
+    KOutOfRange {
+        /// The rejected cycle length.
+        k: usize,
+    },
+    /// `ε` outside `(0, 1)` (including NaN).
+    EpsOutOfRange {
+        /// The rejected property-testing parameter.
+        eps: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::KOutOfRange { k } => {
+                write!(f, "k = {k} outside supported range 3..={MAX_K}")
+            }
+            ConfigError::EpsOutOfRange { eps } => write!(f, "ε must lie in (0,1), got {eps}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Tester parameters.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +96,25 @@ impl TesterConfig {
             scan: ScanBackend::auto(),
             early_abort: false,
         }
+    }
+
+    /// As [`TesterConfig::new`], rejecting out-of-range parameters
+    /// instead of deferring the failure to the run.
+    pub fn try_new(k: usize, eps: f64, seed: u64) -> Result<Self, ConfigError> {
+        let cfg = TesterConfig::new(k, eps, seed);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the parameter domain: `k ∈ 3..=MAX_K`, `ε ∈ (0, 1)`. The
+    /// session builders call this so a bad configuration is a
+    /// [`ConfigError`] at build time, never a panic mid-schedule.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(3..=MAX_K).contains(&self.k) {
+            return Err(ConfigError::KOutOfRange { k: self.k });
+        }
+        crate::rank::try_repetitions_for(self.eps)?;
+        Ok(())
     }
 
     /// Repetition count actually used.
@@ -500,34 +551,21 @@ impl TesterRun {
     }
 }
 
-/// Runs the full tester on `g`.
-pub fn run_tester(
-    g: &Graph,
-    cfg: &TesterConfig,
-    engine: &EngineConfig,
-) -> Result<TesterRun, EngineError> {
-    let reps = cfg.effective_repetitions();
-    let mut ecfg = engine.clone();
-    ecfg.max_rounds = total_rounds(cfg.k, reps);
-    let outcome = run(g, &ecfg, |init| CkTester::new(cfg, &init))?;
-    let reject = outcome.verdicts.iter().any(|v| v.rejected);
-    Ok(TesterRun { reject, repetitions: reps, outcome })
-}
-
-/// As [`run_tester`], executing through a caller-owned engine workspace
-/// and tester-scratch pool — the batch runner's per-shard hot path.
-/// Arenas, wire-load rows, and per-node tester buffers are recycled
-/// from the previous job instead of reallocated; the output is
-/// bit-identical to [`run_tester`] with the same `engine` config (a
-/// reset workspace and a cleared scratch are observationally fresh).
-pub fn run_tester_reusing(
+/// The tester engine proper: one full run through a caller-owned
+/// engine workspace and tester-scratch pool. This is the single
+/// implementation behind [`crate::session::TesterSession`], the batch
+/// runner's per-shard hot path, and the deprecated free functions.
+/// Arenas, wire-load rows, slot arrays, and per-node tester buffers are
+/// recycled from the previous run instead of reallocated; the output is
+/// bit-identical to a fresh-state run (a reset workspace and a cleared
+/// scratch are observationally fresh).
+pub(crate) fn tester_exec(
     g: &Graph,
     cfg: &TesterConfig,
     engine: &EngineConfig,
     ws: &mut ck_congest::engine::EngineWorkspace<CkMsg>,
     scratch: &mut TesterScratch,
 ) -> Result<TesterRun, EngineError> {
-    use ck_congest::engine::run_with_workspace;
     let reps = cfg.effective_repetitions();
     let mut ecfg = engine.clone();
     ecfg.max_rounds = total_rounds(cfg.k, reps);
@@ -536,12 +574,11 @@ pub fn run_tester_reusing(
     // they never run concurrently (setup vs teardown), so a RefCell
     // splits the borrow cleanly.
     let pool = std::cell::RefCell::new(std::mem::take(scratch));
-    let result = run_with_workspace(
+    let result = ws.run_on(
         g,
         &ecfg,
         &params,
-        ws,
-        &mut |init| CkTester::with_scratch(cfg, &init, pool.borrow_mut().take()),
+        |init| CkTester::with_scratch(cfg, &init, pool.borrow_mut().take()),
         |prog: CkTester<'_>| pool.borrow_mut().put(prog.into_scratch()),
     );
     // Restore the pool before propagating any failure: a shard whose
@@ -554,9 +591,60 @@ pub fn run_tester_reusing(
     Ok(TesterRun { reject, repetitions: reps, outcome })
 }
 
+/// Runs the full tester on `g`.
+///
+/// # Panics
+/// Panics on an out-of-range `cfg` (use
+/// [`crate::session::TesterSession`] for a [`ConfigError`] instead).
+/// Validation is strict since the session redesign: `eps` must lie in
+/// `(0, 1)` even when a `repetitions` override means the schedule
+/// never reads it — previously such configs ran, now they are rejected
+/// up front like every other out-of-domain parameter.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `ck_core::session::TesterSession` — validated config, workspace and \
+            scratch reuse by default"
+)]
+pub fn run_tester(
+    g: &Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+) -> Result<TesterRun, EngineError> {
+    crate::session::TesterSession::from_config(*cfg, engine.clone())
+        .unwrap_or_else(|e| panic!("{e}"))
+        .test(g)
+}
+
+/// As [`run_tester`], executing through a caller-owned engine workspace
+/// and tester-scratch pool. A [`crate::session::TesterSession`] owns
+/// both and recycles them on every `test`, making the explicit
+/// threading unnecessary.
+#[deprecated(
+    since = "0.2.0",
+    note = "a `ck_core::session::TesterSession` owns and recycles the workspace and scratch; \
+            use `TesterSession::test`"
+)]
+pub fn run_tester_reusing(
+    g: &Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+    ws: &mut ck_congest::engine::EngineWorkspace<CkMsg>,
+    scratch: &mut TesterScratch,
+) -> Result<TesterRun, EngineError> {
+    tester_exec(g, cfg, engine, ws, scratch)
+}
+
 /// One-call convenience: tests `Ck`-freeness of `g` at parameter `eps`.
+///
+/// # Panics
+/// Panics on out-of-range `k`/`eps` (use
+/// [`crate::session::TesterSession`] for a [`ConfigError`] instead).
 pub fn test_ck_freeness(g: &Graph, k: usize, eps: f64, seed: u64) -> TesterRun {
-    run_tester(g, &TesterConfig::new(k, eps, seed), &EngineConfig::default())
+    crate::session::TesterSession::builder(k, eps)
+        .seed(seed)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .test(g)
         .expect("default engine config cannot fail")
 }
 
@@ -565,6 +653,16 @@ mod tests {
     use super::*;
     use ck_congest::engine::Executor;
     use ck_graphgen::basic::{complete_bipartite, cycle, petersen};
+
+    /// The tests' single-run entry: a fresh session per call (shadows
+    /// the deprecated free function the glob import would bind).
+    fn run_tester(
+        g: &Graph,
+        cfg: &TesterConfig,
+        engine: &EngineConfig,
+    ) -> Result<TesterRun, EngineError> {
+        crate::session::TesterSession::from_config(*cfg, engine.clone()).unwrap().test(g)
+    }
     use ck_graphgen::farness::is_valid_ck;
     use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
     use ck_graphgen::random::{random_tree, randomize_ids};

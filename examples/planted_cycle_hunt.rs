@@ -10,7 +10,7 @@
 //! cargo run --release --example planted_cycle_hunt
 //! ```
 
-use ck_core::tester::test_ck_freeness;
+use ck_core::session::TesterSession;
 use ck_graphgen::farness::{certify_eps_far, is_valid_ck};
 use ck_graphgen::planted::eps_far_instance;
 
@@ -25,8 +25,13 @@ fn main() {
         assert!(cert.certified);
         let mut rejects = 0;
         let mut sample_witness = None;
-        for seed in 0..trials {
-            let run = test_ck_freeness(&inst.graph, k, eps, seed);
+        // The seed sweep runs as one sharded session batch: per-shard
+        // engine workspaces and tester scratch are recycled across
+        // trials instead of rebuilt per seed.
+        let session = TesterSession::builder(k, eps).build().expect("valid parameters");
+        let jobs: Vec<_> = (0..trials).map(|seed| session.job(&inst.graph, seed)).collect();
+        let runs = session.test_batch(&jobs, None).expect("batch run");
+        for run in &runs {
             if run.reject {
                 rejects += 1;
                 if sample_witness.is_none() {

@@ -1,10 +1,12 @@
-//! Quickstart: test a network for C5-freeness.
+//! Quickstart: test a network for C5-freeness through the `Session`
+//! API — one builder, parameters validated up front, arenas and
+//! per-node scratch recycled across runs.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use ck_core::tester::test_ck_freeness;
+use ck_core::session::TesterSession;
 use ck_graphgen::basic::cycle;
 use ck_graphgen::planted::matched_free_instance;
 
@@ -12,10 +14,14 @@ fn main() {
     let k = 5;
     let eps = 0.1;
 
+    // One session, many graphs: (k, ε) are checked here, not deep
+    // inside a run.
+    let mut session = TesterSession::builder(k, eps).seed(42).build().expect("valid parameters");
+
     // A C5-free network (blocks of C6 chained together): the tester is
     // 1-sided, so this must be accepted no matter the seed.
     let free = matched_free_instance(60, k);
-    let run = test_ck_freeness(&free, k, eps, 42);
+    let run = session.test(&free).expect("default engine config cannot fail");
     println!(
         "C6-cactus (n={}, m={}): {}  [{} repetitions, {} rounds, {} messages]",
         free.n(),
@@ -30,7 +36,7 @@ fn main() {
     // A single C5: every edge lies on it, so whichever edge wins the
     // Phase-1 rank draw, Phase 2 finds the cycle.
     let c5 = cycle(k);
-    let run = test_ck_freeness(&c5, k, eps, 42);
+    let run = session.test(&c5).expect("default engine config cannot fail");
     println!(
         "C5 itself   (n={}, m={}): {}",
         c5.n(),

@@ -227,7 +227,7 @@ impl_tuple_strategy! {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed length or a range.
+    /// Length specification for [`vec()`]: a fixed length or a range.
     pub trait VecLen {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }

@@ -5,8 +5,20 @@
 use ck_congest::engine::EngineConfig;
 use ck_congest::graph::{Edge, Graph};
 use ck_core::prune::PrunerKind;
+use ck_core::session::TesterSession;
 use ck_core::single::detect_ck_through_edge;
-use ck_core::tester::{run_tester, TesterConfig};
+use ck_core::tester::TesterConfig;
+
+/// One-shot tester run through a fresh session (the session-API form of
+/// the old `run_tester` free function).
+fn run_tester(
+    g: &ck_congest::graph::Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+) -> Result<ck_core::tester::TesterRun, ck_congest::engine::EngineError> {
+    TesterSession::from_config(*cfg, engine.clone()).unwrap().test(g)
+}
+
 use ck_graphgen::basic::{cycle, fan, theta};
 use ck_graphgen::farness::{contains_ck, has_ck_through_edge, is_valid_ck};
 use ck_graphgen::planted::matched_free_instance;

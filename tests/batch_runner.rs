@@ -6,8 +6,9 @@
 use ck_congest::engine::{EngineConfig, Executor};
 use ck_congest::fault::FaultPlan;
 use ck_congest::graph::Graph;
-use ck_core::batch::{run_tester_batch, BatchJob, BatchOptions};
-use ck_core::tester::{run_tester, TesterConfig, TesterRun};
+use ck_core::batch::BatchJob;
+use ck_core::session::TesterSession;
+use ck_core::tester::{TesterConfig, TesterRun};
 use ck_graphgen::basic::cycle;
 use ck_graphgen::planted::{eps_far_instance, matched_free_instance};
 use proptest::prelude::*;
@@ -39,6 +40,15 @@ fn digest(
         r.outcome.report.all_halted,
         r.outcome.report.per_round.clone(),
     )
+}
+
+/// One-by-one reference runs: a fresh session per job.
+fn run_tester(
+    g: &Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+) -> Result<TesterRun, ck_congest::engine::EngineError> {
+    TesterSession::from_config(*cfg, engine.clone()).unwrap().test(g)
 }
 
 proptest! {
@@ -87,12 +97,12 @@ proptest! {
         let par_loop: Vec<TesterRun> =
             jobs.iter().map(|j| run_tester(j.graph, &j.cfg, &engine).unwrap()).collect();
 
+        let session = TesterSession::builder(5, 0.1)
+            .engine(EngineConfig { faults: faults.clone(), ..EngineConfig::default() })
+            .build()
+            .unwrap();
         for shards in [1usize, 2, 5] {
-            let opts = BatchOptions {
-                engine: EngineConfig { faults: faults.clone(), ..EngineConfig::default() },
-                shards: Some(shards),
-            };
-            let batch = run_tester_batch(&jobs, &opts).unwrap();
+            let batch = session.test_batch(&jobs, Some(shards)).unwrap();
             prop_assert_eq!(batch.len(), jobs.len());
             for (i, (one, b)) in seq_loop.iter().zip(&batch).enumerate() {
                 // Sequential one-by-one: exact equality, labels included.
@@ -146,16 +156,44 @@ fn sharded_batch_with_real_threads_is_bit_identical() {
     };
     let reference: Vec<TesterRun> =
         jobs.iter().map(|j| run_tester(j.graph, &j.cfg, &engine).unwrap()).collect();
+    let session = TesterSession::builder(5, 0.1)
+        .engine(EngineConfig { faults: faults.clone(), ..EngineConfig::default() })
+        .build()
+        .unwrap();
     for shards in [2usize, 4, 7] {
-        let opts = BatchOptions {
-            engine: EngineConfig { faults: faults.clone(), ..EngineConfig::default() },
-            shards: Some(shards),
-        };
-        let batch = run_tester_batch(&jobs, &opts).unwrap();
+        let batch = session.test_batch(&jobs, Some(shards)).unwrap();
         for (one, b) in reference.iter().zip(&batch) {
             assert_eq!(digest(one), digest(b), "shards={shards}");
         }
     }
     // The mixed family exercised both verdicts (sanity on the fixture).
     assert!(reference.iter().any(|r| r.reject) && reference.iter().any(|r| !r.reject));
+}
+
+/// PR-5 slot-storage reclaim: a session driving a family of graphs
+/// performs exactly one slot-array allocation — every later job of the
+/// same program type starts warm (the `Slot` program array moved into
+/// `EngineWorkspace`), on both executors.
+#[test]
+fn session_batch_never_reallocates_slot_storage() {
+    // Largest job first so capacity growth cannot masquerade as reuse.
+    let graphs: Vec<Graph> = vec![
+        eps_far_instance(60, 5, 0.1, 1).graph,
+        matched_free_instance(40, 5),
+        cycle(5),
+        eps_far_instance(36, 5, 0.1, 2).graph,
+    ];
+    for executor in [Executor::Sequential, Executor::Parallel] {
+        let mut session =
+            TesterSession::builder(5, 0.1).repetitions(2).executor(executor).build().unwrap();
+        for g in &graphs {
+            session.test(g).unwrap();
+        }
+        let stats = session.slot_stats();
+        assert_eq!(stats.takes, graphs.len() as u64, "{executor:?}");
+        assert_eq!(
+            stats.misses, 1,
+            "{executor:?}: only the cold first job may allocate the slot array"
+        );
+    }
 }

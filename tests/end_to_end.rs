@@ -1,7 +1,19 @@
 //! Cross-crate end-to-end tests: generators → tester → oracle.
 
 use ck_congest::engine::EngineConfig;
-use ck_core::tester::{run_tester, test_ck_freeness, TesterConfig};
+use ck_core::session::TesterSession;
+use ck_core::tester::{test_ck_freeness, TesterConfig};
+
+/// One-shot tester run through a fresh session (the session-API form of
+/// the old `run_tester` free function).
+fn run_tester(
+    g: &ck_congest::graph::Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+) -> Result<ck_core::tester::TesterRun, ck_congest::engine::EngineError> {
+    TesterSession::from_config(*cfg, engine.clone()).unwrap().test(g)
+}
+
 use ck_graphgen::basic::{cycle, cycle_cactus, grid, hypercube, petersen, torus};
 use ck_graphgen::farness::{contains_ck, is_valid_ck};
 use ck_graphgen::planted::{eps_far_instance, matched_free_instance, plant_on_host};
