@@ -134,12 +134,23 @@ where
         for (v, sends) in outboxes.into_iter().enumerate() {
             let v = v as NodeIndex;
             for (port, msg) in sends {
-                if check_faults && config.faults.drops(round, v, port) {
-                    continue;
-                }
                 let w = graph.neighbor_at(v, port);
+                let payload = if check_faults {
+                    match config.faults.decide(round, v, w, port) {
+                        ck_congest::fault::FaultDecision::Drop(_) => continue,
+                        ck_congest::fault::FaultDecision::Corrupt { entropy } => {
+                            match msg.corrupt_frame(&params, entropy) {
+                                Some(garbled) => garbled,
+                                None => continue,
+                            }
+                        }
+                        ck_congest::fault::FaultDecision::Deliver => msg,
+                    }
+                } else {
+                    msg
+                };
                 let q = graph.reverse_port(v, port);
-                slots[w as usize].inbox.push(q, msg);
+                slots[w as usize].inbox.push(q, payload);
             }
         }
 

@@ -176,6 +176,9 @@ pub fn parse_tester(
             ck_core::tester::TesterConfig::new(k, eps, 0).validate().map_err(|e| match e {
                 ck_core::tester::ConfigError::KOutOfRange { .. } => format!("--k: {e}"),
                 ck_core::tester::ConfigError::EpsOutOfRange { .. } => format!("--eps: {e}"),
+                // No CLI flag sets assumed_loss, so this cannot fire here;
+                // surface the message untagged rather than lie about a flag.
+                ck_core::tester::ConfigError::LossOutOfRange { .. } => format!("{e}"),
             })?;
             Ok(Box::new(CkFreenessTester { k, eps, repetitions }))
         }
@@ -317,6 +320,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         ck_core::tester::TesterConfig::new(k, eps, 0).validate().map_err(|e| match e {
             ck_core::tester::ConfigError::KOutOfRange { .. } => format!("--k: {e}"),
             ck_core::tester::ConfigError::EpsOutOfRange { .. } => format!("--eps: {e}"),
+            // Unreachable from the CLI (no flag sets assumed_loss yet).
+            ck_core::tester::ConfigError::LossOutOfRange { .. } => format!("{e}"),
         })?;
         return Ok(Invocation::Batch(BatchRequest {
             path,

@@ -334,10 +334,21 @@ pub(crate) struct RoundAcc {
     /// First (by node index) lane that exceeded an enforced budget:
     /// `(sender, port, end-of-round lane bits)`.
     pub violation: Option<(NodeIndex, u32, u64)>,
+    /// Messages lost to each fault kind, indexed by
+    /// [`crate::fault::DropKind::index`].
+    pub drops_by_kind: [u64; crate::fault::DropKind::COUNT],
+    /// Frames tampered in flight that still decoded (delivered garbage).
+    pub corrupted_delivered: u64,
+    /// Frames tampered in flight that no longer decoded (lost).
+    pub corrupted_rejected: u64,
 }
 
 impl RoundAcc {
     pub(crate) fn merge(a: RoundAcc, b: RoundAcc) -> RoundAcc {
+        let mut drops_by_kind = a.drops_by_kind;
+        for (d, s) in drops_by_kind.iter_mut().zip(b.drops_by_kind) {
+            *d += s;
+        }
         RoundAcc {
             messages: a.messages + b.messages,
             bits: a.bits + b.bits,
@@ -346,7 +357,22 @@ impl RoundAcc {
             max_link_messages: a.max_link_messages.max(b.max_link_messages),
             halted: a.halted + b.halted,
             violation: a.violation.or(b.violation),
+            drops_by_kind,
+            corrupted_delivered: a.corrupted_delivered + b.corrupted_delivered,
+            corrupted_rejected: a.corrupted_rejected + b.corrupted_rejected,
         }
+    }
+
+    /// Folds this accumulator's fault counters into a run-level report.
+    pub(crate) fn add_faults_to(&self, fr: &mut crate::metrics::FaultReport) {
+        use crate::fault::DropKind;
+        fr.dropped_explicit += self.drops_by_kind[DropKind::Explicit.index()];
+        fr.dropped_random += self.drops_by_kind[DropKind::Random.index()];
+        fr.dropped_crash += self.drops_by_kind[DropKind::Crash.index()];
+        fr.dropped_cut += self.drops_by_kind[DropKind::Cut.index()];
+        fr.dropped_burst += self.drops_by_kind[DropKind::Burst.index()];
+        fr.corrupted_delivered += self.corrupted_delivered;
+        fr.corrupted_rejected += self.corrupted_rejected;
     }
 }
 

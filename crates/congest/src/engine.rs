@@ -597,6 +597,7 @@ fn run_rounds_seq_inbox<P: Program>(
             return Err(EngineError::BandwidthExceeded { round, node, port, bits, limit });
         }
         active -= acc.halted as usize;
+        acc.add_faults_to(&mut report.faults);
         if config.record_rounds {
             report.per_round.push(round_stats(&acc, round, active + acc.halted as usize));
         }
@@ -663,6 +664,7 @@ fn run_rounds_par_lanes<P: Program>(
             return Err(EngineError::BandwidthExceeded { round, node, port, bits, limit });
         }
         active -= acc.halted as usize;
+        acc.add_faults_to(&mut report.faults);
         if config.record_rounds {
             report.per_round.push(round_stats(&acc, round, active + acc.halted as usize));
         }
@@ -779,6 +781,7 @@ where
 
     report.rounds = round;
     report.all_halted = active == 0;
+    report.faults.crashed_nodes = config.faults.crashed_by(round, n);
     (report.executor, report.threads) = match config.executor {
         Executor::Sequential => ("sequential", 1),
         Executor::Parallel => ("parallel", rayon::current_num_threads()),

@@ -61,6 +61,44 @@ pub fn bits_for(v: u64) -> u32 {
 pub trait WireMessage: Clone + Send + Sync + 'static {
     /// Bits of the canonical encoding of this message under `params`.
     fn wire_bits(&self, params: &WireParams) -> u64;
+
+    /// The message after in-flight frame corruption: conceptually the
+    /// canonical encoding has bits flipped (chosen by `entropy`) and is
+    /// decoded again by the receiver. Returns `None` when the tampered
+    /// frame no longer decodes (the engine counts it as a drop) and
+    /// `Some(garbage)` when it does — delivered so protocols can be
+    /// stress-tested against adversarial content.
+    ///
+    /// The default is transparent (corruption never sticks): types
+    /// without a canonical [`WireCodec`] have no frame to attack.
+    /// Implementations must be pure in `(self, params, entropy)` so
+    /// executors stay bit-identical.
+    fn corrupt_frame(&self, params: &WireParams, entropy: u64) -> Option<Self> {
+        let _ = (params, entropy);
+        Some(self.clone())
+    }
+}
+
+/// Flips `flips` bits of the `len_bits`-bit frame in `bytes` (MSB-first
+/// bit addressing, matching [`BitWriter`]), at positions derived from
+/// `entropy`. Helper for [`WireMessage::corrupt_frame`] implementations.
+pub fn flip_frame_bits(bytes: &mut [u8], len_bits: u64, entropy: u64, flips: u32) {
+    if len_bits == 0 {
+        return;
+    }
+    let mut e = entropy;
+    for _ in 0..flips {
+        let bit = e % len_bits;
+        bytes[(bit / 8) as usize] ^= 0x80 >> (bit % 8);
+        // Cheap LCG step so multi-flip bursts spread over the frame.
+        e = e.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+}
+
+/// Number of bits to flip for a given entropy draw: usually one, with
+/// occasional 2- and 3-bit bursts to stress multi-field damage.
+pub fn flips_for_entropy(entropy: u64) -> u32 {
+    1 + (entropy >> 56) as u32 % 3
 }
 
 /// Unit messages (pure synchronization pulses) cost one bit.
@@ -75,6 +113,19 @@ impl WireMessage for u64 {
     fn wire_bits(&self, params: &WireParams) -> u64 {
         u64::from(params.id_bits)
     }
+
+    /// The canonical frame is the bare `id_bits`-bit field, so frame
+    /// corruption is bit flips within it — always decodable.
+    fn corrupt_frame(&self, params: &WireParams, entropy: u64) -> Option<u64> {
+        let width = u64::from(params.id_bits.clamp(1, 64));
+        let mut v = *self;
+        let mut e = entropy;
+        for _ in 0..flips_for_entropy(entropy) {
+            v ^= 1 << (e % width);
+            e = e.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        Some(v)
+    }
 }
 
 /// A vector of identities (e.g. neighbor lists) costs `id_bits` each plus a
@@ -83,6 +134,21 @@ impl WireMessage for Vec<u64> {
     fn wire_bits(&self, params: &WireParams) -> u64 {
         u64::from(bits_for(self.len().max(1) as u64))
             + self.len() as u64 * u64::from(params.id_bits)
+    }
+
+    /// Flips bits inside one element's field (the length prefix is
+    /// treated as framing: damaging it changes the frame's shape, which
+    /// the canonical length-exact decoding would reject — modeled here
+    /// as corruption confined to the payload).
+    fn corrupt_frame(&self, params: &WireParams, entropy: u64) -> Option<Vec<u64>> {
+        if self.is_empty() {
+            return Some(self.clone());
+        }
+        let width = u64::from(params.id_bits.clamp(1, 64));
+        let mut out = self.clone();
+        let slot = (entropy % self.len() as u64) as usize;
+        out[slot] ^= 1 << ((entropy >> 8) % width);
+        Some(out)
     }
 }
 
@@ -410,5 +476,37 @@ mod tests {
             IdCodec.decode(&p, &mut buf.reader()),
             Err(CodecError::TrailingBits { remaining: 2 })
         );
+    }
+
+    #[test]
+    fn flip_frame_bits_targets_msb_first_positions() {
+        let mut bytes = vec![0u8; 2];
+        // Entropy 0 flips bit 0 (the MSB of byte 0) once (entropy's top
+        // byte is 0 → one flip).
+        flip_frame_bits(&mut bytes, 16, 0, 1);
+        assert_eq!(bytes, vec![0b1000_0000, 0]);
+        // Bit 9 lands in byte 1, second-from-top position.
+        let mut bytes = vec![0u8; 2];
+        flip_frame_bits(&mut bytes, 16, 9, 1);
+        assert_eq!(bytes, vec![0, 0b0100_0000]);
+        // Zero-length frames are untouched.
+        flip_frame_bits(&mut [], 0, 7, 3);
+    }
+
+    #[test]
+    fn corrupt_frame_is_deterministic_and_tampers() {
+        let p = WireParams { n: 64, m: 128, id_bits: 11, rank_bits: 14 };
+        let msg: u64 = 0b101;
+        let a = msg.corrupt_frame(&p, 12345).unwrap();
+        let b = msg.corrupt_frame(&p, 12345).unwrap();
+        assert_eq!(a, b, "corruption is a pure function of (msg, entropy)");
+        assert_ne!(a, msg, "a flipped id differs from the original");
+        // The default implementation is transparent.
+        assert_eq!(().corrupt_frame(&p, 999), Some(()));
+        let v = vec![1u64, 2, 3];
+        let c = v.corrupt_frame(&p, 7).unwrap();
+        assert_eq!(c.len(), v.len());
+        assert_ne!(c, v);
+        assert_eq!(Vec::<u64>::new().corrupt_frame(&p, 7), Some(vec![]));
     }
 }

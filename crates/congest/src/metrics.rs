@@ -43,6 +43,80 @@ pub struct RunReport {
     pub threads: usize,
     /// Per-round statistics.
     pub per_round: Vec<RoundStats>,
+    /// What the fault plan did to this run (all-zero for clean runs).
+    /// Executor-independent like every other report field: fault
+    /// decisions are pure functions of message coordinates.
+    pub faults: FaultReport,
+}
+
+/// Observability record of a run's injected faults: how many messages
+/// each fault kind claimed, what corruption did, and which nodes had
+/// crash-stopped by the end of the run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Messages lost to explicit drop rules.
+    pub dropped_explicit: u64,
+    /// Messages lost to the i.i.d. Bernoulli coin.
+    pub dropped_random: u64,
+    /// Messages lost because their sender had crash-stopped.
+    pub dropped_crash: u64,
+    /// Messages lost on permanently cut links.
+    pub dropped_cut: u64,
+    /// Messages lost to Gilbert–Elliott burst loss.
+    pub dropped_burst: u64,
+    /// Frames tampered in flight that still decoded and were delivered
+    /// as garbage.
+    pub corrupted_delivered: u64,
+    /// Frames tampered in flight that no longer decoded — rejected by
+    /// the codec and counted as lost.
+    pub corrupted_rejected: u64,
+    /// Nodes that crash-stopped before the run ended (sorted indices).
+    pub crashed_nodes: Vec<u32>,
+}
+
+impl FaultReport {
+    /// Total messages that never reached their receiver: every drop
+    /// kind plus corrupted frames the codec rejected.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_explicit
+            + self.dropped_random
+            + self.dropped_crash
+            + self.dropped_cut
+            + self.dropped_burst
+            + self.corrupted_rejected
+    }
+
+    /// True when the run saw no fault activity at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultReport::default()
+    }
+
+    /// Serializes the fault record as a JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"dropped_explicit\":{},\"dropped_random\":{},\"dropped_crash\":{},\
+             \"dropped_cut\":{},\"dropped_burst\":{},\"corrupted_delivered\":{},\
+             \"corrupted_rejected\":{},\"crashed_nodes\":[",
+            self.dropped_explicit,
+            self.dropped_random,
+            self.dropped_crash,
+            self.dropped_cut,
+            self.dropped_burst,
+            self.corrupted_delivered,
+            self.corrupted_rejected
+        );
+        for (i, v) in self.crashed_nodes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{v}");
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 impl RunReport {
@@ -99,7 +173,9 @@ impl RunReport {
             }
             s.push_str(&r.to_json());
         }
-        s.push_str("]}");
+        s.push_str("],\"faults\":");
+        s.push_str(&self.faults.to_json());
+        s.push('}');
         s
     }
 }
@@ -160,6 +236,12 @@ mod tests {
                     max_link_messages: 0,
                 },
             ],
+            faults: FaultReport {
+                dropped_random: 2,
+                corrupted_rejected: 1,
+                crashed_nodes: vec![1, 3],
+                ..FaultReport::default()
+            },
         }
     }
 
@@ -198,5 +280,23 @@ mod tests {
         assert!(json.contains("\"max_link_bits\":70"));
         // Three per-round objects.
         assert_eq!(json.matches("\"round\":").count(), 3);
+        assert!(json.contains("\"faults\":{\"dropped_explicit\":0"));
+        assert!(json.contains("\"dropped_random\":2"));
+        assert!(json.contains("\"corrupted_rejected\":1"));
+        assert!(json.contains("\"crashed_nodes\":[1,3]"));
+    }
+
+    #[test]
+    fn fault_report_totals_and_cleanliness() {
+        assert!(FaultReport::default().is_clean());
+        assert_eq!(FaultReport::default().total_dropped(), 0);
+        let fr = report().faults;
+        assert!(!fr.is_clean());
+        // Rejected corrupted frames count as lost; delivered garbage
+        // does not.
+        assert_eq!(fr.total_dropped(), 3);
+        let delivered_only = FaultReport { corrupted_delivered: 5, ..FaultReport::default() };
+        assert_eq!(delivered_only.total_dropped(), 0);
+        assert!(!delivered_only.is_clean());
     }
 }

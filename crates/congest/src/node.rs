@@ -13,7 +13,7 @@
 //! the step clone the payload explicitly.
 
 use crate::arena::{Lane, LinkLoad, RoundAcc};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::graph::{NodeId, NodeIndex};
 use crate::message::{WireMessage, WireParams};
 
@@ -511,9 +511,16 @@ impl<M: WireMessage> Outbox<M> {
                     d,
                     msg,
                     |d, p, m| direct_send(d, p, m),
-                    |d, p, ptr| {
-                        if charge_send_bits(d, p, bits) {
-                            lane_push_bcast(d, p, ptr);
+                    |d, p, ptr| match charge_send_bits(d, p, bits) {
+                        SendFate::Deliver => lane_push_bcast(d, p, ptr),
+                        SendFate::Dropped => {}
+                        SendFate::Corrupt { entropy } => {
+                            // A corrupted copy diverges from the parked
+                            // payload, so it travels inline instead of
+                            // as a shared slot ref.
+                            if let Some(garbled) = corrupt_payload(d, &*ptr, entropy) {
+                                direct_send_fast(d, p, garbled);
+                            }
                         }
                     },
                 )
@@ -546,9 +553,13 @@ impl<M: WireMessage> Outbox<M> {
                     d,
                     msg,
                     |d, p, m| direct_send_inbox_heavy(d, p, m),
-                    |d, p, ptr| {
-                        if charge_send_bits(d, p, bits) {
-                            inbox_push_bcast(d, p, ptr);
+                    |d, p, ptr| match charge_send_bits(d, p, bits) {
+                        SendFate::Deliver => inbox_push_bcast(d, p, ptr),
+                        SendFate::Dropped => {}
+                        SendFate::Corrupt { entropy } => {
+                            if let Some(garbled) = corrupt_payload(d, &*ptr, entropy) {
+                                direct_send_inbox(d, p, garbled);
+                            }
                         }
                     },
                 )
@@ -686,18 +697,29 @@ unsafe fn inbox_push_bcast<M: Clone>(d: &mut DirectSink, port: u32, ptr: *const 
     }
 }
 
+/// What the fault plan decided for one charged send, as seen by the
+/// delivery paths: deliver the payload, forget it, or tamper with its
+/// encoded frame first.
+#[derive(Clone, Copy)]
+enum SendFate {
+    Deliver,
+    Dropped,
+    Corrupt { entropy: u64 },
+}
+
 /// The shared half of the heavy send paths: stamp/advance this link's
 /// load, feed the round accumulator, check the bandwidth budget.
-/// Returns whether the message survives the fault plan (the sender has
-/// already been charged either way). `b` is the message's wire size,
-/// priced by the caller (per message for targeted sends, once per
-/// broadcast); it is only read when the context accounts.
+/// Returns the message's fate under the fault plan (the sender has
+/// already been charged either way; per-kind drop counters land in the
+/// accumulator here). `b` is the message's wire size, priced by the
+/// caller (per message for targeted sends, once per broadcast); it is
+/// only read when the context accounts.
 ///
 /// # Safety
 /// See [`Outbox::direct`] — when the context accounts, `d.loads` must
 /// be the sender's valid load row — and `port < degree`.
 #[inline(always)]
-unsafe fn charge_send_bits(d: &mut DirectSink, port: u32, b: u64) -> bool {
+unsafe fn charge_send_bits(d: &mut DirectSink, port: u32, b: u64) -> SendFate {
     let ctx = &*d.ctx;
     if ctx.account {
         let load = &mut *d.loads.add(port as usize);
@@ -729,7 +751,21 @@ unsafe fn charge_send_bits(d: &mut DirectSink, port: u32, b: u64) -> bool {
             acc.violation = Some((d.sender, port, load.bits));
         }
     }
-    !(ctx.check_faults && (*ctx.faults).drops(ctx.round, d.sender, port))
+    if !ctx.check_faults {
+        return SendFate::Deliver;
+    }
+    // The heavy paths are the only callers, and the engine forces a
+    // heavy sink whenever a fault plan is active, so `d.acc` is always
+    // live here even when `account` is off.
+    let receiver = *d.receivers.add(port as usize);
+    match (*ctx.faults).decide(ctx.round, d.sender, receiver, port) {
+        FaultDecision::Deliver => SendFate::Deliver,
+        FaultDecision::Drop(kind) => {
+            (*d.acc).drops_by_kind[kind.index()] += 1;
+            SendFate::Dropped
+        }
+        FaultDecision::Corrupt { entropy } => SendFate::Corrupt { entropy },
+    }
 }
 
 /// [`charge_send_bits`] with the wire size priced here — the targeted
@@ -738,9 +774,33 @@ unsafe fn charge_send_bits(d: &mut DirectSink, port: u32, b: u64) -> bool {
 /// # Safety
 /// As [`charge_send_bits`].
 #[inline(always)]
-unsafe fn charge_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: &M) -> bool {
+unsafe fn charge_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: &M) -> SendFate {
     let b = account_bits(d, msg);
     charge_send_bits(d, port, b)
+}
+
+/// Resolves a [`SendFate::Corrupt`] into the payload that actually
+/// arrives: the tampered frame's decode when it survives the codec
+/// (counted as delivered garbage), or nothing (counted as a rejected
+/// frame — one more way to lose a message).
+///
+/// # Safety
+/// `d.ctx` and `d.acc` must be valid per the [`Outbox::direct`]
+/// contract (corruption implies an active fault plan, which forces a
+/// heavy sink with a live accumulator).
+#[inline(always)]
+unsafe fn corrupt_payload<M: WireMessage>(d: &mut DirectSink, msg: &M, entropy: u64) -> Option<M> {
+    let ctx = &*d.ctx;
+    match msg.corrupt_frame(&*ctx.params, entropy) {
+        Some(garbled) => {
+            (*d.acc).corrupted_delivered += 1;
+            Some(garbled)
+        }
+        None => {
+            (*d.acc).corrupted_rejected += 1;
+            None
+        }
+    }
 }
 
 /// The fused lane write path: accounting, bandwidth check, delivery —
@@ -751,19 +811,16 @@ unsafe fn charge_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: &M) ->
 /// the caller.
 #[inline(always)]
 unsafe fn direct_send<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M) {
-    if charge_send(d, port, &msg) {
-        let ctx = &*d.ctx;
-        let lane = &mut *(d.lanes as *mut Lane<M>).add(port as usize);
-        if lane.is_empty() {
-            // First delivery into this lane this round: flag the
-            // receiver so it knows to scan its lanes next round. A
-            // fault-dropped send leaves the lane empty and the flag
-            // untouched — there is nothing to gather.
-            let w = *d.receivers.add(port as usize);
-            (*ctx.dirty.add(w as usize)).store(true, std::sync::atomic::Ordering::Relaxed);
+    match charge_send(d, port, &msg) {
+        SendFate::Deliver => direct_send_fast(d, port, msg),
+        // A fault-dropped send leaves the lane empty and the receiver's
+        // traffic hint untouched — there is nothing to gather.
+        SendFate::Dropped => {}
+        SendFate::Corrupt { entropy } => {
+            if let Some(garbled) = corrupt_payload(d, &msg, entropy) {
+                direct_send_fast(d, port, garbled);
+            }
         }
-        let rev = *d.rev_ports.add(port as usize);
-        lane.push(Packet::Own { port: rev, msg });
     }
 }
 
@@ -813,11 +870,14 @@ unsafe fn direct_send_inbox<M: WireMessage>(d: &mut DirectSink, port: u32, msg: 
 /// load row.
 #[inline(always)]
 unsafe fn direct_send_inbox_heavy<M: WireMessage>(d: &mut DirectSink, port: u32, msg: M) {
-    if charge_send(d, port, &msg) {
-        let w = *d.receivers.add(port as usize);
-        let rev = *d.rev_ports.add(port as usize);
-        let inbox = &mut *(d.lanes as *mut Vec<Packet<M>>).add(w as usize);
-        inbox.push(Packet::Own { port: rev, msg });
+    match charge_send(d, port, &msg) {
+        SendFate::Deliver => direct_send_inbox(d, port, msg),
+        SendFate::Dropped => {}
+        SendFate::Corrupt { entropy } => {
+            if let Some(garbled) = corrupt_payload(d, &msg, entropy) {
+                direct_send_inbox(d, port, garbled);
+            }
+        }
     }
 }
 

@@ -181,10 +181,110 @@ proptest! {
         prop_assert_eq!(a.report.per_round, b.report.per_round);
         prop_assert_eq!(a.report.rounds, b.report.rounds);
         prop_assert_eq!(a.report.all_halted, b.report.all_halted);
-        // Faults only suppress deliveries, never fabricate them.
+        prop_assert_eq!(&a.report.faults, &b.report.faults);
+        // Faults only suppress deliveries, never fabricate them — and
+        // the fault report accounts for every missing delivery exactly.
         let sent: u64 = a.verdicts.iter().map(|v| v.0).sum();
         let received: u64 = a.verdicts.iter().map(|v| v.1).sum();
         prop_assert!(received <= sent);
+        prop_assert_eq!(sent - received, a.report.faults.total_dropped());
+    }
+
+    /// Fault-model v2 executor equivalence: crash-stop, link cuts,
+    /// Gilbert–Elliott burst loss, and frame corruption — alone and
+    /// composed with the v1 kinds — produce bit-identical verdicts,
+    /// per-round statistics, and fault reports on both executors, with
+    /// heavy broadcast-slot payloads in flight.
+    #[test]
+    fn fault_v2_kinds_are_executor_equivalent(
+        g in arb_graph(),
+        rounds in 2u32..5,
+        seed in any::<u64>(),
+    ) {
+        let plans = [
+            // `arb_graph` always has ≥ 2 nodes; cutting a non-edge is a
+            // harmless no-op, so the plans below never need the edge to
+            // exist.
+            FaultPlan::none().crash(0, 1),
+            FaultPlan::none().cut_link(0, 1),
+            FaultPlan::none().burst_loss(0.3, 0.4, seed),
+            FaultPlan::none().corrupt_frames(0.5, seed),
+            FaultPlan::none()
+                .crash(1, 1)
+                .cut_link(0, 1)
+                .burst_loss(0.2, 0.5, seed)
+                .corrupt_frames(0.3, seed ^ 1)
+                .random_loss(0.1, seed ^ 2)
+                .drop_at(0, 0, 0),
+        ];
+        for faults in plans {
+            let mk = |exec| {
+                let cfg = EngineConfig { executor: exec, faults: faults.clone(), ..EngineConfig::default() };
+                run(&g, &cfg, |init| HeavyGossip { id: init.id, rounds, digest: 0, evictions: 0 }).unwrap()
+            };
+            let a = mk(Executor::Sequential);
+            let b = mk(Executor::Parallel);
+            prop_assert_eq!(&a.verdicts, &b.verdicts, "{:?}", faults);
+            prop_assert_eq!(&a.report.per_round, &b.report.per_round, "{:?}", faults);
+            prop_assert_eq!(&a.report.faults, &b.report.faults, "{:?}", faults);
+        }
+    }
+
+    /// Crash-stop semantics: with every node crashed from round 0 the
+    /// network is silent — everything is still accounted as sent, every
+    /// send is attributed to the crash, and the report names the
+    /// crashed set.
+    #[test]
+    fn crash_stop_silences_everything(g in arb_graph()) {
+        let mut plan = FaultPlan::none();
+        for v in 0..g.n() as NodeIndex {
+            plan = plan.crash(v, 0);
+        }
+        let cfg = EngineConfig { faults: plan, ..EngineConfig::default() };
+        let out = run(&g, &cfg, |_| Echo { rounds: 2, sent: 0, received: 0 }).unwrap();
+        let sent: u64 = out.verdicts.iter().map(|v| v.0).sum();
+        let received: u64 = out.verdicts.iter().map(|v| v.1).sum();
+        prop_assert_eq!(received, 0);
+        prop_assert_eq!(sent, 2 * g.m() as u64 * 2);
+        prop_assert_eq!(out.report.faults.dropped_crash, sent);
+        let all: Vec<u32> = (0..g.n() as u32).collect();
+        prop_assert_eq!(&out.report.faults.crashed_nodes, &all);
+    }
+
+    /// Cutting one link severs exactly its two directed deliveries per
+    /// round and nothing else.
+    #[test]
+    fn cut_links_are_surgical(g in arb_graph(), rounds in 1u32..4) {
+        prop_assume!(g.degree(0) > 0);
+        let w = g.neighbor_at(0, 0);
+        let baseline = run(&g, &EngineConfig::default(), |_| Echo { rounds, sent: 0, received: 0 }).unwrap();
+        let total: u64 = baseline.verdicts.iter().map(|v| v.1).sum();
+        let cfg = EngineConfig {
+            faults: FaultPlan::none().cut_link(0, w),
+            ..EngineConfig::default()
+        };
+        let out = run(&g, &cfg, |_| Echo { rounds, sent: 0, received: 0 }).unwrap();
+        let received: u64 = out.verdicts.iter().map(|v| v.1).sum();
+        prop_assert_eq!(received, total - 2 * u64::from(rounds));
+        prop_assert_eq!(out.report.faults.dropped_cut, 2 * u64::from(rounds));
+    }
+
+    /// Certain corruption on plain `u64` frames garbles every delivery
+    /// without losing any: delivery counts match the clean run, every
+    /// frame is recorded as corrupted-and-delivered, and nothing is
+    /// counted dropped.
+    #[test]
+    fn certain_corruption_delivers_garbage_not_loss(g in arb_graph(), seed in any::<u64>()) {
+        let cfg = EngineConfig {
+            faults: FaultPlan::none().corrupt_frames(1.0, seed),
+            ..EngineConfig::default()
+        };
+        let out = run(&g, &cfg, |_| Echo { rounds: 2, sent: 0, received: 0 }).unwrap();
+        let sent: u64 = out.verdicts.iter().map(|v| v.0).sum();
+        let received: u64 = out.verdicts.iter().map(|v| v.1).sum();
+        prop_assert_eq!(received, sent, "u64 frames survive bit flips as garbage");
+        prop_assert_eq!(out.report.faults.corrupted_delivered, sent);
+        prop_assert_eq!(out.report.faults.total_dropped(), 0);
     }
 
     /// The counter-free fast paths (taken when round recording is off)

@@ -5,7 +5,8 @@
 use crate::seq::{IdSeq, MAX_SEQ_LEN};
 use ck_congest::graph::NodeId;
 use ck_congest::message::{
-    bits_for, BitReader, BitWriter, CodecError, WireCodec, WireMessage, WireParams,
+    bits_for, flip_frame_bits, flips_for_entropy, BitReader, BitWriter, CodecError, WireCodec,
+    WireMessage, WireParams,
 };
 
 /// Identity of a Phase-2 check: the edge under test and its Phase-1 rank.
@@ -183,6 +184,30 @@ impl WireMessage for CkMsg {
             CkMsg::Abort => 2,
         }
     }
+
+    /// Tampers with this message *as bytes on the wire*: the frame is
+    /// re-encoded through [`CkCodec`], `entropy`-selected bits are
+    /// flipped, and the damaged frame is decoded under the same round
+    /// context — exactly what a corrupting link does to a real frame.
+    /// `None` (the codec rejected the damage) is a detected-and-dropped
+    /// frame; `Some` garbage is delivered and must be survivable by the
+    /// protocol's own validation.
+    fn corrupt_frame(&self, params: &WireParams, entropy: u64) -> Option<Self> {
+        // The round context is recoverable from the message itself: all
+        // sequences in a bundle share one length by construction.
+        let seq_len = match self {
+            CkMsg::Seqs { seqs, .. } => seqs.as_slice().first().map(|s| s.len()).unwrap_or(0),
+            _ => 0,
+        };
+        let codec = CkCodec::new(seq_len);
+        let Ok(buf) = codec.encode_to_buf(self, params) else {
+            return None;
+        };
+        let mut bytes = buf.as_bytes().to_vec();
+        flip_frame_bits(&mut bytes, buf.len_bits(), entropy, flips_for_entropy(entropy));
+        let mut reader = BitReader::new(&bytes, buf.len_bits());
+        codec.decode(params, &mut reader).ok()
+    }
 }
 
 /// The canonical byte codec for [`CkMsg`] — the [`WireCodec`] instance
@@ -351,6 +376,17 @@ impl WireCodec for CkCodec {
             for slot in ids.iter_mut().take(self.seq_len) {
                 *slot = r.read_bits(params.id_bits)?;
             }
+            // Lemma 1: the wire only ever carries *simple* paths, so a
+            // sequence repeating an identity is not a well-formed frame.
+            // Rejecting it here keeps corrupted-but-parseable frames from
+            // smuggling non-paths into the scan kernels.
+            for i in 1..self.seq_len {
+                if ids[..i].contains(&ids[i]) {
+                    return Err(CodecError::Invalid(
+                        "sequence repeats an identity (paths are simple)",
+                    ));
+                }
+            }
             seqs.push(IdSeq::from_slice(&ids[..self.seq_len]));
         }
         debug_assert_eq!(r.remaining_bits(), 0, "count inference consumes the frame exactly");
@@ -460,6 +496,73 @@ mod tests {
         // addressing, like any schema'd wire format).
         let wrong = CkCodec::new(3).decode(&p, &mut buf.reader());
         assert!(wrong.is_err(), "{wrong:?}");
+    }
+
+    #[test]
+    fn decode_rejects_sequences_that_repeat_an_identity() {
+        let p = params();
+        let codec = CkCodec::new(2);
+        // Forge a frame whose single sequence repeats an ID; the honest
+        // encoder refuses nothing about widths here, so build the frame
+        // bit-by-bit the way the codec lays it out.
+        let mut w = BitWriter::new();
+        w.push_bits(1, 1).unwrap(); // not-Rank discriminant
+        w.push_bits(5, p.rank_bits).unwrap();
+        w.push_bits(1, p.id_bits).unwrap(); // lo
+        w.push_bits(2, p.id_bits).unwrap(); // hi
+        w.push_bits(1, bits_for(1)).unwrap(); // count = 1
+        w.push_bits(9, p.id_bits).unwrap();
+        w.push_bits(9, p.id_bits).unwrap(); // duplicate identity
+        let err = codec.decode(&p, &mut w.reader());
+        assert!(
+            matches!(err, Err(CodecError::Invalid(m)) if m.contains("repeats an identity")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupt_frame_tampers_or_rejects_every_variant() {
+        let p = params();
+        let msgs = [
+            CkMsg::Rank(7),
+            CkMsg::Abort,
+            CkMsg::Seqs { tag: EdgeTag::new(7, 1, 2), seqs: SeqBundle(vec![]) },
+            CkMsg::Seqs {
+                tag: EdgeTag::new(200, 3, 40),
+                seqs: SeqBundle(vec![IdSeq::from_slice(&[1, 2]), IdSeq::from_slice(&[9, 4])]),
+            },
+        ];
+        let mut delivered = 0u32;
+        let mut rejected = 0u32;
+        let mut tampered = 0u32;
+        for msg in &msgs {
+            for entropy in 1..64u64 {
+                let once = msg.corrupt_frame(&p, entropy);
+                let twice = msg.corrupt_frame(&p, entropy);
+                assert_eq!(once, twice, "corruption must be a pure function of entropy");
+                match once {
+                    Some(garbled) => {
+                        delivered += 1;
+                        if &garbled != msg {
+                            tampered += 1;
+                        }
+                        // Whatever decoded is a structurally valid CkMsg:
+                        // re-encoding it under its own context succeeds.
+                        let seq_len = match &garbled {
+                            CkMsg::Seqs { seqs, .. } => {
+                                seqs.as_slice().first().map(|s| s.len()).unwrap_or(0)
+                            }
+                            _ => 0,
+                        };
+                        assert!(CkCodec::new(seq_len).encode_to_buf(&garbled, &p).is_ok());
+                    }
+                    None => rejected += 1,
+                }
+            }
+        }
+        assert!(delivered > 0, "some corrupted frames must still decode");
+        assert!(rejected > 0, "some corrupted frames must be codec-rejected");
+        assert!(tampered > 0, "delivered corrupted frames must include real garbage");
     }
 
     #[test]

@@ -41,6 +41,37 @@ pub fn try_repetitions_for(eps: f64) -> Result<u32, ConfigError> {
     Ok(((E_SQUARED / eps) * 3f64.ln()).ceil() as u32)
 }
 
+/// Loss-aware repetition inflation factor: `⌈1 / (1−p)^{k·⌊k/2⌋}⌉`.
+///
+/// Derivation: a repetition detects a planted cycle when the traffic of
+/// the winning edge survives end to end. The Phase-2 flow consists of at
+/// most `k` sequence broadcasts per round over `⌊k/2⌋` forwarding rounds,
+/// so `k·⌊k/2⌋` message deliveries must all survive; under i.i.d.
+/// per-message loss `p` that happens with probability `(1−p)^{k·⌊k/2⌋}`.
+/// Running `⌈1/(1−p)^{k·⌊k/2⌋}⌉` times as many repetitions restores the
+/// expected number of *clean* repetitions to the paper's schedule, hence
+/// the ≥ 2/3 detection bound (a first-order bound: it ignores partially
+/// damaged repetitions that still detect, so it is conservative).
+///
+/// # Panics
+/// Panics when `loss` lies outside `[0, 1)` (use [`try_loss_inflation`]
+/// for unvalidated input).
+pub fn loss_inflation(k: usize, loss: f64) -> u32 {
+    try_loss_inflation(k, loss).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked form of [`loss_inflation`]: a [`ConfigError`] for `loss`
+/// outside `[0, 1)` (including NaN) instead of a panic. The cast
+/// saturates, so extreme-but-valid losses yield `u32::MAX` rather than
+/// overflow.
+pub fn try_loss_inflation(k: usize, loss: f64) -> Result<u32, ConfigError> {
+    if !(0.0..1.0).contains(&loss) {
+        return Err(ConfigError::LossOutOfRange { loss });
+    }
+    let survive = (1.0 - loss).powi((k * (k / 2)) as i32);
+    Ok((1.0 / survive).ceil() as u32)
+}
+
 /// Engine rounds per repetition: one rank-exchange round, the seed round
 /// (paper round 1), paper rounds `2..⌊k/2⌋`, and the decision round.
 pub fn rounds_per_repetition(k: usize) -> u32 {
@@ -104,6 +135,25 @@ mod tests {
             let err = try_repetitions_for(bad).unwrap_err();
             assert!(matches!(err, ConfigError::EpsOutOfRange { .. }), "{bad}: {err}");
             assert!(err.to_string().contains("must lie in (0,1)"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn loss_inflation_values_and_domain() {
+        // No loss: the schedule is untouched.
+        for k in 3..=9 {
+            assert_eq!(loss_inflation(k, 0.0), 1, "k={k}");
+        }
+        // k = 4, p = 0.3: 1/0.7⁸ ≈ 17.8 → 18.
+        assert_eq!(loss_inflation(4, 0.3), 18);
+        // k = 4, p = 0.4: 1/0.6⁸ ≈ 59.5 → 60.
+        assert_eq!(loss_inflation(4, 0.4), 60);
+        // Monotone in both arguments.
+        assert!(loss_inflation(4, 0.2) < loss_inflation(4, 0.3));
+        assert!(loss_inflation(4, 0.3) < loss_inflation(6, 0.3));
+        for bad in [-0.1, 1.0, 2.0, f64::NAN] {
+            let err = try_loss_inflation(4, bad).unwrap_err();
+            assert!(matches!(err, ConfigError::LossOutOfRange { .. }), "{bad}: {err}");
         }
     }
 

@@ -15,9 +15,28 @@
 //!   and independent repetitions recover the 2/3 bound at the cost of a
 //!   constant-factor schedule inflation.
 //!
-//! [`loss_detection_curve`] measures the detection rate as a function of
-//! the loss rate; the experiment harness and tests consume it.
+//! * **Corruption needs a verifier.** A tampered frame that still
+//!   decodes carries sequences that never traversed the network, so
+//!   Lemma 1's "every arrived sequence is a genuine path" premise
+//!   breaks and a phantom cycle can be assembled. The
+//!   [`TesterConfig::verify_witnesses`](crate::tester::TesterConfig::verify_witnesses)
+//!   knob re-validates every rejection's cycle against the input graph
+//!   and discards fabrications, restoring 1-sidedness.
+//! * **The degradation knob has a closed form.** With per-message loss
+//!   `p`, a repetition's `k·⌊k/2⌋` cycle-critical deliveries all
+//!   survive with probability `(1−p)^{k·⌊k/2⌋}`, so inflating the
+//!   schedule by `⌈1/(1−p)^{k·⌊k/2⌋}⌉`
+//!   ([`crate::rank::loss_inflation`], via
+//!   [`TesterConfig::assumed_loss`](crate::tester::TesterConfig::assumed_loss))
+//!   keeps the expected number of clean repetitions at the paper's
+//!   schedule and thereby the ≥ 2/3 detection bound.
+//!
+//! [`loss_detection_curve`], [`crash_detection_curve`], and
+//! [`adaptive_vs_fixed`] measure these degradations; the experiment
+//! harness (`BENCH_engine.json`'s `robust` block) and tests consume
+//! them.
 
+use crate::rank::loss_inflation;
 use crate::session::TesterSession;
 use crate::tester::TesterConfig;
 use ck_congest::engine::EngineConfig;
@@ -73,6 +92,139 @@ pub fn loss_detection_curve(
             LossPoint { loss, trials, rejects }
         })
         .collect()
+}
+
+/// One point of the crash-count-vs-detection sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPoint {
+    /// Nodes crash-stopped from round 0.
+    pub crashed: usize,
+    /// Trials run.
+    pub trials: u32,
+    /// Trials in which the network rejected.
+    pub rejects: u32,
+}
+
+impl CrashPoint {
+    /// Empirical detection rate.
+    pub fn rate(&self) -> f64 {
+        f64::from(self.rejects) / f64::from(self.trials.max(1))
+    }
+}
+
+/// Measures the detection rate of the full tester on `g` when `counts`
+/// nodes crash-stop from round 0 (send-omission: the crashed nodes stay
+/// silent for the whole run). The crashed set rotates deterministically
+/// per trial so no fixed subgraph is privileged.
+pub fn crash_detection_curve(
+    g: &Graph,
+    k: usize,
+    eps: f64,
+    counts: &[usize],
+    trials: u32,
+    seed: u64,
+) -> Vec<CrashPoint> {
+    let n = g.n();
+    let mut session =
+        TesterSession::from_config(TesterConfig::new(k, eps, seed), EngineConfig::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+    counts
+        .iter()
+        .map(|&crashed| {
+            let mut rejects = 0;
+            for t in 0..trials {
+                // Deterministic rotating offset: trials sample different
+                // crashed sets without an RNG dependency.
+                let offset = (seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(u64::from(t).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                    % n as u64) as usize;
+                let mut plan = FaultPlan::none();
+                for i in 0..crashed.min(n) {
+                    plan = plan.crash(((offset + i) % n) as u32, 0);
+                }
+                session.engine_mut().faults = plan;
+                session.set_seed(seed.wrapping_add(u64::from(t)));
+                if session.test(g).expect("engine run").reject {
+                    rejects += 1;
+                }
+            }
+            CrashPoint { crashed, trials, rejects }
+        })
+        .collect()
+}
+
+/// Outcome of an adaptive-vs-fixed schedule comparison on one lossy
+/// network: the fixed arm runs the paper schedule as-is; the adaptive
+/// arm sets [`TesterConfig::assumed_loss`] and pays the
+/// [`loss_inflation`]-inflated schedule to buy its detection rate back.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveComparison {
+    /// Per-message loss rate both arms ran under.
+    pub loss: f64,
+    /// Trials per arm.
+    pub trials: u32,
+    /// Schedule inflation factor the adaptive arm paid.
+    pub inflation: u32,
+    /// Fixed-schedule rejects.
+    pub fixed_rejects: u32,
+    /// Adaptive-schedule rejects.
+    pub adaptive_rejects: u32,
+}
+
+impl AdaptiveComparison {
+    /// Detection rate of the fixed (paper-schedule) arm.
+    pub fn fixed_rate(&self) -> f64 {
+        f64::from(self.fixed_rejects) / f64::from(self.trials.max(1))
+    }
+
+    /// Detection rate of the loss-aware adaptive arm.
+    pub fn adaptive_rate(&self) -> f64 {
+        f64::from(self.adaptive_rejects) / f64::from(self.trials.max(1))
+    }
+}
+
+/// Runs the fixed and the loss-aware schedules side by side on `g`
+/// under i.i.d. per-message loss `loss`, with identical fault plans and
+/// Phase-1 seeds per trial — the measured counterpart of the
+/// [`loss_inflation`] derivation.
+pub fn adaptive_vs_fixed(
+    g: &Graph,
+    k: usize,
+    eps: f64,
+    loss: f64,
+    trials: u32,
+    seed: u64,
+) -> AdaptiveComparison {
+    let base = TesterConfig::new(k, eps, seed);
+    let mut fixed =
+        TesterSession::from_config(base, EngineConfig::default()).unwrap_or_else(|e| panic!("{e}"));
+    let mut adaptive = TesterSession::from_config(
+        TesterConfig { assumed_loss: Some(loss), ..base },
+        EngineConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let mut fixed_rejects = 0;
+    let mut adaptive_rejects = 0;
+    for t in 0..trials {
+        let plan = FaultPlan::none().random_loss(loss, seed ^ (u64::from(t) << 17) | 1);
+        for (session, rejects) in
+            [(&mut fixed, &mut fixed_rejects), (&mut adaptive, &mut adaptive_rejects)]
+        {
+            session.engine_mut().faults = plan.clone();
+            session.set_seed(seed.wrapping_add(u64::from(t)));
+            if session.test(g).expect("engine run").reject {
+                *rejects += 1;
+            }
+        }
+    }
+    AdaptiveComparison {
+        loss,
+        trials,
+        inflation: loss_inflation(k, loss),
+        fixed_rejects,
+        adaptive_rejects,
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +292,42 @@ mod tests {
         let curve = loss_detection_curve(&g, 6, 0.2, &[0.0, 0.9], 6, 3);
         assert_eq!(curve[0].rate(), 1.0, "lossless detection on a lone cycle is certain");
         assert!(curve[1].rate() <= curve[0].rate(), "90% loss cannot beat lossless detection");
+    }
+
+    #[test]
+    fn crash_curve_spans_certain_to_silent() {
+        let g = cycle(6);
+        let curve = crash_detection_curve(&g, 6, 0.2, &[0, 6], 4, 5);
+        assert_eq!(curve[0].rate(), 1.0, "no crashes: a lone cycle is always detected");
+        assert_eq!(curve[1].rate(), 0.0, "every node crashed: the network is silent");
+        assert_eq!((curve[0].crashed, curve[1].crashed), (0, 6));
+    }
+
+    #[test]
+    fn crashes_cannot_fabricate_rejects() {
+        // Crash-stop is a loss pattern; 1-sidedness is loss-proof.
+        let g = matched_free_instance(30, 4);
+        let curve = crash_detection_curve(&g, 4, 0.1, &[0, 3, 10], 3, 7);
+        assert!(curve.iter().all(|p| p.rejects == 0), "{curve:?}");
+    }
+
+    #[test]
+    fn adaptive_schedule_recovers_the_detection_floor() {
+        // k = 4 on a lone C4 at 40% i.i.d. loss: the paper schedule
+        // detects well under 2/3 of the time, the loss-aware schedule
+        // (inflation ⌈1/0.6⁸⌉ = 60) clears the floor.
+        let g = cycle(4);
+        let cmp = adaptive_vs_fixed(&g, 4, 0.3, 0.4, 6, 2);
+        assert_eq!(cmp.inflation, 60);
+        assert!(
+            cmp.adaptive_rejects * 3 >= cmp.trials * 2,
+            "adaptive rate {} below 2/3",
+            cmp.adaptive_rate()
+        );
+        assert!(
+            cmp.adaptive_rejects >= cmp.fixed_rejects,
+            "inflation must not lose detections: {cmp:?}"
+        );
     }
 
     #[test]

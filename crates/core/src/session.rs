@@ -71,6 +71,23 @@ impl TesterSessionBuilder {
         self
     }
 
+    /// Assumes a per-message loss rate in `[0, 1)` and inflates the
+    /// repetition schedule by `⌈1/(1−p)^{k·⌊k/2⌋}⌉`
+    /// ([`crate::rank::loss_inflation`]) to recover the ≥ 2/3 detection
+    /// bound on lossy networks. Validated at build time.
+    pub fn assume_loss(mut self, loss: f64) -> Self {
+        self.cfg.assumed_loss = Some(loss);
+        self
+    }
+
+    /// Re-validates every rejection's witness cycle against the input
+    /// graph after the run, discarding fabricated witnesses — restores
+    /// 1-sidedness under frame corruption.
+    pub fn verify_witnesses(mut self, verify: bool) -> Self {
+        self.cfg.verify_witnesses = verify;
+        self
+    }
+
     /// Replaces the engine template every run executes under.
     pub fn engine(mut self, engine: EngineConfig) -> Self {
         self.engine = engine;
@@ -243,6 +260,12 @@ mod tests {
         }
         assert!(TesterSession::builder(3, 0.99).build().is_ok());
         assert!(TesterSession::builder(crate::seq::MAX_K, 0.01).build().is_ok());
+        for loss in [-0.1, 1.0, 1.5, f64::NAN] {
+            let err = TesterSession::builder(5, 0.1).assume_loss(loss).build().unwrap_err();
+            assert!(matches!(err, ConfigError::LossOutOfRange { .. }), "{loss}");
+            assert!(err.to_string().contains("must lie in [0,1)"), "{err}");
+        }
+        assert!(TesterSession::builder(5, 0.1).assume_loss(0.0).build().is_ok());
     }
 
     #[test]
@@ -253,6 +276,8 @@ mod tests {
             .pruner(PrunerKind::Literal)
             .scan(ScanBackend::Scalar)
             .early_abort(true)
+            .assume_loss(0.1)
+            .verify_witnesses(true)
             .executor(Executor::Sequential)
             .build()
             .unwrap();
@@ -261,6 +286,10 @@ mod tests {
         assert_eq!(cfg.pruner, PrunerKind::Literal);
         assert_eq!(cfg.scan, ScanBackend::Scalar);
         assert!(cfg.early_abort);
+        assert_eq!(cfg.assumed_loss, Some(0.1));
+        assert!(cfg.verify_witnesses);
+        // The schedule is inflated by ⌈1/0.9²¹⌉ = 10 for k = 7.
+        assert_eq!(cfg.effective_repetitions(), 4 * 10);
         assert_eq!(session.engine().executor, Executor::Sequential);
         // Per-run knobs (unvalidated state) mutate in place.
         session.set_seed(77);

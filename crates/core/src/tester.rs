@@ -44,6 +44,12 @@ pub enum ConfigError {
         /// The rejected property-testing parameter.
         eps: f64,
     },
+    /// An assumed per-message loss rate outside `[0, 1)` (including
+    /// NaN): at `loss = 1` no schedule inflation recovers detection.
+    LossOutOfRange {
+        /// The rejected loss rate.
+        loss: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -53,6 +59,9 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "k = {k} outside supported range 3..={MAX_K}")
             }
             ConfigError::EpsOutOfRange { eps } => write!(f, "ε must lie in (0,1), got {eps}"),
+            ConfigError::LossOutOfRange { loss } => {
+                write!(f, "assumed loss must lie in [0,1), got {loss}")
+            }
         }
     }
 }
@@ -82,6 +91,22 @@ pub struct TesterConfig {
     /// repetition schedule. Sound because only genuine rejects originate
     /// the flag; on accepted inputs the cost is unchanged.
     pub early_abort: bool,
+    /// Graceful degradation under lossy networks: an assumed per-message
+    /// loss rate in `[0, 1)`. When set, the repetition schedule is
+    /// inflated by [`crate::rank::loss_inflation`] —
+    /// `⌈1/(1−p)^{k·⌊k/2⌋}⌉` — so the expected number of loss-free
+    /// repetitions matches the paper's schedule and the ≥ 2/3 detection
+    /// bound is recovered. `None` (the default) runs the paper schedule.
+    pub assumed_loss: Option<f64>,
+    /// Defence against frame corruption: when set, every node-level
+    /// rejection's witness cycle is re-validated against the input graph
+    /// after the run (length, distinctness, adjacency including the
+    /// wraparound edge, and the tagged edge lying on the cycle), and
+    /// rejections with invalid witnesses are discarded instead of
+    /// reported. On an uncorrupted network this never fires (witnesses
+    /// are genuine by Lemma 1); under frame corruption it restores
+    /// 1-sidedness: garbage payloads can no longer fabricate a reject.
+    pub verify_witnesses: bool,
 }
 
 impl TesterConfig {
@@ -95,6 +120,8 @@ impl TesterConfig {
             pruner: PrunerKind::Representative,
             scan: ScanBackend::auto(),
             early_abort: false,
+            assumed_loss: None,
+            verify_witnesses: false,
         }
     }
 
@@ -114,12 +141,21 @@ impl TesterConfig {
             return Err(ConfigError::KOutOfRange { k: self.k });
         }
         crate::rank::try_repetitions_for(self.eps)?;
+        if let Some(loss) = self.assumed_loss {
+            crate::rank::try_loss_inflation(self.k, loss)?;
+        }
         Ok(())
     }
 
-    /// Repetition count actually used.
+    /// Repetition count actually used: the paper schedule (or its
+    /// override), inflated by [`crate::rank::loss_inflation`] when an
+    /// assumed loss rate is set.
     pub fn effective_repetitions(&self) -> u32 {
-        self.repetitions.unwrap_or_else(|| repetitions_for(self.eps))
+        let base = self.repetitions.unwrap_or_else(|| repetitions_for(self.eps));
+        match self.assumed_loss {
+            Some(loss) => base.saturating_mul(crate::rank::loss_inflation(self.k, loss)),
+            None => base,
+        }
     }
 }
 
@@ -535,6 +571,11 @@ pub struct TesterRun {
     pub reject: bool,
     /// Repetitions executed.
     pub repetitions: u32,
+    /// Rejections whose witness failed post-run validation and were
+    /// discarded (always 0 unless
+    /// [`TesterConfig::verify_witnesses`] is set, and 0 on uncorrupted
+    /// networks even then).
+    pub discarded_witnesses: u32,
     /// Engine outcome (per-round stats + per-node verdicts).
     pub outcome: RunOutcome<NodeVerdict>,
 }
@@ -586,9 +627,53 @@ pub(crate) fn tester_exec(
     // remaining jobs (only the failed run's node scratches are gone —
     // the engine drops its programs without the reclaim hook on error).
     *scratch = pool.into_inner();
-    let outcome = result?;
+    let mut outcome = result?;
+    let mut discarded_witnesses = 0u32;
+    if cfg.verify_witnesses {
+        for v in &mut outcome.verdicts {
+            let valid = v.first_rejection.as_deref().is_none_or(|r| witness_is_valid(g, cfg.k, r));
+            if !valid {
+                v.rejected = false;
+                v.first_rejection = None;
+                discarded_witnesses += 1;
+            }
+        }
+    }
     let reject = outcome.verdicts.iter().any(|v| v.rejected);
-    Ok(TesterRun { reject, repetitions: reps, outcome })
+    Ok(TesterRun { reject, repetitions: reps, discarded_witnesses, outcome })
+}
+
+/// Post-run witness validation: the recorded cycle must be a genuine
+/// `Ck` of the *input graph* passing through the tagged edge. On a
+/// reliable network this holds by construction (Lemma 1: every shipped
+/// sequence is a real path); under frame corruption a garbage payload
+/// can assemble a phantom cycle, and this check is what discards it.
+fn witness_is_valid(g: &Graph, k: usize, r: &Rejection) -> bool {
+    let ids = r.witness.cycle_ids();
+    if ids.len() != k {
+        return false;
+    }
+    // Distinct identities that all exist in the graph.
+    let mut seen = ids.clone();
+    seen.sort_unstable();
+    if seen.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    let Some(idx): Option<Vec<_>> = ids.iter().map(|&id| g.index_of(id)).collect() else {
+        return false;
+    };
+    // Consecutive adjacency, wraparound included.
+    for i in 0..k {
+        let next = ids[(i + 1) % k];
+        if !g.neighbor_ids(idx[i]).contains(&next) {
+            return false;
+        }
+    }
+    // The tagged edge lies on the cycle.
+    (0..k).any(|i| {
+        let (x, y) = (ids[i], ids[(i + 1) % k]);
+        (x.min(y), x.max(y)) == (r.tag.lo, r.tag.hi)
+    })
 }
 
 /// Runs the full tester on `g`.
@@ -905,6 +990,61 @@ mod tests {
                 assert_eq!(d, &runs[0].1, "backend {scan:?} diverges from scalar (k={k})");
             }
         }
+    }
+
+    #[test]
+    fn witness_verification_is_a_noop_on_honest_runs() {
+        let inst = eps_far_instance(40, 5, 0.05, 2);
+        let base = TesterConfig { repetitions: Some(3), ..TesterConfig::new(5, 0.05, 3) };
+        let plain = run_tester(&inst.graph, &base, &EngineConfig::default()).unwrap();
+        let verified = run_tester(
+            &inst.graph,
+            &TesterConfig { verify_witnesses: true, ..base },
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.reject, verified.reject);
+        assert_eq!(verified.discarded_witnesses, 0, "honest witnesses must all survive");
+        assert_eq!(plain.outcome.verdicts, verified.outcome.verdicts);
+    }
+
+    #[test]
+    fn corruption_cannot_fabricate_rejects_under_verification() {
+        use ck_congest::fault::FaultPlan;
+        // Ck-free graphs under aggressive frame corruption: garbage
+        // payloads reach the decision logic, but with witness
+        // verification on, the network-level verdict stays accept.
+        for k in [4usize, 5] {
+            let g = matched_free_instance(36, k);
+            for seed in 0..3u64 {
+                let engine = EngineConfig {
+                    faults: FaultPlan::none().corrupt_frames(0.5, seed * 13 + 1),
+                    ..EngineConfig::default()
+                };
+                let cfg = TesterConfig {
+                    repetitions: Some(3),
+                    verify_witnesses: true,
+                    ..TesterConfig::new(k, 0.1, seed)
+                };
+                let run = run_tester(&g, &cfg, &engine).unwrap();
+                assert!(!run.reject, "fabricated reject survived verification: k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn assumed_loss_inflates_the_executed_schedule() {
+        let g = cycle(4);
+        let cfg = TesterConfig {
+            repetitions: Some(2),
+            assumed_loss: Some(0.3),
+            ..TesterConfig::new(4, 0.1, 0)
+        };
+        // ⌈1/0.7⁸⌉ = 18 → 36 repetitions actually run.
+        assert_eq!(cfg.effective_repetitions(), 36);
+        let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+        assert_eq!(run.repetitions, 36);
+        assert!(run.reject);
     }
 
     #[test]
