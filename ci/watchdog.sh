@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Hard-timeout wrapper for test invocations in CI.
+#
+# A hung test binary — a worker that never acks a barrier, a socket
+# read with no deadline — would otherwise stall the job until the
+# runner's own six-hour kill, burning the queue and hiding *which*
+# binary hung. This wrapper gives every invocation a hard wall-clock
+# budget: on expiry the process group gets SIGTERM, then SIGKILL ten
+# seconds later, and the job fails immediately with the offending
+# command named in the log.
+#
+# usage: WATCHDOG_SECS=900 ci/watchdog.sh <command> [args...]
+set -u
+
+LIMIT="${WATCHDOG_SECS:-900}"
+
+if [ "$#" -eq 0 ]; then
+    echo "watchdog: no command given" >&2
+    exit 2
+fi
+
+timeout --signal=TERM --kill-after=10 "$LIMIT" "$@"
+status=$?
+
+# GNU timeout reports 124 for TERM-after-expiry and 137 (128+9) when
+# the KILL escalation was needed.
+if [ "$status" -eq 124 ] || [ "$status" -eq 137 ]; then
+    echo "watchdog: command exceeded the ${LIMIT}s hard timeout: $*" >&2
+    # Name any survivors of the process group for the post-mortem —
+    # a leaked net-worker here means the coordinator lost track of a
+    # child it spawned.
+    pgrep -af 'ckprobe|net-worker' >&2 || true
+    exit 124
+fi
+exit "$status"

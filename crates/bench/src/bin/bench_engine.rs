@@ -41,6 +41,7 @@ use ck_bench::workloads::MinFlood;
 use ck_congest::batch::effective_shards;
 use ck_congest::engine::{EngineConfig, Executor, RunOutcome};
 use ck_congest::graph::Graph;
+use ck_congest::net::{ChaosPlan, NetOptions};
 use ck_congest::session::Session;
 use ck_core::batch::BatchJob;
 use ck_core::decide::decide_all_rejects;
@@ -100,6 +101,7 @@ fn exec_name(e: Executor) -> &'static str {
     match e {
         Executor::Sequential => "sequential",
         Executor::Parallel => "parallel",
+        Executor::Distributed { .. } => "distributed",
     }
 }
 
@@ -107,6 +109,7 @@ fn exec_threads(e: Executor) -> usize {
     match e {
         Executor::Sequential => 1,
         Executor::Parallel => rayon::current_num_threads(),
+        Executor::Distributed { workers } => workers.max(1) as usize,
     }
 }
 
@@ -613,6 +616,154 @@ fn robust_sweep(smoke: bool) -> RobustBlock {
     }
 }
 
+/// One row of the net sweep: one executor configuration on the
+/// distributed-vs-sequential workload.
+struct NetRow {
+    executor: &'static str,
+    workers: u32,
+    runs: u32,
+    secs_per_run: f64,
+    rounds_per_sec: f64,
+}
+
+/// The schema-v7 net block: the distributed executor (thread-mode
+/// workers speaking the full wire protocol — length-prefixed CkCodec
+/// frames, per-round barriers, heartbeats — over loopback TCP) against
+/// the in-process sequential oracle, plus a recovery-latency row where
+/// a chaos-injected worker abort mid-run must degrade to the oracle
+/// within an explicit deadline budget.
+struct NetBlock {
+    n: usize,
+    k: usize,
+    rows: Vec<NetRow>,
+    /// Cross-partition frames routed per distributed run (2 workers).
+    frames_routed: u64,
+    /// Sequential-rerun latency recorded by the degraded run.
+    recovery_ms: u64,
+    /// Wall time of the whole chaos run, failure detection included.
+    recovery_wall_ms: u64,
+    /// The hard bound the chaos run must finish within.
+    recovery_budget_ms: u64,
+    recovery_within_budget: bool,
+}
+
+fn net_sweep(smoke: bool, budget: &Budget) -> NetBlock {
+    let (n, k) = if smoke { (40usize, 4usize) } else { (240, 4) };
+    let inst = eps_far_instance(n, k, 0.15, 7);
+    let tcfg = TesterConfig { repetitions: Some(TESTER_REPS), ..TesterConfig::new(k, 0.15, 11) };
+    let healthy_net = NetOptions {
+        connect_timeout_ms: 10_000,
+        round_deadline_ms: 10_000,
+        heartbeat_ms: 50,
+        ..NetOptions::default()
+    };
+    let run_with = |executor: Executor, net: NetOptions| -> TesterRun {
+        TesterSession::from_config(
+            tcfg,
+            EngineConfig { executor, net, record_rounds: true, ..EngineConfig::default() },
+        )
+        .expect("valid config")
+        .test(&inst.graph)
+        .expect("measure policy cannot fail")
+    };
+    let oracle = run_with(Executor::Sequential, NetOptions::default());
+    assert!(oracle.reject, "net sweep instance not rejected");
+
+    // Bit-identity before any timing: every worker count must
+    // reproduce the oracle's verdicts and per-round statistics.
+    let mut frames_routed = 0u64;
+    for workers in [2u16, 4] {
+        let dist = run_with(Executor::Distributed { workers }, healthy_net.clone());
+        let nr = dist.outcome.report.net.as_ref().expect("distributed run records a net block");
+        assert!(
+            nr.completed_distributed(),
+            "healthy loopback run degraded [{workers} workers]: {:?}",
+            nr.fallback
+        );
+        assert_eq!(dist.outcome.verdicts, oracle.outcome.verdicts, "net verdicts diverge");
+        assert_eq!(
+            dist.outcome.report.per_round, oracle.outcome.report.per_round,
+            "net round stats diverge"
+        );
+        if workers == 2 {
+            frames_routed = nr.frames_routed;
+        }
+    }
+
+    let mut rows = Vec::new();
+    let time_exec = |executor: Executor, net: &NetOptions| -> (u32, f64, u32) {
+        let rounds = run_with(executor, net.clone()).outcome.report.rounds; // warm-up
+        let start = Instant::now();
+        let mut runs = 0u32;
+        while runs < budget.max_runs {
+            let _ = run_with(executor, net.clone());
+            runs += 1;
+            if start.elapsed().as_secs_f64() >= budget.measure_secs {
+                break;
+            }
+        }
+        (runs, start.elapsed().as_secs_f64() / f64::from(runs), rounds)
+    };
+    for (name, executor, workers) in [
+        ("sequential", Executor::Sequential, 0u32),
+        ("distributed", Executor::Distributed { workers: 2 }, 2),
+        ("distributed", Executor::Distributed { workers: 4 }, 4),
+    ] {
+        let (runs, secs, rounds) = time_exec(executor, &healthy_net);
+        eprintln!(
+            "net-dist-planted n={n} {name}{} : {secs:.4} s/run ({runs} runs)",
+            if workers > 0 { format!(" w={workers}") } else { String::new() },
+        );
+        rows.push(NetRow {
+            executor: name,
+            workers,
+            runs,
+            secs_per_run: secs,
+            rounds_per_sec: f64::from(rounds) / secs,
+        });
+    }
+
+    // Recovery-latency row: worker 0 dies (link drops) when told to
+    // run round 1; the coordinator must type the loss within the round
+    // deadline and finish via the sequential oracle inside the budget.
+    let round_deadline_ms = 2_000u64;
+    let chaos_net = NetOptions {
+        round_deadline_ms,
+        chaos: Some(ChaosPlan { abort_at_round: Some(1), ..ChaosPlan::for_worker(0) }),
+        ..healthy_net
+    };
+    let started = Instant::now();
+    let rec = run_with(Executor::Distributed { workers: 2 }, chaos_net.clone());
+    let recovery_wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let nr = rec.outcome.report.net.as_ref().expect("degraded run records a net block");
+    assert!(nr.fallback.is_some(), "chaos abort not detected");
+    let recovery_ms = nr.recovery_ms.expect("degraded run records recovery latency");
+    assert_eq!(rec.outcome.verdicts, oracle.outcome.verdicts, "degraded run diverges from oracle");
+    // Budget: connect + one tripped deadline + generous slack for the
+    // oracle rerun. Blowing this means detection hung, the one
+    // forbidden outcome.
+    let recovery_budget_ms = chaos_net.connect_timeout_ms + 2 * round_deadline_ms + 15_000;
+    let recovery_within_budget = recovery_wall_ms <= recovery_budget_ms;
+    assert!(
+        recovery_within_budget,
+        "recovery took {recovery_wall_ms} ms, budget {recovery_budget_ms} ms"
+    );
+    eprintln!(
+        "net-dist-planted recovery: detected + fell back in {recovery_wall_ms} ms wall \
+         (oracle rerun {recovery_ms} ms, budget {recovery_budget_ms} ms)"
+    );
+    NetBlock {
+        n,
+        k,
+        rows,
+        frames_routed,
+        recovery_ms,
+        recovery_wall_ms,
+        recovery_budget_ms,
+        recovery_within_budget,
+    }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
@@ -726,6 +877,12 @@ fn main() {
     // comparison, on deterministic fault plans.
     let robust = robust_sweep(smoke);
 
+    // ---- distributed-executor sweep (schema v7) ----------------------
+    // Thread-mode workers over real loopback TCP vs the sequential
+    // oracle, bit-identity asserted inside, plus the recovery-latency
+    // row under a chaos-injected worker abort.
+    let net_block = net_sweep(smoke, &budget);
+
     // ---- render ------------------------------------------------------
     let workload_names =
         ["minflood-ring", "c4-tester-planted", "ck5-tester-planted", "ck5-tester-behrend"];
@@ -752,7 +909,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"ck-bench/engine/v6\",\n");
+    json.push_str("{\n  \"schema\": \"ck-bench/engine/v7\",\n");
     let _ = writeln!(
         json,
         "  \"description\": \"Round-engine throughput, arena (zero-allocation double-buffered \
@@ -781,7 +938,14 @@ fn main() {
          adaptive-vs-fixed comparison (paper schedule vs the loss_inflation-inflated \
          schedule at 40% loss), all on deterministic fault plans; acceptance gates the \
          loss curve monotone-nonincreasing within noise and the adaptive arm at the \
-         paper's 2/3 detection floor.\","
+         paper's 2/3 detection floor. v7 adds the net block: the distributed executor \
+         (partitioned graph, thread-mode workers speaking the full wire protocol — \
+         length-prefixed CkCodec frames with the seq_len context-word handshake, \
+         per-round barriers, heartbeats — over loopback TCP) vs the sequential oracle \
+         on a planted instance, verdicts and per-round statistics asserted bit-identical \
+         per worker count before timing, plus a recovery-latency row: a chaos-injected \
+         worker abort mid-run must be detected within the round deadline and degrade to \
+         the sequential oracle inside an explicit wall-clock budget, gated.\","
     );
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let _ = writeln!(json, "  \"cores\": {cores},");
@@ -873,6 +1037,35 @@ fn main() {
         json.push_str(if i + 1 < scan_ratios.len() { ",\n" } else { "\n" });
     }
     json.push_str("    ]\n  },\n");
+
+    // The v7 net block: distributed executor vs the sequential oracle.
+    let _ = writeln!(json, "  \"net\": {{");
+    let _ = writeln!(json, "    \"workload\": \"net-dist-planted\",");
+    let _ = writeln!(json, "    \"n\": {},", net_block.n);
+    let _ = writeln!(json, "    \"k\": {},", net_block.k);
+    let _ = writeln!(json, "    \"transport\": \"loopback-tcp-thread-workers\",");
+    let _ = writeln!(json, "    \"bit_identical\": true,");
+    let _ = writeln!(json, "    \"frames_routed\": {},", net_block.frames_routed);
+    json.push_str("    \"entries\": [\n");
+    for (i, r) in net_block.rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"executor\": \"{}\", \"workers\": {}, \"runs\": {}, \
+             \"secs_per_run\": {:.6}, \"rounds_per_sec\": {:.2}}}",
+            r.executor, r.workers, r.runs, r.secs_per_run, r.rounds_per_sec
+        );
+        json.push_str(if i + 1 < net_block.rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(
+        json,
+        "    ],\n    \"recovery\": {{\"fault\": \"worker-abort-at-round-1\", \
+         \"recovery_ms\": {}, \"wall_ms\": {}, \"budget_ms\": {}, \
+         \"within_budget\": {}}}\n  }},",
+        net_block.recovery_ms,
+        net_block.recovery_wall_ms,
+        net_block.recovery_budget_ms,
+        net_block.recovery_within_budget
+    );
 
     // The v6 robust block: fault-model v2 degradation curves.
     let _ = writeln!(json, "  \"robust\": {{");
@@ -1039,6 +1232,12 @@ fn main() {
     let adaptive_floor_met = robust.adaptive.adaptive_rejects * 3 >= robust.adaptive.trials * 2;
     let mut robust_pass = loss_monotone && adaptive_floor_met;
     all_pass &= robust_pass;
+    // Net acceptance: the distributed runs were asserted bit-identical
+    // to the oracle inside the sweep (reaching here proves it), so the
+    // gate is the bounded-time promise — the chaos run finished, typed
+    // its worker loss, and recovered within the explicit budget.
+    let mut net_pass = net_block.recovery_within_budget;
+    all_pass &= net_pass;
     // Smoke runs exist to catch bitrot, not to measure: tiny-n runs are
     // setup-dominated, so the perf ratio never gates them (reaching
     // this line at all means both engines and executors ran and agreed,
@@ -1048,6 +1247,7 @@ fn main() {
         batch_pass = true;
         scan_pass = true;
         robust_pass = true;
+        net_pass = true;
     }
     // Informational: absolute comparison against the committed PR-1
     // record, with the legacy engine as the machine-drift control (the
@@ -1103,7 +1303,12 @@ fn main() {
          \"robust_cases\": [\n      {{\"case\": \"loss-curve-monotone\", \"gated\": true, \
          \"pass\": {loss_monotone}}},\n      {{\"case\": \"adaptive-detection-floor\", \
          \"gated\": true, \"pass\": {adaptive_floor_met}}}\n    ],\n    \
-         \"robust_pass\": {robust_pass},\n    \"pass\": {all_pass}\n  }}"
+         \"robust_pass\": {robust_pass},\n    \
+         \"net_cases\": [\n      {{\"case\": \"distributed-bit-identical\", \"gated\": true, \
+         \"pass\": true}},\n      {{\"case\": \"recovery-within-budget\", \"gated\": true, \
+         \"pass\": {}}}\n    ],\n    \
+         \"net_pass\": {net_pass},\n    \"pass\": {all_pass}\n  }}",
+        net_block.recovery_within_budget
     );
     json.push_str("}\n");
 
@@ -1117,6 +1322,7 @@ fn main() {
         "\"batch\"",
         "\"scan\"",
         "\"robust\"",
+        "\"net\"",
     ] {
         assert!(json.contains(key), "malformed bench record: missing {key}");
     }

@@ -90,7 +90,11 @@ where
             out.take_sends()
         };
         let outboxes: Vec<Vec<(u32, P::Msg)>> = match config.executor {
-            Executor::Sequential => slots.iter_mut().map(|s| step_one(s, round)).collect(),
+            // The legacy baseline has no transport layer; Distributed
+            // steps like the sequential oracle it is measured against.
+            Executor::Sequential | Executor::Distributed { .. } => {
+                slots.iter_mut().map(|s| step_one(s, round)).collect()
+            }
             Executor::Parallel => slots.par_iter_mut().map(|s| step_one(s, round)).collect(),
         };
 
@@ -168,10 +172,12 @@ where
     report.executor = match config.executor {
         Executor::Sequential => "sequential",
         Executor::Parallel => "parallel",
+        Executor::Distributed { .. } => "distributed",
     };
     report.threads = match config.executor {
         Executor::Sequential => 1,
         Executor::Parallel => rayon::current_num_threads(),
+        Executor::Distributed { workers } => workers.max(1) as usize,
     };
 
     let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
@@ -261,7 +267,10 @@ mod tests {
         let (
             EngineError::BandwidthExceeded { round: ra, node: na, .. },
             EngineError::BandwidthExceeded { round: rb, node: nb, .. },
-        ) = (&a, &b);
+        ) = (&a, &b)
+        else {
+            panic!("expected BandwidthExceeded from both engines, got {a:?} / {b:?}");
+        };
         assert_eq!(ra, rb);
         assert_eq!(na, nb);
     }

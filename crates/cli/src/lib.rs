@@ -27,6 +27,16 @@ pub struct Request {
     pub tester: Box<dyn DistributedTester>,
     pub trials: u32,
     pub seed: u64,
+    /// `ck` tester parameters, re-exposed for the detailed run path
+    /// (`--workers` / `--verbose`), which drives sessions directly.
+    pub k: usize,
+    pub eps: f64,
+    pub repetitions: Option<u32>,
+    /// `--workers N`: run the ck tester on the distributed executor
+    /// with `N` spawned worker processes.
+    pub workers: Option<u16>,
+    /// `--verbose`: print per-trial fault/network report summaries.
+    pub verbose: bool,
 }
 
 /// A `--batch` request: every spec in the batch file runs through the
@@ -50,6 +60,9 @@ pub enum Invocation {
     Single(Box<Request>),
     /// A batch file of graph specs through the batch runner.
     Batch(BatchRequest),
+    /// `net-worker ADDR INDEX`: serve one distributed-executor worker —
+    /// the argv a coordinator spawns per partition.
+    Worker { addr: String, index: u32 },
 }
 
 /// Builds a graph from a spec string (see [`graph_spec_help`]).
@@ -248,6 +261,18 @@ pub fn graph_spec_help() -> &'static str {
 
 /// Parses full argv (without program name).
 pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    if args.first().map(String::as_str) == Some("net-worker") {
+        let addr = args.get(1).ok_or("net-worker: missing coordinator address")?.clone();
+        let index: u32 = args
+            .get(2)
+            .ok_or("net-worker: missing worker index")?
+            .parse()
+            .map_err(|e| format!("net-worker: bad worker index: {e}"))?;
+        if let Some(extra) = args.get(3) {
+            return Err(format!("net-worker: unexpected argument {extra:?}"));
+        }
+        return Ok(Invocation::Worker { addr, index });
+    }
     let mut graph_spec: Option<String> = None;
     let mut batch_path: Option<String> = None;
     let mut shards: Option<usize> = None;
@@ -257,6 +282,8 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     let mut trials = 1u32;
     let mut seed = 42u64;
     let mut repetitions: Option<u32> = None;
+    let mut workers: Option<u16> = None;
+    let mut verbose = false;
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
         args.get(i + 1).cloned().ok_or(format!("{flag} needs a value"))
@@ -306,6 +333,19 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 );
                 i += 2;
             }
+            "--workers" => {
+                let w: u16 =
+                    value(args, i, "--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if w == 0 {
+                    return Err("--workers: need at least one worker".into());
+                }
+                workers = Some(w);
+                i += 2;
+            }
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -337,9 +377,25 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         return Err("--shards requires --batch".into());
     }
     let spec = graph_spec.ok_or("--graph is required")?;
+    if (workers.is_some() || verbose) && tester != "ck" {
+        return Err(format!(
+            "--workers/--verbose drive full tester sessions and support the ck tester only, got {tester:?}"
+        ));
+    }
     let graph = parse_graph_spec(&spec)?;
     let tester = parse_tester(&tester, k, eps, repetitions)?;
-    Ok(Invocation::Single(Box::new(Request { graph, graph_desc: spec, tester, trials, seed })))
+    Ok(Invocation::Single(Box::new(Request {
+        graph,
+        graph_desc: spec,
+        tester,
+        trials,
+        seed,
+        k,
+        eps,
+        repetitions,
+        workers,
+        verbose,
+    })))
 }
 
 #[cfg(test)]
@@ -353,7 +409,7 @@ mod tests {
     fn single(s: &str) -> Request {
         match parse_args(&argv(s)).unwrap() {
             Invocation::Single(r) => *r,
-            Invocation::Batch(_) => panic!("expected a single-graph invocation"),
+            _ => panic!("expected a single-graph invocation"),
         }
     }
 
@@ -520,6 +576,37 @@ mod tests {
         // cycle:5 is rejected on every trial; free:30:5 never is.
         assert!(runs[..trials as usize].iter().all(|r| r.reject));
         assert!(runs[trials as usize..2 * trials as usize].iter().all(|r| !r.reject));
+    }
+
+    #[test]
+    fn parses_worker_subcommand_and_distributed_flags() {
+        let Invocation::Worker { addr, index } =
+            parse_args(&argv("net-worker 127.0.0.1:4321 2")).unwrap()
+        else {
+            panic!("expected a worker invocation");
+        };
+        assert_eq!(addr, "127.0.0.1:4321");
+        assert_eq!(index, 2);
+
+        assert!(parse_args(&argv("net-worker")).is_err(), "address required");
+        assert!(parse_args(&argv("net-worker 127.0.0.1:1")).is_err(), "index required");
+        assert!(parse_args(&argv("net-worker 127.0.0.1:1 x")).is_err(), "index numeric");
+        assert!(parse_args(&argv("net-worker 127.0.0.1:1 0 extra")).is_err());
+
+        let req = single("--graph cycle:7 --k 7 --eps 0.2 --workers 3 --verbose");
+        assert_eq!(req.workers, Some(3));
+        assert!(req.verbose);
+        assert_eq!((req.k, req.eps), (7, 0.2));
+
+        assert!(parse_args(&argv("--graph cycle:5 --workers 0")).is_err(), "zero workers");
+        assert!(
+            parse_args(&argv("--graph petersen --tester forest --workers 2")).is_err(),
+            "distributed path is ck-only"
+        );
+        assert!(
+            parse_args(&argv("--graph petersen --tester forest --verbose")).is_err(),
+            "verbose reports come from ck sessions"
+        );
     }
 
     /// `--k` outside the supported range is a usage error on both the

@@ -3,9 +3,12 @@
 use ck_cli::{
     batch_jobs, graph_spec_help, parse_args, parse_batch_file, BatchRequest, Invocation, Request,
 };
+use ck_congest::engine::{EngineConfig, Executor};
 use ck_congest::message::WireParams;
+use ck_congest::metrics::{FaultReport, NetReport, RunReport};
 use ck_core::framework::amplify;
 use ck_core::session::TesterSession;
+use ck_core::tester::TesterConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,8 +25,141 @@ fn main() {
         }
     };
     match invocation {
-        Invocation::Single(req) => run_single(&req),
+        Invocation::Single(req) => {
+            if req.workers.is_some() || req.verbose {
+                run_single_sessions(&req)
+            } else {
+                run_single(&req)
+            }
+        }
         Invocation::Batch(req) => run_batch(&req),
+        Invocation::Worker { addr, index } => {
+            if let Err(e) = ck_core::dist::worker_main(&addr, index) {
+                eprintln!("net-worker {index}: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+}
+
+/// The `--workers`/`--verbose` path: full tester sessions instead of
+/// the probe framework, so run reports (fault + network accounting)
+/// survive to be printed — and the distributed executor can spawn this
+/// very binary as `net-worker` processes.
+fn run_single_sessions(req: &Request) {
+    let g = &req.graph;
+    println!(
+        "graph {} — n = {}, m = {}, max degree {}, girth {}",
+        req.graph_desc,
+        g.n(),
+        g.m(),
+        g.max_degree(),
+        g.girth().map_or("∞".into(), |x| x.to_string()),
+    );
+    let mut engine = EngineConfig::default();
+    if let Some(w) = req.workers {
+        engine.executor = Executor::Distributed { workers: w };
+        match std::env::current_exe() {
+            Ok(exe) => {
+                engine.net.worker_cmd =
+                    Some(vec![exe.to_string_lossy().into_owned(), "net-worker".into()]);
+            }
+            Err(e) => {
+                eprintln!("error: locating ckprobe for worker spawn: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "tester: ck — C{}-freeness (ε = {}), executor {}",
+        req.k,
+        req.eps,
+        match req.workers {
+            Some(w) => format!("distributed ({w} workers)"),
+            None => "sequential".into(),
+        },
+    );
+    let trials = req.trials.max(1);
+    let mut rejected = 0u32;
+    for t in 0..trials {
+        let seed = req.seed.wrapping_add(u64::from(t).wrapping_mul(0x9E37_79B9));
+        let cfg = TesterConfig {
+            repetitions: req.repetitions,
+            ..TesterConfig::new(req.k, req.eps, seed)
+        };
+        let run = match TesterSession::from_config(cfg, engine.clone())
+            .map_err(|e| e.to_string())
+            .and_then(|mut s| s.test(g).map_err(|e| e.to_string()))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: trial {t}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let report = &run.outcome.report;
+        println!(
+            "  trial {t}: {} — {} rounds, {} messages, {} bits, worst link {} bits",
+            if run.reject { "REJECT" } else { "accept" },
+            report.rounds,
+            report.total_messages(),
+            report.total_bits(),
+            report.max_link_bits(),
+        );
+        rejected += u32::from(run.reject);
+        if req.verbose {
+            print_report_details(report);
+        }
+    }
+    println!(
+        "verdict: {}  ({rejected}/{trials} trials rejected)",
+        if rejected > 0 { "REJECT" } else { "accept" },
+    );
+    std::process::exit(if rejected > 0 { 1 } else { 0 });
+}
+
+/// Human-readable fault and network accounting for `--verbose`.
+fn print_report_details(report: &RunReport) {
+    print_fault_summary(&report.faults);
+    if let Some(net) = &report.net {
+        print_net_summary(net);
+    }
+}
+
+fn print_fault_summary(f: &FaultReport) {
+    let dropped =
+        f.dropped_explicit + f.dropped_random + f.dropped_crash + f.dropped_cut + f.dropped_burst;
+    if dropped == 0 && f.corrupted_delivered == 0 && f.crashed_nodes.is_empty() {
+        println!("    faults: none");
+        return;
+    }
+    println!(
+        "    faults: {dropped} messages dropped \
+         (explicit {}, random {}, crash {}, cut {}, burst {})",
+        f.dropped_explicit, f.dropped_random, f.dropped_crash, f.dropped_cut, f.dropped_burst,
+    );
+    if f.corrupted_delivered > 0 || f.corrupted_rejected > 0 {
+        println!(
+            "    corruption: {} frames delivered corrupted, {} rejected by the codec",
+            f.corrupted_delivered, f.corrupted_rejected,
+        );
+    }
+    if !f.crashed_nodes.is_empty() {
+        println!("    crashed nodes: {:?}", f.crashed_nodes);
+    }
+}
+
+fn print_net_summary(net: &NetReport) {
+    println!(
+        "    net: {} workers, {} frames routed ({} bytes), {} barriers, {} heartbeats",
+        net.workers, net.frames_routed, net.frame_bytes, net.barriers, net.heartbeats,
+    );
+    match (&net.fallback, net.recovery_ms) {
+        (Some(reason), Some(ms)) => {
+            println!("    net: degraded to the sequential executor in {ms} ms — {reason}");
+        }
+        (Some(reason), None) => println!("    net: degraded to the sequential executor — {reason}"),
+        _ => {}
     }
 }
 
@@ -125,12 +261,18 @@ fn print_help() {
         "ckprobe — distributed cycle detection (Fraigniaud & Olivetti, SPAA 2017)\n\n\
          usage: ckprobe --graph SPEC [--tester ck|triangle|c4|forest]\n\
          \x20                       [--k K] [--eps E] [--trials N] [--seed S]\n\
-         \x20                       [--repetitions R]\n\
+         \x20                       [--repetitions R] [--workers W] [--verbose]\n\
          \x20      ckprobe --batch FILE [--k K] [--eps E] [--trials N] [--seed S]\n\
-         \x20                       [--repetitions R] [--shards W]\n\n\
+         \x20                       [--repetitions R] [--shards W]\n\
+         \x20      ckprobe net-worker ADDR INDEX\n\n\
          --batch runs every graph spec in FILE (one per line, # comments)\n\
          through the sharded batch runner with the ck tester; --trials\n\
          fans each spec out with derived seeds.\n\n\
+         --workers W runs the ck tester on the distributed executor: the\n\
+         graph is partitioned over W spawned `ckprobe net-worker` processes\n\
+         exchanging rounds over loopback TCP; on any worker failure the run\n\
+         degrades to the in-process sequential executor and says so.\n\
+         --verbose adds per-trial fault and network report summaries.\n\n\
          exit status: 0 = accept, 1 = reject, 2 = usage error\n\n{}",
         graph_spec_help()
     );

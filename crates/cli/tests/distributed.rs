@@ -1,0 +1,220 @@
+//! Process-mode distributed runs through the real `ckprobe` binary:
+//! the coordinator spawns `ckprobe net-worker` child processes, so
+//! these tests cover the full fork + TCP + SIGKILL surface that the
+//! in-crate thread-mode tests cannot.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use ck_congest::engine::{EngineConfig, EngineError, Executor};
+use ck_congest::net::chaos::ChaosPlan;
+use ck_congest::net::NetOptions;
+use ck_core::session::TesterSession;
+use ck_core::tester::TesterConfig;
+use ck_graphgen::planted::eps_far_instance;
+
+/// Hard bound on any chaos run: a hang would blow far past this.
+const CHAOS_BUDGET: Duration = Duration::from_secs(60);
+
+fn ckprobe() -> &'static str {
+    env!("CARGO_BIN_EXE_ckprobe")
+}
+
+/// Net options that spawn real `ckprobe net-worker` processes.
+fn process_net() -> NetOptions {
+    NetOptions {
+        connect_timeout_ms: 20_000,
+        round_deadline_ms: 10_000,
+        heartbeat_ms: 50,
+        worker_cmd: Some(vec![ckprobe().to_string(), "net-worker".to_string()]),
+        ..NetOptions::default()
+    }
+}
+
+fn cfg() -> TesterConfig {
+    let mut cfg = TesterConfig::new(4, 0.15, 11);
+    cfg.repetitions = Some(2);
+    cfg
+}
+
+#[test]
+fn process_mode_matches_sequential_oracle() {
+    let inst = eps_far_instance(24, 4, 0.15, 3);
+    let oracle = TesterSession::from_config(cfg(), EngineConfig::default())
+        .unwrap()
+        .test(&inst.graph)
+        .unwrap();
+    let dist = TesterSession::from_config(
+        cfg(),
+        EngineConfig {
+            executor: Executor::Distributed { workers: 2 },
+            net: process_net(),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap()
+    .test(&inst.graph)
+    .unwrap();
+    let net = dist.outcome.report.net.as_ref().unwrap();
+    assert!(
+        net.completed_distributed(),
+        "healthy process-mode run must not degrade: {:?}",
+        net.fallback
+    );
+    assert_eq!(dist.reject, oracle.reject);
+    assert_eq!(dist.outcome.verdicts, oracle.outcome.verdicts);
+    assert_eq!(dist.outcome.report.per_round, oracle.outcome.report.per_round);
+}
+
+#[test]
+fn process_mode_kill_nine_falls_back_within_deadline() {
+    let inst = eps_far_instance(24, 4, 0.15, 4);
+    // SIGKILL worker 1 at the start of round 1: no goodbye, no flush —
+    // the coordinator must type the loss and recover via the oracle.
+    let net = NetOptions { kill_worker: Some((1, 1)), round_deadline_ms: 5_000, ..process_net() };
+    let started = Instant::now();
+    let run = TesterSession::from_config(
+        cfg(),
+        EngineConfig {
+            executor: Executor::Distributed { workers: 2 },
+            net,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap()
+    .test(&inst.graph)
+    .unwrap();
+    assert!(started.elapsed() < CHAOS_BUDGET, "kill -9 recovery exceeded the budget");
+    let net = run.outcome.report.net.as_ref().unwrap();
+    assert!(net.fallback.is_some(), "worker loss must be recorded");
+    assert!(net.recovery_ms.is_some());
+    let oracle = TesterSession::from_config(cfg(), EngineConfig::default())
+        .unwrap()
+        .test(&inst.graph)
+        .unwrap();
+    assert_eq!(run.reject, oracle.reject);
+    assert_eq!(run.outcome.verdicts, oracle.outcome.verdicts);
+}
+
+#[test]
+fn process_mode_hard_abort_falls_back() {
+    let inst = eps_far_instance(24, 4, 0.15, 5);
+    // The chaos plan makes worker 0 call `process::abort()` when told
+    // to run round 1 — an exit so hard no destructor runs.
+    let net = NetOptions {
+        chaos: Some(ChaosPlan { abort_at_round: Some(1), ..ChaosPlan::for_worker(0) }),
+        round_deadline_ms: 5_000,
+        ..process_net()
+    };
+    let started = Instant::now();
+    let run = TesterSession::from_config(
+        cfg(),
+        EngineConfig {
+            executor: Executor::Distributed { workers: 2 },
+            net,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap()
+    .test(&inst.graph)
+    .unwrap();
+    assert!(started.elapsed() < CHAOS_BUDGET);
+    assert!(run.outcome.report.net.as_ref().unwrap().fallback.is_some());
+}
+
+#[test]
+fn process_mode_typed_error_when_fallback_disabled() {
+    let inst = eps_far_instance(24, 4, 0.15, 6);
+    let net = NetOptions {
+        kill_worker: Some((0, 1)),
+        round_deadline_ms: 5_000,
+        fallback: false,
+        ..process_net()
+    };
+    let started = Instant::now();
+    let err = TesterSession::from_config(
+        cfg(),
+        EngineConfig {
+            executor: Executor::Distributed { workers: 2 },
+            net,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap()
+    .test(&inst.graph)
+    .unwrap_err();
+    assert!(started.elapsed() < CHAOS_BUDGET);
+    let EngineError::Net(ne) = err else {
+        panic!("expected a typed NetError, got {err:?}");
+    };
+    assert!(ne.to_string().contains("worker 0"), "{ne}");
+}
+
+// ---------------------------------------------------------------------------
+// CLI smoke: the user-facing surface end to end.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cli_distributed_verbose_smoke() {
+    let out = Command::new(ckprobe())
+        .args([
+            "--graph",
+            "eps-far:24:4:0.15:3",
+            "--k",
+            "4",
+            "--eps",
+            "0.15",
+            "--repetitions",
+            "1",
+            "--workers",
+            "2",
+            "--verbose",
+        ])
+        .output()
+        .expect("running ckprobe");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "planted instance rejects:\n{stdout}");
+    assert!(stdout.contains("distributed (2 workers)"), "{stdout}");
+    assert!(stdout.contains("net: 2 workers"), "{stdout}");
+    assert!(stdout.contains("verdict: REJECT"), "{stdout}");
+}
+
+#[test]
+fn cli_verbose_sequential_smoke() {
+    let out = Command::new(ckprobe())
+        .args([
+            "--graph",
+            "free:20:4",
+            "--k",
+            "4",
+            "--eps",
+            "0.2",
+            "--repetitions",
+            "1",
+            "--verbose",
+        ])
+        .output()
+        .expect("running ckprobe");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "free instance accepts:\n{stdout}");
+    assert!(stdout.contains("faults: none"), "{stdout}");
+    assert!(stdout.contains("verdict: accept"), "{stdout}");
+}
+
+#[test]
+fn cli_net_worker_usage_error() {
+    let out = Command::new(ckprobe())
+        .args(["net-worker", "127.0.0.1:1"])
+        .output()
+        .expect("running ckprobe");
+    assert_eq!(out.status.code(), Some(2), "missing index is a usage error");
+    // A worker pointed at a dead coordinator exits with the worker
+    // failure status after bounded connect retries — never hangs.
+    let started = Instant::now();
+    let out = Command::new(ckprobe())
+        .args(["net-worker", "127.0.0.1:9", "0"])
+        .output()
+        .expect("running ckprobe");
+    assert!(started.elapsed() < CHAOS_BUDGET);
+    assert_eq!(out.status.code(), Some(3), "connect failure is typed");
+}

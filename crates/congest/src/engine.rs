@@ -78,6 +78,23 @@ pub enum Executor {
     /// rayon `par_iter` over nodes; identical results, faster wall-clock.
     #[default]
     Parallel,
+    /// Cross-process execution: the graph is partitioned into
+    /// `workers` contiguous node ranges, each stepped by its own
+    /// worker over the [`crate::net`] frame protocol, with per-round
+    /// barriers and the fault machinery of [`crate::net::NetOptions`].
+    ///
+    /// Distribution requires a protocol layer that can serialize its
+    /// job and verdicts (the programs themselves cross the process
+    /// boundary as *specs*, not closures) — `ck-core`'s tester session
+    /// implements it. The generic engine entry points cannot ship
+    /// arbitrary in-process programs, so under this variant they
+    /// degrade gracefully to the sequential oracle and record the
+    /// degradation in [`crate::metrics::RunReport::net`]; results stay
+    /// bit-identical to `Sequential` by construction.
+    Distributed {
+        /// Worker (partition) count; clamped to at least 1 by users.
+        workers: u16,
+    },
 }
 
 /// Engine configuration.
@@ -96,6 +113,9 @@ pub struct EngineConfig {
     /// messages are charged to the sender's accounting but never
     /// delivered.
     pub faults: crate::fault::FaultPlan,
+    /// Transport tuning and fault-recovery policy of the distributed
+    /// executor; inert under the in-process executors.
+    pub net: crate::net::NetOptions,
 }
 
 impl Default for EngineConfig {
@@ -106,6 +126,7 @@ impl Default for EngineConfig {
             executor: Executor::Parallel,
             record_rounds: true,
             faults: crate::fault::FaultPlan::none(),
+            net: crate::net::NetOptions::default(),
         }
     }
 }
@@ -115,6 +136,11 @@ impl Default for EngineConfig {
 pub enum EngineError {
     /// A directed link exceeded the enforced per-round bit budget.
     BandwidthExceeded { round: u32, node: NodeIndex, port: u32, bits: u64, limit: u64 },
+    /// The distributed executor failed at the transport layer and
+    /// fallback was disabled ([`crate::net::NetOptions::fallback`]).
+    /// With fallback on (the default) this variant never escapes — the
+    /// run degrades to the sequential oracle instead.
+    Net(crate::net::NetError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -123,6 +149,7 @@ impl std::fmt::Display for EngineError {
             EngineError::BandwidthExceeded { round, node, port, bits, limit } => {
                 write!(f, "round {round}: node {node} port {port} sent {bits} bits > limit {limit}")
             }
+            EngineError::Net(e) => write!(f, "distributed transport failure: {e}"),
         }
     }
 }
@@ -323,23 +350,24 @@ struct Slot<P: Program> {
     inbox: Vec<Packet<P::Msg>>,
 }
 
-/// Observability of the wire, derived once per run so the sequential
-/// and parallel paths can never disagree on sink selection.
+/// Observability of the wire, derived once per run so the sequential,
+/// parallel, and partitioned ([`crate::net::PartitionEngine`]) paths
+/// can never disagree on sink selection.
 #[derive(Clone, Copy)]
-struct WireFlags {
-    check_faults: bool,
+pub(crate) struct WireFlags {
+    pub(crate) check_faults: bool,
     /// Enforced per-link bit budget; `u64::MAX` under `Measure`.
-    limit: u64,
+    pub(crate) limit: u64,
     /// Wire counters observable (recorded rounds or an enforced
     /// budget): the engine allocates the flat load table and the send
     /// paths feed it.
-    account: bool,
+    pub(crate) account: bool,
     /// `account || check_faults`: an accounting/fault sink is needed.
-    heavy: bool,
+    pub(crate) heavy: bool,
 }
 
 impl WireFlags {
-    fn for_config(config: &EngineConfig) -> WireFlags {
+    pub(crate) fn for_config(config: &EngineConfig) -> WireFlags {
         let check_faults = !config.faults.is_trivial();
         let limit = match config.bandwidth {
             BandwidthPolicy::Enforce { bits } => bits,
@@ -372,7 +400,7 @@ fn round_stats(acc: &RoundAcc, round: u32, active_nodes: usize) -> RoundStats {
 /// # Safety
 /// `loads_row` must be `v`'s valid load row (a violation implies the
 /// run accounts, so the table is allocated).
-unsafe fn finalize_violation(
+pub(crate) unsafe fn finalize_violation(
     acc: &mut RoundAcc,
     had_violation: bool,
     v: NodeIndex,
@@ -737,7 +765,13 @@ where
     // can push straight into per-receiver double-buffered inboxes (same
     // canonical order — ascending sender, then queueing order), with the
     // same fused accounting against the flat load table when observable.
-    let rounds_result = if config.executor == Executor::Sequential {
+    // `Distributed` lands here too: arbitrary in-process programs are
+    // closures and cannot be shipped to worker processes, so the
+    // generic entry degrades to the sequential oracle (bit-identical
+    // results) and records the degradation in the report's net block;
+    // serializable protocol layers dispatch real distribution above
+    // this function (see `crate::net`).
+    let rounds_result = if config.executor != Executor::Parallel {
         ws.inbox_cur.reset(n);
         ws.inbox_next.reset(n);
         run_rounds_seq_inbox(
@@ -785,6 +819,13 @@ where
     (report.executor, report.threads) = match config.executor {
         Executor::Sequential => ("sequential", 1),
         Executor::Parallel => ("parallel", rayon::current_num_threads()),
+        Executor::Distributed { workers } => {
+            report.net = Some(crate::metrics::NetReport::degraded(
+                u32::from(workers.max(1)),
+                "in-process programs are not serializable; ran the sequential oracle",
+            ));
+            ("distributed", workers.max(1) as usize)
+        }
     };
 
     let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();

@@ -338,6 +338,103 @@ impl FaultPlan {
         matches!(self.decide(round, sender, receiver, port), FaultDecision::Drop(_))
     }
 
+    /// Serializes the plan for shipping to distributed workers
+    /// (deterministic: set-like fields are emitted sorted). The
+    /// encoding carries the *internal* fixed-point thresholds, not the
+    /// original `f64` probabilities, so a worker's rebuilt plan flips
+    /// exactly the same coins as the coordinator's — the purity of
+    /// [`FaultPlan::decide`] then extends across process boundaries.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::net::frame::ByteWriter;
+        let mut w = ByteWriter::new();
+        let mut explicit: Vec<&DropRule> = self.explicit.iter().collect();
+        explicit.sort_unstable_by_key(|r| (r.round, r.sender, r.port));
+        w.u32(explicit.len() as u32);
+        for r in explicit {
+            w.u32(r.round);
+            w.u32(r.sender);
+            w.u32(r.port);
+        }
+        match &self.random {
+            Some(c) => {
+                w.u8(1);
+                w.u64(c.seed);
+                w.u128(c.threshold);
+            }
+            None => w.u8(0),
+        }
+        let mut crashes: Vec<(NodeIndex, u32)> =
+            self.crashes.iter().map(|(&v, &r)| (v, r)).collect();
+        crashes.sort_unstable();
+        w.u32(crashes.len() as u32);
+        for (node, from) in crashes {
+            w.u32(node);
+            w.u32(from);
+        }
+        let mut cuts: Vec<(NodeIndex, NodeIndex)> = self.cuts.iter().copied().collect();
+        cuts.sort_unstable();
+        w.u32(cuts.len() as u32);
+        for (a, b) in cuts {
+            w.u32(a);
+            w.u32(b);
+        }
+        match &self.burst {
+            Some(b) => {
+                w.u8(1);
+                w.u64(b.seed);
+                w.u128(b.enter);
+                w.u128(b.exit);
+                w.u128(b.stationary);
+            }
+            None => w.u8(0),
+        }
+        match &self.corrupt {
+            Some(c) => {
+                w.u8(1);
+                w.u64(c.seed);
+                w.u128(c.threshold);
+            }
+            None => w.u8(0),
+        }
+        w.0
+    }
+
+    /// Rebuilds a plan from [`FaultPlan::to_bytes`]; any truncation or
+    /// trailing garbage is a typed frame error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::net::frame::FrameError> {
+        use crate::net::frame::ByteReader;
+        let mut r = ByteReader::new(bytes);
+        let mut plan = FaultPlan::default();
+        for _ in 0..r.u32()? {
+            let rule = DropRule { round: r.u32()?, sender: r.u32()?, port: r.u32()? };
+            plan.explicit.insert(rule);
+        }
+        if r.u8()? != 0 {
+            plan.random = Some(CoinFlip { seed: r.u64()?, threshold: r.u128()? });
+        }
+        for _ in 0..r.u32()? {
+            let (node, from) = (r.u32()?, r.u32()?);
+            plan.crashes.insert(node, from);
+        }
+        for _ in 0..r.u32()? {
+            let (a, b) = (r.u32()?, r.u32()?);
+            plan.cuts.insert((a, b));
+        }
+        if r.u8()? != 0 {
+            plan.burst = Some(BurstLoss {
+                seed: r.u64()?,
+                enter: r.u128()?,
+                exit: r.u128()?,
+                stationary: r.u128()?,
+            });
+        }
+        if r.u8()? != 0 {
+            plan.corrupt = Some(CoinFlip { seed: r.u64()?, threshold: r.u128()? });
+        }
+        r.finish()?;
+        Ok(plan)
+    }
+
     /// The nodes that have crash-stopped strictly before `rounds`
     /// rounds have executed, restricted to indices below `n`, sorted.
     pub fn crashed_by(&self, rounds: u32, n: usize) -> Vec<NodeIndex> {

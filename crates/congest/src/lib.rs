@@ -65,6 +65,7 @@ pub mod fault;
 pub mod graph;
 pub mod message;
 pub mod metrics;
+pub mod net;
 pub mod node;
 pub mod protocols;
 pub mod rngs;
@@ -82,6 +83,6 @@ pub use engine::{
 pub use engine::{run, run_with_workspace};
 pub use graph::{Edge, Graph, GraphBuilder, GraphError, NodeId, NodeIndex};
 pub use message::{bits_for, BitReader, BitWriter, CodecError, WireCodec, WireMessage, WireParams};
-pub use metrics::{RoundStats, RunReport};
+pub use metrics::{NetReport, RoundStats, RunReport};
 pub use node::{Inbox, InboxBuf, Incoming, NodeInit, Outbox, Program, Status};
 pub use session::{Session, SessionBuilder};

@@ -354,6 +354,35 @@ pub trait WireCodec {
     }
 }
 
+/// A [`WireCodec`] whose receiver-side context can be shipped in a
+/// transport frame header — the codec-state *handshake* of the
+/// distributed executor.
+///
+/// In the CONGEST model a receiver knows the shape of round `r`
+/// traffic from the protocol itself (e.g. the Phase-2 sequence length
+/// is a function of the round), so that context is *addressing*, not
+/// payload, and is never charged against the per-link bit budget. A
+/// cross-process transport has no shared round state to derive it
+/// from, so each [`crate::net::frame::FrameKind::Msg`] frame carries
+/// the sender's context word and the receiver rebuilds the codec with
+/// [`ContextCodec::from_context`] — the payload bits stay exactly the
+/// canonical `wire_bits` encoding.
+pub trait ContextCodec: WireCodec + Sized {
+    /// The context word under which this codec instance encodes and
+    /// decodes.
+    fn context(&self) -> u16;
+
+    /// Rebuilds the codec from a frame's context word; `None` marks an
+    /// out-of-domain word (a typed protocol error, never a panic).
+    fn from_context(ctx: u16) -> Option<Self>;
+
+    /// The context word governing one specific message (senders call
+    /// this per frame; the default is the instance context).
+    fn context_for(&self, _msg: &Self::Msg) -> u16 {
+        self.context()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,87 @@ pub struct RunReport {
     /// Executor-independent like every other report field: fault
     /// decisions are pure functions of message coordinates.
     pub faults: FaultReport,
+    /// Transport-layer record of a distributed run (`None` for the
+    /// in-process executors). Unlike every other field this one is
+    /// executor-*dependent* by design — it describes the transport,
+    /// not the computation — and is excluded from cross-executor
+    /// equality checks.
+    pub net: Option<NetReport>,
+}
+
+/// What the distributed transport did during a run: traffic totals,
+/// recovery events, and whether the run had to degrade to the
+/// in-process sequential oracle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetReport {
+    /// Worker (partition) count the run was configured for.
+    pub workers: u32,
+    /// Cross-partition message frames the coordinator routed.
+    pub frames_routed: u64,
+    /// Payload bytes of those frames (length-prefixed codec bytes).
+    pub frame_bytes: u64,
+    /// Round barriers completed across all workers.
+    pub barriers: u64,
+    /// Heartbeat frames consumed while waiting on workers.
+    pub heartbeats: u64,
+    /// Why the run fell back to the in-process sequential executor
+    /// (`None` when the distributed run completed on its own).
+    pub fallback: Option<String>,
+    /// Wall-clock milliseconds from detecting the failure to the
+    /// completed fallback run — the recovery latency the bench gates.
+    pub recovery_ms: Option<u64>,
+}
+
+impl NetReport {
+    /// The record of a run that never left the coordinator process:
+    /// distribution was requested but the job cannot ship, so the
+    /// sequential oracle ran in place.
+    pub fn degraded(workers: u32, reason: &str) -> Self {
+        NetReport { workers, fallback: Some(reason.to_string()), ..NetReport::default() }
+    }
+
+    /// True when the distributed run completed without degradation.
+    pub fn completed_distributed(&self) -> bool {
+        self.fallback.is_none()
+    }
+
+    /// Serializes the net record as a JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"workers\":{},\"frames_routed\":{},\"frame_bytes\":{},\"barriers\":{},\
+             \"heartbeats\":{},\"fallback\":",
+            self.workers, self.frames_routed, self.frame_bytes, self.barriers, self.heartbeats
+        );
+        match &self.fallback {
+            Some(reason) => {
+                s.push('"');
+                for c in reason.chars() {
+                    match c {
+                        '"' => s.push_str("\\\""),
+                        '\\' => s.push_str("\\\\"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(s, "\\u{:04x}", c as u32);
+                        }
+                        c => s.push(c),
+                    }
+                }
+                s.push('"');
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"recovery_ms\":");
+        match self.recovery_ms {
+            Some(ms) => {
+                let _ = write!(s, "{ms}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
 }
 
 /// Observability record of a run's injected faults: how many messages
@@ -175,6 +256,10 @@ impl RunReport {
         }
         s.push_str("],\"faults\":");
         s.push_str(&self.faults.to_json());
+        if let Some(net) = &self.net {
+            s.push_str(",\"net\":");
+            s.push_str(&net.to_json());
+        }
         s.push('}');
         s
     }
@@ -242,6 +327,7 @@ mod tests {
                 crashed_nodes: vec![1, 3],
                 ..FaultReport::default()
             },
+            net: None,
         }
     }
 

@@ -1,0 +1,1090 @@
+//! The distributed tester executor: a coordinator that partitions the
+//! graph across worker processes (or protocol-identical worker
+//! threads) and drives lock-step rounds over the
+//! [`ck_congest::net`] frame protocol.
+//!
+//! This is the protocol-specific half of the distributed executor —
+//! the generic engine cannot ship arbitrary in-process programs, but
+//! [`CkTester`] is fully described by a [`TesterConfig`] plus the
+//! graph, so a [`JobSpec`] frame reconstructs byte-identical node
+//! programs inside every worker. Each worker steps its contiguous
+//! node range through a [`PartitionEngine`] (the *same* fused send
+//! path as the in-process sequential oracle); cross-partition
+//! deliveries travel as `Msg` frames whose payload is the canonical
+//! [`CkCodec`] bit string and whose header carries the
+//! [`ContextCodec`] handshake word, so the receiving worker rebuilds
+//! the sender's codec without any shared round state.
+//!
+//! ## Protocol
+//!
+//! ```text
+//! worker  → Hello(magic, index)
+//! coord   → Spec(job)                  worker → Ready
+//! per round r:
+//!   coord → Go(r)
+//!   worker: step; → Msg* ; → Done(r, digest)     [Heartbeat freely]
+//!   coord: merge digests, route every Msg to its owner
+//!   coord → Msg* ; → Barrier(r)        worker: inject, commit
+//! coord   → Finish                     worker → Verdicts
+//! any failure: coord → Abort / worker → Error
+//! ```
+//!
+//! Every failure is a typed [`NetError`] produced within the
+//! configured deadlines (see the [`ck_congest::net`] failure table);
+//! [`crate::tester`] degrades a failed distributed run to the
+//! sequential oracle and records the fallback in the run report.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use ck_congest::engine::{BandwidthPolicy, EngineConfig, EngineError, Executor, RunOutcome};
+use ck_congest::graph::Graph;
+use ck_congest::message::{BitReader, ContextCodec, WireCodec, WireParams};
+use ck_congest::metrics::{NetReport, RunReport};
+use ck_congest::net::chaos::{ChaosPlan, ChaosTransport};
+use ck_congest::net::frame::{
+    decode_msg_body, encode_msg_body, read_frame, ByteReader, ByteWriter, Deadline, Frame,
+    FrameError, FrameKind, MsgHeader,
+};
+use ck_congest::net::link::{connect_with_retry, HeartbeatHandle, SharedWriter};
+use ck_congest::net::partition::{partition_range, OutFrame, PartitionEngine, RoundDigest};
+use ck_congest::net::{LostCause, NetError, NetOptions};
+
+use crate::decide::RejectWitness;
+use crate::msg::{CkCodec, CkMsg, EdgeTag};
+use crate::prune::PrunerKind;
+use crate::scan::ScanBackend;
+use crate::seq::IdSeq;
+use crate::tester::{CkTester, NodeVerdict, Rejection, TesterConfig};
+
+/// Hello-frame magic: protocol name + version byte.
+const MAGIC: &[u8; 4] = b"ckd1";
+
+/// A distributed run fails in one of two distinct worlds.
+#[derive(Debug)]
+pub enum DistError {
+    /// The transport failed — candidates for graceful degradation.
+    Net(NetError),
+    /// The *computation* failed exactly as the oracle would have
+    /// (bandwidth enforcement); never retried, always surfaced.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Net(e) => write!(f, "{e}"),
+            DistError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+// ---------------------------------------------------------------------------
+// Job spec: everything a worker needs to rebuild its partition.
+// ---------------------------------------------------------------------------
+
+/// The serialized job a worker reconstructs its partition from. The
+/// fault plan ships its internal fixed-point thresholds
+/// ([`ck_congest::fault::FaultPlan::to_bytes`]), so worker-side fault
+/// coins replay bit-identically to the oracle's.
+pub struct JobSpec {
+    /// The input graph (edge-list interchange form).
+    pub graph: Graph,
+    /// Tester parameters.
+    pub cfg: TesterConfig,
+    /// Engine parameters (`max_rounds` already resolved to the
+    /// schedule's total).
+    pub engine: EngineConfig,
+    /// Total worker count.
+    pub workers: u32,
+    /// This worker's index.
+    pub worker: u32,
+    /// Chaos: die (hard-abort or link close) when told to run this
+    /// round.
+    pub abort_at_round: Option<u32>,
+    /// Worker heartbeat interval.
+    pub heartbeat_ms: u64,
+    /// Coordinator round deadline; the worker's idle bound derives
+    /// from it.
+    pub round_deadline_ms: u64,
+}
+
+fn pruner_tag(p: PrunerKind) -> u8 {
+    match p {
+        PrunerKind::Literal => 0,
+        PrunerKind::Representative => 1,
+    }
+}
+
+fn scan_tag(s: ScanBackend) -> u8 {
+    match s {
+        ScanBackend::Scalar => 0,
+        ScanBackend::Lanes => 1,
+        ScanBackend::Simd => 2,
+        ScanBackend::Hybrid => 3,
+    }
+}
+
+impl JobSpec {
+    /// Encodes the spec as a `Spec` frame body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(self.graph.to_edge_list().as_bytes());
+        w.u32(self.cfg.k as u32);
+        w.f64(self.cfg.eps);
+        w.u64(self.cfg.seed);
+        match self.cfg.repetitions {
+            Some(r) => {
+                w.u8(1);
+                w.u32(r);
+            }
+            None => w.u8(0),
+        }
+        w.u8(pruner_tag(self.cfg.pruner));
+        w.u8(scan_tag(self.cfg.scan));
+        w.u8(self.cfg.early_abort as u8);
+        match self.cfg.assumed_loss {
+            Some(l) => {
+                w.u8(1);
+                w.f64(l);
+            }
+            None => w.u8(0),
+        }
+        w.u8(self.cfg.verify_witnesses as u8);
+        w.u32(self.engine.max_rounds);
+        match self.engine.bandwidth {
+            BandwidthPolicy::Measure => w.u8(0),
+            BandwidthPolicy::Enforce { bits } => {
+                w.u8(1);
+                w.u64(bits);
+            }
+        }
+        w.u8(self.engine.record_rounds as u8);
+        w.bytes(&self.engine.faults.to_bytes());
+        w.u32(self.workers);
+        w.u32(self.worker);
+        match self.abort_at_round {
+            Some(r) => {
+                w.u8(1);
+                w.u32(r);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.heartbeat_ms);
+        w.u64(self.round_deadline_ms);
+        w.0
+    }
+
+    /// Decodes a `Spec` frame body; all failures are typed.
+    pub fn from_bytes(body: &[u8]) -> Result<JobSpec, FrameError> {
+        let mut r = ByteReader::new(body);
+        let edge_text = std::str::from_utf8(r.bytes()?)
+            .map_err(|_| FrameError::BadBody("graph text is not UTF-8"))?
+            .to_string();
+        let graph = Graph::from_edge_list(&edge_text)
+            .map_err(|_| FrameError::BadBody("unparsable graph edge list"))?;
+        let k = r.u32()? as usize;
+        let eps = r.f64()?;
+        let seed = r.u64()?;
+        let repetitions = if r.u8()? != 0 { Some(r.u32()?) } else { None };
+        let pruner = match r.u8()? {
+            0 => PrunerKind::Literal,
+            1 => PrunerKind::Representative,
+            _ => return Err(FrameError::BadBody("unknown pruner tag")),
+        };
+        let scan = match r.u8()? {
+            0 => ScanBackend::Scalar,
+            1 => ScanBackend::Lanes,
+            2 => ScanBackend::Simd,
+            3 => ScanBackend::Hybrid,
+            _ => return Err(FrameError::BadBody("unknown scan tag")),
+        };
+        let early_abort = r.u8()? != 0;
+        let assumed_loss = if r.u8()? != 0 { Some(r.f64()?) } else { None };
+        let verify_witnesses = r.u8()? != 0;
+        let mut cfg = TesterConfig::new(3, 0.5, 0);
+        cfg.k = k;
+        cfg.eps = eps;
+        cfg.seed = seed;
+        cfg.repetitions = repetitions;
+        cfg.pruner = pruner;
+        cfg.scan = scan;
+        cfg.early_abort = early_abort;
+        cfg.assumed_loss = assumed_loss;
+        cfg.verify_witnesses = verify_witnesses;
+        cfg.validate().map_err(|_| FrameError::BadBody("tester config out of domain"))?;
+        let max_rounds = r.u32()?;
+        let bandwidth = match r.u8()? {
+            0 => BandwidthPolicy::Measure,
+            1 => BandwidthPolicy::Enforce { bits: r.u64()? },
+            _ => return Err(FrameError::BadBody("unknown bandwidth tag")),
+        };
+        let record_rounds = r.u8()? != 0;
+        let faults = ck_congest::fault::FaultPlan::from_bytes(r.bytes()?)?;
+        let engine = EngineConfig {
+            max_rounds,
+            bandwidth,
+            // The worker's partition loop is the sequential fused
+            // path; the executor field is irrelevant inside it.
+            executor: Executor::Sequential,
+            record_rounds,
+            faults,
+            net: NetOptions::default(),
+        };
+        let workers = r.u32()?;
+        let worker = r.u32()?;
+        if workers == 0 || worker >= workers {
+            return Err(FrameError::BadBody("worker index outside worker count"));
+        }
+        let abort_at_round = if r.u8()? != 0 { Some(r.u32()?) } else { None };
+        let heartbeat_ms = r.u64()?;
+        let round_deadline_ms = r.u64()?;
+        r.finish()?;
+        Ok(JobSpec {
+            graph,
+            cfg,
+            engine,
+            workers,
+            worker,
+            abort_at_round,
+            heartbeat_ms,
+            round_deadline_ms,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verdict serialization (worker → coordinator).
+// ---------------------------------------------------------------------------
+
+fn encode_seq(w: &mut ByteWriter, s: &IdSeq) {
+    w.u8(s.len() as u8);
+    for id in s.iter() {
+        w.u64(id);
+    }
+}
+
+fn decode_seq(r: &mut ByteReader<'_>) -> Result<IdSeq, FrameError> {
+    let len = r.u8()? as usize;
+    if len > crate::seq::MAX_SEQ_LEN {
+        return Err(FrameError::BadBody("sequence length exceeds MAX_SEQ_LEN"));
+    }
+    let mut ids = Vec::with_capacity(len);
+    for _ in 0..len {
+        ids.push(r.u64()?);
+    }
+    Ok(IdSeq::from_slice(&ids))
+}
+
+/// Encodes a worker's verdict slice as a `Verdicts` frame body.
+pub fn encode_verdicts(verdicts: &[NodeVerdict]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(verdicts.len() as u32);
+    for v in verdicts {
+        w.u8(v.rejected as u8);
+        match v.first_rejection.as_deref() {
+            Some(rej) => {
+                w.u8(1);
+                w.u32(rej.repetition);
+                w.u64(rej.tag.rank);
+                w.u64(rej.tag.lo);
+                w.u64(rej.tag.hi);
+                encode_seq(&mut w, &rej.witness.l1);
+                encode_seq(&mut w, &rej.witness.l2);
+                w.u64(rej.witness.myid);
+                w.u32(rej.witness.k as u32);
+            }
+            None => w.u8(0),
+        }
+        w.u64(v.max_sent_seqs as u64);
+        w.u64(v.pool_outstanding);
+    }
+    w.0
+}
+
+/// Decodes a `Verdicts` frame body.
+pub fn decode_verdicts(body: &[u8]) -> Result<Vec<NodeVerdict>, FrameError> {
+    let mut r = ByteReader::new(body);
+    let count = r.u32()? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let rejected = r.u8()? != 0;
+        let first_rejection = if r.u8()? != 0 {
+            let repetition = r.u32()?;
+            let (rank, lo, hi) = (r.u64()?, r.u64()?, r.u64()?);
+            if lo >= hi {
+                return Err(FrameError::BadBody("edge tag endpoints must satisfy lo < hi"));
+            }
+            let l1 = decode_seq(&mut r)?;
+            let l2 = decode_seq(&mut r)?;
+            let myid = r.u64()?;
+            let k = r.u32()? as usize;
+            Some(Box::new(Rejection {
+                repetition,
+                tag: EdgeTag { rank, lo, hi },
+                witness: RejectWitness { l1, l2, myid, k },
+            }))
+        } else {
+            None
+        };
+        let max_sent_seqs = r.u64()? as usize;
+        let pool_outstanding = r.u64()?;
+        out.push(NodeVerdict { rejected, first_rejection, max_sent_seqs, pool_outstanding });
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Worker side.
+// ---------------------------------------------------------------------------
+
+/// Encodes one cross-partition delivery as a `Msg` frame body — the
+/// exact bytes a worker puts on the wire:
+///
+/// ```text
+/// [receiver u32 LE][port u32 LE][ctx u16 LE][bit_len u32 LE][payload]
+/// ```
+///
+/// `ctx` is the [`ContextCodec`] word (the Phase-2 `seq_len` for
+/// nonempty `Seqs` bundles, `0` otherwise) and `payload` is the
+/// canonical [`CkCodec`] bit string — exactly `bit_len` bits,
+/// zero-padded MSB-first to `ceil(bit_len/8)` bytes, matching the
+/// `wire_bits` accounting of the in-process engine bit for bit.
+pub fn encode_out_frame(f: &OutFrame<CkMsg>, params: &WireParams) -> Result<Vec<u8>, FrameError> {
+    let seq_len = match &f.msg {
+        CkMsg::Seqs { seqs, .. } => seqs.as_slice().first().map(|s| s.len()).unwrap_or(0),
+        _ => 0,
+    };
+    let codec = CkCodec::new(seq_len);
+    let ctx = codec.context_for(&f.msg);
+    let buf = codec.encode_to_buf(&f.msg, params).map_err(FrameError::Codec)?;
+    let header =
+        MsgHeader { receiver: f.receiver, port: f.port, ctx, bit_len: buf.len_bits() as u32 };
+    Ok(encode_msg_body(&header, buf.as_bytes()))
+}
+
+/// Decodes a `Msg` frame body back into a delivery, rebuilding the
+/// sender's codec from the context word.
+///
+/// Total on every input: any truncation, context word outside
+/// `0..=MAX_SEQ_LEN`, payload/`bit_len` disagreement, or codec
+/// failure is a typed [`FrameError`]; no byte past the announced
+/// payload is ever read.
+pub fn decode_in_frame(body: &[u8], params: &WireParams) -> Result<(MsgHeader, CkMsg), FrameError> {
+    let (header, payload) = decode_msg_body(body)?;
+    let codec = CkCodec::from_context(header.ctx)
+        .ok_or(FrameError::BadBody("context word out of domain"))?;
+    let mut bits = BitReader::new(payload, u64::from(header.bit_len));
+    let msg = codec.decode(params, &mut bits).map_err(FrameError::Codec)?;
+    Ok((header, msg))
+}
+
+/// Serves one worker connection until `Finish`/`Abort` (or a typed
+/// failure, reported to the coordinator as an `Error` frame on a
+/// best-effort basis). `hard_abort` selects how a scheduled
+/// [`ChaosPlan::abort_at_round`] dies: `std::process::abort()` in a
+/// spawned worker process, a silent link close for in-process worker
+/// threads.
+pub fn worker_serve(stream: TcpStream, index: u32, hard_abort: bool) -> Result<(), FrameError> {
+    let _ = stream.set_nodelay(true);
+    let mut reader = stream.try_clone().map_err(FrameError::from)?;
+    reader.set_read_timeout(Some(Duration::from_millis(20))).map_err(FrameError::from)?;
+    let writer = SharedWriter::new(stream);
+    let result = worker_serve_inner(&mut reader, &writer, index, hard_abort);
+    if let Err(e) = &result {
+        let _ = writer.send(FrameKind::Error, e.to_string().as_bytes());
+    }
+    result
+}
+
+fn worker_serve_inner(
+    reader: &mut TcpStream,
+    writer: &SharedWriter<TcpStream>,
+    index: u32,
+    hard_abort: bool,
+) -> Result<(), FrameError> {
+    let mut hello = Vec::with_capacity(8);
+    hello.extend_from_slice(MAGIC);
+    hello.extend_from_slice(&index.to_le_bytes());
+    writer.send(FrameKind::Hello, &hello)?;
+
+    let spec_frame = read_frame(reader, &Deadline::after_ms(30_000))?;
+    if spec_frame.kind != FrameKind::Spec {
+        return Err(FrameError::BadBody("expected a Spec frame"));
+    }
+    let spec = JobSpec::from_bytes(&spec_frame.body)?;
+    let params = WireParams::for_graph(&spec.graph);
+    let cfg = spec.cfg;
+    let mut engine = PartitionEngine::new(
+        &spec.graph,
+        &spec.engine,
+        params,
+        spec.workers,
+        spec.worker,
+        |init| CkTester::new(&cfg, &init),
+    );
+
+    let hb =
+        HeartbeatHandle::spawn(writer.clone(), Duration::from_millis(spec.heartbeat_ms.max(1)));
+    writer.send(FrameKind::Ready, &[])?;
+
+    // The worker's own liveness bound: a coordinator silent for ten
+    // round deadlines is gone; exit instead of lingering forever.
+    let idle_ms = spec.round_deadline_ms.saturating_mul(10).max(10_000);
+    let mut out: Vec<OutFrame<CkMsg>> = Vec::new();
+    loop {
+        let frame = read_frame(reader, &Deadline::after_ms(idle_ms))?;
+        match frame.kind {
+            FrameKind::Go => {
+                let round = round_of(&frame)?;
+                if spec.abort_at_round == Some(round) {
+                    if hard_abort {
+                        // A death the coordinator cannot tell from
+                        // `kill -9`: no unwinding, no goodbye frame.
+                        std::process::abort();
+                    }
+                    hb.stop();
+                    let _ = reader.shutdown(Shutdown::Both);
+                    return Ok(());
+                }
+                out.clear();
+                let digest = engine.step_round(round, &mut out);
+                for f in &out {
+                    writer.send(FrameKind::Msg, &encode_out_frame(f, &params)?)?;
+                }
+                let mut done = Vec::with_capacity(4 + 128);
+                done.extend_from_slice(&round.to_le_bytes());
+                done.extend_from_slice(&digest.to_bytes());
+                writer.send(FrameKind::Done, &done)?;
+            }
+            FrameKind::Msg => {
+                let (header, msg) = decode_in_frame(&frame.body, &params)?;
+                engine.inject(header.receiver, header.port, msg)?;
+            }
+            FrameKind::Barrier => engine.commit_round(),
+            FrameKind::Finish => {
+                writer.send(FrameKind::Verdicts, &encode_verdicts(&engine.verdicts()))?;
+                hb.stop();
+                return Ok(());
+            }
+            FrameKind::Abort => {
+                hb.stop();
+                return Ok(());
+            }
+            FrameKind::Heartbeat => {}
+            _ => return Err(FrameError::BadBody("unexpected frame kind at worker")),
+        }
+    }
+}
+
+fn round_of(frame: &Frame) -> Result<u32, FrameError> {
+    let b: [u8; 4] = frame
+        .body
+        .as_slice()
+        .try_into()
+        .map_err(|_| FrameError::BadBody("round frame body must be 4 bytes"))?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Process-mode worker entry point (the `ckprobe net-worker`
+/// subcommand): connect to the coordinator and serve.
+pub fn worker_main(addr: &str, index: u32) -> Result<(), String> {
+    let stream = connect_with_retry(addr, 8, 20).map_err(|e| e.to_string())?;
+    worker_serve(stream, index, true).map_err(|e| e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side.
+// ---------------------------------------------------------------------------
+
+struct WorkerLink {
+    reader: TcpStream,
+    writer: ChaosTransport<TcpStream>,
+    last_beat: Instant,
+    child: Option<std::process::Child>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerLink {
+    fn shutdown(&mut self) {
+        let _ = self.reader.shutdown(Shutdown::Both);
+    }
+
+    fn reap(&mut self) {
+        self.shutdown();
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        if let Some(join) = self.thread.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+struct Coordinator {
+    links: Vec<WorkerLink>,
+    net: NetOptions,
+    report_net: NetReport,
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        for link in &mut self.links {
+            link.reap();
+        }
+    }
+}
+
+impl Coordinator {
+    /// Best-effort broadcast of `Abort`, then teardown (also performed
+    /// by `Drop` on every early exit).
+    fn abort_all(&mut self) {
+        for link in &mut self.links {
+            let _ = write_framed(&mut link.writer, FrameKind::Abort, &[]);
+        }
+    }
+
+    /// Sends one frame to worker `w`; a write failure is the link
+    /// observing that worker's death.
+    fn send_to(
+        &mut self,
+        w: usize,
+        kind: FrameKind,
+        body: &[u8],
+        round: u32,
+    ) -> Result<(), NetError> {
+        write_framed(&mut self.links[w].writer, kind, body).map_err(|_| {
+            self.links[w].shutdown();
+            NetError::WorkerLost { worker: w as u32, round, cause: LostCause::Death }
+        })
+    }
+
+    /// Reads the next protocol frame from worker `w`, consuming (and
+    /// counting) heartbeats, bounded by `deadline`.
+    fn read_protocol(
+        &mut self,
+        w: usize,
+        deadline: &Deadline,
+        round: u32,
+    ) -> Result<Frame, NetError> {
+        loop {
+            match read_frame(&mut self.links[w].reader, deadline) {
+                Ok(f) if f.kind == FrameKind::Heartbeat => {
+                    self.links[w].last_beat = Instant::now();
+                    self.report_net.heartbeats += 1;
+                }
+                Ok(f) if f.kind == FrameKind::Error => {
+                    return Err(NetError::Worker {
+                        worker: w as u32,
+                        detail: String::from_utf8_lossy(&f.body).into_owned(),
+                    });
+                }
+                Ok(f) => return Ok(f),
+                Err(FrameError::TimedOut) => {
+                    // The deadline decides *that* the worker is lost;
+                    // heartbeat freshness decides *why*.
+                    let fresh = self.links[w].last_beat.elapsed()
+                        <= Duration::from_millis(self.net.heartbeat_ms.saturating_mul(3).max(50));
+                    let cause =
+                        if fresh { LostCause::Deadline } else { LostCause::MissedHeartbeat };
+                    return Err(NetError::WorkerLost { worker: w as u32, round, cause });
+                }
+                Err(FrameError::Truncated | FrameError::Io(_)) => {
+                    return Err(NetError::WorkerLost {
+                        worker: w as u32,
+                        round,
+                        cause: LostCause::Death,
+                    });
+                }
+                Err(e) => {
+                    return Err(NetError::Frame { worker: w as u32, round, err: e });
+                }
+            }
+        }
+    }
+}
+
+fn write_framed(
+    w: &mut ChaosTransport<TcpStream>,
+    kind: FrameKind,
+    body: &[u8],
+) -> std::io::Result<()> {
+    ck_congest::net::frame::write_frame(w, kind, body)?;
+    w.flush()
+}
+
+/// Runs the full tester distributed over `workers` partitions;
+/// `engine.max_rounds` must already hold the schedule's total round
+/// count (as [`crate::tester`] resolves it). On success the outcome is
+/// bit-identical to the in-process sequential oracle — verdicts, round
+/// statistics, and fault accounting included — plus the transport's
+/// own [`NetReport`].
+pub fn run_distributed(
+    g: &Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+    workers: u32,
+) -> Result<RunOutcome<NodeVerdict>, DistError> {
+    let w_count = workers.max(1);
+    let net = engine.net.clone();
+    let n = g.n();
+
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| DistError::Net(NetError::Spawn(e.to_string())))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| DistError::Net(NetError::Spawn(e.to_string())))?
+        .to_string();
+    listener.set_nonblocking(true).map_err(|e| DistError::Net(NetError::Spawn(e.to_string())))?;
+
+    // Spawn: worker processes when a command is configured, protocol-
+    // identical worker threads over real sockets otherwise.
+    let mut children: Vec<Option<std::process::Child>> = Vec::new();
+    let mut threads: Vec<Option<std::thread::JoinHandle<()>>> = Vec::new();
+    for i in 0..w_count {
+        match &net.worker_cmd {
+            Some(argv) => {
+                let (head, rest) = argv
+                    .split_first()
+                    .ok_or(DistError::Net(NetError::Spawn("empty worker command".to_string())))?;
+                let child = std::process::Command::new(head)
+                    .args(rest)
+                    .arg(&addr)
+                    .arg(i.to_string())
+                    .stdout(std::process::Stdio::null())
+                    .stderr(std::process::Stdio::null())
+                    .spawn()
+                    .map_err(|e| DistError::Net(NetError::Spawn(e.to_string())))?;
+                children.push(Some(child));
+                threads.push(None);
+            }
+            None => {
+                let addr = addr.clone();
+                let (retries, backoff) = (net.connect_retries, net.connect_backoff_ms);
+                threads.push(Some(std::thread::spawn(move || {
+                    if let Ok(stream) = connect_with_retry(&addr, retries, backoff) {
+                        let _ = worker_serve(stream, i, false);
+                    }
+                })));
+                children.push(None);
+            }
+        }
+    }
+
+    // Accept + Hello: workers self-identify, so process handles and
+    // links stay index-aligned regardless of connect order.
+    let mut slots: Vec<Option<WorkerLink>> = (0..w_count).map(|_| None).collect();
+    let accept_deadline = Deadline::after_ms(net.connect_timeout_ms);
+    let mut accepted = 0u32;
+    while accepted < w_count {
+        if accept_deadline.expired() {
+            let missing = slots.iter().position(|s| s.is_none()).unwrap_or(0) as u32;
+            teardown_partial(&mut slots, &mut children, &mut threads);
+            return Err(DistError::Net(NetError::Connect {
+                worker: missing,
+                detail: "accept deadline passed before the handshake".to_string(),
+            }));
+        }
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(e) => {
+                teardown_partial(&mut slots, &mut children, &mut threads);
+                return Err(DistError::Net(NetError::Spawn(e.to_string())));
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let index = match handshake(&stream, &accept_deadline, w_count, &slots) {
+            Ok(i) => i,
+            Err(e) => {
+                teardown_partial(&mut slots, &mut children, &mut threads);
+                return Err(DistError::Net(e));
+            }
+        };
+        let reader = match stream.try_clone() {
+            Ok(r) => r,
+            Err(e) => {
+                teardown_partial(&mut slots, &mut children, &mut threads);
+                return Err(DistError::Net(NetError::Connect {
+                    worker: index,
+                    detail: e.to_string(),
+                }));
+            }
+        };
+        let _ = reader.set_read_timeout(Some(Duration::from_millis(20)));
+        let plan = match net.chaos {
+            Some(c) if c.worker == index => c,
+            _ => ChaosPlan::for_worker(index),
+        };
+        slots[index as usize] = Some(WorkerLink {
+            reader,
+            writer: ChaosTransport::new(stream, &plan),
+            last_beat: Instant::now(),
+            child: children[index as usize].take(),
+            thread: threads[index as usize].take(),
+        });
+        accepted += 1;
+    }
+    let links: Vec<WorkerLink> = slots.into_iter().map(|s| s.expect("all accepted")).collect();
+    let mut coord = Coordinator {
+        links,
+        net: net.clone(),
+        report_net: NetReport { workers: w_count, ..NetReport::default() },
+    };
+
+    // Spec out, Ready back.
+    for i in 0..w_count as usize {
+        let abort_at_round = match net.chaos {
+            Some(c) if c.worker == i as u32 => c.abort_at_round,
+            _ => None,
+        };
+        let spec = JobSpec {
+            graph: g.clone(),
+            cfg: *cfg,
+            engine: engine.clone(),
+            workers: w_count,
+            worker: i as u32,
+            abort_at_round,
+            heartbeat_ms: net.heartbeat_ms,
+            round_deadline_ms: net.round_deadline_ms,
+        };
+        coord.send_to(i, FrameKind::Spec, &spec.to_bytes(), 0).map_err(DistError::Net)?;
+    }
+    let ready_deadline = Deadline::after_ms(net.connect_timeout_ms);
+    for i in 0..w_count as usize {
+        let f = coord.read_protocol(i, &ready_deadline, 0).map_err(DistError::Net)?;
+        if f.kind != FrameKind::Ready {
+            return Err(DistError::Net(NetError::WorkerLost {
+                worker: i as u32,
+                round: 0,
+                cause: LostCause::Protocol,
+            }));
+        }
+    }
+
+    let ranges: Vec<std::ops::Range<u32>> =
+        (0..w_count).map(|i| partition_range(n, w_count, i)).collect();
+    let mut report =
+        RunReport { executor: "distributed", threads: w_count as usize, ..RunReport::default() };
+    let mut active = n;
+    let mut round = 0u32;
+    // Buffered per round: `(owner, body)` of every routed delivery.
+    let mut routed: Vec<(usize, Vec<u8>)> = Vec::new();
+    while round < engine.max_rounds {
+        if active == 0 {
+            break;
+        }
+        // Scheduled coordinator-side chaos fires at the round boundary.
+        if let Some((kw, kr)) = net.kill_worker {
+            if kr == round && (kw as usize) < coord.links.len() {
+                let link = &mut coord.links[kw as usize];
+                match link.child.take() {
+                    Some(mut child) => {
+                        // The real thing: SIGKILL, no cleanup handlers.
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    // Thread mode has no process to kill; severing the
+                    // link is the same observable (EOF ⇒ Death).
+                    None => link.shutdown(),
+                }
+            }
+        }
+        if let Some(c) = net.chaos {
+            if c.disconnect_at_round == Some(round) && (c.worker as usize) < coord.links.len() {
+                coord.links[c.worker as usize].shutdown();
+            }
+        }
+
+        for i in 0..w_count as usize {
+            coord.send_to(i, FrameKind::Go, &round.to_le_bytes(), round).map_err(DistError::Net)?;
+        }
+
+        // Collect this round: Msg frames buffer for routing, Done
+        // frames carry the partition digests; merged in ascending
+        // worker (= node-range) order so the leftmost-violation rule
+        // matches the sequential fold.
+        let deadline = Deadline::after_ms(net.round_deadline_ms);
+        routed.clear();
+        let mut digest = RoundDigest::default();
+        for i in 0..w_count as usize {
+            loop {
+                let frame = coord.read_protocol(i, &deadline, round).map_err(DistError::Net)?;
+                match frame.kind {
+                    FrameKind::Msg => {
+                        let (header, _) = decode_msg_body(&frame.body).map_err(|err| {
+                            DistError::Net(NetError::Frame { worker: i as u32, round, err })
+                        })?;
+                        let owner = ranges
+                            .iter()
+                            .position(|r| r.contains(&header.receiver))
+                            .ok_or(DistError::Net(NetError::Frame {
+                                worker: i as u32,
+                                round,
+                                err: FrameError::BadBody("receiver outside the graph"),
+                            }))?;
+                        routed.push((owner, frame.body));
+                    }
+                    FrameKind::Done => {
+                        if frame.body.len() < 4 || frame.body[0..4] != round.to_le_bytes() {
+                            return Err(DistError::Net(NetError::WorkerLost {
+                                worker: i as u32,
+                                round,
+                                cause: LostCause::Protocol,
+                            }));
+                        }
+                        let part = RoundDigest::from_bytes(&frame.body[4..]).map_err(|err| {
+                            DistError::Net(NetError::Frame { worker: i as u32, round, err })
+                        })?;
+                        digest = RoundDigest::merge(digest, part);
+                        break;
+                    }
+                    _ => {
+                        return Err(DistError::Net(NetError::WorkerLost {
+                            worker: i as u32,
+                            round,
+                            cause: LostCause::Protocol,
+                        }));
+                    }
+                }
+            }
+        }
+
+        // Exactly the engine loop's post-round order: violation first
+        // (the round's stats and faults are never recorded), then
+        // fault totals, then the per-round report row.
+        if let Some((node, port, bits)) = digest.violation {
+            let limit = match engine.bandwidth {
+                BandwidthPolicy::Enforce { bits } => bits,
+                BandwidthPolicy::Measure => 0,
+            };
+            coord.abort_all();
+            return Err(DistError::Engine(EngineError::BandwidthExceeded {
+                round,
+                node,
+                port,
+                bits,
+                limit,
+            }));
+        }
+        active -= digest.halted as usize;
+        digest.add_faults_to(&mut report.faults);
+        if engine.record_rounds {
+            report.per_round.push(digest.to_stats(round, active + digest.halted as usize));
+        }
+
+        // Route, then barrier: a worker that saw `Barrier(r)` has, by
+        // FIFO, already received every delivery of round `r`.
+        for (owner, body) in routed.drain(..) {
+            coord.report_net.frames_routed += 1;
+            coord.report_net.frame_bytes += body.len() as u64;
+            coord.send_to(owner, FrameKind::Msg, &body, round).map_err(DistError::Net)?;
+        }
+        for i in 0..w_count as usize {
+            coord
+                .send_to(i, FrameKind::Barrier, &round.to_le_bytes(), round)
+                .map_err(DistError::Net)?;
+            coord.report_net.barriers += 1;
+        }
+        round += 1;
+    }
+
+    // Verdict collection, in worker order = node order.
+    let mut verdicts: Vec<NodeVerdict> = Vec::with_capacity(n);
+    for i in 0..w_count as usize {
+        coord.send_to(i, FrameKind::Finish, &[], round).map_err(DistError::Net)?;
+    }
+    let final_deadline = Deadline::after_ms(net.round_deadline_ms);
+    for (i, range) in ranges.iter().enumerate() {
+        let frame = coord.read_protocol(i, &final_deadline, round).map_err(DistError::Net)?;
+        if frame.kind != FrameKind::Verdicts {
+            return Err(DistError::Net(NetError::WorkerLost {
+                worker: i as u32,
+                round,
+                cause: LostCause::Protocol,
+            }));
+        }
+        let part = decode_verdicts(&frame.body)
+            .map_err(|err| DistError::Net(NetError::Frame { worker: i as u32, round, err }))?;
+        if part.len() != range.len() {
+            return Err(DistError::Net(NetError::WorkerLost {
+                worker: i as u32,
+                round,
+                cause: LostCause::Protocol,
+            }));
+        }
+        verdicts.extend(part);
+    }
+
+    report.rounds = round;
+    report.all_halted = active == 0;
+    report.faults.crashed_nodes = engine.faults.crashed_by(round, n);
+    report.net = Some(coord.report_net.clone());
+    drop(coord); // Clean teardown before returning.
+    Ok(RunOutcome { report, verdicts })
+}
+
+/// Reads and validates a Hello frame on a fresh connection.
+fn handshake(
+    stream: &TcpStream,
+    deadline: &Deadline,
+    workers: u32,
+    slots: &[Option<WorkerLink>],
+) -> Result<u32, NetError> {
+    let mut reader =
+        stream.try_clone().map_err(|e| NetError::Connect { worker: 0, detail: e.to_string() })?;
+    let _ = reader.set_read_timeout(Some(Duration::from_millis(20)));
+    let hello = read_frame(&mut reader, deadline)
+        .map_err(|e| NetError::Connect { worker: 0, detail: format!("bad hello: {e}") })?;
+    if hello.kind != FrameKind::Hello || hello.body.len() != 8 || &hello.body[0..4] != MAGIC {
+        return Err(NetError::Connect {
+            worker: 0,
+            detail: "hello frame failed validation".to_string(),
+        });
+    }
+    let index = u32::from_le_bytes(hello.body[4..8].try_into().unwrap());
+    if index >= workers || slots[index as usize].is_some() {
+        return Err(NetError::Connect {
+            worker: index,
+            detail: "worker index out of range or duplicated".to_string(),
+        });
+    }
+    Ok(index)
+}
+
+fn teardown_partial(
+    slots: &mut [Option<WorkerLink>],
+    children: &mut [Option<std::process::Child>],
+    threads: &mut [Option<std::thread::JoinHandle<()>>],
+) {
+    for link in slots.iter_mut().flatten() {
+        link.reap();
+    }
+    for child in children.iter_mut().flatten() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    for join in threads.iter_mut().filter_map(Option::take) {
+        let _ = join.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        let g = ck_congest::graph::GraphBuilder::new(4)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 0)
+            .build()
+            .unwrap();
+        JobSpec {
+            graph: g,
+            cfg: TesterConfig::new(4, 0.3, 7),
+            engine: EngineConfig {
+                executor: Executor::Sequential,
+                max_rounds: 44,
+                bandwidth: BandwidthPolicy::Enforce { bits: 4096 },
+                ..EngineConfig::default()
+            },
+            workers: 3,
+            worker: 1,
+            abort_at_round: Some(9),
+            heartbeat_ms: 50,
+            round_deadline_ms: 2000,
+        }
+    }
+
+    #[test]
+    fn job_spec_roundtrip() {
+        let spec = sample_spec();
+        let bytes = spec.to_bytes();
+        let back = JobSpec::from_bytes(&bytes).unwrap();
+        assert_eq!(back.graph.to_edge_list(), spec.graph.to_edge_list());
+        assert_eq!(back.cfg.k, spec.cfg.k);
+        assert_eq!(back.cfg.seed, spec.cfg.seed);
+        assert_eq!(back.engine.max_rounds, spec.engine.max_rounds);
+        assert_eq!(back.engine.bandwidth, spec.engine.bandwidth);
+        assert_eq!(back.workers, 3);
+        assert_eq!(back.worker, 1);
+        assert_eq!(back.abort_at_round, Some(9));
+    }
+
+    #[test]
+    fn job_spec_every_prefix_fails_typed() {
+        let bytes = sample_spec().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(JobSpec::from_bytes(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(JobSpec::from_bytes(&long).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn verdict_roundtrip_including_witness() {
+        let verdicts = vec![
+            NodeVerdict::default(),
+            NodeVerdict {
+                rejected: true,
+                first_rejection: Some(Box::new(Rejection {
+                    repetition: 3,
+                    tag: EdgeTag { rank: 17, lo: 2, hi: 9 },
+                    witness: RejectWitness {
+                        l1: IdSeq::from_slice(&[2, 5]),
+                        l2: IdSeq::from_slice(&[9, 4]),
+                        myid: 5,
+                        k: 5,
+                    },
+                })),
+                max_sent_seqs: 11,
+                pool_outstanding: 2,
+            },
+        ];
+        let body = encode_verdicts(&verdicts);
+        assert_eq!(decode_verdicts(&body).unwrap(), verdicts);
+        for cut in 0..body.len() {
+            assert!(decode_verdicts(&body[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn msg_frame_roundtrip_via_context_handshake() {
+        let g = ck_congest::graph::GraphBuilder::new(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 0)
+            .build()
+            .unwrap();
+        let params = WireParams::for_graph(&g);
+        let msgs = [
+            CkMsg::Rank(5),
+            CkMsg::Abort,
+            CkMsg::Seqs {
+                tag: EdgeTag { rank: 1, lo: 0, hi: 2 },
+                seqs: crate::msg::SeqBundle(vec![
+                    IdSeq::from_slice(&[1, 2]),
+                    IdSeq::from_slice(&[0, 2]),
+                ]),
+            },
+        ];
+        for msg in msgs {
+            let out = OutFrame { receiver: 1, port: 0, msg: msg.clone() };
+            let body = encode_out_frame(&out, &params).unwrap();
+            let (header, back) = decode_in_frame(&body, &params).unwrap();
+            assert_eq!(header.receiver, 1);
+            assert_eq!(back, msg);
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub mod ablation;
 pub mod batch;
 pub mod cost;
 pub mod decide;
+pub mod dist;
 pub mod framework;
 pub mod girth;
 pub mod listing;

@@ -5,8 +5,8 @@
 use crate::seq::{IdSeq, MAX_SEQ_LEN};
 use ck_congest::graph::NodeId;
 use ck_congest::message::{
-    bits_for, flip_frame_bits, flips_for_entropy, BitReader, BitWriter, CodecError, WireCodec,
-    WireMessage, WireParams,
+    bits_for, flip_frame_bits, flips_for_entropy, BitReader, BitWriter, CodecError, ContextCodec,
+    WireCodec, WireMessage, WireParams,
 };
 
 /// Identity of a Phase-2 check: the edge under test and its Phase-1 rank.
@@ -250,6 +250,35 @@ impl CkCodec {
     pub fn new(seq_len: usize) -> Self {
         assert!(seq_len <= MAX_SEQ_LEN, "seq_len {seq_len} exceeds MAX_SEQ_LEN");
         CkCodec { seq_len }
+    }
+}
+
+/// The codec-state handshake of the distributed executor: a `Msg` frame
+/// ships `seq_len` as its context word, so a receiving worker — which
+/// has no shared round counter to derive the Phase-2 sequence length
+/// from — rebuilds the exact sender-side codec before touching the
+/// payload bits. `Rank`/`Abort` frames (and empty bundles) travel under
+/// context `0`; any word above [`MAX_SEQ_LEN`] is rejected as a typed
+/// protocol error rather than trusted.
+impl ContextCodec for CkCodec {
+    fn context(&self) -> u16 {
+        self.seq_len as u16
+    }
+
+    fn from_context(ctx: u16) -> Option<Self> {
+        if usize::from(ctx) > MAX_SEQ_LEN {
+            return None;
+        }
+        Some(CkCodec::new(usize::from(ctx)))
+    }
+
+    fn context_for(&self, msg: &CkMsg) -> u16 {
+        match msg {
+            // Bundle frames need the round's sequence length to split
+            // the ID stream; control frames decode under any context.
+            CkMsg::Seqs { seqs, .. } if !seqs.is_empty() => self.seq_len as u16,
+            _ => 0,
+        }
     }
 }
 

@@ -100,6 +100,17 @@ impl TesterSessionBuilder {
         self
     }
 
+    /// Runs every test distributed across `workers` cross-process
+    /// partitions (see [`crate::dist`]); transport tuning comes from
+    /// the engine template's [`ck_congest::net::NetOptions`]. On any
+    /// transport failure the run degrades to the in-process sequential
+    /// oracle within the configured deadlines, recording the fallback
+    /// in the report's `net` block.
+    pub fn distributed(mut self, workers: u16) -> Self {
+        self.engine.executor = Executor::Distributed { workers };
+        self
+    }
+
     /// Validates the configuration (`k ∈ 3..=MAX_K`, `ε ∈ (0, 1)`) and
     /// builds the session.
     pub fn build(self) -> Result<TesterSession, ConfigError> {

@@ -610,6 +610,52 @@ pub(crate) fn tester_exec(
     let reps = cfg.effective_repetitions();
     let mut ecfg = engine.clone();
     ecfg.max_rounds = total_rounds(cfg.k, reps);
+    // The tester is serializable (config + graph rebuild the node
+    // programs exactly), so `Distributed` dispatches to the real
+    // cross-process coordinator here rather than the generic engine's
+    // sequential degradation. Any transport failure degrades to the
+    // in-process oracle below — bounded by the net deadlines, recorded
+    // in the report — unless fallback is disabled.
+    if let ck_congest::engine::Executor::Distributed { workers } = ecfg.executor {
+        let w = u32::from(workers.max(1));
+        match crate::dist::run_distributed(g, cfg, &ecfg, w) {
+            Ok(outcome) => return Ok(finish_tester_run(g, cfg, reps, outcome)),
+            Err(crate::dist::DistError::Engine(e)) => return Err(e),
+            Err(crate::dist::DistError::Net(ne)) => {
+                if !ecfg.net.fallback {
+                    return Err(EngineError::Net(ne));
+                }
+                let recovery_start = std::time::Instant::now();
+                let mut seq = ecfg.clone();
+                seq.executor = ck_congest::engine::Executor::Sequential;
+                let mut run = tester_exec_inproc(g, cfg, reps, &seq, ws, scratch)?;
+                let report = &mut run.outcome.report;
+                report.executor = "distributed";
+                report.threads = w as usize;
+                report.net = Some(ck_congest::metrics::NetReport {
+                    workers: w,
+                    fallback: Some(ne.to_string()),
+                    recovery_ms: Some(recovery_start.elapsed().as_millis() as u64),
+                    ..ck_congest::metrics::NetReport::default()
+                });
+                return Ok(run);
+            }
+        }
+    }
+    tester_exec_inproc(g, cfg, reps, &ecfg, ws, scratch)
+}
+
+/// The in-process execution path (sequential or parallel executor)
+/// behind [`tester_exec`] — also the graceful-degradation target of a
+/// failed distributed run.
+fn tester_exec_inproc(
+    g: &Graph,
+    cfg: &TesterConfig,
+    reps: u32,
+    ecfg: &EngineConfig,
+    ws: &mut ck_congest::engine::EngineWorkspace<CkMsg>,
+    scratch: &mut TesterScratch,
+) -> Result<TesterRun, EngineError> {
     let params = ck_congest::message::WireParams::for_graph(g);
     // The factory and the reclaim hook both feed on the scratch pool;
     // they never run concurrently (setup vs teardown), so a RefCell
@@ -617,7 +663,7 @@ pub(crate) fn tester_exec(
     let pool = std::cell::RefCell::new(std::mem::take(scratch));
     let result = ws.run_on(
         g,
-        &ecfg,
+        ecfg,
         &params,
         |init| CkTester::with_scratch(cfg, &init, pool.borrow_mut().take()),
         |prog: CkTester<'_>| pool.borrow_mut().put(prog.into_scratch()),
@@ -627,7 +673,19 @@ pub(crate) fn tester_exec(
     // remaining jobs (only the failed run's node scratches are gone —
     // the engine drops its programs without the reclaim hook on error).
     *scratch = pool.into_inner();
-    let mut outcome = result?;
+    let outcome = result?;
+    Ok(finish_tester_run(g, cfg, reps, outcome))
+}
+
+/// The shared post-run tail: optional witness re-validation, then the
+/// network-level verdict — identical for in-process and distributed
+/// outcomes, which is what keeps the two bit-comparable.
+fn finish_tester_run(
+    g: &Graph,
+    cfg: &TesterConfig,
+    reps: u32,
+    mut outcome: RunOutcome<NodeVerdict>,
+) -> TesterRun {
     let mut discarded_witnesses = 0u32;
     if cfg.verify_witnesses {
         for v in &mut outcome.verdicts {
@@ -640,7 +698,7 @@ pub(crate) fn tester_exec(
         }
     }
     let reject = outcome.verdicts.iter().any(|v| v.rejected);
-    Ok(TesterRun { reject, repetitions: reps, discarded_witnesses, outcome })
+    TesterRun { reject, repetitions: reps, discarded_witnesses, outcome }
 }
 
 /// Post-run witness validation: the recorded cycle must be a genuine
