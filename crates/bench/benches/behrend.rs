@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 /// Cold-start session per run — the session-API form of the old
 /// `run_tester` free function.
-fn run_tester(
+fn run_once(
     g: &ck_congest::graph::Graph,
     cfg: &TesterConfig,
     engine: &EngineConfig,
@@ -65,9 +65,7 @@ fn bench_full_tester(c: &mut Criterion) {
                     seed = seed.wrapping_add(1);
                     let cfg =
                         TesterConfig { repetitions: Some(20), ..TesterConfig::new(k, 0.05, seed) };
-                    black_box(
-                        run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject,
-                    )
+                    black_box(run_once(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject)
                 });
             },
         );

@@ -10,7 +10,7 @@ use std::hint::black_box;
 
 /// Cold-start session per run — the session-API form of the old
 /// `run_tester` free function.
-fn run_tester(
+fn run_once(
     g: &ck_congest::graph::Graph,
     cfg: &TesterConfig,
     engine: &EngineConfig,
@@ -28,7 +28,7 @@ fn bench_far_detection(c: &mut Criterion) {
             b.iter(|| {
                 seed = seed.wrapping_add(1);
                 let cfg = TesterConfig::new(k, eps, seed);
-                black_box(run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject)
+                black_box(run_once(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject)
             });
         });
     }
@@ -44,7 +44,7 @@ fn bench_free_accept(c: &mut Criterion) {
             b.iter(|| {
                 seed = seed.wrapping_add(1);
                 let cfg = TesterConfig { repetitions: Some(8), ..TesterConfig::new(k, 0.1, seed) };
-                black_box(run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject)
+                black_box(run_once(&g, &cfg, &EngineConfig::default()).unwrap().reject)
             });
         });
     }
@@ -62,7 +62,7 @@ fn bench_eps_sweep(c: &mut Criterion) {
             |b, &eps| {
                 b.iter(|| {
                     let cfg = TesterConfig::new(5, eps, 7);
-                    black_box(run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject)
+                    black_box(run_once(&g, &cfg, &EngineConfig::default()).unwrap().reject)
                 });
             },
         );

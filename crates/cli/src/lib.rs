@@ -99,6 +99,7 @@ pub fn parse_graph_spec(spec: &str) -> Result<Graph, String> {
         }
         Ok(eps)
     };
+    // ck-lint: allow(index-literal, reason = "str::split always yields at least one piece, so parts[0] exists")
     match parts[0] {
         "cycle" => Ok(basic::cycle(usize_arg(1, "cycle")?)),
         "path" => Ok(basic::path(usize_arg(1, "path")?)),

@@ -147,6 +147,7 @@ pub fn aggregate(
     let mut parent_port: Vec<Option<u32>> = vec![None; g.n()];
     for (v, info) in tree.iter().enumerate() {
         if let Some(pid) = info.parent {
+            // ck-lint: allow(no-panic, reason = "parent ids come from the BFS tree built over this same graph two lines up")
             let p = g.index_of(pid).expect("parent exists");
             children[p as usize] += 1;
             parent_port[v] = g.port_to(v as NodeIndex, p);

@@ -246,6 +246,15 @@ impl<M> Arena<M> {
         // UnsafeCell<T> is repr(transparent) over T.
         self.lanes.as_ptr().add(de as usize) as *mut Lane<M>
     }
+
+    /// Takes the payload parked in sender `v`'s broadcast slot, if any.
+    /// `&mut self` proves the round loop is over, so no lane can still
+    /// be read and no unsafe cell access is needed. Used by the engine's
+    /// end-of-run drain that hands parked payloads back to programs for
+    /// recycling (instead of letting the next run's reset drop them).
+    pub(crate) fn take_slot(&mut self, v: NodeIndex) -> Option<M> {
+        self.slots.get_mut(v as usize).and_then(|s| s.get_mut().take())
+    }
 }
 
 /// Double-buffered per-receiver inboxes for the sequential fast path:
@@ -315,6 +324,12 @@ impl<M> InboxArena<M> {
     pub(crate) fn slots_ptr(&self) -> *mut () {
         // UnsafeCell<T> is repr(transparent) over T.
         self.slots.as_ptr() as *mut ()
+    }
+
+    /// Takes the payload parked in sender `v`'s broadcast slot, if any;
+    /// see [`Arena::take_slot`].
+    pub(crate) fn take_slot(&mut self, v: NodeIndex) -> Option<M> {
+        self.slots.get_mut(v as usize).and_then(|s| s.get_mut().take())
     }
 }
 

@@ -164,6 +164,26 @@ pub struct RunOutcome<V> {
     pub verdicts: Vec<V>,
 }
 
+// Manual impl: an empty outcome needs no `V: Default` bound.
+impl<V> Default for RunOutcome<V> {
+    fn default() -> Self {
+        RunOutcome { report: RunReport::default(), verdicts: Vec::new() }
+    }
+}
+
+impl<V> RunOutcome<V> {
+    /// Clears the outcome for reuse, keeping the report's and the
+    /// verdict vector's allocations. A reset outcome is observationally
+    /// [`RunOutcome::default`]; the `_into` entry points
+    /// ([`crate::session::Session::run_into`],
+    /// [`EngineWorkspace::run_on_into`]) reset their output themselves,
+    /// so callers only rotate the same buffer back in.
+    pub fn reset(&mut self) {
+        self.report.reset();
+        self.verdicts.clear();
+    }
+}
+
 /// Reusable engine state for batch runs: the double-buffered message
 /// arenas (lane form for the parallel executor, per-receiver inbox form
 /// for the sequential one) plus the flat wire-load table.
@@ -240,6 +260,31 @@ impl<M> EngineWorkspace<M> {
     {
         exec_with_workspace(graph, config, params, self, &mut factory, reclaim)
     }
+
+    /// As [`EngineWorkspace::run_on`], writing the result into a
+    /// caller-owned [`RunOutcome`] (reset first, capacities kept)
+    /// instead of allocating a fresh one. With a warm workspace, a warm
+    /// outcome buffer, and the sequential executor, a rerun of the same
+    /// program type performs zero heap operations — the contract the
+    /// `ck_lint::alloc_gate` regression tests enforce. On error the
+    /// outcome's contents are unspecified.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_on_into<'g, P, F, R>(
+        &mut self,
+        graph: &'g Graph,
+        config: &EngineConfig,
+        params: &WireParams,
+        mut factory: F,
+        reclaim: R,
+        out: &mut RunOutcome<P::Verdict>,
+    ) -> Result<(), EngineError>
+    where
+        P: Program<Msg = M>,
+        F: FnMut(NodeInit<'g>) -> P,
+        R: FnMut(P),
+    {
+        exec_into_with_workspace(graph, config, params, self, &mut factory, reclaim, out)
+    }
 }
 
 /// Reuse counters of a workspace's slot-array store (see
@@ -285,6 +330,7 @@ impl RawSlotBuf {
         // size_of is always a multiple of align, so the array layout is
         // exactly (elem.size() * cap, elem.align()).
         std::alloc::Layout::from_size_align(self.elem.size() * self.cap, self.elem.align())
+            // ck-lint: allow(no-panic, reason = "size/align came from a live Vec allocation, so the layout was already accepted by the allocator")
             .expect("layout was valid when the Vec allocated it")
     }
 }
@@ -302,6 +348,8 @@ impl Drop for RawSlotBuf {
 // construction) — it is inert memory owned uniquely by the store, so
 // moving or sharing the store across threads moves nothing that cares.
 unsafe impl Send for SlotStore {}
+// SAFETY: same argument as Send — the parked buffer is inert, uniquely
+// owned memory, and every accessor takes `&mut self`.
 unsafe impl Sync for SlotStore {}
 
 impl SlotStore {
@@ -333,6 +381,7 @@ impl SlotStore {
         }
         let mut v = std::mem::ManuallyDrop::new(v);
         let ptr = std::ptr::NonNull::new(v.as_mut_ptr() as *mut u8)
+            // ck-lint: allow(no-panic, reason = "capacity > 0 was just checked, so the Vec's pointer is a real allocation, never null")
             .expect("a Vec with capacity has a real pointer");
         self.buf =
             Some(RawSlotBuf { ptr, cap: v.capacity(), elem: std::alloc::Layout::new::<T>() });
@@ -485,16 +534,18 @@ fn round_step<P: Program>(
     // Step, with the fused write path as the outbox.
     let had_violation = acc.violation.is_some();
     let degree = lanes.len() as u32;
-    // SAFETY: `row_ptr(lanes.start)` is this sender's exclusive lane row
-    // in the write arena (and load-table row) for the whole round; `acc`
-    // and `ctx` outlive the outbox, which is dropped before this frame
-    // returns. The load row is only materialized when the run accounts —
-    // the table is empty otherwise, and nothing reads it.
     let loads_row = if ctx.account {
+        // SAFETY: `row_ptr(lanes.start)` is this sender's exclusive
+        // load-table row for the whole round, only materialized when
+        // the run accounts — the table is empty otherwise, and nothing
+        // reads it.
         unsafe { loads.row_ptr(lanes.start) }
     } else {
         std::ptr::NonNull::dangling().as_ptr()
     };
+    // SAFETY: `row_ptr(lanes.start)` is this sender's exclusive lane row
+    // in the write arena for the whole round; `acc` and `ctx` outlive
+    // the outbox, which is dropped before this frame returns.
     let mut out: Outbox<P::Msg> = unsafe {
         Outbox::direct(
             degree,
@@ -581,10 +632,11 @@ fn run_rounds_seq_inbox<P: Program>(
             }
             let lanes = graph.directed_edge_range(vi);
             let had_violation = acc.violation.is_some();
-            // SAFETY: `row_ptr(lanes.start)` is this sender's exclusive
-            // load row; only materialized when the run accounts (the
-            // table is empty otherwise, and nothing reads it).
             let loads_row = if account {
+                // SAFETY: `row_ptr(lanes.start)` is this sender's
+                // exclusive load row; only materialized when the run
+                // accounts (the table is empty otherwise, and nothing
+                // reads it).
                 unsafe { loads.row_ptr(lanes.start) }
             } else {
                 std::ptr::NonNull::dangling().as_ptr()
@@ -729,13 +781,40 @@ pub(crate) fn exec_with_workspace<'g, P, F, R>(
     params: &WireParams,
     ws: &mut EngineWorkspace<P::Msg>,
     factory: &mut F,
-    mut reclaim: R,
+    reclaim: R,
 ) -> Result<RunOutcome<P::Verdict>, EngineError>
 where
     P: Program,
     F: FnMut(NodeInit<'g>) -> P,
     R: FnMut(P),
 {
+    let mut out = RunOutcome::default();
+    exec_into_with_workspace(graph, config, params, ws, factory, reclaim, &mut out)?;
+    Ok(out)
+}
+
+/// As [`exec_with_workspace`], writing the result into a caller-owned
+/// [`RunOutcome`] instead of allocating a fresh one. The outcome is
+/// reset first (capacities kept), so rotating the same buffer through
+/// repeated runs makes the warm rerun fully allocation-free under the
+/// sequential executor — the dynamic contract `ck_lint::alloc_gate`
+/// tests pin down. On error the outcome's contents are unspecified.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_into_with_workspace<'g, P, F, R>(
+    graph: &'g Graph,
+    config: &EngineConfig,
+    params: &WireParams,
+    ws: &mut EngineWorkspace<P::Msg>,
+    factory: &mut F,
+    mut reclaim: R,
+    out: &mut RunOutcome<P::Verdict>,
+) -> Result<(), EngineError>
+where
+    P: Program,
+    F: FnMut(NodeInit<'g>) -> P,
+    R: FnMut(P),
+{
+    out.reset();
     let n = graph.n();
     let m = graph.m();
     let mut slots: Vec<Slot<P>> = ws.slots.take();
@@ -752,7 +831,7 @@ where
         Slot { prog: factory(init), status: Status::Running, inbox: Vec::new() }
     }));
 
-    let mut report = RunReport::default();
+    let report = &mut out.report;
     let wf = WireFlags::for_config(config);
 
     // Flat per-directed-edge wire loads (round-stamped, sender-owned
@@ -781,7 +860,7 @@ where
             wf,
             &mut slots,
             n,
-            &mut report,
+            report,
             &mut ws.inbox_cur,
             &mut ws.inbox_next,
             &ws.loads,
@@ -796,7 +875,7 @@ where
             wf,
             &mut slots,
             n,
-            &mut report,
+            report,
             &mut ws.lane_cur,
             &mut ws.lane_next,
             &ws.loads,
@@ -815,7 +894,7 @@ where
 
     report.rounds = round;
     report.all_halted = active == 0;
-    report.faults.crashed_nodes = config.faults.crashed_by(round, n);
+    config.faults.crashed_by_into(round, n, &mut report.faults.crashed_nodes);
     (report.executor, report.threads) = match config.executor {
         Executor::Sequential => ("sequential", 1),
         Executor::Parallel => ("parallel", rayon::current_num_threads()),
@@ -828,12 +907,42 @@ where
         }
     };
 
-    let verdicts = slots.iter().map(|s| s.prog.verdict()).collect();
+    out.verdicts.extend(slots.iter().map(|s| s.prog.verdict()));
+
+    // Hand each sender's still-parked broadcast payloads (at most one
+    // per arena generation) back to its program, in node-index order.
+    // Whatever parks at run end was shipped in the final two rounds and
+    // can no longer be observed by any receiver; without this drain the
+    // next run's arena reset would drop the payloads, bleeding
+    // program-level pools (e.g. the Ck tester's `SeqPool`) by up to two
+    // buffers per node per run. Runs *after* verdict collection so
+    // pool-accounting verdict fields keep reporting the parked buffers
+    // as outstanding, bit-identical to pre-drain engines and to the
+    // partitioned executor (which parks payloads in its own slots).
+    for (v, slot) in slots.iter_mut().enumerate() {
+        let v = v as NodeIndex;
+        if config.executor != Executor::Parallel {
+            if let Some(m) = ws.inbox_cur.take_slot(v) {
+                slot.prog.reclaim_msg(m);
+            }
+            if let Some(m) = ws.inbox_next.take_slot(v) {
+                slot.prog.reclaim_msg(m);
+            }
+        } else {
+            if let Some(m) = ws.lane_cur.take_slot(v) {
+                slot.prog.reclaim_msg(m);
+            }
+            if let Some(m) = ws.lane_next.take_slot(v) {
+                slot.prog.reclaim_msg(m);
+            }
+        }
+    }
+
     for Slot { prog, .. } in slots.drain(..) {
         reclaim(prog);
     }
     ws.slots.put(slots);
-    Ok(RunOutcome { report, verdicts })
+    Ok(())
 }
 
 /// Runs `factory`-instantiated programs on `graph` until every node halts

@@ -57,7 +57,7 @@ use crate::rngs::mix64;
 
 /// A single scheduled drop: the message sent by `sender` on local port
 /// `port` during `round` never arrives.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DropRule {
     pub round: u32,
     pub sender: NodeIndex,
@@ -119,10 +119,14 @@ pub enum FaultDecision {
 /// considered for messages every drop kind let through.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
-    explicit: std::collections::HashSet<DropRule>,
+    // Ordered collections: `decide` is a pure function of the message
+    // coordinate either way, but ordered iteration keeps every derived
+    // artifact (wire encoding, crash lists, Debug output) bit-identical
+    // across processes without a sort-before-use step at each site.
+    explicit: std::collections::BTreeSet<DropRule>,
     random: Option<CoinFlip>,
-    crashes: std::collections::HashMap<NodeIndex, u32>,
-    cuts: std::collections::HashSet<(NodeIndex, NodeIndex)>,
+    crashes: std::collections::BTreeMap<NodeIndex, u32>,
+    cuts: std::collections::BTreeSet<(NodeIndex, NodeIndex)>,
     burst: Option<BurstLoss>,
     corrupt: Option<CoinFlip>,
 }
@@ -347,10 +351,10 @@ impl FaultPlan {
     pub fn to_bytes(&self) -> Vec<u8> {
         use crate::net::frame::ByteWriter;
         let mut w = ByteWriter::new();
-        let mut explicit: Vec<&DropRule> = self.explicit.iter().collect();
-        explicit.sort_unstable_by_key(|r| (r.round, r.sender, r.port));
-        w.u32(explicit.len() as u32);
-        for r in explicit {
+        // BTree iteration is already in (round, sender, port) order —
+        // DropRule's derived Ord matches its field order.
+        w.u32(self.explicit.len() as u32);
+        for r in &self.explicit {
             w.u32(r.round);
             w.u32(r.sender);
             w.u32(r.port);
@@ -363,18 +367,13 @@ impl FaultPlan {
             }
             None => w.u8(0),
         }
-        let mut crashes: Vec<(NodeIndex, u32)> =
-            self.crashes.iter().map(|(&v, &r)| (v, r)).collect();
-        crashes.sort_unstable();
-        w.u32(crashes.len() as u32);
-        for (node, from) in crashes {
+        w.u32(self.crashes.len() as u32);
+        for (&node, &from) in &self.crashes {
             w.u32(node);
             w.u32(from);
         }
-        let mut cuts: Vec<(NodeIndex, NodeIndex)> = self.cuts.iter().copied().collect();
-        cuts.sort_unstable();
-        w.u32(cuts.len() as u32);
-        for (a, b) in cuts {
+        w.u32(self.cuts.len() as u32);
+        for &(a, b) in &self.cuts {
             w.u32(a);
             w.u32(b);
         }
@@ -438,14 +437,24 @@ impl FaultPlan {
     /// The nodes that have crash-stopped strictly before `rounds`
     /// rounds have executed, restricted to indices below `n`, sorted.
     pub fn crashed_by(&self, rounds: u32, n: usize) -> Vec<NodeIndex> {
-        let mut out: Vec<NodeIndex> = self
-            .crashes
-            .iter()
-            .filter(|&(&node, &from)| from < rounds && (node as usize) < n)
-            .map(|(&node, _)| node)
-            .collect();
-        out.sort_unstable();
+        let mut out = Vec::new();
+        self.crashed_by_into(rounds, n, &mut out);
         out
+    }
+
+    /// [`crashed_by`](Self::crashed_by) into a caller-owned buffer —
+    /// the warm-path form: a reused buffer makes the per-run crash
+    /// list allocation-free once its capacity has grown to fit.
+    pub fn crashed_by_into(&self, rounds: u32, n: usize, out: &mut Vec<NodeIndex>) {
+        out.clear();
+        // BTreeMap iteration is ordered by node, so `out` comes back
+        // sorted without a separate sort step.
+        out.extend(
+            self.crashes
+                .iter()
+                .filter(|&(&node, &from)| from < rounds && (node as usize) < n)
+                .map(|(&node, _)| node),
+        );
     }
 }
 

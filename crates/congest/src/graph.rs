@@ -201,6 +201,7 @@ impl GraphBuilder {
                 let (ws, wt) = (offsets[w as usize] as usize, offsets[w as usize + 1] as usize);
                 let q = neighbors[ws..wt]
                     .binary_search(&(v as NodeIndex))
+                    // ck-lint: allow(no-panic, reason = "GraphBuilder validated edge symmetry before this adjacency was frozen")
                     .expect("reverse edge must exist");
                 rev_port[s + p] = q as u32;
                 rev_slot[s + p] = offsets[w as usize] + q as u32;

@@ -254,6 +254,7 @@ impl BitWriter {
             }
             let take = (8 - off).min(rem);
             let chunk = (value >> (rem - take)) & ((1u64 << take) - 1);
+            // ck-lint: allow(no-panic, reason = "off != 0 implies a partially-filled byte exists; off == 0 pushed one just above")
             let last = self.bytes.last_mut().expect("just ensured a current byte");
             *last |= (chunk as u8) << (8 - off - take);
             self.len_bits += u64::from(take);

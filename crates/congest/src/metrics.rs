@@ -156,6 +156,20 @@ pub struct FaultReport {
 }
 
 impl FaultReport {
+    /// Zeroes every counter and clears `crashed_nodes` keeping its
+    /// capacity — a reset report is observationally
+    /// [`FaultReport::default`] without the allocation.
+    pub fn reset(&mut self) {
+        self.dropped_explicit = 0;
+        self.dropped_random = 0;
+        self.dropped_crash = 0;
+        self.dropped_cut = 0;
+        self.dropped_burst = 0;
+        self.corrupted_delivered = 0;
+        self.corrupted_rejected = 0;
+        self.crashed_nodes.clear();
+    }
+
     /// Total messages that never reached their receiver: every drop
     /// kind plus corrupted frames the codec rejected.
     pub fn total_dropped(&self) -> u64 {
@@ -201,6 +215,20 @@ impl FaultReport {
 }
 
 impl RunReport {
+    /// Clears the report for reuse, keeping the `per_round` and
+    /// `crashed_nodes` allocations — the warm half of the engine's
+    /// zero-steady-state-allocation rerun contract (see
+    /// [`crate::engine::RunOutcome::reset`]).
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+        self.all_halted = false;
+        self.executor = "";
+        self.threads = 0;
+        self.per_round.clear();
+        self.faults.reset();
+        self.net = None;
+    }
+
     /// Total messages across all rounds.
     pub fn total_messages(&self) -> u64 {
         self.per_round.iter().map(|r| r.messages).sum()

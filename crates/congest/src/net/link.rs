@@ -58,7 +58,11 @@ impl<W: Write + Send + 'static> SharedWriter<W> {
 
     /// Writes one frame and flushes it, atomically w.r.t. other frames.
     pub fn send(&self, kind: FrameKind, body: &[u8]) -> std::io::Result<()> {
-        let mut w = self.inner.lock().expect("writer lock poisoned");
+        // A poisoned lock means a peer thread panicked mid-write; the
+        // stream may carry a torn frame, which the reader's length
+        // checks surface as a typed FrameError. Propagating the write
+        // is strictly more informative than poisoning-panicking here.
+        let mut w = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         write_frame(&mut *w, kind, body)?;
         w.flush()
     }

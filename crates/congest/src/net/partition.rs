@@ -310,9 +310,10 @@ impl<'g, P: Program> PartitionEngine<'g, P> {
             }
             let lanes = self.graph.directed_edge_range(v);
             let had_violation = acc.violation.is_some();
-            // SAFETY: `row_ptr(lanes.start)` is this sender's exclusive
-            // load row; only materialized when the run accounts.
             let loads_row = if account {
+                // SAFETY: `row_ptr(lanes.start)` is this sender's
+                // exclusive load row; only materialized when the run
+                // accounts.
                 unsafe { self.loads.row_ptr(lanes.start) }
             } else {
                 std::ptr::NonNull::dangling().as_ptr()

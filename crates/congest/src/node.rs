@@ -64,6 +64,7 @@ impl NodeInit<'_> {
             debug_assert!(
                 self.ports_by_id
                     .windows(2)
+                    // ck-lint: allow(index-literal, reason = "windows(2) yields exactly-two-element slices, so w[0]/w[1] cannot be out of bounds")
                     .all(|w| self.neighbor_ids[w[0] as usize] < self.neighbor_ids[w[1] as usize]),
                 "ports_by_id must permute ports into ascending-neighbor-identity order"
             );
@@ -97,6 +98,8 @@ pub(crate) enum Packet<M> {
 // payloads are read concurrently by every receiver of a broadcast
 // (`M: Sync`). `WireMessage` requires both.
 unsafe impl<M: Send + Sync> Send for Packet<M> {}
+// SAFETY: same argument as Send — both variants are covered by the
+// `M: Send + Sync` bound.
 unsafe impl<M: Send + Sync> Sync for Packet<M> {}
 
 /// A message delivered to a node, labeled with the local port it arrived
@@ -423,6 +426,7 @@ impl<M: WireMessage> Outbox<M> {
         self.queued = 0;
         match &mut self.sink {
             Sink::Buffered(v) => v.drain(..),
+            // ck-lint: allow(no-panic, reason = "documented '# Panics' contract: harness-only API, misuse on a direct outbox is a programming error with no recoverable state")
             _ => panic!("drain_sends requires a buffered outbox"),
         }
     }
@@ -437,6 +441,7 @@ impl<M: WireMessage> Outbox<M> {
         self.queued = 0;
         match &mut self.sink {
             Sink::Buffered(v) => std::mem::take(v),
+            // ck-lint: allow(no-panic, reason = "documented '# Panics' contract: harness-only API, misuse on a direct outbox is a programming error with no recoverable state")
             _ => panic!("take_sends requires a buffered outbox"),
         }
     }
@@ -503,6 +508,10 @@ impl<M: WireMessage> Outbox<M> {
                 v.push((last, msg));
                 None
             }
+            // SAFETY: the DirectSink contract — exclusive lane row,
+            // unaliased parked slot, live acc/ctx — was established by
+            // the `unsafe` `Outbox::direct` constructor and holds for
+            // the outbox's lifetime.
             Sink::Direct(d) => unsafe {
                 let bits = account_bits(d, &msg);
                 direct_broadcast(
@@ -525,6 +534,7 @@ impl<M: WireMessage> Outbox<M> {
                     },
                 )
             },
+            // SAFETY: same DirectSink contract as the arm above.
             Sink::DirectFast(d) => unsafe {
                 direct_broadcast(
                     &mut self.slot_used,
@@ -535,6 +545,7 @@ impl<M: WireMessage> Outbox<M> {
                     |d, p, ptr| lane_push_bcast(d, p, ptr),
                 )
             },
+            // SAFETY: same DirectSink contract as the arm above.
             Sink::DirectInbox(d) => unsafe {
                 direct_broadcast(
                     &mut self.slot_used,
@@ -545,6 +556,7 @@ impl<M: WireMessage> Outbox<M> {
                     |d, p, ptr| inbox_push_bcast(d, p, ptr),
                 )
             },
+            // SAFETY: same DirectSink contract as the arm above.
             Sink::DirectInboxHeavy(d) => unsafe {
                 let bits = account_bits(d, &msg);
                 direct_broadcast(
@@ -650,6 +662,7 @@ unsafe fn direct_broadcast<M: Clone>(
 unsafe fn slot_park<M>(d: &DirectSink, msg: M) -> (Option<M>, *const M) {
     let slot = &mut *(d.slots as *mut Option<M>).add(d.sender as usize);
     let evicted = slot.replace(msg);
+    // ck-lint: allow(no-panic, reason = "replace() on the line above just stored a value, so the slot is Some")
     let ptr: *const M = slot.as_ref().expect("just parked") as *const M;
     (evicted, ptr)
 }
@@ -914,6 +927,19 @@ pub trait Program: Send {
     /// The node's output; meaningful once the node has halted, but callable
     /// at any time (the engine collects verdicts at run end).
     fn verdict(&self) -> Self::Verdict;
+
+    /// End-of-run recycling hook: receives this sender's broadcast
+    /// payloads still parked in the engine's double-buffered slots when
+    /// the run ends (at most one per arena generation — the ones no
+    /// later broadcast evicted back through
+    /// [`Outbox::broadcast`]'s return value). Programs that pool their
+    /// payload backings reclaim them here; without the hook the
+    /// engine's next workspace reset would drop them, shrinking the
+    /// pool by up to two buffers per node per run and defeating
+    /// steady-state allocation freedom. The default does nothing.
+    fn reclaim_msg(&mut self, msg: Self::Msg) {
+        let _ = msg;
+    }
 }
 
 #[cfg(test)]

@@ -202,6 +202,25 @@ impl<'g, M: WireMessage> Session<'g, M> {
         )
     }
 
+    /// As [`Session::run`], writing the result into a caller-owned
+    /// [`RunOutcome`] (reset first, allocations kept) instead of
+    /// returning a fresh one. Rotating one outcome buffer through
+    /// repeated runs makes the warm rerun *fully* allocation-free under
+    /// the sequential executor — the claim the `ck_lint::alloc_gate`
+    /// regression tests turn into a CI gate. On error the outcome's
+    /// contents are unspecified.
+    pub fn run_into<P, F>(
+        &mut self,
+        mut factory: F,
+        out: &mut RunOutcome<P::Verdict>,
+    ) -> Result<(), EngineError>
+    where
+        P: Program<Msg = M>,
+        F: FnMut(NodeInit<'g>) -> P,
+    {
+        self.ws.run_on_into(self.graph, &self.config, &self.params, &mut factory, |_| {}, out)
+    }
+
     /// As [`Session::run`], handing every node program to `reclaim`
     /// after its verdict has been collected (in node-index order) —
     /// protocols with recyclable per-node scratch harvest it here so

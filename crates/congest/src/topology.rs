@@ -20,6 +20,7 @@ pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
         color[s] = Some(false);
         let mut queue = std::collections::VecDeque::from([s as NodeIndex]);
         while let Some(v) = queue.pop_front() {
+            // ck-lint: allow(no-panic, reason = "every node is colored before it is enqueued, and v came off the queue")
             let cv = color[v as usize].unwrap();
             for &w in g.neighbors(v) {
                 match color[w as usize] {
@@ -33,6 +34,7 @@ pub fn bipartition(g: &Graph) -> Option<Vec<bool>> {
             }
         }
     }
+    // ck-lint: allow(no-panic, reason = "the outer loop seeded a BFS from every uncolored node, so all components are fully colored here")
     Some(color.into_iter().map(|c| c.unwrap()).collect())
 }
 

@@ -34,15 +34,18 @@ impl TraceLog {
         TraceLog::default()
     }
 
+    // The log is diagnostics: a writer that panicked mid-push leaves a
+    // structurally intact Vec, so poisoning is recovered rather than
+    // propagated (a trace must never take down the run it observes).
     fn push(&self, e: TraceEvent) {
-        self.events.lock().expect("trace log poisoned").push(e);
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).push(e);
     }
 
     /// Snapshot of the events, sorted canonically (round, node, send
     /// after recv) so parallel execution yields a deterministic
     /// transcript.
     pub fn events(&self) -> Vec<TraceEvent> {
-        let mut ev = self.events.lock().expect("trace log poisoned").clone();
+        let mut ev = self.events.lock().unwrap_or_else(|p| p.into_inner()).clone();
         ev.sort_by_key(|e| match e {
             TraceEvent::Recv { round, node, port, .. } => (*round, *node, 0u8, *port),
             TraceEvent::Send { round, node, port, .. } => (*round, *node, 1, *port),
@@ -53,7 +56,7 @@ impl TraceLog {
 
     /// Number of events recorded.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("trace log poisoned").len()
+        self.events.lock().unwrap_or_else(|p| p.into_inner()).len()
     }
 
     /// True when nothing was recorded.

@@ -48,6 +48,7 @@ impl ChordProbe {
 /// against the chord oracle.
 pub fn probe_chorded_coverage(g: &Graph, k: usize, e: Edge) -> ChordProbe {
     let run = detect_ck_through_edge(g, k, e, PrunerKind::Representative, &EngineConfig::default())
+        // ck-lint: allow(no-panic, reason = "default engine config has no faults, net, or bandwidth cap — the only EngineError sources")
         .expect("engine run");
     let mut witnesses = Vec::new();
     let mut chorded = 0;
@@ -56,6 +57,7 @@ pub fn probe_chorded_coverage(g: &Graph, k: usize, e: Edge) -> ChordProbe {
             let idx: Vec<NodeIndex> = w
                 .cycle_ids()
                 .iter()
+                // ck-lint: allow(no-panic, reason = "witness ids were emitted by verdicts over this same graph")
                 .map(|&id| g.index_of(id).expect("witness IDs exist"))
                 .collect();
             debug_assert!(is_valid_ck(g, k, &idx), "witnesses are sound");

@@ -36,6 +36,7 @@
 
 use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream};
+// ck-lint: allow(determinism, reason = "Instant only drives heartbeat liveness deadlines; a late worker becomes a typed NetError and the run falls back to the sequential oracle, so verdict bits never depend on the clock")
 use std::time::{Duration, Instant};
 
 use ck_congest::engine::{BandwidthPolicy, EngineConfig, EngineError, Executor, RunOutcome};
@@ -504,6 +505,7 @@ pub fn worker_main(addr: &str, index: u32) -> Result<(), String> {
 struct WorkerLink {
     reader: TcpStream,
     writer: ChaosTransport<TcpStream>,
+    // ck-lint: allow(determinism, reason = "liveness bookkeeping only; see the use-declaration allow")
     last_beat: Instant,
     child: Option<std::process::Child>,
     thread: Option<std::thread::JoinHandle<()>>,
@@ -575,6 +577,7 @@ impl Coordinator {
         loop {
             match read_frame(&mut self.links[w].reader, deadline) {
                 Ok(f) if f.kind == FrameKind::Heartbeat => {
+                    // ck-lint: allow(determinism, reason = "heartbeat timestamping; liveness only")
                     self.links[w].last_beat = Instant::now();
                     self.report_net.heartbeats += 1;
                 }
@@ -727,13 +730,23 @@ pub fn run_distributed(
         slots[index as usize] = Some(WorkerLink {
             reader,
             writer: ChaosTransport::new(stream, &plan),
+            // ck-lint: allow(determinism, reason = "liveness baseline for the heartbeat monitor")
             last_beat: Instant::now(),
             child: children[index as usize].take(),
             thread: threads[index as usize].take(),
         });
         accepted += 1;
     }
-    let links: Vec<WorkerLink> = slots.into_iter().map(|s| s.expect("all accepted")).collect();
+    let links: Vec<WorkerLink> = slots.into_iter().flatten().collect();
+    if links.len() != w_count as usize {
+        // Unreachable while the accept loop above insists on
+        // `accepted == workers`, but a typed error keeps the invariant
+        // local instead of trusting it across the function.
+        return Err(DistError::Net(NetError::Connect {
+            worker: 0,
+            detail: "accept loop finished with unfilled worker slots".to_string(),
+        }));
+    }
     let mut coord = Coordinator {
         links,
         net: net.clone(),
@@ -950,7 +963,11 @@ fn handshake(
             detail: "hello frame failed validation".to_string(),
         });
     }
-    let index = u32::from_le_bytes(hello.body[4..8].try_into().unwrap());
+    // The slice is exactly 4 bytes (hello.body.len() == 8 was just
+    // validated), so the copy cannot fail.
+    let mut idx_bytes = [0u8; 4];
+    idx_bytes.copy_from_slice(&hello.body[4..8]);
+    let index = u32::from_le_bytes(idx_bytes);
     if index >= workers || slots[index as usize].is_some() {
         return Err(NetError::Connect {
             worker: index,

@@ -111,8 +111,10 @@ impl DistributedTester for CkFreenessTester {
             cfg,
             ck_congest::engine::EngineConfig::default(),
         )
+        // ck-lint: allow(no-panic, reason = "probe configs derive from a validated base; rejection here is a harness bug")
         .unwrap_or_else(|e| panic!("{e}"))
         .test(g)
+        // ck-lint: allow(no-panic, reason = "default engine config has no faults, net, or bandwidth cap — the only EngineError sources")
         .expect("engine run");
         ProbeOutcome {
             reject: run.reject,

@@ -45,6 +45,7 @@ pub fn exact_freeness_profile(g: &Graph, k_max: usize) -> FreenessProfile {
         .map(|k| {
             g.edges().iter().any(|&e| {
                 detect_ck_through_edge(g, k, e, PrunerKind::Representative, &cfg)
+                    // ck-lint: allow(no-panic, reason = "default engine config has no faults, net, or bandwidth cap — the only EngineError sources")
                     .expect("engine run")
                     .reject
             })
@@ -69,8 +70,10 @@ pub fn sampled_freeness_profile(g: &Graph, k_max: usize, eps: f64, seed: u64) ->
         .map(|k| {
             let cfg = TesterConfig::new(k, eps, seed.wrapping_add(k as u64));
             TesterSession::from_config(cfg, EngineConfig::default())
+                // ck-lint: allow(no-panic, reason = "k >= 3 is asserted above and eps comes from the caller contract; config rejection is a harness bug")
                 .unwrap_or_else(|e| panic!("{e}"))
                 .test(g)
+                // ck-lint: allow(no-panic, reason = "default engine config has no faults, net, or bandwidth cap — the only EngineError sources")
                 .expect("engine run")
                 .reject
         })

@@ -71,6 +71,7 @@ pub use batch::{BatchError, BatchFailure, BatchJob, BatchOptions};
 // The legacy free-function entry points, kept importable at the crate
 // root for out-of-tree callers mid-migration.
 #[allow(deprecated)]
+// ck-lint: allow(legacy-entry, reason = "the one sanctioned re-export keeping the deprecated name importable for out-of-tree callers mid-migration")
 pub use batch::run_tester_batch;
 pub use decide::{decide_reject, RejectWitness};
 pub use msg::{CkCodec, CkMsg, EdgeTag, SeqBundle, SeqPool};
@@ -86,6 +87,7 @@ pub use seq::{IdSeq, MAX_K, MAX_SEQ_LEN};
 pub use session::{TesterSession, TesterSessionBuilder};
 pub use single::{detect_ck_through_edge, DetectSingle, SingleRun, SingleVerdict};
 #[allow(deprecated)]
+// ck-lint: allow(legacy-entry, reason = "the one sanctioned re-export keeping deprecated names importable for out-of-tree callers mid-migration")
 pub use tester::{run_tester, run_tester_reusing};
 pub use tester::{
     test_ck_freeness, CkTester, ConfigError, NodeScratch, NodeVerdict, TesterConfig, TesterRun,

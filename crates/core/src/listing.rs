@@ -23,6 +23,7 @@ use ck_graphgen::mutate::remove_edges;
 /// direction fixed by the smaller second element.
 pub fn canonicalize_cycle(cycle: &[NodeIndex]) -> Vec<NodeIndex> {
     let k = cycle.len();
+    // ck-lint: allow(no-panic, reason = "callers pass detector witnesses, which are k >= 3 cycles by construction")
     let (pos, _) = cycle.iter().enumerate().min_by_key(|&(_, &v)| v).expect("nonempty");
     let fwd: Vec<NodeIndex> = (0..k).map(|i| cycle[(pos + i) % k]).collect();
     let bwd: Vec<NodeIndex> = (0..k).map(|i| cycle[(pos + k - i) % k]).collect();
@@ -55,12 +56,14 @@ pub fn list_ck(g: &Graph, k: usize) -> ListingOutcome {
         let mut found_this_sweep: Vec<Vec<NodeIndex>> = Vec::new();
         for &e in working.edges() {
             let run = detect_ck_through_edge(&working, k, e, PrunerKind::Representative, &cfg)
+                // ck-lint: allow(no-panic, reason = "default engine config has no faults, net, or bandwidth cap — the only EngineError sources")
                 .expect("engine run");
             for v in &run.outcome.verdicts {
                 for w in &v.all_witnesses {
                     let idx: Vec<NodeIndex> = w
                         .cycle_ids()
                         .iter()
+                        // ck-lint: allow(no-panic, reason = "witness ids were emitted by verdicts over this same graph")
                         .map(|&id| working.index_of(id).expect("witness IDs exist"))
                         .collect();
                     debug_assert!(is_valid_ck(&working, k, &idx));

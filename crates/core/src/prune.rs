@@ -126,6 +126,7 @@ pub fn prune_literal(seqs: &[IdSeq], k: usize, t: usize) -> Vec<usize> {
     // Per-sequence membership over ground indices (fakes never belong).
     let seq_index_sets: Vec<Vec<usize>> = seqs
         .iter()
+        // ck-lint: allow(no-panic, reason = "real was built from exactly these sequences' ids and sorted just above")
         .map(|s| s.iter().map(|id| real.binary_search(&id).expect("id collected above")).collect())
         .collect();
 

@@ -27,6 +27,7 @@ pub const E_SQUARED: f64 = std::f64::consts::E * std::f64::consts::E;
 /// user input (CLI flags, spec strings) should use
 /// [`try_repetitions_for`] and surface the error instead.
 pub fn repetitions_for(eps: f64) -> u32 {
+    // ck-lint: allow(no-panic, reason = "documented '# Panics' contract; try_repetitions_for is the checked path")
     try_repetitions_for(eps).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -57,6 +58,7 @@ pub fn try_repetitions_for(eps: f64) -> Result<u32, ConfigError> {
 /// Panics when `loss` lies outside `[0, 1)` (use [`try_loss_inflation`]
 /// for unvalidated input).
 pub fn loss_inflation(k: usize, loss: f64) -> u32 {
+    // ck-lint: allow(no-panic, reason = "documented '# Panics' contract; try_loss_inflation is the checked path")
     try_loss_inflation(k, loss).unwrap_or_else(|e| panic!("{e}"))
 }
 

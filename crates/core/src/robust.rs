@@ -76,6 +76,7 @@ pub fn loss_detection_curve(
     // first runs on warm arenas and scratch.
     let mut session =
         TesterSession::from_config(TesterConfig::new(k, eps, seed), EngineConfig::default())
+            // ck-lint: allow(no-panic, reason = "k and eps were validated by the sweep's caller contract; config rejection here is a harness bug")
             .unwrap_or_else(|e| panic!("{e}"));
     losses
         .iter()
@@ -85,6 +86,7 @@ pub fn loss_detection_curve(
                 session.engine_mut().faults =
                     FaultPlan::none().random_loss(loss, seed ^ (u64::from(t) << 17));
                 session.set_seed(seed.wrapping_add(u64::from(t)));
+                // ck-lint: allow(no-panic, reason = "fault plans injected here drop messages, which the tester tolerates by design; EngineError is unreachable without net/bandwidth config")
                 if session.test(g).expect("engine run").reject {
                     rejects += 1;
                 }
@@ -127,6 +129,7 @@ pub fn crash_detection_curve(
     let n = g.n();
     let mut session =
         TesterSession::from_config(TesterConfig::new(k, eps, seed), EngineConfig::default())
+            // ck-lint: allow(no-panic, reason = "k and eps were validated by the sweep's caller contract; config rejection here is a harness bug")
             .unwrap_or_else(|e| panic!("{e}"));
     counts
         .iter()
@@ -145,6 +148,7 @@ pub fn crash_detection_curve(
                 }
                 session.engine_mut().faults = plan;
                 session.set_seed(seed.wrapping_add(u64::from(t)));
+                // ck-lint: allow(no-panic, reason = "fault plans injected here drop messages, which the tester tolerates by design; EngineError is unreachable without net/bandwidth config")
                 if session.test(g).expect("engine run").reject {
                     rejects += 1;
                 }
@@ -198,11 +202,13 @@ pub fn adaptive_vs_fixed(
 ) -> AdaptiveComparison {
     let base = TesterConfig::new(k, eps, seed);
     let mut fixed =
+        // ck-lint: allow(no-panic, reason = "k and eps were validated by the sweep's caller contract; config rejection here is a harness bug")
         TesterSession::from_config(base, EngineConfig::default()).unwrap_or_else(|e| panic!("{e}"));
     let mut adaptive = TesterSession::from_config(
         TesterConfig { assumed_loss: Some(loss), ..base },
         EngineConfig::default(),
     )
+    // ck-lint: allow(no-panic, reason = "same validated base config as the fixed session above")
     .unwrap_or_else(|e| panic!("{e}"));
     let mut fixed_rejects = 0;
     let mut adaptive_rejects = 0;
@@ -213,6 +219,7 @@ pub fn adaptive_vs_fixed(
         {
             session.engine_mut().faults = plan.clone();
             session.set_seed(seed.wrapping_add(u64::from(t)));
+            // ck-lint: allow(no-panic, reason = "loss plans drop messages, which the tester tolerates by design; EngineError is unreachable without net/bandwidth config")
             if session.test(g).expect("engine run").reject {
                 *rejects += 1;
             }

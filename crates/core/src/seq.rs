@@ -29,6 +29,7 @@ impl IdSeq {
     /// A one-element sequence (the Phase-2 seed `(myid)`).
     pub fn single(id: NodeId) -> Self {
         let mut s = Self::empty();
+        // ck-lint: allow(index-literal, reason = "ids is a fixed [NodeId; MAX_SEQ_LEN] array and MAX_SEQ_LEN >= 1")
         s.ids[0] = id;
         s.len = 1;
         s
@@ -60,6 +61,7 @@ impl IdSeq {
 
     /// First ID (the extremity at `u` or `v` per Lemma 1), if nonempty.
     pub fn first(&self) -> Option<NodeId> {
+        // ck-lint: allow(index-literal, reason = "guarded by len > 0 and ids is a fixed-size array")
         (self.len > 0).then(|| self.ids[0])
     }
 
@@ -104,6 +106,7 @@ impl IdSeq {
         n += 1;
         let buf = &mut buf[..n];
         buf.sort_unstable();
+        // ck-lint: allow(index-literal, reason = "windows(2) yields exactly-two-element slices")
         1 + buf.windows(2).filter(|w| w[0] != w[1]).count()
     }
 

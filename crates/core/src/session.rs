@@ -22,7 +22,9 @@ use crate::batch::{batch_exec, BatchError, BatchJob};
 use crate::msg::CkMsg;
 use crate::prune::PrunerKind;
 use crate::scan::ScanBackend;
-use crate::tester::{tester_exec, ConfigError, TesterConfig, TesterRun, TesterScratch};
+use crate::tester::{
+    tester_exec, tester_exec_into, ConfigError, TesterConfig, TesterRun, TesterScratch,
+};
 use ck_congest::engine::{EngineConfig, EngineError, EngineWorkspace, Executor, SlotStats};
 use ck_congest::graph::Graph;
 
@@ -218,6 +220,17 @@ impl TesterSession {
     /// and scratch pool. Output is bit-identical to a fresh-state run.
     pub fn test(&mut self, g: &Graph) -> Result<TesterRun, EngineError> {
         tester_exec(g, &self.cfg, &self.engine, &mut self.ws, &mut self.scratch)
+    }
+
+    /// As [`test`](TesterSession::test), writing the result into a
+    /// caller-owned [`TesterRun`] (reset in place, allocations kept)
+    /// instead of returning a fresh one. Rotating one run buffer
+    /// through repeated tests makes the warm accept-path rerun fully
+    /// allocation-free under the sequential executor — the claim the
+    /// `ck_lint::alloc_gate` regression tests turn into a CI gate. On
+    /// error the run's contents are unspecified.
+    pub fn test_into(&mut self, g: &Graph, run: &mut TesterRun) -> Result<(), EngineError> {
+        tester_exec_into(g, &self.cfg, &self.engine, &mut self.ws, &mut self.scratch, run)
     }
 
     /// Runs a family of jobs through the sharded batch runner (one

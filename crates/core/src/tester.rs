@@ -506,6 +506,7 @@ impl Program for CkTester<'_> {
                 self.own_sent.clear();
                 self.own_sent.extend_from_slice(&self.send_buf);
                 self.own_sent_tag = self.cur;
+                // ck-lint: allow(no-panic, reason = "send_buf is only filled while a served repetition is in flight, which sets cur")
                 let tag = self.cur.expect("cur set when R nonempty");
                 let bundle = self.pool.bundle_from(&self.send_buf);
                 let evicted = out.broadcast(CkMsg::Seqs { tag, seqs: bundle });
@@ -535,6 +536,7 @@ impl Program for CkTester<'_> {
                 self.verdict.rejected = true;
                 self.verdict.first_rejection = Some(Box::new(Rejection {
                     repetition: rep,
+                    // ck-lint: allow(no-panic, reason = "a rejection can only arise from received sequences, which carry the current tag")
                     tag: self.cur.expect("a decision needs served traffic"),
                     witness: w,
                 }));
@@ -561,10 +563,18 @@ impl Program for CkTester<'_> {
         v.pool_outstanding = self.pool.outstanding();
         v
     }
+
+    /// End-of-run drain of the broadcast payloads still parked in the
+    /// engine's slots (the last two generations' bundles): back into
+    /// the pool they came from, so a scratch-recycled rerun reaches a
+    /// steady state where `SeqPool::take` is always served warm.
+    fn reclaim_msg(&mut self, msg: CkMsg) {
+        self.recycle(Some(msg));
+    }
 }
 
 /// Aggregated network-level result.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct TesterRun {
     /// True if at least one node rejected in some repetition — the
     /// network-level *reject* of distributed property testing.
@@ -607,6 +617,25 @@ pub(crate) fn tester_exec(
     ws: &mut ck_congest::engine::EngineWorkspace<CkMsg>,
     scratch: &mut TesterScratch,
 ) -> Result<TesterRun, EngineError> {
+    let mut run = TesterRun::default();
+    tester_exec_into(g, cfg, engine, ws, scratch, &mut run)?;
+    Ok(run)
+}
+
+/// As [`tester_exec`], writing the result into a caller-owned
+/// [`TesterRun`] instead of allocating a fresh one. The run's engine
+/// outcome is reset (capacities kept) rather than rebuilt, so a warm
+/// accept-path rerun under the sequential executor performs zero heap
+/// operations — the dynamic contract `ck_lint::alloc_gate` pins down.
+/// On error the run's contents are unspecified.
+pub(crate) fn tester_exec_into(
+    g: &Graph,
+    cfg: &TesterConfig,
+    engine: &EngineConfig,
+    ws: &mut ck_congest::engine::EngineWorkspace<CkMsg>,
+    scratch: &mut TesterScratch,
+    run: &mut TesterRun,
+) -> Result<(), EngineError> {
     let reps = cfg.effective_repetitions();
     let mut ecfg = engine.clone();
     ecfg.max_rounds = total_rounds(cfg.k, reps);
@@ -619,7 +648,11 @@ pub(crate) fn tester_exec(
     if let ck_congest::engine::Executor::Distributed { workers } = ecfg.executor {
         let w = u32::from(workers.max(1));
         match crate::dist::run_distributed(g, cfg, &ecfg, w) {
-            Ok(outcome) => return Ok(finish_tester_run(g, cfg, reps, outcome)),
+            Ok(outcome) => {
+                run.outcome = outcome;
+                finish_tester_run(g, cfg, reps, run);
+                return Ok(());
+            }
             Err(crate::dist::DistError::Engine(e)) => return Err(e),
             Err(crate::dist::DistError::Net(ne)) => {
                 if !ecfg.net.fallback {
@@ -628,7 +661,7 @@ pub(crate) fn tester_exec(
                 let recovery_start = std::time::Instant::now();
                 let mut seq = ecfg.clone();
                 seq.executor = ck_congest::engine::Executor::Sequential;
-                let mut run = tester_exec_inproc(g, cfg, reps, &seq, ws, scratch)?;
+                tester_exec_inproc(g, cfg, reps, &seq, ws, scratch, run)?;
                 let report = &mut run.outcome.report;
                 report.executor = "distributed";
                 report.threads = w as usize;
@@ -638,16 +671,16 @@ pub(crate) fn tester_exec(
                     recovery_ms: Some(recovery_start.elapsed().as_millis() as u64),
                     ..ck_congest::metrics::NetReport::default()
                 });
-                return Ok(run);
+                return Ok(());
             }
         }
     }
-    tester_exec_inproc(g, cfg, reps, &ecfg, ws, scratch)
+    tester_exec_inproc(g, cfg, reps, &ecfg, ws, scratch, run)
 }
 
 /// The in-process execution path (sequential or parallel executor)
-/// behind [`tester_exec`] — also the graceful-degradation target of a
-/// failed distributed run.
+/// behind [`tester_exec_into`] — also the graceful-degradation target
+/// of a failed distributed run.
 fn tester_exec_inproc(
     g: &Graph,
     cfg: &TesterConfig,
@@ -655,40 +688,39 @@ fn tester_exec_inproc(
     ecfg: &EngineConfig,
     ws: &mut ck_congest::engine::EngineWorkspace<CkMsg>,
     scratch: &mut TesterScratch,
-) -> Result<TesterRun, EngineError> {
+    run: &mut TesterRun,
+) -> Result<(), EngineError> {
     let params = ck_congest::message::WireParams::for_graph(g);
     // The factory and the reclaim hook both feed on the scratch pool;
     // they never run concurrently (setup vs teardown), so a RefCell
     // splits the borrow cleanly.
     let pool = std::cell::RefCell::new(std::mem::take(scratch));
-    let result = ws.run_on(
+    let result = ws.run_on_into(
         g,
         ecfg,
         &params,
         |init| CkTester::with_scratch(cfg, &init, pool.borrow_mut().take()),
         |prog: CkTester<'_>| pool.borrow_mut().put(prog.into_scratch()),
+        &mut run.outcome,
     );
     // Restore the pool before propagating any failure: a shard whose
     // job trips bandwidth enforcement keeps its warm buffers for the
     // remaining jobs (only the failed run's node scratches are gone —
     // the engine drops its programs without the reclaim hook on error).
     *scratch = pool.into_inner();
-    let outcome = result?;
-    Ok(finish_tester_run(g, cfg, reps, outcome))
+    result?;
+    finish_tester_run(g, cfg, reps, run);
+    Ok(())
 }
 
 /// The shared post-run tail: optional witness re-validation, then the
 /// network-level verdict — identical for in-process and distributed
-/// outcomes, which is what keeps the two bit-comparable.
-fn finish_tester_run(
-    g: &Graph,
-    cfg: &TesterConfig,
-    reps: u32,
-    mut outcome: RunOutcome<NodeVerdict>,
-) -> TesterRun {
+/// outcomes, which is what keeps the two bit-comparable. Operates on
+/// the run in place so the warm-rerun path stays allocation-free.
+fn finish_tester_run(g: &Graph, cfg: &TesterConfig, reps: u32, run: &mut TesterRun) {
     let mut discarded_witnesses = 0u32;
     if cfg.verify_witnesses {
-        for v in &mut outcome.verdicts {
+        for v in &mut run.outcome.verdicts {
             let valid = v.first_rejection.as_deref().is_none_or(|r| witness_is_valid(g, cfg.k, r));
             if !valid {
                 v.rejected = false;
@@ -697,8 +729,9 @@ fn finish_tester_run(
             }
         }
     }
-    let reject = outcome.verdicts.iter().any(|v| v.rejected);
-    TesterRun { reject, repetitions: reps, discarded_witnesses, outcome }
+    run.reject = run.outcome.verdicts.iter().any(|v| v.rejected);
+    run.repetitions = reps;
+    run.discarded_witnesses = discarded_witnesses;
 }
 
 /// Post-run witness validation: the recorded cycle must be a genuine
@@ -714,6 +747,7 @@ fn witness_is_valid(g: &Graph, k: usize, r: &Rejection) -> bool {
     // Distinct identities that all exist in the graph.
     let mut seen = ids.clone();
     seen.sort_unstable();
+    // ck-lint: allow(index-literal, reason = "windows(2) yields exactly-two-element slices")
     if seen.windows(2).any(|w| w[0] == w[1]) {
         return false;
     }
@@ -754,6 +788,7 @@ pub fn run_tester(
     engine: &EngineConfig,
 ) -> Result<TesterRun, EngineError> {
     crate::session::TesterSession::from_config(*cfg, engine.clone())
+        // ck-lint: allow(no-panic, reason = "deprecated shim preserving the legacy API's historical panic-on-bad-config behavior")
         .unwrap_or_else(|e| panic!("{e}"))
         .test(g)
 }
@@ -786,8 +821,10 @@ pub fn test_ck_freeness(g: &Graph, k: usize, eps: f64, seed: u64) -> TesterRun {
     crate::session::TesterSession::builder(k, eps)
         .seed(seed)
         .build()
+        // ck-lint: allow(no-panic, reason = "documented '# Panics' contract for this one-call convenience; TesterSession is the checked path")
         .unwrap_or_else(|e| panic!("{e}"))
         .test(g)
+        // ck-lint: allow(no-panic, reason = "default engine config has no faults, no net, no bandwidth cap — the only EngineError sources")
         .expect("default engine config cannot fail")
 }
 

@@ -16,6 +16,7 @@
 //! greedy edge-disjoint packing used both to certify generated instances
 //! and to reproduce the Lemma 4 experiment.
 
+// ck-lint: allow-file(no-panic, reason = "reference oracles over validated graphs: DFS paths are nonempty and probed edges exist by recursion structure and caller contract")
 use ck_congest::graph::{Edge, Graph, NodeIndex};
 
 /// Result of a farness certification attempt.
@@ -221,6 +222,7 @@ pub fn count_ck(g: &Graph, k: usize) -> u64 {
         let v = *path.last().unwrap();
         if path.len() == k {
             // Close the cycle back to s; count once per direction class.
+            // ck-lint: allow(index-literal, reason = "path.len() == k >= 3 was checked on the line above")
             if g.has_edge(v, s) && path[1] < path[k - 1] {
                 *total += 1;
             }

@@ -1,0 +1,72 @@
+//! The `ck-lint` binary: lint the workspace (or a given root), print
+//! `file:line: [rule] message` diagnostics, exit nonzero on findings.
+//!
+//! ```text
+//! ck-lint [ROOT]        # ROOT defaults to the workspace root
+//! ```
+//!
+//! The workspace root is auto-discovered by walking up from the
+//! current directory to the first `Cargo.toml` containing a
+//! `[workspace]` table, so the tool behaves the same from any crate
+//! subdirectory and from CI's checkout root.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn main() -> ExitCode {
+    let arg_root = std::env::args().nth(1).map(PathBuf::from);
+    let root = match arg_root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("ck-lint: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "ck-lint: no workspace root found above {} (pass one explicitly)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let findings = match ck_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ck-lint: walk failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if findings.is_empty() {
+        println!("ck-lint: clean ({} ok)", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    println!("ck-lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}

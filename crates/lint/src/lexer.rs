@@ -1,0 +1,400 @@
+//! A minimal Rust surface lexer: separates *code* from *comments* and
+//! blanks out literal contents, line by line.
+//!
+//! The rule engine ([`crate::rules`]) works on token-level facts — "the
+//! word `unsafe` appears on line 17", "`// SAFETY:` precedes it" — so
+//! it needs exactly one thing from the lexer: a per-line view where
+//!
+//! * comment text is removed from the code channel and collected in a
+//!   comment channel (so `// SAFETY:` and `// ck-lint: allow(...)`
+//!   markers are searchable without false-positiving on code), and
+//! * string/char literal *contents* are blanked (so a fixture string
+//!   containing `unwrap()` or a log message containing `unsafe` never
+//!   trips a rule).
+//!
+//! Everything subtle about that separation is Rust's lexical grammar:
+//! nested block comments, raw strings with arbitrary `#` fences (whose
+//! bodies may contain `"` and `//`), byte strings, escaped quotes, and
+//! the `'` ambiguity between char literals (`'a'`, `'\n'`) and
+//! lifetimes (`'a`, `'static`). This lexer resolves all of those with
+//! a hand-rolled state machine; it deliberately does **not** parse —
+//! no AST, no macro expansion — because every invariant the rules
+//! enforce is phrased on the token surface.
+
+/// One source line after lexing: code with literal contents blanked,
+/// plus all comment text that appeared on the line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaskedLine {
+    /// The line's code channel: comments stripped, string/char literal
+    /// contents replaced by spaces (delimiters kept, so tokenization
+    /// still sees that a literal sat there).
+    pub code: String,
+    /// Concatenated text of every comment on the line (line comments,
+    /// doc comments, and the per-line slices of block comments),
+    /// including the comment sigils themselves.
+    pub comment: String,
+}
+
+impl MaskedLine {
+    /// True when the line carries no code at all (blank, or
+    /// comment-only).
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// `expect_escapes` is false inside raw strings; `fence` is the
+    /// number of `#` characters that (with a `"`) terminate the
+    /// literal.
+    Str {
+        raw_fence: Option<u32>,
+    },
+    CharLit,
+}
+
+/// Lexes `src` into per-line code/comment channels. Total: any byte
+/// sequence produces one [`MaskedLine`] per input line (unterminated
+/// literals or comments simply run to EOF in their state).
+pub fn mask_source(src: &str) -> Vec<MaskedLine> {
+    let mut lines: Vec<MaskedLine> = Vec::new();
+    let mut cur = MaskedLine::default();
+    let mut state = State::Code;
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let n = chars.len();
+
+    macro_rules! newline {
+        () => {{
+            lines.push(std::mem::take(&mut cur));
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            newline!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                    state = State::LineComment;
+                    cur.comment.push_str("//");
+                    i += 2;
+                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    state = State::BlockComment(1);
+                    cur.comment.push_str("/*");
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str { raw_fence: None };
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime. `'\...'` is always a
+                    // char; `'X'` is a char; `'ident` (not followed by
+                    // a closing quote after one char) is a lifetime.
+                    let next = chars.get(i + 1).copied();
+                    let after = chars.get(i + 2).copied();
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(x) if x != '\'' => after == Some('\''),
+                        _ => false,
+                    };
+                    cur.code.push('\'');
+                    i += 1;
+                    if is_char {
+                        state = State::CharLit;
+                    }
+                    // else: lifetime — keep lexing the identifier as
+                    // ordinary code.
+                } else if is_ident_start(c) {
+                    // Consume a whole identifier so raw/byte string
+                    // prefixes (`r"`, `r#"`, `b"`, `br#"`) are detected
+                    // as units and `r` / `b` inside longer identifiers
+                    // are not.
+                    let start = i;
+                    while i < n && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    let ident: String = chars[start..i].iter().collect();
+                    let is_str_prefix = matches!(ident.as_str(), "r" | "b" | "br");
+                    if is_str_prefix {
+                        let raw = ident != "b";
+                        // Count the `#` fence (raw strings only).
+                        let mut j = i;
+                        let mut fence = 0u32;
+                        if raw {
+                            while j < n && chars[j] == '#' {
+                                fence += 1;
+                                j += 1;
+                            }
+                        }
+                        if j < n && chars[j] == '"' && (raw || j == i) {
+                            cur.code.push_str(&ident);
+                            for _ in 0..fence {
+                                cur.code.push('#');
+                            }
+                            cur.code.push('"');
+                            state = State::Str { raw_fence: raw.then_some(fence) };
+                            i = j + 1;
+                            continue;
+                        }
+                        // `b'x'` byte char literal.
+                        if ident == "b" && i < n && chars[i] == '\'' {
+                            cur.code.push_str("b'");
+                            state = State::CharLit;
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    cur.code.push_str(&ident);
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    cur.comment.push_str("*/");
+                    i += 2;
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    cur.comment.push_str("/*");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_fence } => match raw_fence {
+                None => {
+                    if c == '\\' {
+                        // Escape: blank both characters.
+                        cur.code.push(' ');
+                        i += 1;
+                        if i < n && chars[i] != '\n' {
+                            cur.code.push(' ');
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        cur.code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(fence) => {
+                    if c == '"' {
+                        // Terminates only with `fence` following `#`s.
+                        let mut j = i + 1;
+                        let mut have = 0u32;
+                        while j < n && have < fence && chars[j] == '#' {
+                            have += 1;
+                            j += 1;
+                        }
+                        if have == fence {
+                            cur.code.push('"');
+                            for _ in 0..fence {
+                                cur.code.push('#');
+                            }
+                            state = State::Code;
+                            i = j;
+                        } else {
+                            cur.code.push(' ');
+                            i += 1;
+                        }
+                    } else {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::CharLit => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    i += 1;
+                    if i < n && chars[i] != '\n' {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    newline!();
+    lines
+}
+
+pub(crate) fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+pub(crate) fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True when `code` contains `word` as a whole token (not as a slice of
+/// a longer identifier).
+pub fn has_token(code: &str, word: &str) -> bool {
+    find_token(code, word).is_some()
+}
+
+/// Byte offset of the first whole-token occurrence of `word` in `code`.
+pub fn find_token(code: &str, word: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || {
+            let prev = bytes[at - 1] as char;
+            !is_ident_continue(prev)
+        };
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || {
+            let next = bytes[end] as char;
+            !is_ident_continue(next)
+        };
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        mask_source(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_go_to_the_comment_channel() {
+        let l = mask_source("let x = 1; // SAFETY: not really\n");
+        assert_eq!(l[0].code, "let x = 1; ");
+        assert!(l[0].comment.contains("SAFETY: not really"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_delimiters_kept() {
+        let c = codes("let s = \"unsafe unwrap() // nope\";");
+        assert!(!c[0].contains("unsafe"));
+        assert!(!c[0].contains("unwrap"));
+        assert!(!c[0].contains("//"));
+        assert!(c[0].starts_with("let s = \""));
+        assert!(c[0].ends_with("\";"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_terminate() {
+        let c = codes(r#"let s = "a\"unsafe"; let t = 2;"#);
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("let t = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences_hide_quotes_and_comments() {
+        let src = "let s = r#\"has \" quote and // comment and unsafe\"#; foo();";
+        let c = codes(src);
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("foo();"));
+        let l = mask_source(src);
+        assert!(l[0].comment.is_empty());
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let c = codes("let a = b\"unsafe\"; let b2 = br#\"unwrap()\"#; bar();");
+        assert!(!c[0].contains("unsafe"));
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("bar();"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        // `'a'` is a char (contents masked); `'a` in `&'a` is a
+        // lifetime that must stay in the code channel.
+        let c = codes("fn f<'a>(x: &'a str) { let q = 'q'; let nl = '\\n'; }");
+        assert!(c[0].contains("<'a>"));
+        assert!(c[0].contains("&'a str"));
+        assert!(!c[0].contains("'q'"), "char contents must be blanked: {}", c[0]);
+    }
+
+    #[test]
+    fn quote_char_literal() {
+        let c = codes(r"let q = '\''; let x = 1;");
+        assert!(c[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* inner */ still comment */ b();";
+        let l = mask_source(src);
+        assert!(l[0].code.contains("a();"));
+        assert!(l[0].code.contains("b();"));
+        assert!(!l[0].code.contains("still"));
+        assert!(l[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let l = mask_source("a();\n/* one\ntwo unsafe\n*/\nb();\n");
+        assert!(l[1].is_code_blank());
+        assert!(l[2].is_code_blank());
+        assert!(l[2].comment.contains("unsafe"));
+        assert_eq!(l[4].code, "b();");
+    }
+
+    #[test]
+    fn multiline_string_spans_lines() {
+        let l = mask_source("let s = \"first\nsecond unsafe\nthird\"; done();");
+        assert!(!l[1].code.contains("unsafe"));
+        assert!(l[2].code.contains("done();"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("unsafe { }", "unsafe"));
+        assert!(!has_token("unsafe_code", "unsafe"));
+        assert!(!has_token("not_unsafe", "unsafe"));
+        assert!(has_token("x.unwrap()", "unwrap"));
+        assert!(!has_token("x.unwrap_or(3)", "unwrap"));
+        assert!(has_token("run_tester(", "run_tester"));
+        assert!(!has_token("run_tester_batch(", "run_tester"));
+    }
+
+    #[test]
+    fn lexer_is_total_on_unterminated_input() {
+        // Unterminated constructs must not panic or loop.
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b'", "let x = '\\"] {
+            let _ = mask_source(src);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end test of the `ck-lint` binary: a fixture workspace with
+//! planted violations must fail with one diagnostic per violation, and
+//! the real repository must lint clean.
+//!
+//! Fixtures are materialized in a temp directory at runtime — they must
+//! not exist as `.rs` files inside the repo, or the workspace walk in
+//! the clean-repo half (and in CI's lint job) would find them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_ck-lint");
+
+/// A unique-per-process fixture root under the system temp dir.
+fn fixture_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ck-lint-cli-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("stale fixture dir must be removable");
+    }
+    fs::create_dir_all(&dir).expect("fixture dir must be creatable");
+    dir
+}
+
+fn write(root: &Path, rel: &str, src: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+        .expect("fixture subdir must be creatable");
+    fs::write(path, src).expect("fixture file must be writable");
+}
+
+#[test]
+fn fixture_violations_fail_with_diagnostics() {
+    let root = fixture_root("violations");
+    // A library file in a determinism-critical stem, carrying one
+    // violation of each rule family the path can trigger.
+    write(
+        &root,
+        "crates/congest/src/engine.rs",
+        r#"
+pub fn f(v: &[u64]) -> u64 {
+    let t = std::time::Instant::now();
+    let first = v[0];
+    let second = v.first().unwrap();
+    unsafe { std::ptr::read(v.as_ptr()) };
+    first + second + t.elapsed().as_secs()
+}
+"#,
+    );
+    // A malformed suppression: unknown rule name.
+    write(
+        &root,
+        "crates/core/src/lib.rs",
+        r#"
+// ck-lint: allow(definitely-not-a-rule, reason = "nope")
+pub fn g() {}
+"#,
+    );
+
+    let out = Command::new(BIN).arg(&root).output().expect("ck-lint must spawn");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "planted violations must fail the lint; stdout:\n{stdout}");
+    for rule in
+        ["[determinism]", "[index-literal]", "[no-panic]", "[safety-comment]", "[bad-allow]"]
+    {
+        assert!(stdout.contains(rule), "missing {rule} diagnostic in:\n{stdout}");
+    }
+    // Diagnostics carry file:line anchors in walk order.
+    assert!(
+        stdout.contains("crates/congest/src/engine.rs:"),
+        "diagnostics must be file:line-anchored:\n{stdout}"
+    );
+    fs::remove_dir_all(&root).expect("fixture dir must be removable");
+}
+
+#[test]
+fn suppressed_fixture_and_real_workspace_are_clean() {
+    // The same constructs, each under a well-formed allow (or outside
+    // library/determinism scope), must pass.
+    let root = fixture_root("clean");
+    write(
+        &root,
+        "crates/congest/src/engine.rs",
+        r#"
+pub fn f(v: &[u64]) -> u64 {
+    // ck-lint: allow(index-literal, reason = "caller guarantees nonempty")
+    let first = v[0];
+    // ck-lint: allow(no-panic, reason = "checked by the line above")
+    let second = v.first().unwrap();
+    // SAFETY: v is nonempty, so reading the first element is in bounds.
+    unsafe { std::ptr::read(v.as_ptr()) };
+    first + second
+}
+"#,
+    );
+    // Bench code is outside the panic-free library surface entirely.
+    write(&root, "crates/bench/src/lib.rs", "pub fn b(v: &[u64]) -> u64 { v[0] }\n");
+    let out = Command::new(BIN).arg(&root).output().expect("ck-lint must spawn");
+    assert!(
+        out.status.success(),
+        "suppressed fixture must be clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    fs::remove_dir_all(&root).expect("fixture dir must be removable");
+
+    // And the repository itself holds its own bar: the workspace two
+    // levels above this crate lints clean.
+    let ws_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = Command::new(BIN).arg(&ws_root).output().expect("ck-lint must spawn");
+    assert!(
+        out.status.success(),
+        "the repository must lint clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -11,7 +11,7 @@ use ck_core::tester::TesterConfig;
 
 /// One-shot tester run through a fresh session (the session-API form of
 /// the old `run_tester` free function).
-fn run_tester(
+fn run_once(
     g: &ck_congest::graph::Graph,
     cfg: &TesterConfig,
     engine: &EngineConfig,
@@ -65,7 +65,7 @@ fn tie_breaking_never_breaks_detection() {
         let g = cycle(k);
         for seed in 0..50u64 {
             let cfg = TesterConfig { repetitions: Some(1), ..TesterConfig::new(k, 0.3, seed) };
-            let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+            let run = run_once(&g, &cfg, &EngineConfig::default()).unwrap();
             assert!(run.reject, "C{k}, seed {seed}");
         }
     }
@@ -83,7 +83,7 @@ fn no_false_rejects_under_hostile_ids() {
         let g: Graph = base.with_ids(ids).unwrap();
         for seed in 0..5u64 {
             let cfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(5, 0.1, seed) };
-            assert!(!run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject);
+            assert!(!run_once(&g, &cfg, &EngineConfig::default()).unwrap().reject);
         }
     }
 }
@@ -121,7 +121,7 @@ fn boundary_parameters() {
     let small = cycle(4);
     for seed in 0..3u64 {
         let cfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(9, 0.2, seed) };
-        assert!(!run_tester(&small, &cfg, &EngineConfig::default()).unwrap().reject);
+        assert!(!run_once(&small, &cfg, &EngineConfig::default()).unwrap().reject);
     }
 }
 

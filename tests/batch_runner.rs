@@ -43,7 +43,7 @@ fn digest(
 }
 
 /// One-by-one reference runs: a fresh session per job.
-fn run_tester(
+fn run_once(
     g: &Graph,
     cfg: &TesterConfig,
     engine: &EngineConfig,
@@ -92,10 +92,10 @@ proptest! {
             ..EngineConfig::default()
         };
         let seq_loop: Vec<TesterRun> =
-            jobs.iter().map(|j| run_tester(j.graph, &j.cfg, &engine).unwrap()).collect();
+            jobs.iter().map(|j| run_once(j.graph, &j.cfg, &engine).unwrap()).collect();
         engine.executor = Executor::Parallel;
         let par_loop: Vec<TesterRun> =
-            jobs.iter().map(|j| run_tester(j.graph, &j.cfg, &engine).unwrap()).collect();
+            jobs.iter().map(|j| run_once(j.graph, &j.cfg, &engine).unwrap()).collect();
 
         let session = TesterSession::builder(5, 0.1)
             .engine(EngineConfig { faults: faults.clone(), ..EngineConfig::default() })
@@ -155,7 +155,7 @@ fn sharded_batch_with_real_threads_is_bit_identical() {
         ..EngineConfig::default()
     };
     let reference: Vec<TesterRun> =
-        jobs.iter().map(|j| run_tester(j.graph, &j.cfg, &engine).unwrap()).collect();
+        jobs.iter().map(|j| run_once(j.graph, &j.cfg, &engine).unwrap()).collect();
     let session = TesterSession::builder(5, 0.1)
         .engine(EngineConfig { faults: faults.clone(), ..EngineConfig::default() })
         .build()

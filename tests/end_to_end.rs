@@ -6,7 +6,7 @@ use ck_core::tester::{test_ck_freeness, TesterConfig};
 
 /// One-shot tester run through a fresh session (the session-API form of
 /// the old `run_tester` free function).
-fn run_tester(
+fn run_once(
     g: &ck_congest::graph::Graph,
     cfg: &TesterConfig,
     engine: &EngineConfig,
@@ -38,7 +38,7 @@ fn reject_implies_containment_with_witness() {
         for k in 3..=7usize {
             for seed in 0..3u64 {
                 let cfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(k, 0.1, seed) };
-                let run = run_tester(g, &cfg, &EngineConfig::default()).unwrap();
+                let run = run_once(g, &cfg, &EngineConfig::default()).unwrap();
                 if run.reject {
                     assert!(contains_ck(g, k), "graph {gi}: rejected but C{k}-free");
                     for r in run.rejections() {
@@ -82,7 +82,7 @@ fn free_graphs_are_never_rejected() {
                 let g = randomize_ids(g, seed + 100);
                 let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, 0.1, seed) };
                 assert!(
-                    !run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject,
+                    !run_once(&g, &cfg, &EngineConfig::default()).unwrap().reject,
                     "false reject at k={k}"
                 );
             }
@@ -101,7 +101,7 @@ fn planted_on_noisy_host_detected() {
     let hits = (0..8u64)
         .filter(|&s| {
             let cfg = TesterConfig { repetitions: Some(40), ..TesterConfig::new(5, 0.05, s) };
-            run_tester(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject
+            run_once(&inst.graph, &cfg, &EngineConfig::default()).unwrap().reject
         })
         .count();
     assert!(hits >= 6, "planted C5s barely detected: {hits}/8");
@@ -115,14 +115,14 @@ fn other_cycle_lengths_do_not_confuse() {
     for k in [3usize, 5, 7] {
         for seed in 0..3u64 {
             let cfg = TesterConfig { repetitions: Some(3), ..TesterConfig::new(k, 0.1, seed) };
-            assert!(!run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject);
+            assert!(!run_once(&g, &cfg, &EngineConfig::default()).unwrap().reject);
         }
     }
     // … while C4s are everywhere.
     let rejects = (0..3u64)
         .filter(|&s| {
             let cfg = TesterConfig { repetitions: Some(10), ..TesterConfig::new(4, 0.1, s) };
-            run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject
+            run_once(&g, &cfg, &EngineConfig::default()).unwrap().reject
         })
         .count();
     assert_eq!(rejects, 3, "every run should catch a C4 on the torus");
@@ -136,7 +136,7 @@ fn lone_cycles_always_caught() {
         for seed in 0..3u64 {
             let g = randomize_ids(&cycle(k), seed + 1);
             let cfg = TesterConfig { repetitions: Some(1), ..TesterConfig::new(k, 0.1, seed) };
-            assert!(run_tester(&g, &cfg, &EngineConfig::default()).unwrap().reject, "C{k}");
+            assert!(run_once(&g, &cfg, &EngineConfig::default()).unwrap().reject, "C{k}");
         }
     }
 }

@@ -11,7 +11,7 @@ use ck_core::tester::TesterConfig;
 
 /// One-shot tester run through a fresh session (the session-API form of
 /// the old `run_tester` free function).
-fn run_tester(
+fn run_once(
     g: &ck_congest::graph::Graph,
     cfg: &TesterConfig,
     engine: &EngineConfig,
@@ -68,7 +68,7 @@ proptest! {
     #[test]
     fn full_tester_never_lies(g in arb_graph(), k in 3usize..8, seed in any::<u64>()) {
         let cfg = TesterConfig { repetitions: Some(2), ..TesterConfig::new(k, 0.1, seed) };
-        let run = run_tester(&g, &cfg, &EngineConfig::default()).unwrap();
+        let run = run_once(&g, &cfg, &EngineConfig::default()).unwrap();
         if run.reject {
             prop_assert!(contains_ck(&g, k));
             for r in run.rejections() {
@@ -103,9 +103,9 @@ proptest! {
     fn executors_agree(g in arb_graph(), k in 3usize..7, seed in any::<u64>()) {
         let cfg = TesterConfig { repetitions: Some(1), ..TesterConfig::new(k, 0.2, seed) };
         let mut e = EngineConfig { executor: Executor::Sequential, ..EngineConfig::default() };
-        let a = run_tester(&g, &cfg, &e).unwrap();
+        let a = run_once(&g, &cfg, &e).unwrap();
         e.executor = Executor::Parallel;
-        let b = run_tester(&g, &cfg, &e).unwrap();
+        let b = run_once(&g, &cfg, &e).unwrap();
         prop_assert_eq!(a.reject, b.reject);
         prop_assert_eq!(a.outcome.report.per_round, b.outcome.report.per_round);
     }
@@ -139,9 +139,9 @@ proptest! {
                 faults: faults.clone(),
                 ..EngineConfig::default()
             };
-            let a = run_tester(&g, &cfg, &e).unwrap();
+            let a = run_once(&g, &cfg, &e).unwrap();
             e.executor = Executor::Parallel;
-            let b = run_tester(&g, &cfg, &e).unwrap();
+            let b = run_once(&g, &cfg, &e).unwrap();
             prop_assert_eq!(a.reject, b.reject, "{:?}", faults);
             prop_assert_eq!(&a.outcome.verdicts, &b.outcome.verdicts, "{:?}", faults);
             prop_assert_eq!(&a.outcome.report.per_round, &b.outcome.report.per_round, "{:?}", faults);
@@ -171,7 +171,7 @@ proptest! {
             verify_witnesses: true,
             ..TesterConfig::new(k, 0.1, seed)
         };
-        let run = run_tester(&g, &cfg, &engine).unwrap();
+        let run = run_once(&g, &cfg, &engine).unwrap();
         if run.reject {
             prop_assert!(contains_ck(&g, k), "fabricated reject on a Ck-free graph");
             for r in run.rejections() {
