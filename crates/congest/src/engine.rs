@@ -206,6 +206,10 @@ pub struct EngineWorkspace<M> {
     inbox_next: InboxArena<M>,
     loads: LoadTable,
     slots: SlotStore,
+    /// One-shot pinned node→thread partition for the next parallel run
+    /// (see [`EngineWorkspace::pin_node_chunk_plan`]); consumed by the
+    /// run so it can never leak into a later run on a different graph.
+    pinned_node_plan: Option<rayon::ChunkPlan>,
 }
 
 impl<M> Default for EngineWorkspace<M> {
@@ -217,6 +221,7 @@ impl<M> Default for EngineWorkspace<M> {
             inbox_next: InboxArena::new(0),
             loads: LoadTable::new(0),
             slots: SlotStore::default(),
+            pinned_node_plan: None,
         }
     }
 }
@@ -225,6 +230,19 @@ impl<M> EngineWorkspace<M> {
     /// An empty workspace (allocates nothing until its first run).
     pub fn new() -> Self {
         EngineWorkspace::default()
+    }
+
+    /// Pins the parallel executor's node→thread partition for the
+    /// **next** run through this workspace to `plan` (normally the
+    /// [`node_step_plan`] snapshot external chunk-keyed state was
+    /// prepared from — the SoA node-state arena passes the exact plan
+    /// its chunk-shared scratch was sized for, so the executing
+    /// partition and the scratch layout provably agree even if the
+    /// forced-worker state is mutated concurrently). Consumed by that
+    /// run; sequential runs discard it. The plan must have been
+    /// computed for the run's node count.
+    pub fn pin_node_chunk_plan(&mut self, plan: rayon::ChunkPlan) {
+        self.pinned_node_plan = Some(plan);
     }
 
     /// Reuse counters of the per-run slot (program) array — how often a
@@ -687,6 +705,39 @@ fn run_rounds_seq_inbox<P: Program>(
     Ok((round, active))
 }
 
+/// Inline-vs-spawn threshold for the parallel executor's per-node step
+/// fold. A node step (gather + program logic + wire accounting) is
+/// orders of magnitude heavier than the trivial loop bodies the rayon
+/// shim's default `MIN_PAR_LEN` is tuned for, so spawning pays off far
+/// earlier than 4096 nodes.
+pub const NODE_STEP_MIN_PAR_LEN: usize = 1024;
+
+/// Elements per contiguous chunk in the parallel executor's node→thread
+/// partition for an `n`-node graph, under the current forced-worker
+/// state. Node `v` steps on the thread owning chunk `v / chunk_len`.
+///
+/// This is the contract external chunk-local state keys off: the SoA
+/// node-state arena allocates one prune/scan scratch per chunk of this
+/// exact plan, so two nodes share scratch only when they provably step
+/// on the same thread. Because the plan is a snapshot of *mutable*
+/// state (forced workers can change between calls), callers that size
+/// chunk-keyed state off it must capture it **once** and hand that
+/// same snapshot to [`EngineWorkspace::pin_node_chunk_plan`]; the
+/// round loop then executes every round on the pinned partition
+/// verbatim (the shim's `with_chunk_plan`) instead of re-planning per
+/// round, so the partition and the state provably agree for the whole
+/// run.
+pub fn node_step_plan(n: usize) -> rayon::ChunkPlan {
+    rayon::chunk_plan_with_min_len(n, NODE_STEP_MIN_PAR_LEN)
+}
+
+/// Elements per contiguous chunk of [`node_step_plan`]`(n)` — the
+/// node→thread partition under the *current* forced-worker state.
+/// Node `v` steps on the thread owning chunk `v / chunk_len`.
+pub fn node_chunk_len(n: usize) -> usize {
+    node_step_plan(n).chunk_len
+}
+
 /// The parallel executor's round loop: the double-buffered lane arenas.
 /// Invariant at the top of every round: `next` is entirely empty/zeroed,
 /// `cur` holds exactly the undelivered traffic of the previous round.
@@ -703,8 +754,23 @@ fn run_rounds_par_lanes<P: Program>(
     cur: &mut Arena<P::Msg>,
     next: &mut Arena<P::Msg>,
     loads: &LoadTable,
+    pinned_plan: Option<rayon::ChunkPlan>,
 ) -> Result<(u32, usize), EngineError> {
     let WireFlags { check_faults, limit, account, heavy } = wf;
+    // One node→thread partition for the whole run, pinned on every
+    // round's fold. When the caller prepared chunk-keyed external state
+    // (the SoA arena's chunk-shared scratch), it hands us the exact
+    // snapshot that state was sized against via
+    // [`EngineWorkspace::pin_node_chunk_plan`]; otherwise we capture
+    // the plan fresh here. Either way the partition cannot drift
+    // mid-run even if `force_workers_for_tests` / `CK_FORCED_WORKERS`
+    // state changes while rounds execute.
+    let plan = pinned_plan.unwrap_or_else(|| node_step_plan(slots.len()));
+    assert_eq!(
+        plan.len,
+        slots.len(),
+        "pinned node chunk plan was computed for a different node count"
+    );
     let mut round = 0u32;
     while round < config.max_rounds {
         if active == 0 {
@@ -732,6 +798,7 @@ fn run_rounds_par_lanes<P: Program>(
             let rr_ref = &rr;
             slots
                 .par_iter_mut()
+                .with_chunk_plan(plan)
                 .enumerate()
                 .fold(RoundAcc::default, |mut acc, (v, slot)| {
                     round_step(v, slot, rr_ref, &mut acc);
@@ -850,6 +917,10 @@ where
     // results) and records the degradation in the report's net block;
     // serializable protocol layers dispatch real distribution above
     // this function (see `crate::net`).
+    // Consume any pinned node→thread partition unconditionally: a pin
+    // is armed for exactly one run, and must not leak into a later run
+    // (or a sequential one) with a different node count.
+    let pinned_plan = ws.pinned_node_plan.take();
     let rounds_result = if config.executor != Executor::Parallel {
         ws.inbox_cur.reset(n);
         ws.inbox_next.reset(n);
@@ -879,6 +950,7 @@ where
             &mut ws.lane_cur,
             &mut ws.lane_next,
             &ws.loads,
+            pinned_plan,
         )
     };
     let (round, active) = match rounds_result {

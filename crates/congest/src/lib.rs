@@ -73,7 +73,7 @@ pub mod session;
 pub mod topology;
 pub mod trace;
 
-pub use batch::{effective_shards, run_sharded};
+pub use batch::{effective_shards, run_sharded, run_sharded_with_min_items};
 pub use engine::{
     BandwidthPolicy, EngineConfig, EngineError, EngineWorkspace, Executor, RunOutcome, SlotStats,
 };

@@ -65,6 +65,7 @@ pub mod scan;
 pub mod seq;
 pub mod session;
 pub mod single;
+pub mod soa;
 pub mod tester;
 
 pub use batch::{BatchError, BatchFailure, BatchJob, BatchOptions};
@@ -86,10 +87,11 @@ pub use scan::{
 pub use seq::{IdSeq, MAX_K, MAX_SEQ_LEN};
 pub use session::{TesterSession, TesterSessionBuilder};
 pub use single::{detect_ck_through_edge, DetectSingle, SingleRun, SingleVerdict};
+pub use soa::SoaArena;
 #[allow(deprecated)]
 // ck-lint: allow(legacy-entry, reason = "the one sanctioned re-export keeping deprecated names importable for out-of-tree callers mid-migration")
 pub use tester::{run_tester, run_tester_reusing};
 pub use tester::{
-    test_ck_freeness, CkTester, ConfigError, NodeScratch, NodeVerdict, TesterConfig, TesterRun,
-    TesterScratch,
+    test_ck_freeness, CkTester, CkTesterCore, ConfigError, NodeLayout, NodeScratch, NodeVerdict,
+    TesterConfig, TesterRun, TesterScratch,
 };

@@ -23,7 +23,7 @@ use crate::msg::CkMsg;
 use crate::prune::PrunerKind;
 use crate::scan::ScanBackend;
 use crate::tester::{
-    tester_exec, tester_exec_into, ConfigError, TesterConfig, TesterRun, TesterScratch,
+    tester_exec, tester_exec_into, ConfigError, NodeLayout, TesterConfig, TesterRun, TesterScratch,
 };
 use ck_congest::engine::{EngineConfig, EngineError, EngineWorkspace, Executor, SlotStats};
 use ck_congest::graph::Graph;
@@ -70,6 +70,14 @@ impl TesterSessionBuilder {
     /// first rejection).
     pub fn early_abort(mut self, early_abort: bool) -> Self {
         self.cfg.early_abort = early_abort;
+        self
+    }
+
+    /// Node-state memory layout (identical outputs across layouts;
+    /// [`NodeLayout::Soa`] is the default fast path, `Boxed` the
+    /// reference layout).
+    pub fn layout(mut self, layout: NodeLayout) -> Self {
+        self.cfg.layout = layout;
         self
     }
 
@@ -299,6 +307,7 @@ mod tests {
             .repetitions(4)
             .pruner(PrunerKind::Literal)
             .scan(ScanBackend::Scalar)
+            .layout(NodeLayout::Boxed)
             .early_abort(true)
             .assume_loss(0.1)
             .verify_witnesses(true)
@@ -309,6 +318,7 @@ mod tests {
         assert_eq!((cfg.k, cfg.seed, cfg.repetitions), (7, 9, Some(4)));
         assert_eq!(cfg.pruner, PrunerKind::Literal);
         assert_eq!(cfg.scan, ScanBackend::Scalar);
+        assert_eq!(cfg.layout, NodeLayout::Boxed);
         assert!(cfg.early_abort);
         assert_eq!(cfg.assumed_loss, Some(0.1));
         assert!(cfg.verify_witnesses);

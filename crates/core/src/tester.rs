@@ -20,9 +20,10 @@
 use crate::decide::RejectWitness;
 use crate::msg::{CkMsg, EdgeTag, SeqPool};
 use crate::prune::{build_send_set_scanned, PrunerKind, SendSetScratch};
-use crate::rank::{draw_rank, rank_rng, repetitions_for, rounds_per_repetition, total_rounds};
+use crate::rank::{draw_rank, repetitions_for, rounds_per_repetition, total_rounds, RankStream};
 use crate::scan::{decide_reject_scanned, ScanBackend, ScanScratch};
 use crate::seq::{IdSeq, MAX_K};
+use crate::soa::{BundleLoc, SoaArena, SoaView, TAG_FILL};
 use ck_congest::engine::{EngineConfig, EngineError, RunOutcome};
 use ck_congest::graph::{Graph, NodeId};
 use ck_congest::node::{Inbox, NodeInit, Outbox, Program, Status};
@@ -107,6 +108,22 @@ pub struct TesterConfig {
     /// are genuine by Lemma 1); under frame corruption it restores
     /// 1-sidedness: garbage payloads can no longer fabricate a reject.
     pub verify_witnesses: bool,
+    /// Per-node state layout of the in-process executors (identical
+    /// outputs by construction; `tests/soa_parity.rs` pins it down).
+    pub layout: NodeLayout,
+}
+
+/// How the in-process executors lay out per-node tester state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NodeLayout {
+    /// Every node owns its ~8 heap buffers ([`NodeScratch`]), recycled
+    /// through the scratch pool — the pre-SoA reference layout.
+    Boxed,
+    /// All node state lives in one [`crate::soa::SoaArena`] owned by the
+    /// [`TesterScratch`]; programs are index-based views over a few
+    /// large buffers (see the `soa` module docs for the layout).
+    #[default]
+    Soa,
 }
 
 impl TesterConfig {
@@ -122,6 +139,7 @@ impl TesterConfig {
             early_abort: false,
             assumed_loss: None,
             verify_witnesses: false,
+            layout: NodeLayout::default(),
         }
     }
 
@@ -190,35 +208,40 @@ pub struct NodeVerdict {
     pub pool_outstanding: u64,
 }
 
-/// A Phase-2 payload location captured during one `absorb` pass. Dead
-/// outside that call — the scan buffer is cleared before every use, so
-/// a stale pointer is never dereferenced.
-struct BundleLoc(*const crate::msg::SeqBundle);
-
-/// The recyclable buffers of one [`CkTester`] node: everything that
-/// warms up during a run and is worth carrying into the next one.
-/// [`CkTester::with_scratch`] adopts a scratch (contents cleared,
-/// capacities kept) and [`CkTester::into_scratch`] releases it after
-/// the run — the batch runner's per-shard reuse cycle.
+/// The recyclable buffers of one boxed-layout [`CkTester`] node:
+/// everything that warms up during a run and is worth carrying into the
+/// next one. [`CkTester::with_scratch`] adopts a scratch (contents
+/// cleared, capacities kept) and [`CkTester::into_scratch`] releases it
+/// after the run — the batch runner's per-shard reuse cycle.
 #[derive(Default)]
 pub struct NodeScratch {
-    port_rank: Vec<Option<u64>>,
+    /// Phase-1 rank per port (`0` = unknown; ranks are ≥ 1).
+    port_rank: Vec<u64>,
     own_sent: Vec<IdSeq>,
     recv: Vec<IdSeq>,
-    tag_scan: Vec<(EdgeTag, BundleLoc)>,
+    /// Absorb's one-pass tag/payload-location lanes, sized to the
+    /// degree (at most one Phase-2 message per port per round). The raw
+    /// pointers are produced and consumed inside one absorb pass —
+    /// never stored across rounds, only the capacity is.
+    tag_tags: Vec<EdgeTag>,
+    tag_locs: Vec<BundleLoc>,
     send_buf: Vec<IdSeq>,
     prune: SendSetScratch,
     scan: ScanScratch,
     pool: SeqPool,
 }
 
-/// A shard-local pool of [`NodeScratch`]es, recycled across the jobs of
-/// a batch: graph sizes vary between jobs, so the pool simply hands out
-/// whatever it has and grows on demand — after the largest job every
-/// `take` is served warm.
+/// A shard-local pool of [`NodeScratch`]es plus the [`SoaArena`] of the
+/// SoA layout, recycled across the jobs of a batch: graph sizes vary
+/// between jobs, so the pool simply hands out whatever it has and grows
+/// on demand — after the largest job every `take` (and every arena
+/// `prepare`) is served warm.
 #[derive(Default)]
 pub struct TesterScratch {
     nodes: Vec<NodeScratch>,
+    /// The SoA layout's node-state arena (empty until the first
+    /// SoA-layout run through this scratch).
+    soa: SoaArena,
 }
 
 impl TesterScratch {
@@ -243,17 +266,82 @@ impl TesterScratch {
     }
 }
 
-// SAFETY: the pointer is only formed and dereferenced inside a single
-// `absorb` call on one thread; whenever the program crosses threads
-// (between rounds) no live pointer exists.
-unsafe impl Send for BundleLoc {}
+/// Exclusive borrows of every buffer one tester step touches — the
+/// layout-neutral view [`TesterBufs`] implementations hand to the
+/// shared step logic. Lane buffers (`ports`, `tags`, `locs`) are
+/// degree-sized slices; the sequence sets stay growable `Vec`s because
+/// Lemma 3's send-set bound is astronomically large near `MAX_K`, which
+/// rules out statically sized slabs.
+pub(crate) struct BufsRef<'a> {
+    /// Phase-1 rank per port (`0` = unknown).
+    pub(crate) ports: &'a mut [u64],
+    /// Absorb-pass tag lane (capacity = degree).
+    pub(crate) tags: &'a mut [EdgeTag],
+    /// Absorb-pass payload-location lane.
+    pub(crate) locs: &'a mut [BundleLoc],
+    /// Deduplicated sequences of the served edge (absorb output).
+    pub(crate) recv: &'a mut Vec<IdSeq>,
+    /// Last sent sequences, kept for the decision round.
+    pub(crate) own_sent: &'a mut Vec<IdSeq>,
+    /// The send set under construction.
+    pub(crate) send_buf: &'a mut Vec<IdSeq>,
+    /// Recycling pool for outgoing bundle backings.
+    pub(crate) pool: &'a mut SeqPool,
+    /// Pruner workspace (chunk-shared under the SoA layout).
+    pub(crate) prune: &'a mut SendSetScratch,
+    /// Collision-scan workspace (chunk-shared under the SoA layout).
+    pub(crate) scan: &'a mut ScanScratch,
+}
 
-/// One node of the full tester.
+/// A per-node buffer provider: the seam between the shared tester logic
+/// ([`CkTesterCore`]) and the two layouts — owned boxes
+/// ([`NodeScratch`]) or arena views ([`SoaView`]). Both hand out the
+/// same [`BufsRef`] shape, so the step code is layout-oblivious and the
+/// two layouts are bit-identical by construction.
+pub(crate) trait TesterBufs: Send {
+    /// Exclusive borrows of the node's buffers for one step.
+    fn bufs(&mut self) -> BufsRef<'_>;
+    /// The node's payload-pool `outstanding` counter (verdict field).
+    fn pool_outstanding(&self) -> u64;
+}
+
+impl TesterBufs for NodeScratch {
+    fn bufs(&mut self) -> BufsRef<'_> {
+        BufsRef {
+            ports: &mut self.port_rank,
+            tags: &mut self.tag_tags,
+            locs: &mut self.tag_locs,
+            recv: &mut self.recv,
+            own_sent: &mut self.own_sent,
+            send_buf: &mut self.send_buf,
+            pool: &mut self.pool,
+            prune: &mut self.prune,
+            scan: &mut self.scan,
+        }
+    }
+
+    fn pool_outstanding(&self) -> u64 {
+        self.pool.outstanding()
+    }
+}
+
+impl TesterBufs for SoaView {
+    fn bufs(&mut self) -> BufsRef<'_> {
+        SoaView::bufs(self)
+    }
+
+    fn pool_outstanding(&self) -> u64 {
+        SoaView::pool_outstanding(self)
+    }
+}
+
+/// One node of the full tester, generic over the buffer layout `B`.
 ///
 /// Borrows the graph's neighbor-identity row (`'g`) instead of copying
 /// it: instantiating `n` testers performs no per-node allocation for
-/// the adjacency view.
-pub struct CkTester<'g> {
+/// the adjacency view. All protocol logic lives here once; the layouts
+/// differ only in where `TesterBufs::bufs` points.
+pub struct CkTesterCore<'g, B> {
     k: usize,
     half_k: u32,
     rpr: u32,
@@ -261,7 +349,14 @@ pub struct CkTester<'g> {
     myid: NodeId,
     neighbor_ids: &'g [NodeId],
     m: usize,
-    seed: u64,
+    /// Cached Phase-1 rank stream (seed/label/node prefix hoisted out
+    /// of the per-repetition loop).
+    ranks: RankStream,
+    /// Whether this node owns any incident edge (is the smaller-ID
+    /// endpoint somewhere). Constant per run; non-owners skip Phase-1
+    /// RNG construction entirely, which is unobservable since an
+    /// ownerless stream would never be drawn from.
+    owns_edges: bool,
     pruner: PrunerKind,
     /// Resolved collision-scan backend (never `Simd` without the
     /// intrinsics compiled).
@@ -272,53 +367,25 @@ pub struct CkTester<'g> {
     /// Early-abort: the flag has been forwarded once already.
     abort_forwarded: bool,
     // Per-repetition state.
-    port_rank: Vec<Option<u64>>,
     cur: Option<EdgeTag>,
-    own_sent: Vec<IdSeq>,
     own_sent_tag: Option<EdgeTag>,
     verdict: NodeVerdict,
-    // Recycled buffers: zero steady-state allocation per round.
-    /// Deduplicated sequences of the served edge (absorb output).
-    recv: Vec<IdSeq>,
-    /// Absorb's one-pass scan: the tag and payload location of each
-    /// Phase-2 message, so the shared broadcast slots (a random read
-    /// per sender) are dereferenced exactly once. The raw pointers are
-    /// produced and consumed inside one `absorb` call — never stored
-    /// across rounds, only the buffer's capacity is.
-    tag_scan: Vec<(EdgeTag, BundleLoc)>,
-    /// The send set under construction (build_send_set_scanned output).
-    send_buf: Vec<IdSeq>,
-    /// Pruner workspace.
-    scratch: SendSetScratch,
-    /// Collision-scan workspace: the packed sequence block plus the
-    /// kernel rows of the scanned prune/decide paths.
-    scan: ScanScratch,
-    /// Recycling pool for outgoing bundle backings; refilled by the
-    /// payloads the engine's broadcast slot evicts.
-    pool: SeqPool,
+    bufs: B,
 }
 
-impl<'g> CkTester<'g> {
-    /// Builds the program for one node.
-    pub fn new(cfg: &TesterConfig, init: &NodeInit<'g>) -> Self {
-        CkTester::with_scratch(cfg, init, NodeScratch::default())
-    }
+/// The boxed-layout tester: each node owns its buffers. The historical
+/// type; [`NodeLayout::Soa`] runs the same core over arena views.
+pub type CkTester<'g> = CkTesterCore<'g, NodeScratch>;
 
-    /// As [`CkTester::new`], adopting recycled buffers: `scratch` is
-    /// cleared (capacities kept) and its payload-pool accounting is
-    /// reset, so the resulting program is observationally identical to
-    /// a fresh one — only warmer.
-    pub fn with_scratch(cfg: &TesterConfig, init: &NodeInit<'g>, mut scratch: NodeScratch) -> Self {
+// The layout seam is deliberately crate-private (its `BufsRef` hands
+// out views into arena internals); `B` is only ever instantiated
+// in-crate, the generic core is merely nameable outside.
+#[allow(private_bounds)]
+impl<'g, B: TesterBufs> CkTesterCore<'g, B> {
+    /// Shared constructor over an already-sized buffer provider.
+    fn init(cfg: &TesterConfig, init: &NodeInit<'g>, bufs: B) -> Self {
         assert!((3..=MAX_K).contains(&cfg.k), "k = {} outside supported range", cfg.k);
-        let deg = init.degree();
-        scratch.port_rank.clear();
-        scratch.port_rank.resize(deg, None);
-        scratch.own_sent.clear();
-        scratch.recv.clear();
-        scratch.tag_scan.clear();
-        scratch.send_buf.clear();
-        scratch.pool.reset_accounting();
-        CkTester {
+        CkTesterCore {
             k: cfg.k,
             half_k: (cfg.k / 2) as u32,
             rpr: rounds_per_repetition(cfg.k),
@@ -326,94 +393,121 @@ impl<'g> CkTester<'g> {
             myid: init.id,
             neighbor_ids: init.neighbor_ids,
             m: init.m,
-            seed: cfg.seed,
+            ranks: RankStream::new(cfg.seed, init.id),
+            owns_edges: init.neighbor_ids.iter().any(|&nb| init.id < nb),
             pruner: cfg.pruner,
             scan_backend: cfg.scan.resolve(),
             early_abort: cfg.early_abort,
             aborting: false,
             abort_forwarded: false,
-            port_rank: scratch.port_rank,
             cur: None,
-            own_sent: scratch.own_sent,
             own_sent_tag: None,
             verdict: NodeVerdict::default(),
-            recv: scratch.recv,
-            tag_scan: scratch.tag_scan,
-            send_buf: scratch.send_buf,
-            scratch: scratch.prune,
-            scan: scratch.scan,
-            pool: scratch.pool,
+            bufs,
         }
+    }
+}
+
+impl<'g> CkTester<'g> {
+    /// Builds the boxed-layout program for one node.
+    pub fn new(cfg: &TesterConfig, init: &NodeInit<'g>) -> Self {
+        CkTester::with_scratch(cfg, init, NodeScratch::default())
+    }
+
+    /// As [`CkTester::new`], adopting recycled buffers: `scratch` is
+    /// cleared (capacities kept), its lanes sized to the node's degree,
+    /// and its payload-pool accounting reset, so the resulting program
+    /// is observationally identical to a fresh one — only warmer.
+    pub fn with_scratch(cfg: &TesterConfig, init: &NodeInit<'g>, mut scratch: NodeScratch) -> Self {
+        let deg = init.degree();
+        scratch.port_rank.clear();
+        scratch.port_rank.resize(deg, 0);
+        scratch.tag_tags.clear();
+        scratch.tag_tags.resize(deg, TAG_FILL);
+        scratch.tag_locs.clear();
+        scratch.tag_locs.resize(deg, BundleLoc::NULL);
+        scratch.own_sent.clear();
+        scratch.recv.clear();
+        scratch.send_buf.clear();
+        scratch.pool.reset_accounting();
+        CkTesterCore::init(cfg, init, scratch)
     }
 
     /// Releases the node's recyclable buffers after a run (the verdict
     /// must have been collected first; the engine's reclaim hook runs
     /// after verdict collection by contract).
     pub fn into_scratch(self) -> NodeScratch {
-        NodeScratch {
-            port_rank: self.port_rank,
-            own_sent: self.own_sent,
-            recv: self.recv,
-            tag_scan: self.tag_scan,
-            send_buf: self.send_buf,
-            prune: self.scratch,
-            scan: self.scan,
-            pool: self.pool,
-        }
-    }
-
-    /// Lowers `cur` to the smallest tag among the incoming Phase-2
-    /// messages (the paper's switch rule), then fills `self.recv` with
-    /// the deduplicated sequences of the edge now being served. The
-    /// buffer is recycled across rounds; payloads are read straight out
-    /// of the shared broadcast slots — no clone, no allocation.
-    fn absorb(&mut self, inbox: Inbox<'_, CkMsg>) {
-        self.recv.clear();
-        self.tag_scan.clear();
-        for inc in inbox.iter() {
-            if let CkMsg::Seqs { tag, seqs } = inc.msg {
-                if self.cur.is_none_or(|c| *tag < c) {
-                    self.cur = Some(*tag);
-                }
-                self.tag_scan.push((*tag, BundleLoc(seqs as *const _)));
-            }
-        }
-        let Some(cur) = self.cur else { return };
-        for &(tag, BundleLoc(seqs)) in &self.tag_scan {
-            if tag == cur {
-                // SAFETY: collected from this call's inbox a few lines
-                // up; the payloads live until the step returns.
-                self.recv.extend_from_slice(unsafe { (*seqs).as_slice() });
-            }
-        }
-        if self.recv.len() > 1 {
-            self.recv.sort_unstable();
-            self.recv.dedup();
-        }
-    }
-
-    /// Recycles the payload a broadcast evicted from this node's slot
-    /// (the bundle shipped two rounds earlier, which no receiver can
-    /// still be reading).
-    fn recycle(&mut self, evicted: Option<CkMsg>) {
-        if let Some(CkMsg::Seqs { seqs, .. }) = evicted {
-            self.pool.put(seqs);
-        }
-    }
-
-    fn reset_repetition(&mut self) {
-        self.port_rank.iter_mut().for_each(|r| *r = None);
-        self.cur = None;
-        self.own_sent.clear();
-        self.own_sent_tag = None;
+        self.bufs
     }
 }
 
-impl Program for CkTester<'_> {
+impl<'g> CkTesterCore<'g, SoaView> {
+    /// The SoA-layout program for one node: all state lives in the
+    /// prepared arena behind `view`; the program itself is a few scalars
+    /// plus the ~40-byte view.
+    pub(crate) fn over_soa(cfg: &TesterConfig, init: &NodeInit<'g>, view: SoaView) -> Self {
+        CkTesterCore::init(cfg, init, view)
+    }
+}
+
+/// Lowers `cur` to the smallest tag among the incoming Phase-2 messages
+/// (the paper's switch rule), then fills `recv` with the deduplicated
+/// sequences of the edge now being served. One pass records each
+/// message's tag and payload location in the degree-sized lanes (at
+/// most one Phase-2 message arrives per port under CONGEST), so the
+/// shared broadcast slots (a random read per sender) are dereferenced
+/// exactly once; payloads are read straight out of the slots — no
+/// clone, no allocation.
+fn absorb(
+    cur: &mut Option<EdgeTag>,
+    tags: &mut [EdgeTag],
+    locs: &mut [BundleLoc],
+    recv: &mut Vec<IdSeq>,
+    inbox: &Inbox<'_, CkMsg>,
+) {
+    recv.clear();
+    let mut len = 0usize;
+    for inc in inbox.iter() {
+        if let CkMsg::Seqs { tag, seqs } = inc.msg {
+            if cur.is_none_or(|c| *tag < c) {
+                *cur = Some(*tag);
+            }
+            tags[len] = *tag;
+            locs[len] = BundleLoc(seqs as *const _);
+            len += 1;
+        }
+    }
+    let Some(cur) = *cur else { return };
+    for i in 0..len {
+        if tags[i] == cur {
+            // SAFETY: collected from this call's inbox a few lines up;
+            // the payloads live until the step returns.
+            recv.extend_from_slice(unsafe { (*locs[i].0).as_slice() });
+        }
+    }
+    if recv.len() > 1 {
+        recv.sort_unstable();
+        recv.dedup();
+    }
+}
+
+/// Recycles the payload a broadcast evicted from this node's slot (the
+/// bundle shipped two rounds earlier, which no receiver can still be
+/// reading).
+fn recycle(pool: &mut SeqPool, evicted: Option<CkMsg>) {
+    if let Some(CkMsg::Seqs { seqs, .. }) = evicted {
+        pool.put(seqs);
+    }
+}
+
+impl<B: TesterBufs> Program for CkTesterCore<'_, B> {
     type Msg = CkMsg;
     type Verdict = NodeVerdict;
 
     fn step(&mut self, round: u32, inbox: Inbox<'_, CkMsg>, out: &mut Outbox<CkMsg>) -> Status {
+        let BufsRef { ports, tags, locs, recv, own_sent, send_buf, pool, prune, scan } =
+            self.bufs.bufs();
+
         // Early-abort extension: adopt an incoming flag, forward it once,
         // halt the round after (the normal protocol below never runs
         // again on this node).
@@ -427,7 +521,7 @@ impl Program for CkTester<'_> {
                 }
                 self.abort_forwarded = true;
                 let evicted = out.broadcast(CkMsg::Abort);
-                self.recycle(evicted);
+                recycle(pool, evicted);
                 return Status::Running;
             }
         }
@@ -436,14 +530,21 @@ impl Program for CkTester<'_> {
         let local = round % self.rpr;
 
         if local == 0 {
-            // Phase 1: owners draw and ship ranks.
-            self.reset_repetition();
-            let mut rng = rank_rng(self.seed, self.myid, rep);
-            for p in 0..self.neighbor_ids.len() {
-                if self.myid < self.neighbor_ids[p] {
-                    let r = draw_rank(&mut rng, self.m);
-                    self.port_rank[p] = Some(r);
-                    out.send(p as u32, CkMsg::Rank(r));
+            // Phase 1: reset the repetition, then owners draw and ship
+            // ranks. Non-owners skip RNG construction: their stream is
+            // never drawn from, so the skip is unobservable.
+            ports.fill(0);
+            self.cur = None;
+            own_sent.clear();
+            self.own_sent_tag = None;
+            if self.owns_edges {
+                let mut rng = self.ranks.rng(rep);
+                for (p, &nb) in self.neighbor_ids.iter().enumerate() {
+                    if self.myid < nb {
+                        let r = draw_rank(&mut rng, self.m);
+                        ports[p] = r;
+                        out.send(p as u32, CkMsg::Rank(r));
+                    }
                 }
             }
             return Status::Running;
@@ -454,16 +555,19 @@ impl Program for CkTester<'_> {
             // minimum-key incident edge, broadcast the seed (paper rd. 1).
             for inc in inbox.iter() {
                 if let CkMsg::Rank(r) = *inc.msg {
-                    self.port_rank[inc.port as usize] = Some(r);
+                    ports[inc.port as usize] = r;
                 }
             }
             let mut best: Option<EdgeTag> = None;
             for (p, &nb) in self.neighbor_ids.iter().enumerate() {
                 // On a reliable network every edge has exactly one owner
                 // and the rank is always known; under fault injection the
-                // rank message may be lost, in which case this node cannot
-                // serve that edge this repetition.
-                let Some(rank) = self.port_rank[p] else { continue };
+                // rank message may be lost (rank 0 = unknown), in which
+                // case this node cannot serve that edge this repetition.
+                let rank = ports[p];
+                if rank == 0 {
+                    continue;
+                }
                 let tag = EdgeTag::new(rank, self.myid, nb);
                 if best.is_none_or(|b| tag < b) {
                     best = Some(tag);
@@ -474,14 +578,14 @@ impl Program for CkTester<'_> {
                 let seed = IdSeq::single(self.myid);
                 if self.half_k == 1 {
                     // k = 3: the seed round is the last send round.
-                    self.own_sent.clear();
-                    self.own_sent.push(seed);
+                    own_sent.clear();
+                    own_sent.push(seed);
                     self.own_sent_tag = Some(tag);
                 }
                 self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(1);
-                let bundle = self.pool.bundle_from(&[seed]);
+                let bundle = pool.bundle_from(&[seed]);
                 let evicted = out.broadcast(CkMsg::Seqs { tag, seqs: bundle });
-                self.recycle(evicted);
+                recycle(pool, evicted);
             }
             return Status::Running;
         }
@@ -489,50 +593,45 @@ impl Program for CkTester<'_> {
         if local <= self.half_k {
             // Paper round t = local: prioritized prune-and-forward,
             // entirely within recycled buffers.
-            self.absorb(inbox);
+            absorb(&mut self.cur, tags, locs, recv, &inbox);
             build_send_set_scanned(
                 self.pruner,
                 self.scan_backend,
-                &self.recv,
+                recv,
                 self.myid,
                 self.k,
                 local as usize,
-                &mut self.scratch,
-                &mut self.scan,
-                &mut self.send_buf,
+                prune,
+                scan,
+                send_buf,
             );
-            if !self.send_buf.is_empty() {
-                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(self.send_buf.len());
-                self.own_sent.clear();
-                self.own_sent.extend_from_slice(&self.send_buf);
+            if !send_buf.is_empty() {
+                self.verdict.max_sent_seqs = self.verdict.max_sent_seqs.max(send_buf.len());
+                own_sent.clear();
+                own_sent.extend_from_slice(send_buf);
                 self.own_sent_tag = self.cur;
                 // ck-lint: allow(no-panic, reason = "send_buf is only filled while a served repetition is in flight, which sets cur")
                 let tag = self.cur.expect("cur set when R nonempty");
-                let bundle = self.pool.bundle_from(&self.send_buf);
+                let bundle = pool.bundle_from(send_buf);
                 let evicted = out.broadcast(CkMsg::Seqs { tag, seqs: bundle });
-                self.recycle(evicted);
+                recycle(pool, evicted);
             } else if local == self.half_k {
                 // Nothing contributed at the final send round: stale own
                 // sequences must not feed the even-k decision.
-                self.own_sent.clear();
+                own_sent.clear();
                 self.own_sent_tag = None;
             }
             return Status::Running;
         }
 
         // local == half_k + 1: decision round (Instructions 31–42).
-        self.absorb(inbox);
+        absorb(&mut self.cur, tags, locs, recv, &inbox);
         let own: &[IdSeq] =
-            if self.own_sent_tag == self.cur && self.cur.is_some() { &self.own_sent } else { &[] };
+            if self.own_sent_tag == self.cur && self.cur.is_some() { own_sent } else { &[] };
         if !self.verdict.rejected {
-            if let Some(w) = decide_reject_scanned(
-                self.scan_backend,
-                self.k,
-                self.myid,
-                own,
-                &self.recv,
-                &mut self.scan,
-            ) {
+            if let Some(w) =
+                decide_reject_scanned(self.scan_backend, self.k, self.myid, own, recv, scan)
+            {
                 self.verdict.rejected = true;
                 self.verdict.first_rejection = Some(Box::new(Rejection {
                     repetition: rep,
@@ -546,7 +645,7 @@ impl Program for CkTester<'_> {
                     self.aborting = true;
                     self.abort_forwarded = true;
                     let evicted = out.broadcast(CkMsg::Abort);
-                    self.recycle(evicted);
+                    recycle(pool, evicted);
                     return Status::Running;
                 }
             }
@@ -560,7 +659,7 @@ impl Program for CkTester<'_> {
 
     fn verdict(&self) -> NodeVerdict {
         let mut v = self.verdict.clone();
-        v.pool_outstanding = self.pool.outstanding();
+        v.pool_outstanding = self.bufs.pool_outstanding();
         v
     }
 
@@ -569,7 +668,7 @@ impl Program for CkTester<'_> {
     /// the pool they came from, so a scratch-recycled rerun reaches a
     /// steady state where `SeqPool::take` is always served warm.
     fn reclaim_msg(&mut self, msg: CkMsg) {
-        self.recycle(Some(msg));
+        recycle(self.bufs.bufs().pool, Some(msg));
     }
 }
 
@@ -691,24 +790,59 @@ fn tester_exec_inproc(
     run: &mut TesterRun,
 ) -> Result<(), EngineError> {
     let params = ck_congest::message::WireParams::for_graph(g);
-    // The factory and the reclaim hook both feed on the scratch pool;
-    // they never run concurrently (setup vs teardown), so a RefCell
-    // splits the borrow cleanly.
-    let pool = std::cell::RefCell::new(std::mem::take(scratch));
-    let result = ws.run_on_into(
-        g,
-        ecfg,
-        &params,
-        |init| CkTester::with_scratch(cfg, &init, pool.borrow_mut().take()),
-        |prog: CkTester<'_>| pool.borrow_mut().put(prog.into_scratch()),
-        &mut run.outcome,
-    );
-    // Restore the pool before propagating any failure: a shard whose
-    // job trips bandwidth enforcement keeps its warm buffers for the
-    // remaining jobs (only the failed run's node scratches are gone —
-    // the engine drops its programs without the reclaim hook on error).
-    *scratch = pool.into_inner();
-    result?;
+    match cfg.layout {
+        NodeLayout::Boxed => {
+            // The factory and the reclaim hook both feed on the scratch
+            // pool; they never run concurrently (setup vs teardown), so
+            // a RefCell splits the borrow cleanly.
+            let pool = std::cell::RefCell::new(std::mem::take(scratch));
+            let result = ws.run_on_into(
+                g,
+                ecfg,
+                &params,
+                |init| CkTester::with_scratch(cfg, &init, pool.borrow_mut().take()),
+                |prog: CkTester<'_>| pool.borrow_mut().put(prog.into_scratch()),
+                &mut run.outcome,
+            );
+            // Restore the pool before propagating any failure: a shard
+            // whose job trips bandwidth enforcement keeps its warm
+            // buffers for the remaining jobs (only the failed run's node
+            // scratches are gone — the engine drops its programs without
+            // the reclaim hook on error).
+            *scratch = pool.into_inner();
+            result?;
+        }
+        NodeLayout::Soa => {
+            // One node→thread plan snapshot shared between the arena's
+            // chunk-shared scratch and the run itself: sizing and
+            // pinning off the same capture closes the window where a
+            // concurrent forced-worker change could hand two threads
+            // aliased scratch (the partition the engine executes is, by
+            // construction, the one the scratch was laid out for).
+            let parallel = matches!(ecfg.executor, ck_congest::engine::Executor::Parallel);
+            if parallel {
+                let plan = ck_congest::engine::node_step_plan(g.n());
+                scratch.soa.prepare(g, plan.chunk_len);
+                ws.pin_node_chunk_plan(plan);
+            } else {
+                scratch.soa.prepare(g, g.n().max(1));
+            }
+            // The arena stays dormant behind these Copy base pointers
+            // for the whole run (`SoaView`'s invariants); nothing needs
+            // reclaiming — every buffer a view touched is already owned
+            // by the arena, including the pools `reclaim_msg` drains the
+            // parked broadcast payloads into.
+            let bases = scratch.soa.bases();
+            ws.run_on_into(
+                g,
+                ecfg,
+                &params,
+                |init| CkTesterCore::over_soa(cfg, &init, SoaView::new(bases, init.index as usize)),
+                |_prog: CkTesterCore<'_, SoaView>| {},
+                &mut run.outcome,
+            )?;
+        }
+    }
     finish_tester_run(g, cfg, reps, run);
     Ok(())
 }

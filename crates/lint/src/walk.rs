@@ -18,8 +18,10 @@ use std::path::{Path, PathBuf};
 const LIBRARY_CRATES: &[&str] = &["congest", "core", "graphgen", "lint"];
 
 /// File stems that are bit-identity-critical when under `src/`
-/// (see [`crate::rules::Rule::Determinism`]).
-const DETERMINISM_STEMS: &[&str] = &["engine", "fault", "dist", "msg", "scan"];
+/// (see [`crate::rules::Rule::Determinism`]). `soa` is the SoA
+/// node-state arena: its raw-pointer views back both executors, so any
+/// nondeterminism there breaks the seq≡par bit-identity contract.
+const DETERMINISM_STEMS: &[&str] = &["engine", "fault", "dist", "msg", "scan", "soa"];
 
 /// Classifies a workspace-relative path (with `/` separators) into the
 /// rule context the engine needs. Pure so the mapping itself is
@@ -125,10 +127,12 @@ mod tests {
         assert!(classify("crates/core/src/dist.rs").determinism_critical);
         assert!(classify("crates/core/src/msg.rs").determinism_critical);
         assert!(classify("crates/core/src/scan.rs").determinism_critical);
+        assert!(classify("crates/core/src/soa.rs").determinism_critical);
         assert!(!classify("crates/congest/src/session.rs").determinism_critical);
         assert!(!classify("crates/core/src/tester.rs").determinism_critical);
         // Test files named like critical modules are out of scope: the
         // rule is about library behavior, not test harness clocks.
         assert!(!classify("crates/congest/tests/engine.rs").determinism_critical);
+        assert!(!classify("tests/soa_parity.rs").determinism_critical);
     }
 }

@@ -22,7 +22,7 @@ use ck_congest::session::Session;
 use ck_core::msg::SeqPool;
 use ck_core::seq::IdSeq;
 use ck_core::session::TesterSession;
-use ck_core::tester::TesterRun;
+use ck_core::tester::{NodeLayout, TesterRun};
 use ck_graphgen::planted::matched_free_instance;
 use ck_lint::alloc_gate::{AllocGate, CountingAlloc};
 
@@ -87,26 +87,36 @@ fn warm_reruns_perform_zero_heap_operations() {
     // (b) Warm `TesterSession::test_into` rerun on the accept path: the
     // full Ck tester — rank draws, Phase-2 sequence traffic, pruning,
     // verdict collection — reruns without heap traffic once the
-    // session's workspace, scratch pool, and run buffer are warm.
+    // session's workspace, scratch pool, and run buffer are warm. Both
+    // node-state layouts carry the contract: the boxed per-node buffers
+    // and the SoA arena (whose `prepare` must clear-and-resize over
+    // kept capacity, never reallocate, on a same-shape rerun).
     let free = matched_free_instance(40, 5);
-    let mut tester = TesterSession::builder(5, 0.1)
-        .seed(7)
-        .repetitions(2)
-        .executor(Executor::Sequential)
-        .build()
-        .unwrap();
-    let mut run = TesterRun::default();
-    for _ in 0..2 {
-        tester.test_into(&free, &mut run).unwrap();
-        assert!(!run.reject, "matched free instance must be accepted");
+    for layout in [NodeLayout::Boxed, NodeLayout::Soa] {
+        let mut tester = TesterSession::builder(5, 0.1)
+            .seed(7)
+            .repetitions(2)
+            .layout(layout)
+            .executor(Executor::Sequential)
+            .build()
+            .unwrap();
+        let mut run = TesterRun::default();
+        for _ in 0..2 {
+            tester.test_into(&free, &mut run).unwrap();
+            assert!(!run.reject, "matched free instance must be accepted");
+        }
+        let gate = AllocGate::snapshot();
+        for _ in 0..3 {
+            tester.test_into(&free, &mut run).unwrap();
+        }
+        let d = gate.delta();
+        assert_eq!(
+            d.heap_ops(),
+            0,
+            "warm TesterSession::test_into rerun must not allocate ({layout:?}): {d:?}"
+        );
+        assert!(!run.reject);
     }
-    let gate = AllocGate::snapshot();
-    for _ in 0..3 {
-        tester.test_into(&free, &mut run).unwrap();
-    }
-    let d = gate.delta();
-    assert_eq!(d.heap_ops(), 0, "warm TesterSession::test_into rerun must not allocate: {d:?}");
-    assert!(!run.reject);
 
     // (c) `SeqPool` take/return cycle: once the free list holds a
     // buffer of sufficient capacity, every bundle_from/put cycle is
