@@ -4,11 +4,14 @@
 Two checks, run by the `bench-gate` CI job:
 
 1. The committed full record (`BENCH_engine.json`) must parse as bench
-   schema v5 — the SoA/threads revision — with the forced-worker thread
-   axis present, its sequential/parallel bit-identity flags set, and its
-   own recorded acceptance gates passing. The full record is regenerated
-   only on real bench runs; this check pins it against bitrot and
-   against committing a record that fails its own gates.
+   schema v8 — the ckserve probe-service revision — with the
+   forced-worker thread axis present, its sequential/parallel
+   bit-identity flags set, the serve block's closed-loop client rows
+   present (verdicts bit-identical to direct sessions, p50/p99 job
+   latency recorded per row), and its own recorded acceptance gates
+   passing. The full record is regenerated only on real bench runs;
+   this check pins it against bitrot and against committing a record
+   that fails its own gates.
 
 2. A fresh `bench_engine --smoke` run must keep every optimized-over-
    reference ratio above its family's floor. Both the numerator and the
@@ -25,7 +28,7 @@ Two checks, run by the `bench-gate` CI job:
    layout regression — while the real performance bars live in the full
    record's own acceptance gates, checked in (1).
 
-The committed smoke record is also read: it must parse as schema v5 and
+The committed smoke record is also read: it must parse as schema v8 and
 carry the same ratio families (pinning the smoke measurement surface
 against bitrot); fresh-vs-committed drift is printed as information,
 never gated.
@@ -74,8 +77,33 @@ def ungated_batch_cases(record):
     return {c["case"] for c in record["acceptance"]["batch_cases"] if not c["gated"]}
 
 
+def check_serve(record, who):
+    """The serve block invariants shared by the full and smoke records:
+    closed-loop rows at every client count, bit-identity declared,
+    job conservation (jobs_total == sum over rows), and ordered latency
+    quantiles. The serve rows are wall-clock measurements of a live
+    multi-threaded service, so no ratio floor applies — the binary's own
+    in-run asserts (verdict bit-identity, zero lost jobs, clean drain)
+    are the gate, and this check pins their recorded outcome."""
+    serve = record["serve"]
+    assert serve["bit_identical"] is True, f"{who}: serve rows not verdict-identical"
+    clients = [e["clients"] for e in serve["entries"]]
+    assert clients == [1, 2, 4], f"{who}: serve client axis rows missing: {clients}"
+    driven = sum(e["clients"] * e["jobs_per_client"] for e in serve["entries"])
+    assert serve["jobs_total"] == driven, f"{who}: serve jobs_total != jobs driven"
+    for e in serve["entries"]:
+        assert e["jobs_per_sec"] > 0, f"{who}: {e}"
+        assert e["p50_us"] <= e["p99_us"], f"{who}: serve quantiles inverted: {e}"
+    acc = record["acceptance"]
+    assert acc["serve_pass"] is True, f"{who}: serve rows fail their gate"
+    gated = [c for c in acc["serve_cases"] if c["gated"]]
+    assert gated, f"{who}: no gated serve cases"
+    for case in gated:
+        assert case["pass"] is True, f"{who}: {case}"
+
+
 def check_full(full):
-    assert full["schema"] == "ck-bench/engine/v5", full["schema"]
+    assert full["schema"] == "ck-bench/engine/v8", full["schema"]
     acc = full["acceptance"]
     assert acc["pass"] is True, "committed bench record fails its own acceptance gate"
     soa = full["soa"]
@@ -90,6 +118,7 @@ def check_full(full):
     assert gated, "no gated soa-over-boxed cases in committed record"
     for case in gated:
         assert case["soa_over_boxed"] >= floor, case
+    check_serve(full, "committed full record")
 
 
 def main():
@@ -99,12 +128,14 @@ def main():
 
     check_full(full)
 
-    assert fresh["schema"] == "ck-bench/engine/v5", fresh["schema"]
+    assert fresh["schema"] == "ck-bench/engine/v8", fresh["schema"]
     assert fresh["acceptance"]["pass"] is True, "fresh smoke failed its own structure gates"
+    check_serve(fresh, "fresh smoke")
     # The committed smoke record pins the measurement surface: same
     # schema, same ratio families. Its timings are from another box and
     # are never gated against.
-    assert baseline["schema"] == "ck-bench/engine/v5", baseline["schema"]
+    assert baseline["schema"] == "ck-bench/engine/v8", baseline["schema"]
+    check_serve(baseline, "committed smoke")
     base, now = ratios(baseline), ratios(fresh)
     missing = sorted(set(base) - set(now))
     assert not missing, f"fresh smoke lost ratio rows the committed record has: {missing}"
@@ -126,8 +157,8 @@ def main():
         sys.exit(1)
     print(
         f"bench-gate: {len(now)} same-run ratios above their family floors; "
-        "committed full record is schema v5 with the threads axis and passes "
-        "its gates"
+        "committed full record is schema v8 with the threads axis and the "
+        "serve block, and passes its gates"
     )
 
 

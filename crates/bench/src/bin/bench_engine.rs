@@ -1,6 +1,6 @@
-//! Emits `BENCH_engine.json` (schema v5: the id follows this
-//! workspace's revision series — v5 is the SoA/threads revision,
-//! superseding the v7-lineage records): rounds-per-second of the
+//! Emits `BENCH_engine.json` (schema v8: the id follows this
+//! workspace's revision series — v8 is the ckserve probe-service
+//! revision, superseding the v5 SoA/threads records): rounds-per-second of the
 //! arena engine vs the preserved pre-arena (legacy) engine, on the
 //! workloads the round loop is actually bottlenecked by:
 //!
@@ -961,6 +961,146 @@ fn net_sweep(smoke: bool, budget: &Budget) -> NetBlock {
     }
 }
 
+/// One closed-loop client row: `clients` threads each driving
+/// `jobs_per_client` jobs back-to-back through a live service.
+struct ServeRow {
+    clients: u32,
+    jobs_per_client: u32,
+    workers: u32,
+    secs_total: f64,
+    jobs_per_sec: f64,
+    /// Service-side submit-to-result latency quantiles for this row's
+    /// jobs (each row runs against a fresh service, so the histogram is
+    /// row-scoped).
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+/// The schema-v8 serve block: the long-running `ckserve` probe service
+/// (warm `TesterSession` pool, `ServeMsg` RPC over loopback TCP)
+/// driven by closed-loop clients, verdict bit-identity against direct
+/// `TesterSession` runs asserted before any timing.
+struct ServeBlock {
+    n: usize,
+    k: usize,
+    workers: u32,
+    jobs_total: u64,
+    rows: Vec<ServeRow>,
+}
+
+fn serve_sweep(smoke: bool) -> ServeBlock {
+    use ck_serve::{BoundServer, JobRequest, ServeClient, ServeOptions};
+    use std::sync::Arc;
+
+    let (n, k, jobs_per_client) = if smoke { (40usize, 4usize, 4u32) } else { (240, 4, 16) };
+    let workers = 2u32;
+    // The job mix: one warm graph shape, heterogeneous parameters — ε,
+    // seed, and repetition count vary job to job, exactly the
+    // multi-tenant pattern the session pool's reconfigure path exists
+    // for.
+    let inst = eps_far_instance(n, k, 0.15, 7);
+    let graph = Arc::new(inst.graph);
+    let job_for = |client: u32, j: u32| -> JobRequest {
+        let i = u64::from(client) * 97 + u64::from(j);
+        JobRequest {
+            job_id: u64::from(client) * 1_000 + u64::from(j),
+            graph: (*graph).clone(),
+            k: k as u32,
+            eps: if i % 2 == 0 { 0.15 } else { 0.2 },
+            seed: 11 + i,
+            repetitions: Some(TESTER_REPS),
+        }
+    };
+
+    // Bit-identity before timing: every distinct job in the sweep is
+    // run once through a live service and once directly on a fresh
+    // `TesterSession` under the service's own engine template; verdict
+    // bit + per-node verdicts must agree exactly.
+    let max_clients = 4u32;
+    let opts = || ServeOptions { workers: workers as usize, poll_ms: 5, ..ServeOptions::default() };
+    {
+        let server = BoundServer::bind(opts()).expect("bind serve sweep").spawn();
+        let addr = server.addr().to_string();
+        let mut client = ServeClient::connect(&addr, 30_000).expect("connect serve sweep");
+        for c in 0..max_clients {
+            for j in 0..jobs_per_client {
+                let job = job_for(c, j);
+                let cfg = job.tester_config();
+                let direct = TesterSession::from_config(cfg, ck_serve::serve::engine_template())
+                    .expect("valid serve-sweep config")
+                    .test(&graph)
+                    .expect("measure policy cannot fail");
+                let res = client.run_job(&job).expect("serve-sweep job");
+                let verdict = res.outcome.expect("serve-sweep job refused");
+                assert_eq!(verdict.reject, direct.reject, "serve verdict bit diverges");
+                assert_eq!(
+                    verdict.verdicts, direct.outcome.verdicts,
+                    "serve per-node verdicts diverge from the direct session"
+                );
+            }
+        }
+        client.shutdown().expect("serve-sweep shutdown");
+        let snap = server.join();
+        assert_eq!(snap.jobs_completed, u64::from(max_clients * jobs_per_client));
+        assert_eq!((snap.in_flight, snap.pool_outstanding), (0, 0));
+    }
+
+    // Timed rows: a fresh service per client count, so the service-side
+    // latency histogram (and thus p50/p99) is scoped to the row.
+    let mut rows = Vec::new();
+    let mut jobs_total = 0u64;
+    for clients in [1u32, 2, 4] {
+        let server = BoundServer::bind(opts()).expect("bind serve row").spawn();
+        let addr = server.addr().to_string();
+        let start = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let jobs: Vec<JobRequest> = (0..jobs_per_client).map(|j| job_for(c, j)).collect();
+                std::thread::spawn(move || {
+                    let mut client =
+                        ServeClient::connect(&addr, 30_000).expect("connect serve row");
+                    for job in &jobs {
+                        let res = client.run_job(job).expect("serve row job");
+                        let _ = res.outcome.expect("serve row job refused");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("serve row client");
+        }
+        let secs_total = start.elapsed().as_secs_f64();
+        let mut stats_client =
+            ServeClient::connect(&addr, 30_000).expect("connect serve row stats");
+        let snap = stats_client.stats().expect("serve row stats");
+        stats_client.shutdown().expect("serve row shutdown");
+        server.join();
+        let row_jobs = u64::from(clients * jobs_per_client);
+        assert_eq!(snap.jobs_completed, row_jobs, "serve row lost jobs");
+        assert_eq!(snap.latency.count, row_jobs);
+        jobs_total += row_jobs;
+        let jobs_per_sec = row_jobs as f64 / secs_total;
+        eprintln!(
+            "serve-closed-loop n={n} clients={clients} workers={workers}: \
+             {jobs_per_sec:.1} jobs/s (p50 {} µs, p99 {} µs over {row_jobs} jobs)",
+            snap.latency.p50_us, snap.latency.p99_us
+        );
+        rows.push(ServeRow {
+            clients,
+            jobs_per_client,
+            workers,
+            secs_total,
+            jobs_per_sec,
+            p50_us: snap.latency.p50_us,
+            p99_us: snap.latency.p99_us,
+            max_us: snap.latency.max_us,
+        });
+    }
+    ServeBlock { n, k, workers, jobs_total, rows }
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
@@ -1128,6 +1268,12 @@ fn main() {
     // row under a chaos-injected worker abort.
     let net_block = net_sweep(smoke, &budget);
 
+    // ---- probe-service sweep (schema v8) -----------------------------
+    // Closed-loop clients through a live `ckserve` instance (warm
+    // TesterSession pool over the ServeMsg RPC), verdicts asserted
+    // bit-identical to direct sessions inside, before timing.
+    let serve_block = serve_sweep(smoke);
+
     // ---- render ------------------------------------------------------
     let workload_names =
         ["minflood-ring", "c4-tester-planted", "ck5-tester-planted", "ck5-tester-behrend"];
@@ -1154,7 +1300,7 @@ fn main() {
     };
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"ck-bench/engine/v5\",\n");
+    json.push_str("{\n  \"schema\": \"ck-bench/engine/v8\",\n");
     let _ = writeln!(
         json,
         "  \"description\": \"Round-engine throughput, arena (zero-allocation double-buffered \
@@ -1205,7 +1351,18 @@ fn main() {
          names the honest prefix; counts past it measure oversubscription). Sequential \
          and parallel outputs are asserted bit-identical at every worker count before \
          timing. acceptance gates soa-over-boxed >= 1.2 on the accounted C4/C5 rows at \
-         n=1e5 and the parallel curve monotone non-decreasing over the honest prefix.\","
+         n=1e5 and the parallel curve monotone non-decreasing over the honest prefix. \
+         v8 adds the serve block: the long-running ckserve probe service (one warm \
+         TesterSession per worker thread, recycled arena-to-arena across jobs, ServeMsg \
+         RPC over length-prefixed loopback-TCP frames) driven by closed-loop clients — \
+         each row runs a fresh service at a fixed worker count while N client threads \
+         each push their job stream back-to-back (heterogeneous eps/seed per job, the \
+         multi-tenant reconfigure pattern), recording end-to-end jobs/sec plus the \
+         service-side submit-to-result p50/p99/max latency from the Stats RPC. Every \
+         job's verdict (reject bit and per-node verdicts) is asserted bit-identical to \
+         a direct TesterSession run under the service's engine template before any \
+         timing. acceptance gates verdict bit-identity, zero lost jobs per row (stats \
+         completed == driven), and a clean drain (in_flight == pool_outstanding == 0).\","
     );
     let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
     let _ = writeln!(json, "  \"cores\": {cores},");
@@ -1362,6 +1519,36 @@ fn main() {
         net_block.recovery_budget_ms,
         net_block.recovery_within_budget
     );
+
+    // The v8 serve block: closed-loop clients through the live probe
+    // service.
+    let _ = writeln!(json, "  \"serve\": {{");
+    let _ = writeln!(json, "    \"workload\": \"serve-closed-loop-planted\",");
+    let _ = writeln!(json, "    \"n\": {},", serve_block.n);
+    let _ = writeln!(json, "    \"k\": {},", serve_block.k);
+    let _ = writeln!(json, "    \"transport\": \"loopback-tcp-servemsg-rpc\",");
+    let _ = writeln!(json, "    \"workers\": {},", serve_block.workers);
+    let _ = writeln!(json, "    \"jobs_total\": {},", serve_block.jobs_total);
+    let _ = writeln!(json, "    \"bit_identical\": true,");
+    json.push_str("    \"entries\": [\n");
+    for (i, r) in serve_block.rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"clients\": {}, \"jobs_per_client\": {}, \"workers\": {}, \
+             \"secs_total\": {:.6}, \"jobs_per_sec\": {:.2}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"max_us\": {}}}",
+            r.clients,
+            r.jobs_per_client,
+            r.workers,
+            r.secs_total,
+            r.jobs_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.max_us
+        );
+        json.push_str(if i + 1 < serve_block.rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ]\n  },\n");
 
     // The v6 robust block: fault-model v2 degradation curves.
     let _ = writeln!(json, "  \"robust\": {{");
@@ -1597,6 +1784,20 @@ fn main() {
     // its worker loss, and recovered within the explicit budget.
     let mut net_pass = net_block.recovery_within_budget;
     all_pass &= net_pass;
+    // Serve acceptance: verdict bit-identity, per-row job conservation
+    // (stats completed == jobs driven), and the clean drain were all
+    // asserted inside the sweep — reaching this line proves them. The
+    // rendered gate additionally checks the service-side latency
+    // quantiles are ordered sanely per row: p50 <= p99, and p99 no
+    // higher than the exact max's own bucket can reach (the histogram
+    // quantiles are power-of-two bucket upper bounds, so p99 may sit
+    // slightly above the exact max, but never by 2x or more).
+    let serve_quantiles_ordered = serve_block
+        .rows
+        .iter()
+        .all(|r| r.p50_us <= r.p99_us && r.p99_us < r.max_us.max(1).saturating_mul(2));
+    let mut serve_pass = serve_quantiles_ordered && !serve_block.rows.is_empty();
+    all_pass &= serve_pass;
     // Smoke runs exist to catch bitrot, not to measure: tiny-n runs are
     // setup-dominated, so the perf ratio never gates them (reaching
     // this line at all means both engines and executors ran and agreed,
@@ -1608,6 +1809,7 @@ fn main() {
         soa_pass = true;
         robust_pass = true;
         net_pass = true;
+        serve_pass = true;
     }
     // Informational: absolute comparison against the committed PR-1
     // record, with the legacy engine as the machine-drift control (the
@@ -1672,7 +1874,12 @@ fn main() {
          \"net_cases\": [\n      {{\"case\": \"distributed-bit-identical\", \"gated\": true, \
          \"pass\": true}},\n      {{\"case\": \"recovery-within-budget\", \"gated\": true, \
          \"pass\": {}}}\n    ],\n    \
-         \"net_pass\": {net_pass},\n    \"pass\": {all_pass}\n  }}",
+         \"net_pass\": {net_pass},\n    \
+         \"serve_cases\": [\n      {{\"case\": \"serve-bit-identical\", \"gated\": true, \
+         \"pass\": true}},\n      {{\"case\": \"serve-clean-drain\", \"gated\": true, \
+         \"pass\": true}},\n      {{\"case\": \"serve-latency-quantiles-ordered\", \
+         \"gated\": true, \"pass\": {serve_quantiles_ordered}}}\n    ],\n    \
+         \"serve_pass\": {serve_pass},\n    \"pass\": {all_pass}\n  }}",
         net_block.recovery_within_budget
     );
     json.push_str("}\n");
@@ -1690,6 +1897,8 @@ fn main() {
         "\"thread_axis\"",
         "\"robust\"",
         "\"net\"",
+        "\"serve\"",
+        "\"serve_pass\"",
     ] {
         assert!(json.contains(key), "malformed bench record: missing {key}");
     }

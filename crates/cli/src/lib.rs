@@ -52,6 +52,50 @@ pub struct BatchRequest {
     pub shards: Option<usize>,
 }
 
+/// A `serve` request: run the long-lived probe service until a client
+/// sends Shutdown.
+#[derive(Clone, Debug)]
+pub struct ServeRequest {
+    pub addr: String,
+    pub workers: usize,
+    pub max_nodes: usize,
+    pub inflight_budget: u32,
+    pub idle_reclaim_ms: u64,
+}
+
+impl Default for ServeRequest {
+    fn default() -> Self {
+        ServeRequest {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_nodes: 1 << 20,
+            inflight_budget: 256,
+            idle_reclaim_ms: 30_000,
+        }
+    }
+}
+
+/// A `submit` request: one client interaction with a running service —
+/// optionally a job, optionally a stats fetch, optionally a shutdown,
+/// in that order on one connection.
+#[derive(Clone, Debug)]
+pub struct SubmitRequest {
+    pub addr: String,
+    /// Graph spec to submit as a job, if any. Parameter validation is
+    /// deliberately NOT done client-side: admission control at the
+    /// service is the contract under test, and `ckprobe submit --k 99`
+    /// must exercise the typed refusal frame, not a local usage error.
+    pub graph_spec: Option<String>,
+    pub k: usize,
+    pub eps: f64,
+    pub seed: u64,
+    pub repetitions: Option<u32>,
+    pub job_id: u64,
+    pub stats: bool,
+    pub shutdown: bool,
+    pub timeout_ms: u64,
+}
+
 /// What one `ckprobe` invocation asks for.
 pub enum Invocation {
     /// One graph, one tester (possibly amplified over trials). Boxed:
@@ -63,6 +107,10 @@ pub enum Invocation {
     /// `net-worker ADDR INDEX`: serve one distributed-executor worker —
     /// the argv a coordinator spawns per partition.
     Worker { addr: String, index: u32 },
+    /// `serve [flags]`: run the probe service.
+    Serve(ServeRequest),
+    /// `submit ADDR [flags]`: talk to a running probe service.
+    Submit(SubmitRequest),
 }
 
 /// Builds a graph from a spec string (see [`graph_spec_help`]).
@@ -260,8 +308,131 @@ pub fn graph_spec_help() -> &'static str {
      \x20 file:PATH (DIMACS .col or native edge list)"
 }
 
+/// Parses `serve` subcommand flags (everything after the word `serve`).
+fn parse_serve_args(args: &[String]) -> Result<Invocation, String> {
+    let mut req = ServeRequest::default();
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1).cloned().ok_or(format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => req.addr = value(args, i, "--addr")?,
+            "--workers" => {
+                req.workers =
+                    value(args, i, "--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+                if req.workers == 0 {
+                    return Err("--workers: need at least one worker".into());
+                }
+            }
+            "--max-nodes" => {
+                req.max_nodes = value(args, i, "--max-nodes")?
+                    .parse()
+                    .map_err(|e| format!("--max-nodes: {e}"))?;
+            }
+            "--inflight-budget" => {
+                req.inflight_budget = value(args, i, "--inflight-budget")?
+                    .parse()
+                    .map_err(|e| format!("--inflight-budget: {e}"))?;
+            }
+            "--idle-reclaim-ms" => {
+                req.idle_reclaim_ms = value(args, i, "--idle-reclaim-ms")?
+                    .parse()
+                    .map_err(|e| format!("--idle-reclaim-ms: {e}"))?;
+            }
+            other => return Err(format!("serve: unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    Ok(Invocation::Serve(req))
+}
+
+/// Parses `submit` subcommand argv: `ADDR` positional, then flags.
+/// Job parameters (`--k`, `--eps`) are passed through unvalidated on
+/// purpose — the service's admission control owns that judgement.
+fn parse_submit_args(args: &[String]) -> Result<Invocation, String> {
+    let addr = args.first().cloned().ok_or("submit: missing service address")?;
+    if addr.starts_with("--") {
+        return Err("submit: the service address must come before flags".into());
+    }
+    let mut req = SubmitRequest {
+        addr,
+        graph_spec: None,
+        k: 5,
+        eps: 0.1,
+        seed: 42,
+        repetitions: None,
+        job_id: 0,
+        stats: false,
+        shutdown: false,
+        timeout_ms: 30_000,
+    };
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1).cloned().ok_or(format!("{flag} needs a value"))
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--graph" => {
+                req.graph_spec = Some(value(args, i, "--graph")?);
+                i += 2;
+            }
+            "--k" => {
+                req.k = value(args, i, "--k")?.parse().map_err(|e| format!("--k: {e}"))?;
+                i += 2;
+            }
+            "--eps" => {
+                req.eps = value(args, i, "--eps")?.parse().map_err(|e| format!("--eps: {e}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                req.seed = value(args, i, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                i += 2;
+            }
+            "--repetitions" => {
+                req.repetitions = Some(
+                    value(args, i, "--repetitions")?
+                        .parse()
+                        .map_err(|e| format!("--repetitions: {e}"))?,
+                );
+                i += 2;
+            }
+            "--job-id" => {
+                req.job_id =
+                    value(args, i, "--job-id")?.parse().map_err(|e| format!("--job-id: {e}"))?;
+                i += 2;
+            }
+            "--timeout-ms" => {
+                req.timeout_ms = value(args, i, "--timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-ms: {e}"))?;
+                i += 2;
+            }
+            "--stats" => {
+                req.stats = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                req.shutdown = true;
+                i += 1;
+            }
+            other => return Err(format!("submit: unknown flag {other:?}")),
+        }
+    }
+    if req.graph_spec.is_none() && !req.stats && !req.shutdown {
+        return Err("submit: nothing to do — give --graph, --stats, or --shutdown".into());
+    }
+    Ok(Invocation::Submit(req))
+}
+
 /// Parses full argv (without program name).
 pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    if args.first().map(String::as_str) == Some("serve") {
+        return parse_serve_args(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        return parse_submit_args(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("net-worker") {
         let addr = args.get(1).ok_or("net-worker: missing coordinator address")?.clone();
         let index: u32 = args
@@ -608,6 +779,66 @@ mod tests {
             parse_args(&argv("--graph petersen --tester forest --verbose")).is_err(),
             "verbose reports come from ck sessions"
         );
+    }
+
+    #[test]
+    fn parses_serve_subcommand() {
+        let Invocation::Serve(req) = parse_args(&argv("serve")).unwrap() else {
+            panic!("expected a serve invocation");
+        };
+        assert_eq!(req.addr, "127.0.0.1:0");
+        assert_eq!(req.workers, 2);
+
+        let Invocation::Serve(req) = parse_args(&argv(
+            "serve --addr 127.0.0.1:9911 --workers 4 --max-nodes 5000 \
+             --inflight-budget 8 --idle-reclaim-ms 100",
+        ))
+        .unwrap() else {
+            panic!("expected a serve invocation");
+        };
+        assert_eq!(req.addr, "127.0.0.1:9911");
+        assert_eq!((req.workers, req.max_nodes), (4, 5000));
+        assert_eq!((req.inflight_budget, req.idle_reclaim_ms), (8, 100));
+
+        assert!(parse_args(&argv("serve --workers 0")).is_err(), "zero workers");
+        assert!(parse_args(&argv("serve --workers")).is_err(), "value required");
+        assert!(parse_args(&argv("serve --frobnicate 1")).is_err());
+    }
+
+    #[test]
+    fn parses_submit_subcommand() {
+        let Invocation::Submit(req) = parse_args(&argv(
+            "submit 127.0.0.1:9911 --graph cycle:9 --k 4 --eps 0.2 --seed 7 \
+             --repetitions 2 --job-id 3 --stats --shutdown",
+        ))
+        .unwrap() else {
+            panic!("expected a submit invocation");
+        };
+        assert_eq!(req.addr, "127.0.0.1:9911");
+        assert_eq!(req.graph_spec.as_deref(), Some("cycle:9"));
+        assert_eq!((req.k, req.eps, req.seed), (4, 0.2, 7));
+        assert_eq!((req.repetitions, req.job_id), (Some(2), 3));
+        assert!(req.stats && req.shutdown);
+
+        // Out-of-range parameters parse fine: the service's admission
+        // control refuses them with a typed frame, and the CLI must be
+        // able to put that path on the wire.
+        let Invocation::Submit(req) =
+            parse_args(&argv("submit 127.0.0.1:1 --graph cycle:5 --k 99 --eps 0.0")).unwrap()
+        else {
+            panic!("expected a submit invocation");
+        };
+        assert_eq!((req.k, req.eps), (99, 0.0));
+
+        // Stats-only and shutdown-only interactions need no graph.
+        assert!(parse_args(&argv("submit 127.0.0.1:1 --stats")).is_ok());
+        assert!(parse_args(&argv("submit 127.0.0.1:1 --shutdown")).is_ok());
+
+        assert!(parse_args(&argv("submit")).is_err(), "address required");
+        assert!(parse_args(&argv("submit --stats")).is_err(), "address before flags");
+        assert!(parse_args(&argv("submit 127.0.0.1:1")).is_err(), "an action is required");
+        assert!(parse_args(&argv("submit 127.0.0.1:1 --graph")).is_err(), "value required");
+        assert!(parse_args(&argv("submit 127.0.0.1:1 --frobnicate yes")).is_err());
     }
 
     /// `--k` outside the supported range is a usage error on both the

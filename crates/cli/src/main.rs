@@ -1,7 +1,8 @@
 //! `ckprobe` — run distributed cycle/pattern testers on any graph.
 
 use ck_cli::{
-    batch_jobs, graph_spec_help, parse_args, parse_batch_file, BatchRequest, Invocation, Request,
+    batch_jobs, graph_spec_help, parse_args, parse_batch_file, parse_graph_spec, BatchRequest,
+    Invocation, Request, ServeRequest, SubmitRequest,
 };
 use ck_congest::engine::{EngineConfig, Executor};
 use ck_congest::message::WireParams;
@@ -39,7 +40,143 @@ fn main() {
                 std::process::exit(3);
             }
         }
+        Invocation::Serve(req) => run_serve(&req),
+        Invocation::Submit(req) => run_submit(&req),
     }
+}
+
+/// The `serve` subcommand: run the probe service until a client sends
+/// Shutdown, then report the drained counters.
+fn run_serve(req: &ServeRequest) {
+    use std::io::Write as _;
+    let opts = ck_serve::ServeOptions {
+        addr: req.addr.clone(),
+        workers: req.workers,
+        max_nodes: req.max_nodes,
+        inflight_budget: req.inflight_budget,
+        idle_reclaim_ms: req.idle_reclaim_ms,
+        ..ck_serve::ServeOptions::default()
+    };
+    let server = match ck_serve::BoundServer::bind(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", req.addr);
+            std::process::exit(3);
+        }
+    };
+    // The one line scripted callers parse for the OS-assigned port;
+    // flushed explicitly because stdout is block-buffered under pipes.
+    println!("ckserve listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    let snap = server.run();
+    // A scripted parent may have closed our stdout after reading the
+    // banner; the drain report is best-effort, never a panic.
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(
+        out,
+        "ckserve drained: {} submitted, {} completed, {} refused, {} session(s) reclaimed",
+        snap.jobs_submitted, snap.jobs_completed, snap.jobs_refused, snap.sessions_reclaimed,
+    );
+    let _ = writeln!(
+        out,
+        "ckserve latency: {} job(s), p50 {} µs, p99 {} µs, max {} µs",
+        snap.latency.count, snap.latency.p50_us, snap.latency.p99_us, snap.latency.max_us,
+    );
+    let _ = out.flush();
+    std::process::exit(0);
+}
+
+/// The `submit` subcommand: one connection doing (in order) an
+/// optional job, an optional stats fetch, an optional shutdown.
+fn run_submit(req: &SubmitRequest) {
+    let mut client = match ck_serve::ServeClient::connect(&req.addr, req.timeout_ms) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connecting to {}: {e}", req.addr);
+            std::process::exit(3);
+        }
+    };
+    let mut exit_code = 0;
+    if let Some(spec) = &req.graph_spec {
+        let graph = match parse_graph_spec(spec) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        };
+        let job = ck_serve::JobRequest {
+            job_id: req.job_id,
+            graph,
+            k: req.k as u32,
+            eps: req.eps,
+            seed: req.seed,
+            repetitions: req.repetitions,
+        };
+        match client.run_job(&job) {
+            Ok(res) => match res.outcome {
+                Ok(v) => {
+                    let rejected = v.verdicts.iter().filter(|n| n.rejected).count();
+                    println!(
+                        "job {}: {} — {} of {} node(s) rejecting, {} µs",
+                        res.job_id,
+                        if v.reject { "REJECT" } else { "accept" },
+                        rejected,
+                        v.verdicts.len(),
+                        v.wall_us,
+                    );
+                    exit_code = i32::from(v.reject);
+                }
+                Err(e) => {
+                    eprintln!("job {}: refused: {e}", res.job_id);
+                    exit_code = 3;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: job {}: {e}", req.job_id);
+                std::process::exit(3);
+            }
+        }
+    }
+    if req.stats {
+        match client.stats() {
+            Ok(s) => {
+                println!(
+                    "stats: {} worker(s), queue {}, in-flight {}, pool outstanding {}",
+                    s.workers, s.queue_depth, s.in_flight, s.pool_outstanding,
+                );
+                println!(
+                    "stats: {} submitted, {} completed, {} refused, {} reclaimed, slots {}/{} (takes/misses)",
+                    s.jobs_submitted,
+                    s.jobs_completed,
+                    s.jobs_refused,
+                    s.sessions_reclaimed,
+                    s.slot_takes,
+                    s.slot_misses,
+                );
+                println!(
+                    "stats: latency {} job(s), p50 {} µs, p99 {} µs, max {} µs",
+                    s.latency.count, s.latency.p50_us, s.latency.p99_us, s.latency.max_us,
+                );
+            }
+            Err(e) => {
+                eprintln!("error: stats: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+    if req.shutdown {
+        match client.shutdown() {
+            Ok(jobs_completed) => {
+                println!("ckserve shutdown acknowledged: {jobs_completed} job(s) completed");
+            }
+            Err(e) => {
+                eprintln!("error: shutdown: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+    std::process::exit(exit_code);
 }
 
 /// The `--workers`/`--verbose` path: full tester sessions instead of
@@ -264,7 +401,11 @@ fn print_help() {
          \x20                       [--repetitions R] [--workers W] [--verbose]\n\
          \x20      ckprobe --batch FILE [--k K] [--eps E] [--trials N] [--seed S]\n\
          \x20                       [--repetitions R] [--shards W]\n\
-         \x20      ckprobe net-worker ADDR INDEX\n\n\
+         \x20      ckprobe net-worker ADDR INDEX\n\
+         \x20      ckprobe serve [--addr A] [--workers N] [--max-nodes N]\n\
+         \x20                    [--inflight-budget N] [--idle-reclaim-ms MS]\n\
+         \x20      ckprobe submit ADDR [--graph SPEC] [--k K] [--eps E] [--seed S]\n\
+         \x20                    [--repetitions R] [--job-id ID] [--stats] [--shutdown]\n\n\
          --batch runs every graph spec in FILE (one per line, # comments)\n\
          through the sharded batch runner with the ck tester; --trials\n\
          fans each spec out with derived seeds.\n\n\
@@ -273,7 +414,13 @@ fn print_help() {
          exchanging rounds over loopback TCP; on any worker failure the run\n\
          degrades to the in-process sequential executor and says so.\n\
          --verbose adds per-trial fault and network report summaries.\n\n\
-         exit status: 0 = accept, 1 = reject, 2 = usage error\n\n{}",
+         serve runs the long-lived probe service: a pool of warm tester\n\
+         sessions behind a loopback RPC endpoint (prints `ckserve listening\n\
+         on ADDR`; port 0 allocates). submit talks to it: jobs print their\n\
+         verdict (exit 0/1), service refusals — bad parameters, oversized\n\
+         graphs, backpressure, draining — print the typed reason (exit 3).\n\n\
+         exit status: 0 = accept, 1 = reject, 2 = usage error,\n\
+         \x20             3 = worker or service error\n\n{}",
         graph_spec_help()
     );
 }

@@ -1,0 +1,108 @@
+//! The `ckprobe serve` / `ckprobe submit` surface through the real
+//! binary: exit codes, the port-discovery stdout line, typed refusals
+//! on stderr, and a clean drain on shutdown.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+fn ckprobe() -> &'static str {
+    env!("CARGO_BIN_EXE_ckprobe")
+}
+
+/// Spawns `ckprobe serve` and parses the `ckserve listening on ADDR`
+/// line — exactly what any scripted caller (the CI smoke job
+/// included) does.
+fn spawn_service(extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(ckprobe());
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"]);
+    cmd.args(extra);
+    let mut child = cmd.stdout(Stdio::piped()).stderr(Stdio::null()).spawn().unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("ckserve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn submit(addr: &str, args: &[&str]) -> std::process::Output {
+    Command::new(ckprobe()).args(["submit", addr]).args(args).output().unwrap()
+}
+
+#[test]
+fn serve_submit_stats_shutdown_round_trip() {
+    let (mut child, addr) = spawn_service(&[]);
+
+    // A C5-free graph accepts: exit 0.
+    let out =
+        submit(&addr, &["--graph", "cycle:9", "--k", "5", "--eps", "0.1", "--repetitions", "2"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("accept"));
+
+    // C5 itself rejects: exit 1, as for a direct `--graph` run.
+    let out =
+        submit(&addr, &["--graph", "cycle:5", "--k", "5", "--eps", "0.1", "--repetitions", "2"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REJECT"));
+
+    // Stats reflect both jobs.
+    let out = submit(&addr, &["--stats"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("2 submitted, 2 completed, 0 refused"), "{text}");
+    assert!(text.contains("pool outstanding 0"), "{text}");
+
+    // Shutdown drains and the service process exits 0 by itself.
+    let out = submit(&addr, &["--shutdown"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("2 job(s) completed"));
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0));
+}
+
+/// Satellite: both admission paths through the CLI — parameters the
+/// session's `ConfigError` rejects, and graphs over the service's
+/// size cap — exit 3 with the typed reason on stderr, leaving the
+/// service alive.
+#[test]
+fn refused_jobs_exit_3_with_typed_reason() {
+    let (mut child, addr) = spawn_service(&["--max-nodes", "16"]);
+
+    let out = submit(&addr, &["--graph", "cycle:5", "--k", "99"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("refused") && err.contains("k = 99"), "{err}");
+
+    let out = submit(&addr, &["--graph", "cycle:5", "--eps", "0"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("refused") && err.contains("ε"), "{err}");
+
+    let out = submit(&addr, &["--graph", "cycle:64", "--k", "5"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("refused") && err.contains("exceeds"), "{err}");
+
+    // Three refusals later the service still runs real jobs.
+    let out =
+        submit(&addr, &["--graph", "cycle:5", "--k", "5", "--repetitions", "1", "--shutdown"]);
+    assert_eq!(out.status.code(), Some(1), "reject verdict wins the exit code: {out:?}");
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}
+
+/// A submit against nothing exits 3 without hanging; a malformed graph
+/// spec is a usage error (2) caught before any connection.
+#[test]
+fn connection_and_usage_failures_are_distinct() {
+    let out = submit("127.0.0.1:1", &["--stats"]);
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+
+    let (mut child, addr) = spawn_service(&[]);
+    let out = submit(&addr, &["--graph", "nosuch:5"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    submit(&addr, &["--shutdown"]);
+    assert_eq!(child.wait().unwrap().code(), Some(0));
+}

@@ -73,6 +73,11 @@ pub enum FrameKind {
     Abort = 11,
     /// Worker → coordinator: typed failure description.
     Error = 12,
+    /// Either direction of a probe-service link: one `ServeMsg` RPC
+    /// (submit / result / stats / shutdown), encoded by the service's
+    /// `WireCodec`. The frame layer stays the one transport in the
+    /// repo; the service's RPC grammar lives entirely in the body.
+    Serve = 13,
 }
 
 impl FrameKind {
@@ -91,6 +96,7 @@ impl FrameKind {
             10 => FrameKind::Verdicts,
             11 => FrameKind::Abort,
             12 => FrameKind::Error,
+            13 => FrameKind::Serve,
             _ => return None,
         })
     }

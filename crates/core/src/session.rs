@@ -210,6 +210,19 @@ impl TesterSession {
         self.cfg.seed = seed;
     }
 
+    /// Swaps the full tester configuration, keeping the warm workspace
+    /// and scratch pool. This is the session-pool seam for long-running
+    /// services: a worker holds one session across *heterogeneous*
+    /// jobs (different `k`/`ε`/seed per client) and revalidates each
+    /// incoming configuration here — a bad job is a [`ConfigError`] for
+    /// that job only, and the arenas stay warm for the next one. On
+    /// error the session's previous configuration is untouched.
+    pub fn reconfigure(&mut self, cfg: TesterConfig) -> Result<(), ConfigError> {
+        cfg.validate()?;
+        self.cfg = cfg;
+        Ok(())
+    }
+
     /// Mutable access to the engine template (faults, bandwidth policy,
     /// executor — none of it validated state); takes effect on the next
     /// test. Lets loss/robustness sweeps vary the fault plan per trial
@@ -360,6 +373,35 @@ mod tests {
         assert_eq!(err.label, "bad");
         assert_eq!(err.error, BatchFailure::Config(ConfigError::KOutOfRange { k: 99 }));
         assert!(err.to_string().contains("outside supported range"), "{err}");
+    }
+
+    #[test]
+    fn reconfigure_keeps_arenas_warm_and_rejects_bad_configs() {
+        let inst = eps_far_instance(36, 5, 0.1, 1);
+        let mut session = TesterSession::builder(5, 0.1).seed(3).repetitions(2).build().unwrap();
+        let five = session.test(&inst.graph).unwrap();
+        assert!(five.reject, "the eps-far instance must reject under the original config");
+        // A heterogeneous job (different k/ε/seed) through the same
+        // session matches a fresh session bit for bit.
+        let mut four = TesterConfig::new(4, 0.15, 11);
+        four.repetitions = Some(2);
+        session.reconfigure(four).unwrap();
+        let warm = session.test(&inst.graph).unwrap();
+        let cold = TesterSession::from_config(four, EngineConfig::default())
+            .unwrap()
+            .test(&inst.graph)
+            .unwrap();
+        assert_eq!(warm.outcome.verdicts, cold.outcome.verdicts);
+        assert_eq!(warm.outcome.report.per_round, cold.outcome.report.per_round);
+        // Both tests shared one slot array: reconfigure kept the arenas.
+        let stats = session.slot_stats();
+        assert_eq!((stats.takes, stats.misses), (2, 1));
+        // A bad configuration is rejected and leaves the old one live.
+        let err = session.reconfigure(TesterConfig::new(99, 0.15, 0)).unwrap_err();
+        assert_eq!(err, ConfigError::KOutOfRange { k: 99 });
+        assert_eq!(session.config().k, 4);
+        let again = session.test(&inst.graph).unwrap();
+        assert_eq!(again.outcome.verdicts, warm.outcome.verdicts);
     }
 
     #[test]

@@ -154,7 +154,7 @@ proptest! {
 
     /// A corrupted kind byte is a typed `BadKind`, whatever follows.
     #[test]
-    fn bad_kind_byte_rejected(msg in arb_msg(), bad in 13u8..u8::MAX) {
+    fn bad_kind_byte_rejected(msg in arb_msg(), bad in 14u8..u8::MAX) {
         let p = params();
         let body = encode_out_frame(&OutFrame { receiver: 0, port: 0, msg }, &p).unwrap();
         let mut wire = frame_bytes(&body);

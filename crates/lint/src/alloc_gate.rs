@@ -37,6 +37,36 @@ static DEALLOCS: AtomicU64 = AtomicU64::new(0);
 static REALLOCS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
 
+/// When nonzero, only allocations made by the thread whose
+/// [`TLS_ANCHOR`] sits at this address are counted. The zero-alloc
+/// contracts under test are all *single-threaded* warm paths
+/// (sequential executor, pool take/return on one thread), but the
+/// test harness itself owns background threads that allocate at
+/// unpredictable times — libtest's coordinator fires a small burst
+/// tens of milliseconds into a run — and a process-global count turns
+/// that into a flake. Pinning scopes the gate to the thread whose
+/// behaviour is actually being asserted.
+static PINNED: AtomicU64 = AtomicU64::new(0);
+
+// One byte of thread-local storage whose *address* identifies the
+// thread: reading it never allocates, which is the property that
+// makes it usable inside the allocator itself.
+thread_local! {
+    static TLS_ANCHOR: u8 = const { 0u8 };
+}
+
+fn anchor_addr() -> u64 {
+    // During thread teardown TLS may be gone; such allocations can
+    // never belong to the pinned gate thread, so 0 (≠ any live pin)
+    // is the right answer.
+    TLS_ANCHOR.try_with(|a| a as *const u8 as u64).unwrap_or(0)
+}
+
+fn counted() -> bool {
+    let pin = PINNED.load(Ordering::Relaxed);
+    pin == 0 || anchor_addr() == pin
+}
+
 /// A [`GlobalAlloc`] that forwards to [`System`] and counts every
 /// call. Install as `#[global_allocator]` in the test binary that
 /// asserts zero-steady-state allocation.
@@ -61,8 +91,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: contract inherited verbatim from `GlobalAlloc::alloc`;
     // this wrapper adds no obligations of its own.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
         // SAFETY: `layout` is the caller's layout, passed through
         // unchanged to the system allocator.
         unsafe { System.alloc(layout) }
@@ -70,7 +102,9 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     // SAFETY: contract inherited verbatim from `GlobalAlloc::dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        if counted() {
+            DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
         // SAFETY: `ptr`/`layout` come from a prior `alloc` with the
         // same layout, per the caller's GlobalAlloc obligations.
         unsafe { System.dealloc(ptr, layout) }
@@ -78,8 +112,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
     // SAFETY: contract inherited verbatim from `GlobalAlloc::realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        REALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        if counted() {
+            REALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
         // SAFETY: caller obligations forwarded unchanged to the
         // system allocator.
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -88,8 +124,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: contract inherited verbatim from
     // `GlobalAlloc::alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if counted() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
         // SAFETY: `layout` forwarded unchanged.
         unsafe { System.alloc_zeroed(layout) }
     }
@@ -128,6 +166,21 @@ impl AllocGate {
     /// report growth since this point.
     pub fn snapshot() -> Self {
         AllocGate { at: Self::current() }
+    }
+
+    /// Restricts the counters to allocations made by the calling
+    /// thread. Call once at the top of a gate test: the asserted
+    /// contracts are single-threaded warm paths, and without the pin
+    /// the harness's own background threads can land allocations
+    /// inside a measured region and fail the gate spuriously.
+    pub fn pin_to_current_thread() {
+        PINNED.store(anchor_addr(), Ordering::Relaxed);
+    }
+
+    /// Lifts a [`pin_to_current_thread`](Self::pin_to_current_thread)
+    /// back to process-global counting.
+    pub fn unpin() {
+        PINNED.store(0, Ordering::Relaxed);
     }
 
     /// The raw monotonic counters.

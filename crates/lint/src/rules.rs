@@ -49,7 +49,8 @@ pub enum Rule {
     /// carry a reasoned allow arguing why the bound holds.
     IndexLiteral,
     /// **R3 — `determinism`.** The bit-identity-critical modules
-    /// (`engine`, `fault`, `net/*`, `dist`, `msg`, `scan`) must not
+    /// (`engine`, `fault`, `net/*`, `dist`, `msg`, `scan`, `soa`,
+    /// `serve`, `rpc`) must not
     /// use wall clocks (`Instant`, `SystemTime`), hash-randomized
     /// collections (`HashMap`, `HashSet`, `RandomState`), or process
     /// environment reads — any of these can silently break the
@@ -120,12 +121,13 @@ pub struct FileContext {
     /// `legacy-entry` location check).
     pub rel_path: String,
     /// True for library-crate source (`no-panic` / `index-literal`
-    /// apply): `crates/{congest,core,graphgen,lint}/src/**` (minus
-    /// `src/bin/**`) and `crates/cli/src/lib.rs`.
+    /// apply): `crates/{congest,core,graphgen,lint,serve}/src/**`
+    /// (minus `src/bin/**`) and `crates/cli/src/lib.rs`.
     pub library: bool,
     /// True for the bit-identity-critical modules (`determinism`
     /// applies): `engine.rs`, `fault.rs`, `net/**`, `dist.rs`,
-    /// `msg.rs`, `scan.rs` under a `src/` tree.
+    /// `msg.rs`, `scan.rs`, `soa.rs`, `serve.rs`, `rpc.rs` under a
+    /// `src/` tree.
     pub determinism_critical: bool,
 }
 

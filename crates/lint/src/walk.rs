@@ -15,13 +15,19 @@ use std::path::{Path, PathBuf};
 /// rules (`no-panic`, `index-literal`). `cli` is listed separately:
 /// only its `lib.rs` is library surface, the binary half may panic at
 /// the top level.
-const LIBRARY_CRATES: &[&str] = &["congest", "core", "graphgen", "lint"];
+const LIBRARY_CRATES: &[&str] = &["congest", "core", "graphgen", "lint", "serve"];
 
 /// File stems that are bit-identity-critical when under `src/`
 /// (see [`crate::rules::Rule::Determinism`]). `soa` is the SoA
 /// node-state arena: its raw-pointer views back both executors, so any
 /// nondeterminism there breaks the seq≡par bit-identity contract.
-const DETERMINISM_STEMS: &[&str] = &["engine", "fault", "dist", "msg", "scan", "soa"];
+/// `serve` is the probe service's job loop (verdicts must be a pure
+/// function of the submitted job — wall-clock reads there are confined
+/// to reasoned allows for latency histograms and idle-reclaim timers)
+/// and `rpc` its verdict-carrying wire grammar, whose encode/decode
+/// must be a pure function of the message bytes.
+const DETERMINISM_STEMS: &[&str] =
+    &["engine", "fault", "dist", "msg", "scan", "soa", "serve", "rpc"];
 
 /// Classifies a workspace-relative path (with `/` separators) into the
 /// rule context the engine needs. Pure so the mapping itself is
@@ -109,6 +115,8 @@ mod tests {
         assert!(classify("crates/graphgen/src/lib.rs").library);
         assert!(classify("crates/lint/src/rules.rs").library);
         assert!(classify("crates/cli/src/lib.rs").library);
+        assert!(classify("crates/serve/src/serve.rs").library);
+        assert!(classify("crates/serve/src/rpc.rs").library);
         // Binaries, benches, tests, and non-library crates are not.
         assert!(!classify("crates/cli/src/bin/ckprobe.rs").library);
         assert!(!classify("crates/congest/src/bin/tool.rs").library);
@@ -128,6 +136,12 @@ mod tests {
         assert!(classify("crates/core/src/msg.rs").determinism_critical);
         assert!(classify("crates/core/src/scan.rs").determinism_critical);
         assert!(classify("crates/core/src/soa.rs").determinism_critical);
+        assert!(classify("crates/serve/src/serve.rs").determinism_critical);
+        assert!(classify("crates/serve/src/rpc.rs").determinism_critical);
+        // The service's client helper and lib root are not verdict-
+        // producing; only the job loop and the wire grammar are.
+        assert!(!classify("crates/serve/src/client.rs").determinism_critical);
+        assert!(!classify("crates/serve/src/lib.rs").determinism_critical);
         assert!(!classify("crates/congest/src/session.rs").determinism_critical);
         assert!(!classify("crates/core/src/tester.rs").determinism_critical);
         // Test files named like critical modules are out of scope: the

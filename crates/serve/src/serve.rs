@@ -1,0 +1,608 @@
+//! The probe service: a `std::net` accept loop feeding a worker-thread
+//! pool that holds one warm [`TesterSession`] per worker.
+//!
+//! Concurrency shape (the PR 7 executor idiom, turned long-running):
+//!
+//! - The acceptor thread polls a nonblocking listener and spawns one
+//!   handler thread per client connection.
+//! - Handlers parse RPC frames, run **admission control** inline
+//!   (config validation, graph-size cap, in-flight budget, drain
+//!   state — every refusal a typed [`ServeError`] frame with the job
+//!   id echoed), and push admitted jobs onto one shared queue.
+//! - Workers pop jobs, run them through [`warm_job`] — reconfigure the
+//!   session for the job's parameters, then
+//!   [`TesterSession::test_into`] on a per-worker recycled
+//!   [`TesterRun`], the zero-steady-state-allocation path the
+//!   alloc-gate suite pins — and stream results back on the
+//!   submitting client's writer in completion order.
+//! - A worker idle for `idle_reclaim_ms` drops its session (arenas
+//!   and all) and rebuilds on the next job; the reclaim is counted in
+//!   the Stats RPC.
+//! - `Shutdown` flips the service into draining (new submits refused
+//!   with [`ServeError::Draining`]), waits for the in-flight count to
+//!   reach zero, acknowledges with the lifetime completion count, and
+//!   stops the pool.
+//!
+//! This file is determinism-lint-critical (`serve` stem): verdict
+//! bits come exclusively from the session/engine layers below. The
+//! wall-clock reads here — latency histograms, idle-reclaim timers,
+//! read deadlines — are measurement and liveness plumbing, each
+//! carrying a reasoned `ck-lint` allow.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+// ck-lint: allow(determinism, reason = "Instant feeds latency histograms and idle-reclaim timers only; verdict bits never depend on it")
+use std::time::Instant;
+
+use ck_congest::engine::{EngineConfig, Executor};
+use ck_congest::graph::Graph;
+use ck_congest::net::frame::{Deadline, FrameError, FrameKind};
+use ck_congest::net::link::SharedWriter;
+use ck_core::session::TesterSession;
+use ck_core::tester::{TesterConfig, TesterRun};
+
+use crate::rpc::{
+    encode_serve_body, read_serve_frame, JobResult, JobVerdict, LatencySummary, ServeError,
+    ServeMsg, StatsSnapshot,
+};
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`BoundServer::addr`]).
+    pub addr: String,
+    /// Worker threads = warm sessions in the pool.
+    pub workers: usize,
+    /// Admission cap on a job graph's node count (the warm-workspace
+    /// bound): larger graphs are refused with
+    /// [`ServeError::GraphTooLarge`].
+    pub max_nodes: usize,
+    /// Admission cap on jobs in flight (queued + executing): beyond
+    /// it, submits get an [`ServeError::Overloaded`] backpressure
+    /// frame.
+    pub inflight_budget: u32,
+    /// A worker idle this long tears down its warm session, returning
+    /// arena memory; the next job rebuilds it.
+    pub idle_reclaim_ms: u64,
+    /// Socket poll granularity (read deadlines, accept backoff) — a
+    /// liveness knob, not a correctness one.
+    pub poll_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            max_nodes: 1 << 20,
+            inflight_budget: 256,
+            idle_reclaim_ms: 30_000,
+            poll_ms: 25,
+        }
+    }
+}
+
+/// The engine template every pool session runs: the sequential fused
+/// path (bit-identical to the parallel executors, and the layout the
+/// zero-allocation warm-rerun gate is proved on). Exposed so oracles
+/// in tests and benches execute the exact configuration the service
+/// does.
+pub fn engine_template() -> EngineConfig {
+    EngineConfig { executor: Executor::Sequential, ..EngineConfig::default() }
+}
+
+/// One warm job on a pool session: revalidate-and-swap the
+/// configuration ([`TesterSession::reconfigure`]), then run into the
+/// recycled `run` buffer. On the steady state (same graph size, warm
+/// arenas) this performs **zero** heap operations — the claim
+/// `tests/alloc_gate.rs` turns into a CI gate for the serve path.
+pub fn warm_job(
+    session: &mut TesterSession,
+    graph: &Graph,
+    cfg: TesterConfig,
+    run: &mut TesterRun,
+) -> Result<(), ServeError> {
+    session.reconfigure(cfg).map_err(ServeError::Config)?;
+    session.test_into(graph, run).map_err(|e| ServeError::Engine(e.to_string()))
+}
+
+/// Power-of-two-bucket latency histogram: bucket `i` holds samples
+/// whose microsecond count has bit length `i`, so quantiles come back
+/// as the covering bucket's upper bound. Fixed-size, allocation-free,
+/// and mergeable by field addition.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: [0; 64], count: 0, max_us: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record_us(&mut self, us: u64) {
+        let bucket = (64 - us.leading_zeros()) as usize;
+        if let Some(slot) = self.buckets.get_mut(bucket) {
+            *slot += 1;
+        }
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The upper bound of the bucket at or below which at least
+    /// `num/den` of the recorded mass lies (0 when empty).
+    pub fn quantile_us(&self, num: u64, den: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let need = (self.count * num).div_ceil(den.max(1));
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= need {
+                // Bucket i covers bit-length-i values: upper bound 2^i - 1.
+                return (1u64 << i.min(63)) - 1;
+            }
+        }
+        self.max_us
+    }
+
+    /// p50/p99/max summary for the Stats RPC.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50_us: self.quantile_us(1, 2),
+            p99_us: self.quantile_us(99, 100),
+            max_us: self.max_us,
+        }
+    }
+}
+
+/// An admitted job waiting for (or on) a worker.
+struct Job {
+    job_id: u64,
+    graph: Graph,
+    cfg: TesterConfig,
+    reply: SharedWriter<TcpStream>,
+    // ck-lint: allow(determinism, reason = "submit timestamp feeds the latency histogram only")
+    submitted: Instant,
+}
+
+/// Lifetime counters behind one short-critical-section lock.
+#[derive(Default)]
+struct StatsInner {
+    jobs_submitted: u64,
+    jobs_completed: u64,
+    jobs_refused: u64,
+    sessions_reclaimed: u64,
+    slot_takes: u64,
+    slot_misses: u64,
+    latency: LatencyHistogram,
+}
+
+/// State shared by the acceptor, handlers, and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    work_cv: Condvar,
+    stats: Mutex<StatsInner>,
+    /// Admitted and unanswered (queued + executing).
+    in_flight: AtomicU32,
+    /// Checked out of the queue by a worker right now.
+    executing: AtomicU64,
+    /// Refuse new admissions; drain what's in.
+    draining: AtomicBool,
+    /// Everything winds down.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            stats: Mutex::new(StatsInner::default()),
+            in_flight: AtomicU32::new(0),
+            executing: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Pops the next job, waiting at most `idle_ms`. `None` means
+    /// either an idle tick or shutdown — the caller checks `stop`.
+    fn next_job(&self, idle_ms: u64) -> Option<Job> {
+        // Poisoning (a peer thread panicking mid-push) leaves the queue
+        // structurally sound; refusing to serve would turn one dead
+        // thread into a dead service.
+        let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, timeout) = self
+                .work_cv
+                .wait_timeout(q, Duration::from_millis(idle_ms.max(1)))
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
+            if timeout.timed_out() {
+                return None;
+            }
+        }
+    }
+
+    fn stats<R>(&self, f: impl FnOnce(&mut StatsInner) -> R) -> R {
+        let mut s = self.stats.lock().unwrap_or_else(|p| p.into_inner());
+        f(&mut s)
+    }
+
+    fn queue_depth(&self) -> u32 {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner()).len() as u32
+    }
+
+    fn snapshot(&self, workers: u32) -> StatsSnapshot {
+        let queue_depth = self.queue_depth();
+        let in_flight = self.in_flight.load(Ordering::SeqCst);
+        let pool_outstanding = self.executing.load(Ordering::SeqCst);
+        self.stats(|s| StatsSnapshot {
+            workers,
+            queue_depth,
+            in_flight,
+            pool_outstanding,
+            jobs_submitted: s.jobs_submitted,
+            jobs_completed: s.jobs_completed,
+            jobs_refused: s.jobs_refused,
+            sessions_reclaimed: s.sessions_reclaimed,
+            slot_takes: s.slot_takes,
+            slot_misses: s.slot_misses,
+            latency: s.latency.summary(),
+        })
+    }
+}
+
+/// Best-effort RPC send: a vanished client is that client's problem,
+/// never the service's.
+fn send_msg(writer: &SharedWriter<TcpStream>, msg: &ServeMsg) {
+    if let Ok(body) = encode_serve_body(msg) {
+        let _ = writer.send(FrameKind::Serve, &body);
+    }
+}
+
+/// The worker loop: one warm session, one recycled run buffer.
+fn worker_loop(shared: Arc<Shared>, opts: Arc<ServeOptions>) {
+    let mut session: Option<TesterSession> = None;
+    let mut run = TesterRun::default();
+    // Slot-stats folding base for the current session incarnation.
+    let mut folded = (0u64, 0u64);
+    loop {
+        match shared.next_job(opts.idle_reclaim_ms) {
+            Some(job) => {
+                shared.executing.fetch_add(1, Ordering::SeqCst);
+                // ck-lint: allow(determinism, reason = "job wall time is reported measurement, not verdict input")
+                let t0 = Instant::now();
+                let outcome = match session.as_mut() {
+                    Some(s) => warm_job(s, &job.graph, job.cfg, &mut run),
+                    None => match TesterSession::from_config(job.cfg, engine_template()) {
+                        Ok(s) => {
+                            folded = (0, 0);
+                            warm_job(session.insert(s), &job.graph, job.cfg, &mut run)
+                        }
+                        Err(e) => Err(ServeError::Config(e)),
+                    },
+                };
+                // ck-lint: allow(determinism, reason = "elapsed time lands in the verdict's wall_us metric field only")
+                let wall_us = t0.elapsed().as_micros() as u64;
+                let ok = outcome.is_ok();
+                let outcome = outcome.map(|()| JobVerdict {
+                    reject: run.reject,
+                    wall_us,
+                    verdicts: run.outcome.verdicts.clone(),
+                });
+                send_msg(&job.reply, &ServeMsg::Result(JobResult { job_id: job.job_id, outcome }));
+                let delta = session
+                    .as_ref()
+                    .map(|s| {
+                        let now = s.slot_stats();
+                        let d = (now.takes - folded.0, now.misses - folded.1);
+                        folded = (now.takes, now.misses);
+                        d
+                    })
+                    .unwrap_or((0, 0));
+                // ck-lint: allow(determinism, reason = "submit-to-result latency is histogram data only")
+                let latency_us = job.submitted.elapsed().as_micros() as u64;
+                shared.stats(|s| {
+                    if ok {
+                        s.jobs_completed += 1;
+                    } else {
+                        s.jobs_refused += 1;
+                    }
+                    s.slot_takes += delta.0;
+                    s.slot_misses += delta.1;
+                    s.latency.record_us(latency_us);
+                });
+                shared.executing.fetch_sub(1, Ordering::SeqCst);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            None => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Idle tick: return the warm arenas to the allocator.
+                if session.take().is_some() {
+                    folded = (0, 0);
+                    shared.stats(|s| s.sessions_reclaimed += 1);
+                }
+            }
+        }
+    }
+}
+
+/// Admission control for one submit. Refusals echo the job id.
+fn handle_submit(
+    shared: &Shared,
+    opts: &ServeOptions,
+    writer: &SharedWriter<TcpStream>,
+    req: crate::rpc::JobRequest,
+) {
+    shared.stats(|s| s.jobs_submitted += 1);
+    let refusal = if shared.draining.load(Ordering::SeqCst) {
+        Some(ServeError::Draining)
+    } else if let Err(e) = req.tester_config().validate() {
+        Some(ServeError::Config(e))
+    } else if req.graph.n() > opts.max_nodes {
+        Some(ServeError::GraphTooLarge { n: req.graph.n() as u64, max: opts.max_nodes as u64 })
+    } else {
+        match shared.in_flight.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+            if cur >= opts.inflight_budget {
+                None
+            } else {
+                Some(cur + 1)
+            }
+        }) {
+            Ok(_) => None,
+            Err(cur) => {
+                Some(ServeError::Overloaded { in_flight: cur, budget: opts.inflight_budget })
+            }
+        }
+    };
+    match refusal {
+        Some(err) => {
+            shared.stats(|s| s.jobs_refused += 1);
+            send_msg(
+                writer,
+                &ServeMsg::Result(JobResult { job_id: req.job_id, outcome: Err(err) }),
+            );
+        }
+        None => {
+            let cfg = req.tester_config();
+            let job = Job {
+                job_id: req.job_id,
+                graph: req.graph,
+                cfg,
+                reply: writer.clone(),
+                // ck-lint: allow(determinism, reason = "submit timestamp feeds the latency histogram only")
+                submitted: Instant::now(),
+            };
+            shared.queue.lock().unwrap_or_else(|p| p.into_inner()).push_back(job);
+            shared.work_cv.notify_one();
+        }
+    }
+}
+
+/// Graceful drain: refuse new work, wait out the in-flight jobs, stop
+/// the pool.
+fn drain(shared: &Shared) -> u64 {
+    shared.draining.store(true, Ordering::SeqCst);
+    while shared.in_flight.load(Ordering::SeqCst) != 0 {
+        thread::sleep(Duration::from_millis(2));
+    }
+    shared.stop.store(true, Ordering::SeqCst);
+    shared.work_cv.notify_all();
+    shared.stats(|s| s.jobs_completed)
+}
+
+/// One RPC dispatched; `false` ends the connection.
+fn handle_msg(
+    shared: &Shared,
+    opts: &ServeOptions,
+    writer: &SharedWriter<TcpStream>,
+    msg: ServeMsg,
+) -> bool {
+    match msg {
+        ServeMsg::Submit(req) => {
+            handle_submit(shared, opts, writer, req);
+            true
+        }
+        ServeMsg::StatsRequest => {
+            send_msg(writer, &ServeMsg::Stats(shared.snapshot(opts.workers.max(1) as u32)));
+            true
+        }
+        ServeMsg::Shutdown => {
+            let jobs_completed = drain(shared);
+            send_msg(writer, &ServeMsg::ShutdownAck { jobs_completed });
+            false
+        }
+        // Service-bound links never carry service-to-client RPCs; the
+        // framing is intact, so answer typed and keep the connection.
+        ServeMsg::Result(_) | ServeMsg::Stats(_) | ServeMsg::ShutdownAck { .. } => {
+            let _ = writer.send(FrameKind::Error, b"protocol: client sent a service-to-client RPC");
+            true
+        }
+    }
+}
+
+/// Per-connection handler: the service's read loop. Body-level decode
+/// failures (intact frame boundary) answer with a typed `Error` frame
+/// and keep reading — the garbage-then-valid recovery path; framing
+/// failures drop the connection, and the service stays up either way.
+fn client_loop(shared: &Shared, opts: &ServeOptions, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(opts.poll_ms.max(1))));
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let writer = SharedWriter::new(stream);
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_serve_frame(&mut reader, &Deadline::after_ms(opts.poll_ms.max(1))) {
+            Ok(Some(msg)) => {
+                if !handle_msg(shared, opts, &writer, msg) {
+                    return;
+                }
+            }
+            Ok(None) => {}
+            Err(FrameError::TimedOut) => {}
+            Err(e @ (FrameError::Codec(_) | FrameError::BadBody(_))) => {
+                let _ = writer.send(FrameKind::Error, e.to_string().as_bytes());
+            }
+            Err(e) => {
+                let _ = writer.send(FrameKind::Error, e.to_string().as_bytes());
+                return;
+            }
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving service: the split lets callers learn
+/// the OS-assigned port before the blocking loop starts.
+pub struct BoundServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    opts: ServeOptions,
+}
+
+impl BoundServer {
+    /// Binds the listener (port 0 allocates).
+    pub fn bind(opts: ServeOptions) -> io::Result<BoundServer> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(BoundServer { listener, addr, opts })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the service to completion (a client's `Shutdown` drains
+    /// and stops it); returns the final counter snapshot.
+    pub fn run(self) -> StatsSnapshot {
+        let shared = Arc::new(Shared::new());
+        let opts = Arc::new(self.opts);
+        let workers: Vec<_> = (0..opts.workers.max(1))
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                let o = Arc::clone(&opts);
+                thread::spawn(move || worker_loop(sh, o))
+            })
+            .collect();
+        let _ = self.listener.set_nonblocking(true);
+        let mut handlers = Vec::new();
+        while !shared.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let sh = Arc::clone(&shared);
+                    let o = Arc::clone(&opts);
+                    handlers.push(thread::spawn(move || client_loop(&sh, &o, stream)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => thread::sleep(Duration::from_millis(2)),
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        shared.snapshot(opts.workers.max(1) as u32)
+    }
+
+    /// Runs the service on its own thread; the handle joins for the
+    /// final snapshot.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        ServerHandle { addr, join: thread::spawn(move || self.run()) }
+    }
+}
+
+/// A running service spawned by [`BoundServer::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    join: thread::JoinHandle<StatsSnapshot>,
+}
+
+impl ServerHandle {
+    /// The service's socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the service to drain and stop (a client must have
+    /// sent `Shutdown`); a worker panic degrades to default counters
+    /// rather than propagating.
+    pub fn join(self) -> StatsSnapshot {
+        self.join.join().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_cover_the_mass() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.summary(), LatencySummary::default());
+        for us in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
+            h.record_us(us);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max_us, 1000);
+        // p50 lands in the bit-length-2 bucket (values 2..=3).
+        assert_eq!(s.p50_us, 3);
+        // p99 needs all 10 samples: the 1000 µs bucket (bit length 10).
+        assert_eq!(s.p99_us, 1023);
+        assert!(s.p50_us <= s.p99_us && s.p99_us <= 1023);
+    }
+
+    #[test]
+    fn histogram_zero_and_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.summary().max_us, u64::MAX);
+        assert!(h.quantile_us(1, 2) <= h.quantile_us(99, 100));
+    }
+}

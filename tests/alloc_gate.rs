@@ -60,6 +60,11 @@ fn path_graph(n: usize) -> Graph {
 
 #[test]
 fn warm_reruns_perform_zero_heap_operations() {
+    // Every contract below is a single-threaded warm path; scope the
+    // counters to this thread so the libtest harness's own background
+    // allocations cannot land inside a measured region.
+    AllocGate::pin_to_current_thread();
+
     // Sanity: the counting allocator actually sees heap traffic.
     let gate = AllocGate::snapshot();
     let buf: Vec<u64> = Vec::with_capacity(1024);
@@ -116,6 +121,42 @@ fn warm_reruns_perform_zero_heap_operations() {
             "warm TesterSession::test_into rerun must not allocate ({layout:?}): {d:?}"
         );
         assert!(!run.reject);
+    }
+
+    // (d) The serve-pool warm path: `ck_serve::serve::warm_job` —
+    // reconfigure + `test_into`, exactly what a `ckserve` worker runs
+    // per job — performs zero heap operations across a stream of
+    // heterogeneous warm jobs (ε, seed, and repetition count all
+    // changing job to job on a warm graph shape). This is the
+    // steady-state claim behind the service's session pool.
+    {
+        use ck_core::tester::TesterConfig;
+        let mut session = TesterSession::builder(5, 0.1)
+            .seed(7)
+            .repetitions(2)
+            .executor(Executor::Sequential)
+            .build()
+            .unwrap();
+        let mut run = TesterRun::default();
+        let cfgs: Vec<TesterConfig> = (0..4u64)
+            .map(|i| {
+                let mut c = TesterConfig::new(5, if i % 2 == 0 { 0.1 } else { 0.15 }, 11 + i);
+                c.repetitions = Some(1 + (i % 2) as u32);
+                c
+            })
+            .collect();
+        for cfg in &cfgs {
+            ck_serve::serve::warm_job(&mut session, &free, *cfg, &mut run).unwrap();
+            assert!(!run.reject);
+        }
+        let gate = AllocGate::snapshot();
+        for _ in 0..3 {
+            for cfg in &cfgs {
+                ck_serve::serve::warm_job(&mut session, &free, *cfg, &mut run).unwrap();
+            }
+        }
+        let d = gate.delta();
+        assert_eq!(d.heap_ops(), 0, "warm serve-pool job must not allocate: {d:?}");
     }
 
     // (c) `SeqPool` take/return cycle: once the free list holds a
