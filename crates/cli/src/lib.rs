@@ -61,6 +61,7 @@ pub struct ServeRequest {
     pub max_nodes: usize,
     pub inflight_budget: u32,
     pub idle_reclaim_ms: u64,
+    pub max_conns: usize,
 }
 
 impl Default for ServeRequest {
@@ -71,6 +72,7 @@ impl Default for ServeRequest {
             max_nodes: 1 << 20,
             inflight_budget: 256,
             idle_reclaim_ms: 30_000,
+            max_conns: 1024,
         }
     }
 }
@@ -339,6 +341,14 @@ fn parse_serve_args(args: &[String]) -> Result<Invocation, String> {
                 req.idle_reclaim_ms = value(args, i, "--idle-reclaim-ms")?
                     .parse()
                     .map_err(|e| format!("--idle-reclaim-ms: {e}"))?;
+            }
+            "--max-conns" => {
+                req.max_conns = value(args, i, "--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+                if req.max_conns == 0 {
+                    return Err("--max-conns: need at least one connection".into());
+                }
             }
             other => return Err(format!("serve: unknown flag {other:?}")),
         }
@@ -791,7 +801,7 @@ mod tests {
 
         let Invocation::Serve(req) = parse_args(&argv(
             "serve --addr 127.0.0.1:9911 --workers 4 --max-nodes 5000 \
-             --inflight-budget 8 --idle-reclaim-ms 100",
+             --inflight-budget 8 --idle-reclaim-ms 100 --max-conns 16",
         ))
         .unwrap() else {
             panic!("expected a serve invocation");
@@ -799,8 +809,10 @@ mod tests {
         assert_eq!(req.addr, "127.0.0.1:9911");
         assert_eq!((req.workers, req.max_nodes), (4, 5000));
         assert_eq!((req.inflight_budget, req.idle_reclaim_ms), (8, 100));
+        assert_eq!(req.max_conns, 16);
 
         assert!(parse_args(&argv("serve --workers 0")).is_err(), "zero workers");
+        assert!(parse_args(&argv("serve --max-conns 0")).is_err(), "zero connections");
         assert!(parse_args(&argv("serve --workers")).is_err(), "value required");
         assert!(parse_args(&argv("serve --frobnicate 1")).is_err());
     }

@@ -55,6 +55,7 @@ fn run_serve(req: &ServeRequest) {
         max_nodes: req.max_nodes,
         inflight_budget: req.inflight_budget,
         idle_reclaim_ms: req.idle_reclaim_ms,
+        max_conns: req.max_conns,
         ..ck_serve::ServeOptions::default()
     };
     let server = match ck_serve::BoundServer::bind(opts) {
@@ -404,6 +405,7 @@ fn print_help() {
          \x20      ckprobe net-worker ADDR INDEX\n\
          \x20      ckprobe serve [--addr A] [--workers N] [--max-nodes N]\n\
          \x20                    [--inflight-budget N] [--idle-reclaim-ms MS]\n\
+         \x20                    [--max-conns N]\n\
          \x20      ckprobe submit ADDR [--graph SPEC] [--k K] [--eps E] [--seed S]\n\
          \x20                    [--repetitions R] [--job-id ID] [--stats] [--shutdown]\n\n\
          --batch runs every graph spec in FILE (one per line, # comments)\n\

@@ -11,7 +11,7 @@ use std::fmt;
 use std::net::TcpStream;
 use std::time::Duration;
 
-use ck_congest::net::frame::{read_frame, Deadline, FrameError, FrameKind};
+use ck_congest::net::frame::{Deadline, FrameError, FrameKind, FrameReader};
 use ck_congest::net::link::{connect_with_retry, SharedWriter};
 
 use crate::rpc::{
@@ -55,6 +55,10 @@ impl From<FrameError> for ClientError {
 /// A blocking connection to one probe service.
 pub struct ServeClient {
     reader: TcpStream,
+    /// Keeps partial-frame state across receive deadlines, so a
+    /// `TimedOut` recv leaves the stream in sync and a retry resumes
+    /// the half-arrived reply instead of misparsing its tail.
+    frames: FrameReader,
     writer: SharedWriter<TcpStream>,
     /// Per-receive budget in milliseconds.
     timeout_ms: u64,
@@ -68,7 +72,12 @@ impl ServeClient {
             connect_with_retry(addr, 10, 20).map_err(|e| ClientError::Io(e.to_string()))?;
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
         let reader = stream.try_clone().map_err(|e| ClientError::Io(e.to_string()))?;
-        Ok(ServeClient { reader, writer: SharedWriter::new(stream), timeout_ms })
+        Ok(ServeClient {
+            reader,
+            frames: FrameReader::new(),
+            writer: SharedWriter::new(stream),
+            timeout_ms,
+        })
     }
 
     /// Sends one RPC.
@@ -88,7 +97,7 @@ impl ServeClient {
     pub fn recv(&mut self) -> Result<ServeMsg, ClientError> {
         let deadline = Deadline::after_ms(self.timeout_ms);
         loop {
-            let frame = read_frame(&mut self.reader, &deadline)?;
+            let frame = self.frames.read_frame(&mut self.reader, &deadline)?;
             match frame.kind {
                 FrameKind::Serve => return Ok(decode_serve_body(&frame.body)?),
                 FrameKind::Heartbeat => {}

@@ -71,7 +71,9 @@ use std::io::Read;
 
 use ck_congest::graph::Graph;
 use ck_congest::message::{BitReader, BitWriter, CodecError, WireCodec, WireMessage, WireParams};
-use ck_congest::net::frame::{read_frame, ByteReader, ByteWriter, Deadline, FrameError, FrameKind};
+use ck_congest::net::frame::{
+    ByteReader, ByteWriter, Deadline, FrameError, FrameKind, FrameReader,
+};
 use ck_core::dist::{decode_verdicts, encode_verdicts};
 use ck_core::tester::{ConfigError, NodeVerdict, TesterConfig};
 
@@ -517,14 +519,19 @@ pub fn decode_serve_body(body: &[u8]) -> Result<ServeMsg, FrameError> {
 /// non-RPC frame (heartbeats), and `Err` for everything else. Body
 /// decode failures come back as [`FrameError::Codec`] /
 /// [`FrameError::BadBody`], which callers may treat as *recoverable*
-/// (the frame boundary was intact, so the stream can continue) —
-/// distinct from framing failures (`Truncated`, `BadKind`,
-/// `Oversized`, `Io`), after which the stream position is untrusted.
+/// (the frame boundary was intact, so the stream can continue), and
+/// [`FrameError::TimedOut`] is a benign poll tick — `frames` keeps
+/// any half-arrived frame buffered, so the next call resumes it
+/// instead of desyncing the stream (the reason this takes a
+/// persistent [`FrameReader`] rather than a bare `Read`). Framing
+/// failures (`Truncated`, `BadKind`, `Oversized`, `Io`) still leave
+/// the stream position untrusted: drop the connection.
 pub fn read_serve_frame(
+    frames: &mut FrameReader,
     r: &mut impl Read,
     deadline: &Deadline,
 ) -> Result<Option<ServeMsg>, FrameError> {
-    let frame = read_frame(r, deadline)?;
+    let frame = frames.read_frame(r, deadline)?;
     match frame.kind {
         FrameKind::Serve => decode_serve_body(&frame.body).map(Some),
         FrameKind::Heartbeat => Ok(None),

@@ -41,7 +41,7 @@ use std::time::Instant;
 
 use ck_congest::engine::{EngineConfig, Executor};
 use ck_congest::graph::Graph;
-use ck_congest::net::frame::{Deadline, FrameError, FrameKind};
+use ck_congest::net::frame::{Deadline, FrameError, FrameKind, FrameReader};
 use ck_congest::net::link::SharedWriter;
 use ck_core::session::TesterSession;
 use ck_core::tester::{TesterConfig, TesterRun};
@@ -73,6 +73,11 @@ pub struct ServeOptions {
     /// Socket poll granularity (read deadlines, accept backoff) — a
     /// liveness knob, not a correctness one.
     pub poll_ms: u64,
+    /// Cap on concurrently connected clients (one handler thread
+    /// each). At the cap a new connection is answered with an `Error`
+    /// frame and closed, so the service's thread count and handler
+    /// bookkeeping stay bounded over its lifetime.
+    pub max_conns: usize,
 }
 
 impl Default for ServeOptions {
@@ -84,6 +89,7 @@ impl Default for ServeOptions {
             inflight_budget: 256,
             idle_reclaim_ms: 30_000,
             poll_ms: 25,
+            max_conns: 1024,
         }
     }
 }
@@ -115,17 +121,19 @@ pub fn warm_job(
 /// Power-of-two-bucket latency histogram: bucket `i` holds samples
 /// whose microsecond count has bit length `i`, so quantiles come back
 /// as the covering bucket's upper bound. Fixed-size, allocation-free,
-/// and mergeable by field addition.
+/// and mergeable by field addition. 65 buckets, because a `u64` has
+/// bit lengths 0..=64 — every sample lands in exactly one bucket and
+/// contributes quantile mass, even `u64::MAX`.
 #[derive(Clone, Debug)]
 pub struct LatencyHistogram {
-    buckets: [u64; 64],
+    buckets: [u64; 65],
     count: u64,
     max_us: u64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        LatencyHistogram { buckets: [0; 64], count: 0, max_us: 0 }
+        LatencyHistogram { buckets: [0; 65], count: 0, max_us: 0 }
     }
 }
 
@@ -161,8 +169,10 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= need {
-                // Bucket i covers bit-length-i values: upper bound 2^i - 1.
-                return (1u64 << i.min(63)) - 1;
+                // Bucket i covers bit-length-i values: upper bound
+                // 2^i - 1, except the last bucket (bit length 64),
+                // which tops out at u64::MAX.
+                return if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
             }
         }
         self.max_us
@@ -382,7 +392,19 @@ fn handle_submit(
                 Some(cur + 1)
             }
         }) {
-            Ok(_) => None,
+            Ok(_) => {
+                // A drain can begin between the check at the top and
+                // this increment — and may already have observed
+                // in_flight == 0 and stopped the pool. Re-check and
+                // refund so no job is ever queued with no workers
+                // left to answer it.
+                if shared.draining.load(Ordering::SeqCst) {
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    Some(ServeError::Draining)
+                } else {
+                    None
+                }
+            }
             Err(cur) => {
                 Some(ServeError::Overloaded { in_flight: cur, budget: opts.inflight_budget })
             }
@@ -467,11 +489,15 @@ fn client_loop(shared: &Shared, opts: &ServeOptions, stream: TcpStream) {
         Err(_) => return,
     };
     let writer = SharedWriter::new(stream);
+    // Persistent across poll ticks: a frame whose bytes straddle a
+    // poll_ms window (large graph, slow client) survives the deadline
+    // as buffered partial state instead of desyncing the stream.
+    let mut frames = FrameReader::new();
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        match read_serve_frame(&mut reader, &Deadline::after_ms(opts.poll_ms.max(1))) {
+        match read_serve_frame(&mut frames, &mut reader, &Deadline::after_ms(opts.poll_ms.max(1))) {
             Ok(Some(msg)) => {
                 if !handle_msg(shared, opts, &writer, msg) {
                     return;
@@ -528,6 +554,17 @@ impl BoundServer {
         while !shared.stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    // Reap finished handler threads on every accept so
+                    // the vec (and peak thread count) tracks *live*
+                    // connections, not lifetime connections.
+                    handlers.retain(|h: &thread::JoinHandle<()>| !h.is_finished());
+                    if handlers.len() >= opts.max_conns.max(1) {
+                        // At the connection cap: refuse loudly, then
+                        // close (dropping the stream closes it).
+                        let w = SharedWriter::new(stream);
+                        let _ = w.send(FrameKind::Error, b"connection limit reached");
+                        continue;
+                    }
                     let sh = Arc::clone(&shared);
                     let o = Arc::clone(&opts);
                     handlers.push(thread::spawn(move || client_loop(&sh, &o, stream)));
@@ -603,6 +640,11 @@ mod tests {
         h.record_us(u64::MAX);
         assert_eq!(h.count(), 2);
         assert_eq!(h.summary().max_us, u64::MAX);
-        assert!(h.quantile_us(1, 2) <= h.quantile_us(99, 100));
+        // Bit length 0 (the zero) and bit length 64 (u64::MAX) are the
+        // extreme buckets; both must carry quantile mass, so p50 is
+        // the zero bucket and p99 the top one — not a silent
+        // fall-through to max_us.
+        assert_eq!(h.quantile_us(1, 2), 0);
+        assert_eq!(h.quantile_us(99, 100), u64::MAX);
     }
 }

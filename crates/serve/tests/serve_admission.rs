@@ -93,3 +93,36 @@ fn exhausted_inflight_budget_refuses_with_overloaded() {
     let snap = server.join();
     assert_eq!((snap.jobs_submitted, snap.jobs_refused), (1, 1));
 }
+
+/// Connections over `max_conns` are refused with an `Error` frame and
+/// closed; the connected client is untouched. (The acceptor reaps
+/// finished handler threads, so the cap counts *live* connections.)
+#[test]
+fn connection_cap_refuses_excess_clients_loudly() {
+    use ck_congest::net::frame::{read_frame, Deadline, FrameKind};
+
+    let server = BoundServer::bind(ServeOptions {
+        workers: 1,
+        poll_ms: 5,
+        max_conns: 1,
+        ..ServeOptions::default()
+    })
+    .unwrap()
+    .spawn();
+    let addr = server.addr().to_string();
+    let mut first = ServeClient::connect(&addr, 10_000).unwrap();
+
+    // The second concurrent connection is over the cap: one Error
+    // frame, then EOF.
+    let mut second = std::net::TcpStream::connect(&addr).unwrap();
+    let frame = read_frame(&mut second, &Deadline::after_ms(10_000)).unwrap();
+    assert_eq!(frame.kind, FrameKind::Error);
+    assert_eq!(frame.body, b"connection limit reached");
+
+    // The admitted client never notices.
+    let res = first.run_job(&job(11, 5, 5, 0.1)).unwrap();
+    assert_eq!(res.job_id, 11);
+    assert!(res.outcome.unwrap().reject);
+    first.shutdown().unwrap();
+    server.join();
+}

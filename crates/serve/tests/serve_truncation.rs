@@ -82,6 +82,56 @@ fn every_rpc_body_prefix_fails_typed_and_link_recovers() {
     assert_eq!((snap.in_flight, snap.queue_depth, snap.pool_outstanding), (0, 0, 0));
 }
 
+/// A submit whose bytes straddle many `poll_ms` windows — the slow-
+/// writer case loopback tests never hit by accident. The service's
+/// per-connection `FrameReader` must keep the half-arrived frame
+/// buffered across its read deadlines; discarding the consumed bytes
+/// would desync the stream and misparse mid-frame bytes as a new
+/// header.
+#[test]
+fn submit_dribbled_across_poll_windows_still_completes() {
+    use ck_congest::net::frame::{read_frame, Deadline, FrameKind};
+    use ck_serve::rpc::decode_serve_body;
+    use std::io::Write;
+
+    let server = BoundServer::bind(opts()).unwrap().spawn(); // poll_ms = 5
+    let addr = server.addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let body = encode_serve_body(&ServeMsg::Submit(job(21, 9))).unwrap();
+    let mut wire = vec![FrameKind::Serve as u8];
+    wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&body);
+
+    // A few bytes per write, sleeping several poll windows between
+    // them, so both the header and the body cross read deadlines.
+    for chunk in wire.chunks(5) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+    }
+
+    // The service must reassemble it as one Submit and answer it.
+    let mut reader = stream.try_clone().unwrap();
+    let frame = read_frame(&mut reader, &Deadline::after_ms(10_000)).unwrap();
+    assert_eq!(frame.kind, FrameKind::Serve);
+    match decode_serve_body(&frame.body).unwrap() {
+        ServeMsg::Result(res) => {
+            assert_eq!(res.job_id, 21);
+            assert!(!res.outcome.unwrap().reject, "C9 is C5-free");
+        }
+        other => panic!("expected a Result, got {other:?}"),
+    }
+    drop(reader);
+    drop(stream);
+
+    let mut client = ServeClient::connect(&addr, 10_000).unwrap();
+    assert_eq!(client.shutdown().unwrap(), 1);
+    let snap = server.join();
+    assert_eq!(snap.jobs_completed, 1);
+}
+
 /// Frame-layer garbage (an unknown kind byte) makes the stream
 /// unparseable: the service drops that connection but keeps serving
 /// everyone else.
